@@ -1,0 +1,40 @@
+GO ?= go
+
+.PHONY: all build vet test race bench tables fuzz examples coverage clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+tables:
+	$(GO) run ./cmd/benchtab -table all
+
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/monitor/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/mutex
+	$(GO) run ./examples/airdefense
+	$(GO) run ./examples/multimedia
+	$(GO) run ./examples/bsp
+
+coverage:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

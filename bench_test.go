@@ -1,0 +1,283 @@
+// Repo-level benchmarks: one benchmark family per paper artifact (see
+// DESIGN.md §4 and EXPERIMENTS.md). Comparison counts are reported as the
+// custom metric "cmp/op" next to the usual ns/op, so the Theorem 19/20
+// claims are visible directly in `go test -bench` output.
+package causet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"causet"
+	"causet/internal/bench"
+	"causet/internal/core"
+	"causet/internal/cuts"
+	"causet/internal/hierarchy"
+	"causet/internal/interval"
+	"causet/internal/sim"
+)
+
+// sweepCase builds the E5 instance: a 4-round ring on n processes with the
+// 2-per-node span pair, so |N_X| = |N_Y| = n and the ∀-relations run to
+// completion (worst-case counts; see bench.ComplexitySweep).
+func sweepCase(b *testing.B, n int) (*core.Analysis, *interval.Interval, *interval.Interval) {
+	b.Helper()
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: n, Rounds: 4, Seed: 1})
+	a := core.NewAnalysis(res.Exec)
+	xe, ye, err := sim.SpanPair(res.Exec, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := interval.MustNew(res.Exec, xe)
+	y := interval.MustNew(res.Exec, ye)
+	a.Cuts(x)
+	a.Cuts(y)
+	return a, x, y
+}
+
+// BenchmarkTable1Equivalence (E1) measures one full agreement batch: all 8
+// relations, all three evaluators, on a random instance per iteration.
+func BenchmarkTable1Equivalence(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1Agreement(1, int64(i))
+		for _, row := range rows {
+			if row.Agreements != row.Trials {
+				b.Fatalf("%v: disagreement", row.Relation)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2CutConstruction (E2) measures building the four condensed
+// cuts of Table 2 for a fresh interval (the per-interval one-time cost of
+// Key Idea 1), at |N_X| = 32.
+func BenchmarkTable2CutConstruction(b *testing.B) {
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: 32, Rounds: 4, Seed: 1})
+	a := core.NewAnalysis(res.Exec)
+	xe, _, err := sim.SpanPair(res.Exec, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh Interval defeats the Analysis cache, so the cut build cost
+		// is measured each iteration.
+		x := interval.MustNew(res.Exec, xe)
+		_ = a.Cuts(x)
+	}
+}
+
+// BenchmarkTheorem19 (E3) measures the restricted ⊀⊀(↓Y, X↑) violation test
+// at |N_X| = |N_Y| = 64, reporting the integer comparisons spent.
+func BenchmarkTheorem19(b *testing.B) {
+	a, x, y := sweepCase(b, 64)
+	down := a.Cuts(y).UnionDown
+	up := a.Cuts(x).InterUp
+	nodes := x.NodeSet()
+	var ctr cuts.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cuts.NotLessOn(down, up, nodes, &ctr)
+	}
+	b.ReportMetric(float64(ctr.Count())/float64(b.N), "cmp/op")
+}
+
+// BenchmarkTheorem20PerRelation (E4) measures each relation's fast
+// evaluation at |N_X| = |N_Y| = 64, reporting cmp/op, which must sit at the
+// Theorem 20 bound (64 for R2/R2'/R3/R3' and min = 64 for the rest; early
+// exits make some smaller).
+func BenchmarkTheorem20PerRelation(b *testing.B) {
+	a, x, y := sweepCase(b, 64)
+	fast := core.NewFast(a)
+	for _, rel := range core.Relations() {
+		b.Run(rel.String(), func(b *testing.B) {
+			var total int64
+			for i := 0; i < b.N; i++ {
+				_, n := fast.EvalCount(rel, x, y)
+				total += n
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "cmp/op")
+		})
+	}
+}
+
+// BenchmarkComplexitySweep (E5) regenerates the headline figure: ns/op and
+// cmp/op for the three evaluators as |N_X| = |N_Y| = N grows. The shape to
+// verify: naive grows ~N², proxy ~N², fast ~N, with crossovers visible from
+// N ≈ 4.
+func BenchmarkComplexitySweep(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256} {
+		a, x, y := sweepCase(b, n)
+		evals := []core.Evaluator{core.NewNaive(a), core.NewProxy(a), core.NewFast(a)}
+		for _, ev := range evals {
+			b.Run(fmt.Sprintf("N=%d/%s", n, ev.Name()), func(b *testing.B) {
+				var total int64
+				for i := 0; i < b.N; i++ {
+					for _, rel := range core.Relations() {
+						_, c := ev.EvalCount(rel, x, y)
+						total += c
+					}
+				}
+				b.ReportMetric(float64(total)/float64(b.N), "cmp/op")
+			})
+		}
+	}
+}
+
+// BenchmarkSetupAmortization (E6) measures the one-time timestamp setup
+// (forward + reverse passes) against which Key Idea 1 amortizes.
+func BenchmarkSetupAmortization(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: n, Rounds: 4, Seed: 1})
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = core.NewAnalysis(res.Exec)
+			}
+		})
+	}
+}
+
+// BenchmarkFigureRender (F1–F3) measures rendering the Figure 2 diagram
+// with all four cuts overlaid (the figures themselves are pinned by golden
+// tests in internal/render).
+func BenchmarkFigureRender(b *testing.B) {
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: 4, Rounds: 3, Seed: 1})
+	a := causet.NewAnalysis(res.Exec)
+	x, err := causet.NewInterval(res.Exec, res.Phases[0].Events)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ic := a.Cuts(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := causet.NewDiagram(res.Exec).Mark(x.Events(), '*')
+		d.AddCut("C1", ic.InterDown).AddCut("C2", ic.UnionDown).
+			AddCut("C3", ic.InterUp).AddCut("C4", ic.UnionUp)
+		_ = d.Render()
+	}
+}
+
+// BenchmarkMonitor measures a full monitor check of three conditions over a
+// periodic real-time workload — the end-to-end application path.
+func BenchmarkMonitor(b *testing.B) {
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Periodic, Procs: 6, Rounds: 4, Seed: 1})
+	m := causet.NewMonitor(res.Exec)
+	for _, ph := range res.Phases {
+		if err := m.Define(ph.Name, ph.Events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for k := 0; k+1 < len(res.Phases); k++ {
+		cond := fmt.Sprintf("R2(periodic-round-%d, periodic-round-%d) && !R4(periodic-round-%d, periodic-round-%d)",
+			k, k+1, k+1, k)
+		if err := m.AddCondition(fmt.Sprintf("round-%d", k), cond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range m.Check() {
+			if r.State != causet.StateHolds {
+				b.Fatalf("%s: %v", r.Name, r.State)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationKeyIdea1 quantifies Key Idea 1 (reuse of the condensed
+// cuts): "cached" evaluates all 8 relations against the Analysis cut cache;
+// "uncached" rebuilds each interval's cuts for every query, which is what
+// an application without the one-time condensation would pay.
+func BenchmarkAblationKeyIdea1(b *testing.B) {
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: 64, Rounds: 4, Seed: 1})
+	a := core.NewAnalysis(res.Exec)
+	xe, ye, err := sim.SpanPair(res.Exec, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := interval.MustNew(res.Exec, xe)
+	y := interval.MustNew(res.Exec, ye)
+	fast := core.NewFast(a)
+
+	b.Run("cached", func(b *testing.B) {
+		a.Cuts(x)
+		a.Cuts(y)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, rel := range core.Relations() {
+				fast.Eval(rel, x, y)
+			}
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Fresh intervals defeat the cache: cut condensation reruns.
+			fx := interval.MustNew(res.Exec, xe)
+			fy := interval.MustNew(res.Exec, ye)
+			for _, rel := range core.Relations() {
+				fast.Eval(rel, fx, fy)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationKeyIdea2 quantifies Key Idea 2 (restricting the ≪ test
+// to N_X/N_Y components): on an execution with many processes but small
+// interval node sets, the restricted test inspects |N_X| = 8 components
+// while the general test inspects all |P| = 512.
+func BenchmarkAblationKeyIdea2(b *testing.B) {
+	const procs, span = 512, 8
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: procs, Rounds: 2, Seed: 1})
+	a := core.NewAnalysis(res.Exec)
+	var xEvents, yEvents []causet.EventID
+	for p := 0; p < span; p++ {
+		xEvents = append(xEvents, causet.EventID{Proc: p, Pos: 1})
+		yEvents = append(yEvents, causet.EventID{Proc: p, Pos: res.Exec.NumReal(p)})
+	}
+	x := interval.MustNew(res.Exec, xEvents)
+	y := interval.MustNew(res.Exec, yEvents)
+	down := a.Cuts(y).UnionDown
+	up := a.Cuts(x).InterUp
+	nodes := x.NodeSet()
+
+	b.Run("restricted", func(b *testing.B) {
+		var ctr cuts.Counter
+		for i := 0; i < b.N; i++ {
+			cuts.NotLessOn(down, up, nodes, &ctr)
+		}
+		b.ReportMetric(float64(ctr.Count())/float64(b.N), "cmp/op")
+	})
+	b.Run("full-P", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cuts.NotLess(down, up)
+		}
+		b.ReportMetric(float64(procs), "cmp/op")
+	})
+}
+
+// BenchmarkPairMatrix measures Problem 4(ii) at application scale: the
+// strongest-relation matrix over all phases of a periodic workload (one
+// Analysis, shared cut caches, 8 canonical evaluations per ordered pair).
+func BenchmarkPairMatrix(b *testing.B) {
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Periodic, Procs: 6, Rounds: 6, Seed: 1})
+	a := core.NewAnalysis(res.Exec)
+	fast := core.NewFast(a)
+	var names []string
+	var ivs []*interval.Interval
+	for _, ph := range res.Phases {
+		names = append(names, ph.Name)
+		ivs = append(ivs, interval.MustNew(res.Exec, ph.Events))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hierarchy.Summarize(a, fast, names, ivs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

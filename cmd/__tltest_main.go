@@ -1,0 +1,26 @@
+package main
+
+import (
+	"fmt"
+
+	"causet/internal/poset"
+	"causet/internal/render"
+)
+
+func main() {
+	b := poset.NewBuilder(3)
+	a1 := b.Append(0)
+	b1 := b.Append(1)
+	_ = b.Message(a1, b1)
+	b2 := b.Append(1)
+	c1 := b.Append(2)
+	_ = c1
+	c2 := b.Append(2)
+	_ = b.Message(b2, c2)
+	b.Append(0)
+	up := b.Append(2)
+	r2 := b.Append(0)
+	_ = b.Message(up, r2)
+	ex := b.MustBuild()
+	fmt.Print(render.NewTimeline(ex).Render())
+}

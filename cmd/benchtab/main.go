@@ -1,0 +1,205 @@
+// Command benchtab regenerates the paper's tables and quantitative claims
+// (see DESIGN.md §4 and EXPERIMENTS.md) as formatted text tables:
+//
+//	benchtab -table e1      Table 1: definition ≡ evaluation condition
+//	benchtab -table e3      Theorem 19: restricted ⊀⊀ comparison counts
+//	benchtab -table e4      Theorem 20: per-relation comparison counts
+//	benchtab -table e5      linear vs polynomial evaluation sweep
+//	benchtab -table e6      one-time setup amortization (Key Idea 1)
+//	benchtab -table alg     relation algebra: hierarchy + composition table
+//	benchtab -table all     everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"causet/internal/bench"
+	"causet/internal/hierarchy"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	table := fs.String("table", "all", "which experiment to run: e1|e3|e4|e5|e6|alg|all")
+	trials := fs.Int("trials", 400, "randomized trials for e1/e3/e4")
+	reps := fs.Int("reps", 50, "repetitions per point for e5")
+	seed := fs.Int64("seed", 1, "PRNG seed")
+	csv := fs.Bool("csv", false, "emit the e5 sweep as CSV (for plotting) instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *csv {
+		return e5CSV(out, *reps, *seed)
+	}
+	runAll := *table == "all"
+	ran := false
+	if runAll || *table == "e1" {
+		e1(out, *trials, *seed)
+		ran = true
+	}
+	if runAll || *table == "e3" {
+		e3(out, *trials, *seed)
+		ran = true
+	}
+	if runAll || *table == "e4" {
+		e4(out, *trials, *seed)
+		ran = true
+	}
+	if runAll || *table == "e5" {
+		e5(out, *reps, *seed)
+		ran = true
+	}
+	if runAll || *table == "e6" {
+		e6(out, *seed)
+		ran = true
+	}
+	if runAll || *table == "alg" {
+		alg(out)
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown table %q", *table)
+	}
+	return nil
+}
+
+func alg(out io.Writer) {
+	fmt.Fprintln(out, "ALG — relation algebra (hierarchy and composition; cf. the axiom system of [FTDCS'97])")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "implication hierarchy (covering edges, strongest at the top):")
+	for _, e := range hierarchy.HasseEdges() {
+		fmt.Fprintf(out, "  %-3v ⇒ %v\n", e[0], e[1])
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "composition: strongest t with r(X,Y) ∧ s(Y,Z) ⇒ t(X,Z); – = nothing guaranteed")
+	fmt.Fprintln(out)
+	header := []string{"r \\ s"}
+	for _, s := range hierarchy.Canonical() {
+		header = append(header, s.String())
+	}
+	var cells [][]string
+	for _, r := range hierarchy.Canonical() {
+		row := []string{r.String()}
+		for _, s := range hierarchy.Canonical() {
+			if t, ok := hierarchy.Compose(r, s); ok {
+				row = append(row, t.String())
+			} else {
+				row = append(row, "–")
+			}
+		}
+		cells = append(cells, row)
+	}
+	fmt.Fprintln(out, bench.FormatTable(header, cells))
+
+	profiles := hierarchy.Profiles()
+	fmt.Fprintf(out, "realizable classifications of an interval pair (the %d filters of the lattice):\n", len(profiles))
+	for _, p := range profiles {
+		fmt.Fprintf(out, "  %v\n", p)
+	}
+	fmt.Fprintln(out)
+}
+
+func e1(out io.Writer, trials int, seed int64) {
+	fmt.Fprintf(out, "E1 — Table 1: quantifier definition vs evaluation condition (%d random instances)\n\n", trials)
+	rows := bench.Table1Agreement(trials, seed)
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Relation.String(), r.Quantifier, r.Condition,
+			fmt.Sprintf("%d/%d", r.Agreements, r.Trials),
+			strconv.Itoa(r.HeldCount),
+		})
+	}
+	fmt.Fprintln(out, bench.FormatTable(
+		[]string{"relation", "definition", "evaluation condition", "agree", "held"}, cells))
+}
+
+func e3(out io.Writer, trials int, seed int64) {
+	fmt.Fprintf(out, "E3 — Theorem 19: restricted ⊀⊀(↓Y, X↑) test (%d random instances)\n\n", trials)
+	rows := bench.Theorem19Counts(trials, seed)
+	var cells [][]string
+	for _, r := range rows {
+		verdict := "exact"
+		if !r.AllCorrect {
+			verdict = "MISMATCH"
+		}
+		cells = append(cells, []string{
+			r.Pairing, r.Side,
+			strconv.FormatInt(r.MaxCount, 10), strconv.FormatInt(r.Bound, 10), verdict,
+		})
+	}
+	fmt.Fprintln(out, bench.FormatTable(
+		[]string{"cut pairing", "side", "max cmp", "bound", "vs full test"}, cells))
+}
+
+func e4(out io.Writer, trials int, seed int64) {
+	fmt.Fprintf(out, "E4 — Theorem 20: per-relation comparison counts (%d random instances)\n\n", trials)
+	rows := bench.Theorem20Counts(trials, seed)
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Relation.String(), r.BoundExpr,
+			fmt.Sprintf("%d/%d", r.WithinBound, r.Trials),
+			strconv.Itoa(r.TightHits),
+			strconv.FormatInt(r.MaxCount, 10),
+		})
+	}
+	fmt.Fprintln(out, bench.FormatTable(
+		[]string{"relation", "bound", "within", "tight hits", "max cmp"}, cells))
+	fmt.Fprintln(out, "note: R2' and R3 use the one-sided bound; see the Theorem 19 refinement in EXPERIMENTS.md")
+	fmt.Fprintln(out)
+}
+
+func e5(out io.Writer, reps int, seed int64) {
+	fmt.Fprintf(out, "E5 — linear vs polynomial evaluation, |N_X| = |N_Y| = N (%d reps/point, 8 relations/op)\n\n", reps)
+	rows := bench.ComplexitySweep([]int{2, 4, 8, 16, 32, 64, 128, 256}, reps, seed)
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			strconv.Itoa(r.N),
+			bench.F(r.NaiveCmp), bench.F(r.ProxyCmp), bench.F(r.FastCmp),
+			bench.F(r.NaiveNsOp), bench.F(r.ProxyNsOp), bench.F(r.FastNsOp),
+			fmt.Sprintf("%.1fx", r.SpeedupPxF),
+		})
+	}
+	fmt.Fprintln(out, bench.FormatTable(
+		[]string{"N", "naive cmp", "proxy cmp", "fast cmp", "naive ns", "proxy ns", "fast ns", "proxy/fast"}, cells))
+}
+
+// e5CSV emits the complexity sweep as comma-separated series, one row per
+// N, ready for plotting the paper's headline figure.
+func e5CSV(out io.Writer, reps int, seed int64) error {
+	rows := bench.ComplexitySweep([]int{2, 4, 8, 16, 32, 64, 128, 256}, reps, seed)
+	fmt.Fprintln(out, "n,naive_cmp,proxy_cmp,fast_cmp,naive_ns,proxy_ns,fast_ns")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n",
+			r.N, r.NaiveCmp, r.ProxyCmp, r.FastCmp, r.NaiveNsOp, r.ProxyNsOp, r.FastNsOp)
+	}
+	return nil
+}
+
+func e6(out io.Writer, seed int64) {
+	fmt.Fprintln(out, "E6 — one-time timestamp/cut setup vs per-pair evaluation (Key Idea 1)")
+	fmt.Fprintln(out)
+	rows := bench.SetupAmortization([]int{4, 8, 16, 32, 64}, seed)
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			strconv.Itoa(r.Procs), strconv.Itoa(r.Events),
+			bench.F(r.SetupNs), bench.F(r.PerPairNs),
+			strconv.Itoa(r.BreakEvenAt),
+		})
+	}
+	fmt.Fprintln(out, bench.FormatTable(
+		[]string{"procs", "events", "setup ns", "per-pair ns", "break-even pairs"}, cells))
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTables(t *testing.T) {
+	for _, tc := range []struct {
+		table string
+		want  string
+	}{
+		{"e1", "Table 1"},
+		{"e3", "Theorem 19"},
+		{"e4", "Theorem 20"},
+		{"alg", "composition"},
+	} {
+		var buf bytes.Buffer
+		if err := run([]string{"-table", tc.table, "-trials", "40"}, &buf); err != nil {
+			t.Fatalf("%s: %v", tc.table, err)
+		}
+		if !strings.Contains(buf.String(), tc.want) {
+			t.Errorf("%s output lacks %q:\n%s", tc.table, tc.want, buf.String())
+		}
+	}
+}
+
+func TestRunE1Agreement(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-table", "e1", "-trials", "60"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "60/60") != 8 {
+		t.Errorf("expected full agreement on all 8 relations:\n%s", buf.String())
+	}
+}
+
+func TestRunE5AndE6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweeps are slow")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-table", "e5", "-reps", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "proxy/fast") {
+		t.Errorf("e5 output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-table", "e6"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "break-even") {
+		t.Errorf("e6 output:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-table", "e99"}, &buf); err == nil {
+		t.Errorf("unknown table accepted")
+	}
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Errorf("unknown flag accepted")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep is slow")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-csv", "-reps", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("csv lines = %d, want 9 (header + 8 points):\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "n,naive_cmp,proxy_cmp,fast_cmp,naive_ns,proxy_ns,fast_ns" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "2,") || !strings.HasPrefix(lines[8], "256,") {
+		t.Errorf("row order wrong:\n%s", buf.String())
+	}
+}

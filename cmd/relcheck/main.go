@@ -1,0 +1,199 @@
+// Command relcheck evaluates causality relations between two named
+// nonatomic events of a recorded trace — the paper's Problem 4 as a CLI.
+//
+// Usage:
+//
+//	relcheck -trace t.json -x ring-round-0 -y ring-round-1            # all 8 relations
+//	relcheck -trace t.json -x a -y b -rel "R2'"                      # one relation
+//	relcheck -trace t.json -x a -y b -all32                          # the full set ℛ
+//	relcheck -trace t.json -x a -y b -strongest                      # maximal relations only
+//	relcheck -trace t.json -matrix                                   # all interval pairs
+//	relcheck -trace t.json -x a -y b -evaluator naive -count         # cost comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"causet/internal/core"
+	"causet/internal/hierarchy"
+	"causet/internal/interval"
+	"causet/internal/poset"
+	"causet/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "relcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("relcheck", flag.ContinueOnError)
+	path := fs.String("trace", "", "trace file (.json or .gob)")
+	xName := fs.String("x", "", "name of interval X")
+	yName := fs.String("y", "", "name of interval Y")
+	relName := fs.String("rel", "", "single relation to test (R1, R1', R2, R2', R3, R3', R4, R4')")
+	all32 := fs.Bool("all32", false, "evaluate all 32 relations of ℛ (proxy combinations)")
+	evalName := fs.String("evaluator", "fast", "evaluator: fast|proxy|naive")
+	count := fs.Bool("count", false, "also print integer-comparison counts")
+	list := fs.Bool("list", false, "list the trace's interval names and exit")
+	strongest := fs.Bool("strongest", false, "print only the hierarchy-maximal relations")
+	matrix := fs.Bool("matrix", false, "print the strongest-relation matrix over all intervals")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("missing -trace")
+	}
+	f, err := trace.Load(*path)
+	if err != nil {
+		return err
+	}
+	ex, err := f.Execution()
+	if err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range f.IntervalNames() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
+	if *matrix {
+		return printMatrix(out, f, ex, *evalName)
+	}
+	if *xName == "" || *yName == "" {
+		return fmt.Errorf("missing -x or -y (use -list to see interval names)")
+	}
+	x, err := f.Interval(ex, *xName)
+	if err != nil {
+		return err
+	}
+	y, err := f.Interval(ex, *yName)
+	if err != nil {
+		return err
+	}
+
+	a := core.NewAnalysis(ex)
+	var eval core.Evaluator
+	switch *evalName {
+	case "fast":
+		eval = core.NewFast(a)
+	case "proxy":
+		eval = core.NewProxy(a)
+	case "naive":
+		eval = core.NewNaive(a)
+	default:
+		return fmt.Errorf("unknown evaluator %q", *evalName)
+	}
+
+	fmt.Fprintf(out, "X = %s %v  (|X|=%d, N_X=%v)\n", *xName, x, x.Size(), x.NodeSet())
+	fmt.Fprintf(out, "Y = %s %v  (|Y|=%d, N_Y=%v)\n", *yName, y, y.Size(), y.NodeSet())
+	if tm, err := f.Timing(ex); err == nil {
+		fmt.Fprintf(out, "timing: span(X)=%v span(Y)=%v gap(X→Y)=%v response(X→Y)=%v\n",
+			tm.Span(x), tm.Span(y), tm.Gap(x, y), tm.ResponseTime(x, y))
+	}
+
+	if *all32 {
+		holding := a.HoldingRel32(eval, x, y)
+		fmt.Fprintf(out, "%d of 32 relations hold:\n", len(holding))
+		for _, r := range holding {
+			fmt.Fprintf(out, "  %v\n", r)
+		}
+		return nil
+	}
+	if *strongest {
+		var held []core.Relation
+		for _, rel := range core.Relations() {
+			ok, err := a.EvalChecked(eval, rel, x, y)
+			if err != nil {
+				return err
+			}
+			if ok {
+				held = append(held, rel)
+			}
+		}
+		max := hierarchy.Strongest(held)
+		if len(max) == 0 {
+			fmt.Fprintln(out, "no relation holds (not even R4)")
+			return nil
+		}
+		fmt.Fprintf(out, "strongest relations: ")
+		for i, r := range max {
+			if i > 0 {
+				fmt.Fprint(out, ", ")
+			}
+			fmt.Fprintf(out, "%v (%s)", r, r.Quantifier())
+		}
+		fmt.Fprintln(out)
+		return nil
+	}
+
+	rels := core.Relations()
+	if *relName != "" {
+		rel, err := core.ParseRelation(*relName)
+		if err != nil {
+			return err
+		}
+		rels = []core.Relation{rel}
+	}
+	for _, rel := range rels {
+		held, err := a.EvalChecked(eval, rel, x, y)
+		if err != nil {
+			return err
+		}
+		if *count {
+			_, n := eval.EvalCount(rel, x, y)
+			fmt.Fprintf(out, "%-4v %-22s = %-5v  (%d comparisons, %s)\n",
+				rel, rel.Quantifier(), held, n, eval.Name())
+		} else {
+			fmt.Fprintf(out, "%-4v %-22s = %v\n", rel, rel.Quantifier(), held)
+		}
+	}
+	return nil
+}
+
+// printMatrix renders the strongest-relation matrix over every interval of
+// the trace (Problem 4(ii) at trace scale).
+func printMatrix(out io.Writer, f *trace.File, ex *poset.Execution, evalName string) error {
+	ivMap, err := f.AllIntervals(ex)
+	if err != nil {
+		return err
+	}
+	if len(ivMap) < 2 {
+		return fmt.Errorf("trace has %d intervals; a matrix needs at least 2", len(ivMap))
+	}
+	names := make([]string, 0, len(ivMap))
+	for name := range ivMap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ivs := make([]*interval.Interval, 0, len(names))
+	for _, name := range names {
+		ivs = append(ivs, ivMap[name])
+	}
+	a := core.NewAnalysis(ex)
+	var eval core.Evaluator
+	switch evalName {
+	case "fast":
+		eval = core.NewFast(a)
+	case "proxy":
+		eval = core.NewProxy(a)
+	case "naive":
+		eval = core.NewNaive(a)
+	default:
+		return fmt.Errorf("unknown evaluator %q", evalName)
+	}
+	pm, err := hierarchy.Summarize(a, eval, names, ivs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, pm.String())
+	fmt.Fprintln(out, "\ncells: hierarchy-maximal relations row→column; – none; ovl overlapping pair")
+	return nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"causet/internal/poset"
+	"causet/internal/sim"
+	"causet/internal/trace"
+)
+
+// writeTrace produces a 3-round ring trace file for the tests.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: 3, Rounds: 3, Seed: 1})
+	named := map[string][]poset.EventID{}
+	for _, ph := range res.Phases {
+		named[ph.Name] = ph.Events
+	}
+	path := filepath.Join(t.TempDir(), "ring.json")
+	if err := trace.New(res.Exec, named).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunList(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ring-round-0", "ring-round-1", "ring-round-2"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("missing %s in listing:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestRunAllRelations(t *testing.T) {
+	path := writeTrace(t)
+	for _, evaluator := range []string{"fast", "proxy", "naive"} {
+		var buf bytes.Buffer
+		err := run([]string{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-1",
+			"-evaluator", evaluator, "-count"}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", evaluator, err)
+		}
+		out := buf.String()
+		// Stacked ring rounds: the chain is total, so all 8 hold.
+		if strings.Count(out, "= true") != 8 {
+			t.Errorf("%s: expected 8 true relations:\n%s", evaluator, out)
+		}
+		if !strings.Contains(out, "comparisons, "+evaluator) {
+			t.Errorf("%s: counts not printed:\n%s", evaluator, out)
+		}
+	}
+}
+
+func TestRunSingleRelationAndStrongest(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-x", "ring-round-1", "-y", "ring-round-0", "-rel", "R4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "R4") || !strings.Contains(buf.String(), "= false") {
+		t.Errorf("backwards R4 should be false:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-2", "-strongest"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "strongest relations: R1") {
+		t.Errorf("strongest should be R1:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-trace", path, "-x", "ring-round-2", "-y", "ring-round-0", "-strongest"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no relation holds") {
+		t.Errorf("backwards pair should hold nothing:\n%s", buf.String())
+	}
+}
+
+func TestRunAll32(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-2", "-all32"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "32 of 32 relations hold") {
+		t.Errorf("fully ordered rounds should satisfy all 32:\n%s", buf.String())
+	}
+}
+
+func TestRunMatrix(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-matrix"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "X\\Y") || !strings.Contains(out, "R1") {
+		t.Errorf("matrix output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"-trace", "/no/such/file.json"},
+		{"-trace", path},
+		{"-trace", path, "-x", "ring-round-0"},
+		{"-trace", path, "-x", "nope", "-y", "ring-round-1"},
+		{"-trace", path, "-x", "ring-round-0", "-y", "nope"},
+		{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-1", "-rel", "R9"},
+		{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-1", "-evaluator", "magic"},
+		{"-trace", path, "-matrix", "-evaluator", "magic"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command syncmon checks synchronization conditions, written in the monitor
+// DSL, against the named nonatomic events of a recorded trace.
+//
+// Usage:
+//
+//	syncmon -trace t.json -cond "ordered: R2(ring-round-0, ring-round-1)" \
+//	        -cond "safe: !R4(ring-round-1, ring-round-0)"
+//	syncmon -trace t.json -conds conditions.txt
+//
+// A conditions file holds one "name: expression" per line; blank lines and
+// lines starting with '#' are ignored. Exit status is 0 when every condition
+// holds, 1 on violations or errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"causet/internal/monitor"
+	"causet/internal/trace"
+)
+
+func main() {
+	ok, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "syncmon:", err)
+		os.Exit(1)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// condList collects repeated -cond flags.
+type condList []string
+
+func (c *condList) String() string     { return strings.Join(*c, "; ") }
+func (c *condList) Set(s string) error { *c = append(*c, s); return nil }
+
+func run(args []string, out io.Writer) (bool, error) {
+	fs := flag.NewFlagSet("syncmon", flag.ContinueOnError)
+	path := fs.String("trace", "", "trace file (.json or .gob)")
+	var conds condList
+	fs.Var(&conds, "cond", "condition \"name: expression\" (repeatable)")
+	condFile := fs.String("conds", "", "file with one \"name: expression\" per line")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if *path == "" {
+		return false, fmt.Errorf("missing -trace")
+	}
+	f, err := trace.Load(*path)
+	if err != nil {
+		return false, err
+	}
+	ex, err := f.Execution()
+	if err != nil {
+		return false, err
+	}
+
+	m := monitor.New(ex)
+	ivs, err := f.AllIntervals(ex)
+	if err != nil {
+		return false, err
+	}
+	for name, iv := range ivs {
+		if err := m.DefineInterval(name, iv); err != nil {
+			return false, err
+		}
+	}
+
+	if *condFile != "" {
+		file, err := os.Open(*condFile)
+		if err != nil {
+			return false, err
+		}
+		defer file.Close()
+		sc := bufio.NewScanner(file)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			conds = append(conds, line)
+		}
+		if err := sc.Err(); err != nil {
+			return false, err
+		}
+	}
+	if len(conds) == 0 {
+		return false, fmt.Errorf("no conditions given (use -cond or -conds)")
+	}
+	for i, c := range conds {
+		name, expr, ok := strings.Cut(c, ":")
+		if !ok {
+			return false, fmt.Errorf("condition %d: want \"name: expression\", got %q", i, c)
+		}
+		if err := m.AddCondition(strings.TrimSpace(name), strings.TrimSpace(expr)); err != nil {
+			return false, err
+		}
+	}
+
+	allHold := true
+	for _, res := range m.Check() {
+		switch res.State {
+		case monitor.Holds:
+			fmt.Fprintf(out, "PASS  %s\n", res.Name)
+		case monitor.Violated:
+			fmt.Fprintf(out, "FAIL  %s\n", res.Name)
+			allHold = false
+		case monitor.Pending:
+			fmt.Fprintf(out, "SKIP  %s (references undefined intervals)\n", res.Name)
+			allHold = false
+		case monitor.Failed:
+			fmt.Fprintf(out, "ERROR %s: %v\n", res.Name, res.Err)
+			allHold = false
+		}
+	}
+	return allHold, nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"causet/internal/poset"
+	"causet/internal/sim"
+	"causet/internal/trace"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: 3, Rounds: 2, Seed: 1})
+	named := map[string][]poset.EventID{}
+	for _, ph := range res.Phases {
+		named[ph.Name] = ph.Events
+	}
+	path := filepath.Join(t.TempDir(), "ring.json")
+	if err := trace.New(res.Exec, named).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPassAndFail(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	ok, err := run([]string{"-trace", path,
+		"-cond", "ordered: R1(ring-round-0, ring-round-1)",
+		"-cond", "no-backflow: !R4(ring-round-1, ring-round-0)",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("all conditions should hold:\n%s", buf.String())
+	}
+	if strings.Count(buf.String(), "PASS") != 2 {
+		t.Errorf("expected 2 PASS lines:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	ok, err = run([]string{"-trace", path, "-cond", "backwards: R1(ring-round-1, ring-round-0)"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || !strings.Contains(buf.String(), "FAIL  backwards") {
+		t.Errorf("violation not reported (ok=%v):\n%s", ok, buf.String())
+	}
+}
+
+func TestRunPendingAndError(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	ok, err := run([]string{"-trace", path, "-cond", "ghost: R1(nope, ring-round-0)"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || !strings.Contains(buf.String(), "SKIP  ghost") {
+		t.Errorf("undefined interval not reported as SKIP:\n%s", buf.String())
+	}
+	// Overlapping operands produce an evaluation error.
+	buf.Reset()
+	ok, err = run([]string{"-trace", path, "-cond", "self: R4(ring-round-0, ring-round-0)"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || !strings.Contains(buf.String(), "ERROR self") {
+		t.Errorf("overlap not reported as ERROR:\n%s", buf.String())
+	}
+}
+
+func TestRunConditionsFile(t *testing.T) {
+	path := writeTrace(t)
+	condPath := filepath.Join(t.TempDir(), "conds.txt")
+	content := "# ring ordering rules\n\nordered: R1(ring-round-0, ring-round-1)\nreach: R4(ring-round-0, ring-round-1)\n"
+	if err := os.WriteFile(condPath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ok, err := run([]string{"-trace", path, "-conds", condPath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || strings.Count(buf.String(), "PASS") != 2 {
+		t.Errorf("conditions file run failed (ok=%v):\n%s", ok, buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"-trace", "/no/such.json", "-cond", "a: R1(x, y)"},
+		{"-trace", path},
+		{"-trace", path, "-cond", "no-colon-here"},
+		{"-trace", path, "-cond", "bad: R1(x"},
+		{"-trace", path, "-conds", "/no/such/conds.txt"},
+	} {
+		if _, err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"causet/internal/trace"
+)
+
+func TestRunGeneratesTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.json")
+	var buf bytes.Buffer
+	err := run([]string{"-pattern", "ring", "-procs", "4", "-rounds", "3", "-seed", "7", "-o", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pattern=ring") || !strings.Contains(buf.String(), "intervals=3") {
+		t.Errorf("unexpected output: %s", buf.String())
+	}
+	f, err := trace.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := f.Execution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.NumProcs() != 4 || ex.NumEvents() != 24 {
+		t.Errorf("trace shape: procs=%d events=%d", ex.NumProcs(), ex.NumEvents())
+	}
+	if names := f.IntervalNames(); len(names) != 3 {
+		t.Errorf("interval names: %v", names)
+	}
+}
+
+func TestRunGobOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.gob")
+	var buf bytes.Buffer
+	if err := run([]string{"-pattern", "periodic", "-procs", "3", "-rounds", "2", "-o", out, "-stats=false"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "causal density") {
+		t.Errorf("-stats=false still printed stats")
+	}
+	if _, err := trace.Load(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-pattern", "nope"},
+		{"-pattern", "ring", "-procs", "1"},
+		{"-pattern", "random", "-events", "0"},
+		{"-o", "/no/such/dir/t.json", "-pattern", "ring", "-procs", "3", "-rounds", "1"},
+		{"-badflag"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestRunTiming(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "timed.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-pattern", "ring", "-procs", "3", "-rounds", "2", "-timing", "-o", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := trace.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := f.Execution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Timing(ex); err != nil {
+		t.Fatalf("timed trace has no valid timing: %v", err)
+	}
+}

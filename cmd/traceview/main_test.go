@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"causet/internal/poset"
+	"causet/internal/sim"
+	"causet/internal/trace"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: 3, Rounds: 2, Seed: 1})
+	named := map[string][]poset.EventID{}
+	for _, ph := range res.Phases {
+		named[ph.Name] = ph.Events
+	}
+	path := filepath.Join(t.TempDir(), "ring.json")
+	if err := trace.New(res.Exec, named).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBareDiagram(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p0", "p1", "p2", "messages:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "^") {
+		t.Errorf("cuts rendered without an interval:\n%s", out)
+	}
+}
+
+func TestRunWithIntervalAndCuts(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-interval", "ring-round-0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") {
+		t.Errorf("members not marked:\n%s", out)
+	}
+	for _, cut := range []string{"∩⇓", "∪⇓", "∩⇑", "∪⇑"} {
+		if !strings.Contains(out, cut+":") {
+			t.Errorf("cut %s not overlaid:\n%s", cut, out)
+		}
+	}
+	if !strings.Contains(out, "N_X=[0 1 2]") {
+		t.Errorf("interval summary missing:\n%s", out)
+	}
+}
+
+func TestRunWithProxies(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-interval", "ring-round-0", "-proxies", "-cuts=false"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "L") || !strings.Contains(out, "U") {
+		t.Errorf("proxies not marked:\n%s", out)
+	}
+	if strings.Contains(out, "∩⇓:") {
+		t.Errorf("-cuts=false still overlaid cuts:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"-trace", "/no/such.json"},
+		{"-trace", path, "-interval", "nope"},
+		{"-badflag"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-timeline", "-interval", "ring-round-0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "@") {
+		t.Errorf("timeline output missing arrows/marks:\n%s", out)
+	}
+	if !strings.Contains(out, "cut ∩⇓:") {
+		t.Errorf("timeline cut legend missing:\n%s", out)
+	}
+}
+
+func TestRunSVG(t *testing.T) {
+	path := writeTrace(t)
+	svgPath := filepath.Join(t.TempDir(), "fig.svg")
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-interval", "ring-round-0", "-svg", svgPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.HasPrefix(out, "<svg ") || !strings.Contains(out, "∩⇓X") {
+		t.Errorf("svg output malformed:\n%.200s", out)
+	}
+	// Unwritable destination errors.
+	if err := run([]string{"-trace", path, "-svg", "/no/such/dir/f.svg"}, &buf); err == nil {
+		t.Errorf("unwritable svg path accepted")
+	}
+}

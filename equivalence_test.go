@@ -1,0 +1,209 @@
+// Repo-level integration tests: experiment E1 at scale, run through the
+// public facade — the three evaluators agree on every relation, for every
+// phase pair of every workload pattern, and the result survives a trace
+// serialization round trip.
+package causet_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"causet"
+)
+
+// workloads returns one representative workload per pattern.
+func workloads(t testing.TB) map[string]*causet.Workload {
+	t.Helper()
+	out := make(map[string]*causet.Workload)
+	for _, cfg := range []causet.WorkloadConfig{
+		{Pattern: causet.PatternRandom, Procs: 5, Events: 80, Seed: 11},
+		{Pattern: causet.PatternRing, Procs: 5, Rounds: 4, Seed: 11},
+		{Pattern: causet.PatternClientServer, Procs: 4, Rounds: 3, Seed: 11},
+		{Pattern: causet.PatternBroadcast, Procs: 5, Rounds: 4, Seed: 11},
+		{Pattern: causet.PatternPipeline, Procs: 4, Rounds: 5, Seed: 11},
+		{Pattern: causet.PatternGossip, Procs: 5, Rounds: 4, Seed: 11},
+		{Pattern: causet.PatternPeriodic, Procs: 4, Rounds: 3, Seed: 11},
+		{Pattern: causet.PatternBarrier, Procs: 4, Rounds: 3, Seed: 11},
+	} {
+		w, err := causet.GenerateWorkload(cfg)
+		if err != nil {
+			t.Fatalf("generate %v: %v", cfg.Pattern, err)
+		}
+		out[cfg.Pattern.String()] = w
+	}
+	return out
+}
+
+// TestTable1EquivalenceAcrossWorkloads is E1 over structured workloads: for
+// every pair of distinct phases of every pattern, all three evaluators agree
+// on all 8 relations and on all 32 relations of ℛ.
+func TestTable1EquivalenceAcrossWorkloads(t *testing.T) {
+	for name, w := range workloads(t) {
+		t.Run(name, func(t *testing.T) {
+			if len(w.Phases) < 2 {
+				t.Skip("pattern has fewer than two phases")
+			}
+			a := causet.NewAnalysis(w.Exec)
+			naive, proxy, fast := causet.NewNaive(a), causet.NewProxy(a), causet.NewFast(a)
+			for i, px := range w.Phases {
+				for j, py := range w.Phases {
+					if i == j {
+						continue
+					}
+					x, err := causet.NewInterval(w.Exec, px.Events)
+					if err != nil {
+						t.Fatal(err)
+					}
+					y, err := causet.NewInterval(w.Exec, py.Events)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, rel := range causet.Relations() {
+						want := naive.Eval(rel, x, y)
+						if got := proxy.Eval(rel, x, y); got != want {
+							t.Fatalf("%s vs %s: proxy disagrees on %v", px.Name, py.Name, rel)
+						}
+						if got := fast.Eval(rel, x, y); got != want {
+							t.Fatalf("%s vs %s: fast disagrees on %v", px.Name, py.Name, rel)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTheorem20BoundsAcrossWorkloads is E4 at integration scale.
+func TestTheorem20BoundsAcrossWorkloads(t *testing.T) {
+	for name, w := range workloads(t) {
+		t.Run(name, func(t *testing.T) {
+			if len(w.Phases) < 2 {
+				t.Skip("pattern has fewer than two phases")
+			}
+			a := causet.NewAnalysis(w.Exec)
+			fast := causet.NewFast(a)
+			for i, px := range w.Phases {
+				for j, py := range w.Phases {
+					if i == j {
+						continue
+					}
+					x, _ := causet.NewInterval(w.Exec, px.Events)
+					y, _ := causet.NewInterval(w.Exec, py.Events)
+					for _, rel := range causet.Relations() {
+						_, n := fast.EvalCount(rel, x, y)
+						if bound := int64(rel.ComplexityBound(x.NodeCount(), y.NodeCount())); n > bound {
+							t.Fatalf("%v on %s/%s: %d comparisons > bound %d",
+								rel, px.Name, py.Name, n, bound)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTraceRoundTripPreservesRelations: serializing a workload and its
+// phases to JSON and back changes no relation verdict.
+func TestTraceRoundTripPreservesRelations(t *testing.T) {
+	w := workloads(t)["pipeline"]
+	named := map[string][]causet.EventID{}
+	for _, ph := range w.Phases {
+		named[ph.Name] = ph.Events
+	}
+	path := filepath.Join(t.TempDir(), "pipe.json")
+	if err := causet.NewTraceFile(w.Exec, named).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := causet.LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := f.Execution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := causet.NewAnalysis(w.Exec)
+	a2 := causet.NewAnalysis(ex2)
+	fast1, fast2 := causet.NewFast(a1), causet.NewFast(a2)
+	for i := range w.Phases {
+		for j := range w.Phases {
+			if i == j {
+				continue
+			}
+			x1, _ := causet.NewInterval(w.Exec, w.Phases[i].Events)
+			y1, _ := causet.NewInterval(w.Exec, w.Phases[j].Events)
+			x2, err := f.Interval(ex2, w.Phases[i].Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			y2, err := f.Interval(ex2, w.Phases[j].Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rel := range causet.Relations() {
+				if fast1.Eval(rel, x1, y1) != fast2.Eval(rel, x2, y2) {
+					t.Fatalf("relation %v changed across serialization", rel)
+				}
+			}
+		}
+	}
+}
+
+// TestMonitorOverLiveSystem drives the public runtime API end to end: a
+// small live pipeline is recorded and its ordering conditions checked.
+func TestMonitorOverLiveSystem(t *testing.T) {
+	sys := causet.NewSystem(3, 16)
+	stage := make([][]causet.EventID, 3)
+	sys.Run(func(nd *causet.Node) {
+		switch nd.ID() {
+		case 0:
+			e := nd.Internal("produce")
+			s := nd.Send(1, "item")
+			stage[0] = []causet.EventID{e, s}
+		case 1:
+			_, r := nd.Recv()
+			e := nd.Internal("transform")
+			s := nd.Send(2, "item'")
+			stage[1] = []causet.EventID{r, e, s}
+		case 2:
+			_, r := nd.Recv()
+			e := nd.Internal("consume")
+			stage[2] = []causet.EventID{r, e}
+		}
+	})
+	ex, _, err := sys.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := causet.NewMonitor(ex)
+	for i, evs := range stage {
+		if err := m.Define(fmt.Sprintf("stage%d", i), evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.AddCondition("ordered", "R1(stage0, stage1) && R1(stage1, stage2)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddCondition("no-backflow", "!R4(stage2, stage0)"); err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range m.Check() {
+		if res.State != causet.StateHolds {
+			t.Errorf("%s: %v (err=%v)", res.Name, res.State, res.Err)
+		}
+	}
+}
+
+// TestFacadeDiagram smoke-tests the rendering surface of the public API.
+func TestFacadeDiagram(t *testing.T) {
+	w := workloads(t)["ring"]
+	x, err := causet.NewInterval(w.Exec, w.Phases[0].Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := causet.NewDiagram(w.Exec).Mark(x.Events(), '*').Render()
+	if len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+}

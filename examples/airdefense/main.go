@@ -1,0 +1,162 @@
+// Airdefense: the paper's motivating real-time scenario (§1 cites the use
+// of these relations for distributed predicate specification in an
+// air-defence control system). Three radar sites detect a threat, a fusion
+// center correlates the detections into a track, command authorizes an
+// engagement, and a missile battery executes it. Each stage is a nonatomic
+// event spanning several nodes; the safety and ordering requirements between
+// the stages are synchronization conditions in the monitor DSL.
+//
+// The example runs the monitor twice: over a nominal execution, where every
+// condition holds, and over a faulty one in which command fires on a stale
+// partial track (before fusion finished correlating) — the violated
+// condition identifies the fault.
+//
+// Run with: go run ./examples/airdefense
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"causet/internal/interval"
+	"causet/internal/monitor"
+	"causet/internal/poset"
+	"causet/internal/render"
+	"causet/internal/rt"
+)
+
+const (
+	radar0 = iota
+	radar1
+	radar2
+	fusion
+	command
+	battery
+	numNodes
+)
+
+// scenario is an execution plus its stage intervals.
+type scenario struct {
+	ex     *poset.Execution
+	stages map[string][]poset.EventID
+}
+
+// build constructs the scenario. With premature=false command waits for the
+// confirmed track before authorizing; with premature=true it fires on the
+// first partial track update, while radars 1 and 2 are still reporting.
+func build(premature bool) scenario {
+	b := poset.NewBuilder(numNodes)
+	stages := map[string][]poset.EventID{}
+	detect := func(radar int) {
+		observe := b.Append(radar)
+		report := b.Append(radar)
+		recv := b.Append(fusion)
+		must(b.Message(report, recv))
+		stages["detection"] = append(stages["detection"], observe, report)
+	}
+	// engage records the command/battery chain triggered by a track event.
+	engage := func(trigger poset.EventID) {
+		authRecv := sendTo(b, trigger, command)
+		authorize := b.Append(command)
+		fireRecv := sendTo(b, authorize, battery)
+		launch := b.Append(battery)
+		stages["engagement"] = append(stages["engagement"], authRecv, authorize, fireRecv, launch)
+	}
+
+	// Radar 0 detects first; fusion forms a partial track from its report.
+	detect(radar0)
+	partial := b.Append(fusion)
+	stages["track"] = append(stages["track"], partial)
+	if premature {
+		engage(partial) // fires while radars 1 and 2 are still reporting
+	}
+
+	// Radars 1 and 2 report; fusion confirms the track.
+	detect(radar1)
+	detect(radar2)
+	confirmed := b.Append(fusion)
+	stages["track"] = append(stages["track"], confirmed)
+	if !premature {
+		engage(confirmed)
+	}
+
+	return scenario{ex: b.MustBuild(), stages: stages}
+}
+
+// conditions are the scenario's synchronization requirements, written over
+// the stage intervals.
+var conditions = []struct{ name, expr string }{
+	// Every part of the engagement follows every part of the track: fire
+	// only on the complete picture.
+	{"engage-after-complete-track", "R1(track, engagement)"},
+	// Some track event precedes the whole engagement (the engagement was
+	// triggered by tracking at all).
+	{"engage-triggered-by-track", "R3(track, engagement)"},
+	// Every detection report feeds some track event.
+	{"track-covers-all-detections", "R2(detection, track)"},
+	// Every track event is grounded in at least one detection.
+	{"track-grounded", "R3'(detection, track)"},
+	// Nothing in the engagement causally precedes any detection.
+	{"no-fire-before-detection", "!R4(engagement, detection)"},
+}
+
+func main() {
+	for _, tc := range []struct {
+		label     string
+		premature bool
+	}{
+		{"nominal engagement (command waits for the confirmed track)", false},
+		{"faulty engagement (command fires on a stale partial track)", true},
+	} {
+		fmt.Println("===", tc.label, "===")
+		sc := build(tc.premature)
+
+		m := monitor.New(sc.ex)
+		for name, events := range sc.stages {
+			must(m.Define(name, events))
+		}
+		for _, c := range conditions {
+			must(m.AddCondition(c.name, c.expr))
+		}
+
+		d := render.New(sc.ex).
+			Mark(sc.stages["detection"], 'd').
+			Mark(sc.stages["track"], 't').
+			Mark(sc.stages["engagement"], 'e')
+		fmt.Println(d.Render())
+
+		for _, res := range m.Check() {
+			fmt.Printf("  %-28s %v\n", res.Name, res.State)
+		}
+
+		// Real-time dimension: causal order alone is not enough for an air
+		// defence system — the engagement must also complete within its
+		// deadline. Synthesize physical timestamps and check the response
+		// time from first detection to completed engagement.
+		tm := rt.Synthesize(sc.ex, rt.SynthesizeConfig{Seed: 42})
+		det := interval.MustNew(sc.ex, sc.stages["detection"])
+		eng := interval.MustNew(sc.ex, sc.stages["engagement"])
+		const deadline = 150 * time.Millisecond
+		verdict := "MET"
+		if !tm.WithinDeadline(det, eng, deadline) {
+			verdict = "MISSED"
+		}
+		fmt.Printf("  response time detection→engagement: %v (deadline %v: %s)\n\n",
+			tm.ResponseTime(det, eng).Round(time.Millisecond), deadline, verdict)
+	}
+}
+
+// sendTo appends a send event on from's process (causally after from), a
+// receive on to, links them, and returns the receive event.
+func sendTo(b *poset.Builder, from poset.EventID, to int) poset.EventID {
+	send := b.Append(from.Proc)
+	recv := b.Append(to)
+	must(b.Message(send, recv))
+	return recv
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

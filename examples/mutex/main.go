@@ -1,0 +1,86 @@
+// Mutex: run Ricart–Agrawala distributed mutual exclusion live on
+// goroutines, record the execution through the vector-clock middleware, and
+// verify — with the paper's relations — that every pair of critical sections
+// is totally ordered: mutual exclusion over nonatomic events is exactly
+// "R1(S, S') or R1(S', S)" (the paper's §1 names distributed mutual
+// exclusion as a driving application of the relation set).
+//
+// Run with: go run ./examples/mutex [-nodes 4] [-entries 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"causet/internal/core"
+	"causet/internal/interval"
+	"causet/internal/poset"
+	"causet/internal/runtime"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "number of contending nodes")
+	entries := flag.Int("entries", 3, "critical-section entries per node")
+	flag.Parse()
+
+	res, err := runtime.RunMutex(*nodes, *entries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mutex:", err)
+		os.Exit(1)
+	}
+	st := res.Exec.Stats()
+	fmt.Printf("live run: %d nodes × %d entries → %d events, %d messages\n\n",
+		*nodes, *entries, st.Events, st.Messages)
+
+	a := core.NewAnalysis(res.Exec)
+	fast := core.NewFast(a)
+	naive := core.NewNaive(a)
+
+	sections := make([]*interval.Interval, len(res.Sections))
+	for i, s := range res.Sections {
+		sections[i] = interval.MustNew(res.Exec, []poset.EventID{s.Enter, s.Exit})
+	}
+
+	// Recover the global critical-section order and verify exclusion.
+	order := make([]int, len(sections))
+	for i := range order {
+		order[i] = i
+	}
+	violations := 0
+	var fastCmp, naiveCmp int64
+	for i := range sections {
+		for j := i + 1; j < len(sections); j++ {
+			fwd, nf := fast.EvalCount(core.R1, sections[i], sections[j])
+			bwd, nb := fast.EvalCount(core.R1, sections[j], sections[i])
+			fastCmp += nf + nb
+			_, n1 := naive.EvalCount(core.R1, sections[i], sections[j])
+			_, n2 := naive.EvalCount(core.R1, sections[j], sections[i])
+			naiveCmp += n1 + n2
+			if fwd == bwd {
+				violations++
+				fmt.Printf("VIOLATION: sections %v and %v overlap!\n",
+					res.Sections[i], res.Sections[j])
+			}
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return fast.Eval(core.R1, sections[order[a]], sections[order[b]])
+	})
+
+	fmt.Println("global critical-section order (recovered from the trace):")
+	for rank, idx := range order {
+		s := res.Sections[idx]
+		fmt.Printf("  %2d. node %d  enter=%v exit=%v\n", rank+1, s.Node, s.Enter, s.Exit)
+	}
+
+	pairs := len(sections) * (len(sections) - 1) / 2
+	fmt.Printf("\nchecked %d section pairs: %d violations\n", pairs, violations)
+	fmt.Printf("comparisons spent: fast=%d, naive=%d (%.1fx)\n",
+		fastCmp, naiveCmp, float64(naiveCmp)/float64(fastCmp))
+	if violations > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("mutual exclusion verified: every section pair satisfies R1 one way")
+}

@@ -1,0 +1,140 @@
+// Facade surface test: every public wrapper of package causet is exercised
+// once against a small fixture, so the exported API is compile- and
+// behavior-checked as a whole.
+package causet_test
+
+import (
+	"testing"
+	"time"
+
+	"causet"
+)
+
+func facadeFixture(t *testing.T) (*causet.Execution, *causet.Interval, *causet.Interval) {
+	t.Helper()
+	b := causet.NewBuilder(3)
+	x1 := b.Append(0)
+	y1 := b.Append(1)
+	if err := b.Message(x1, y1); err != nil {
+		t.Fatal(err)
+	}
+	y2 := b.Append(1)
+	b.Append(2)
+	ex, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := causet.NewInterval(ex, []causet.EventID{x1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := causet.NewInterval(ex, []causet.EventID{y1, y2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, x, y
+}
+
+func TestFacadeClocksAndKnowledge(t *testing.T) {
+	ex, x, y := facadeFixture(t)
+	clk := causet.NewClocks(ex)
+	common := causet.CommonKnowledgePrefix(clk, y)
+	collective := causet.CollectiveKnowledgePrefix(clk, y)
+	if !common.Subset(collective) {
+		t.Errorf("∩⇓Y ⊄ ∪⇓Y")
+	}
+	yEvents := y.Events()
+	if !causet.Knows(clk, yEvents[len(yEvents)-1], common) {
+		t.Errorf("latest y does not know the common prefix")
+	}
+	if fl := causet.FirstLearners(clk, x); len(fl) == 0 {
+		t.Errorf("no first learners of X")
+	}
+	if fl := causet.FullLearners(clk, x); len(fl) == 0 {
+		t.Errorf("no full learners of X")
+	}
+}
+
+func TestFacadeParsers(t *testing.T) {
+	if r, err := causet.ParseRelation("R2'"); err != nil || r != causet.R2Prime {
+		t.Errorf("ParseRelation: %v, %v", r, err)
+	}
+	if all := causet.AllRel32(); len(all) != 32 {
+		t.Errorf("AllRel32: %d", len(all))
+	}
+	if r32, err := causet.ParseRel32("R4(L,U)"); err != nil || r32.R != causet.R4 {
+		t.Errorf("ParseRel32: %v, %v", r32, err)
+	}
+	expr, err := causet.ParseCondition("R1(a, b) -> R4(a, b)")
+	if err != nil || expr == nil {
+		t.Errorf("ParseCondition: %v", err)
+	}
+}
+
+func TestFacadeAlgebra(t *testing.T) {
+	if !causet.Implies(causet.R1, causet.R4) || causet.Implies(causet.R4, causet.R1) {
+		t.Errorf("Implies wrong")
+	}
+	if causet.Converse(causet.R2) != causet.R3Prime {
+		t.Errorf("Converse wrong")
+	}
+	if tRel, ok := causet.Compose(causet.R1, causet.R1); !ok || tRel != causet.R1 {
+		t.Errorf("Compose wrong")
+	}
+	max := causet.StrongestRelations([]causet.Relation{causet.R4, causet.R2})
+	if len(max) != 1 || max[0] != causet.R2 {
+		t.Errorf("StrongestRelations = %v", max)
+	}
+
+	ex, x, y := facadeFixture(t)
+	a := causet.NewAnalysis(ex)
+	pm, err := causet.Summarize(a, causet.NewFast(a), []string{"x", "y"}, []*causet.Interval{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pm.Cells[0][1].Strongest) == 0 {
+		t.Errorf("x→y should hold something (x1 ≺ y1)")
+	}
+}
+
+func TestFacadeReversal(t *testing.T) {
+	ex, _, _ := facadeFixture(t)
+	rev := causet.ReverseExecution(ex)
+	a := causet.EventID{Proc: 0, Pos: 1}
+	b := causet.EventID{Proc: 1, Pos: 1}
+	if !ex.Precedes(a, b) {
+		t.Fatalf("fixture drifted")
+	}
+	if !rev.Precedes(causet.ReverseEventID(ex, b), causet.ReverseEventID(ex, a)) {
+		t.Errorf("reversal did not invert causality")
+	}
+}
+
+func TestFacadeDetector(t *testing.T) {
+	ex, x, y := facadeFixture(t)
+	d := causet.NewDetector(ex, 0)
+	phi := causet.AndStates(causet.AllDone(x), causet.NoneStarted(y))
+	got, err := d.Definitely(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x1 ≺ every y, so R1(x, y) holds and the bridge theorem gives
+	// Definitely = true.
+	if !got {
+		t.Errorf("Definitely = false, want true (R1 holds)")
+	}
+}
+
+func TestFacadeTiming(t *testing.T) {
+	ex, x, y := facadeFixture(t)
+	tm := causet.SynthesizeTiming(ex, causet.TimingConfig{Seed: 3})
+	if tm.ResponseTime(x, y) <= 0 {
+		t.Errorf("response time not positive")
+	}
+	if _, err := causet.NewTiming(ex, tm.Times()); err != nil {
+		t.Errorf("synthesized timing failed validation: %v", err)
+	}
+	if !tm.WithinDeadline(x, y, time.Hour) {
+		t.Errorf("hour-long deadline missed")
+	}
+}

@@ -1,0 +1,3 @@
+module causet
+
+go 1.22

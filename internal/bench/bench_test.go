@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"causet/internal/core"
+)
+
+func TestTable1AgreementAllAgree(t *testing.T) {
+	rows := Table1Agreement(60, 1)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, row := range rows {
+		if row.Trials != 60 {
+			t.Errorf("%v: trials = %d", row.Relation, row.Trials)
+		}
+		if row.Agreements != row.Trials {
+			t.Errorf("%v: only %d/%d agreements", row.Relation, row.Agreements, row.Trials)
+		}
+		if row.Quantifier == "" || row.Condition == "" {
+			t.Errorf("%v: missing metadata", row.Relation)
+		}
+	}
+	// Sanity: across the batch, at least one relation held at least once and
+	// at least one failed at least once, so agreement is not vacuous.
+	anyHeld, anyFailed := false, false
+	for _, row := range rows {
+		if row.HeldCount > 0 {
+			anyHeld = true
+		}
+		if row.HeldCount < row.Trials {
+			anyFailed = true
+		}
+	}
+	if !anyHeld || !anyFailed {
+		t.Errorf("degenerate workload: held=%v failed=%v", anyHeld, anyFailed)
+	}
+}
+
+func TestTheorem19CountsSound(t *testing.T) {
+	rows := Theorem19Counts(80, 2)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if !row.AllCorrect {
+			t.Errorf("%s (%s): restricted test disagreed with the full test", row.Pairing, row.Side)
+		}
+		if row.MaxCount > row.Bound {
+			t.Errorf("%s: max count %d exceeds bound %d", row.Pairing, row.MaxCount, row.Bound)
+		}
+		if row.Trials != 80 {
+			t.Errorf("%s: trials = %d", row.Pairing, row.Trials)
+		}
+	}
+}
+
+func TestTheorem20CountsWithinBounds(t *testing.T) {
+	rows := Theorem20Counts(80, 3)
+	for _, row := range rows {
+		if row.WithinBound != row.Trials {
+			t.Errorf("%v: %d/%d within bound", row.Relation, row.WithinBound, row.Trials)
+		}
+		if row.TightHits == 0 {
+			t.Errorf("%v: bound never attained, tightness unverified", row.Relation)
+		}
+		if row.BoundExpr == "" {
+			t.Errorf("%v: missing bound expression", row.Relation)
+		}
+	}
+}
+
+func TestComplexitySweepShape(t *testing.T) {
+	rows := ComplexitySweep([]int{4, 16, 64}, 20, 4)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, row := range rows {
+		// Fast spends exactly Σ bounds = 6·min + |N_X| + |N_Y| = 8n when no
+		// early exits fire; with early exits, ≤. Proxy is Ω(n) and O(n²).
+		if row.FastCmp > float64(8*row.N) {
+			t.Errorf("N=%d: fast comparisons %v exceed 8N", row.N, row.FastCmp)
+		}
+		if row.ProxyCmp < row.FastCmp {
+			t.Errorf("N=%d: proxy (%v) cheaper than fast (%v)", row.N, row.ProxyCmp, row.FastCmp)
+		}
+		if row.NaiveCmp < row.ProxyCmp {
+			t.Errorf("N=%d: naive (%v) cheaper than proxy (%v)", row.N, row.NaiveCmp, row.ProxyCmp)
+		}
+		if i > 0 && rows[i].FastCmp <= rows[i-1].FastCmp {
+			t.Errorf("fast comparisons did not grow with N: %v then %v", rows[i-1].FastCmp, rows[i].FastCmp)
+		}
+	}
+	// The headline shape: the proxy/fast comparison ratio grows ~linearly.
+	r0 := rows[0].ProxyCmp / rows[0].FastCmp
+	r2 := rows[2].ProxyCmp / rows[2].FastCmp
+	if r2 <= r0 {
+		t.Errorf("proxy/fast ratio did not grow: %v → %v", r0, r2)
+	}
+}
+
+func TestSetupAmortization(t *testing.T) {
+	rows := SetupAmortization([]int{4, 8}, 5)
+	for _, row := range rows {
+		if row.SetupNs <= 0 || row.PerPairNs <= 0 {
+			t.Errorf("procs=%d: non-positive timings %+v", row.Procs, row)
+		}
+		if row.BreakEvenAt < 1 {
+			t.Errorf("procs=%d: break-even %d", row.Procs, row.BreakEvenAt)
+		}
+		if row.Events <= 0 {
+			t.Errorf("procs=%d: events %d", row.Procs, row.Events)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable(
+		[]string{"relation", "bound"},
+		[][]string{{"R1", "min(|N_X|,|N_Y|)"}, {"R2'", "|N_Y|"}},
+	)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "relation") || !strings.Contains(lines[2], "R1") {
+		t.Errorf("unexpected layout:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}
+
+func TestFloatFormat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{3.14159, "3.1"},
+		{1500, "1.5k"},
+		{2_500_000, "2.50M"},
+	} {
+		if got := F(tc.v); got != tc.want {
+			t.Errorf("F(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestBoundExprMatchesComplexityBound(t *testing.T) {
+	for _, rel := range core.Relations() {
+		expr := boundExpr(rel)
+		got := rel.ComplexityBound(3, 7)
+		switch expr {
+		case "min(|N_X|,|N_Y|)":
+			if got != 3 {
+				t.Errorf("%v: bound(3,7) = %d, expr %s", rel, got, expr)
+			}
+		case "|N_X|":
+			if got != 3 {
+				t.Errorf("%v: bound(3,7) = %d, expr %s", rel, got, expr)
+			}
+		case "|N_Y|":
+			if got != 7 {
+				t.Errorf("%v: bound(3,7) = %d, expr %s", rel, got, expr)
+			}
+		default:
+			t.Errorf("%v: unknown expr %q", rel, expr)
+		}
+	}
+	// Distinguish |N_X| from min by an asymmetric call.
+	if core.R3.ComplexityBound(9, 2) != 9 {
+		t.Errorf("R3 bound must be |N_X| (refined), got %d", core.R3.ComplexityBound(9, 2))
+	}
+	if core.R2Prime.ComplexityBound(9, 2) != 2 {
+		t.Errorf("R2' bound must be |N_Y| (refined), got %d", core.R2Prime.ComplexityBound(9, 2))
+	}
+}

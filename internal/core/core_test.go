@@ -1,0 +1,358 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"causet/internal/interval"
+	"causet/internal/poset"
+	"causet/internal/poset/posettest"
+)
+
+// randomPair draws a random execution and a random disjoint interval pair.
+func randomPair(r *rand.Rand) (*Analysis, *interval.Interval, *interval.Interval) {
+	for {
+		ex := posettest.Random(r, 2+r.Intn(6), 4+r.Intn(28), 0.45)
+		xe, ye := posettest.DisjointIntervals(r, ex, 6)
+		if xe == nil {
+			continue
+		}
+		a := NewAnalysis(ex)
+		return a, interval.MustNew(ex, xe), interval.MustNew(ex, ye)
+	}
+}
+
+// TestTable1Equivalence is experiment E1 at unit scale: the three evaluators
+// agree on every relation for randomized disjoint interval pairs. This is
+// the paper's central claim — the cut-timestamp conditions of Table 1's
+// third column evaluate exactly the quantifier definitions of its second
+// column.
+func TestTable1Equivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 500; trial++ {
+		a, x, y := randomPair(r)
+		naive := NewNaive(a)
+		proxy := NewProxy(a)
+		fast := NewFast(a)
+		for _, rel := range Relations() {
+			want := naive.Eval(rel, x, y)
+			if got := proxy.Eval(rel, x, y); got != want {
+				t.Fatalf("trial %d: proxy disagrees on %v: got %v want %v\nX=%v Y=%v",
+					trial, rel, got, want, x, y)
+			}
+			if got := fast.Eval(rel, x, y); got != want {
+				t.Fatalf("trial %d: fast disagrees on %v: got %v want %v\nX=%v Y=%v\n∩⇓Y=%v ∪⇓Y=%v ∩⇑X=%v ∪⇑X=%v",
+					trial, rel, got, want, x, y,
+					a.Cuts(y).InterDown, a.Cuts(y).UnionDown, a.Cuts(x).InterUp, a.Cuts(x).UnionUp)
+			}
+		}
+	}
+}
+
+// TestTheorem20Counts is experiment E4 at unit scale: the Fast evaluator
+// never exceeds its per-relation comparison bound, and the bound is tight —
+// it is attained whenever no early exit fires (relation true for the
+// ∀-shaped conditions, false for the ∃-shaped ones).
+func TestTheorem20Counts(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	attained := make(map[Relation]bool)
+	for trial := 0; trial < 600; trial++ {
+		a, x, y := randomPair(r)
+		fast := NewFast(a)
+		nx, ny := x.NodeCount(), y.NodeCount()
+		for _, rel := range Relations() {
+			held, n := fast.EvalCount(rel, x, y)
+			bound := int64(rel.ComplexityBound(nx, ny))
+			if n > bound {
+				t.Fatalf("trial %d: %v spent %d comparisons, bound %d (|N_X|=%d |N_Y|=%d)",
+					trial, rel, n, bound, nx, ny)
+			}
+			// ∀-shaped conditions run to completion when the relation holds;
+			// ∃-shaped ones when it does not.
+			exhaustive := held
+			switch rel {
+			case R2Prime, R3, R4, R4Prime:
+				exhaustive = !held
+			}
+			if exhaustive {
+				if n != bound {
+					t.Fatalf("trial %d: %v spent %d comparisons without early exit, want exactly %d",
+						trial, rel, n, bound)
+				}
+				attained[rel] = true
+			}
+		}
+	}
+	for _, rel := range Relations() {
+		if !attained[rel] {
+			t.Errorf("bound for %v never attained across trials; tightness unverified", rel)
+		}
+	}
+}
+
+// TestBaselineCounts verifies the cost model of the baselines: Naive spends
+// at most |X|·|Y| causality checks and Proxy at most |N_X|·|N_Y|.
+func TestBaselineCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 200; trial++ {
+		a, x, y := randomPair(r)
+		naive := NewNaive(a)
+		proxy := NewProxy(a)
+		for _, rel := range Relations() {
+			if _, n := naive.EvalCount(rel, x, y); n > int64(x.Size()*y.Size()) {
+				t.Fatalf("naive %v spent %d > |X||Y| = %d", rel, n, x.Size()*y.Size())
+			}
+			if _, n := proxy.EvalCount(rel, x, y); n > int64(x.NodeCount()*y.NodeCount()) {
+				t.Fatalf("proxy %v spent %d > |N_X||N_Y| = %d", rel, n, x.NodeCount()*y.NodeCount())
+			}
+		}
+	}
+}
+
+// TestHierarchy verifies the implication structure of the relation hierarchy
+// on random instances: R1 ⇒ {R2', R3} ⇒ {R2, R3'} ⇒ R4, plus the
+// equivalences R1 ≡ R1' and R4 ≡ R4'.
+func TestHierarchy(t *testing.T) {
+	r := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 300; trial++ {
+		a, x, y := randomPair(r)
+		fast := NewFast(a)
+		res := make(map[Relation]bool)
+		for _, rel := range Relations() {
+			res[rel] = fast.Eval(rel, x, y)
+		}
+		implications := []struct{ from, to Relation }{
+			{R1, R2Prime}, {R1, R3}, {R2Prime, R2}, {R3, R3Prime},
+			{R2, R4}, {R3Prime, R4},
+		}
+		for _, imp := range implications {
+			if res[imp.from] && !res[imp.to] {
+				t.Fatalf("trial %d: %v holds but %v does not (X=%v Y=%v)",
+					trial, imp.from, imp.to, x, y)
+			}
+		}
+		if res[R1] != res[R1Prime] {
+			t.Fatalf("trial %d: R1 and R1' must coincide", trial)
+		}
+		if res[R4] != res[R4Prime] {
+			t.Fatalf("trial %d: R4 and R4' must coincide", trial)
+		}
+	}
+}
+
+// TestKnownInstance pins the evaluators on a hand-checked execution.
+//
+//	p0:  x1 ──msg──▶ p1:y1      x2
+//	p1:  y1  y2
+//	p2:  z1 ──msg──▶ p0:x2
+//
+// X = {x1, x2}, Y = {y1, y2}: x1 ≺ y1 ≺ y2, x2 is concurrent with both.
+func TestKnownInstance(t *testing.T) {
+	b := poset.NewBuilder(3)
+	x1 := b.Append(0)
+	y1 := b.Append(1)
+	if err := b.Message(x1, y1); err != nil {
+		t.Fatal(err)
+	}
+	y2 := b.Append(1)
+	z1 := b.Append(2)
+	x2 := b.Append(0)
+	if err := b.Message(z1, x2); err != nil {
+		t.Fatal(err)
+	}
+	ex := b.MustBuild()
+	a := NewAnalysis(ex)
+	x := interval.MustNew(ex, []poset.EventID{x1, x2})
+	y := interval.MustNew(ex, []poset.EventID{y1, y2})
+
+	want := map[Relation]bool{
+		R1: false, R1Prime: false, // x2 precedes nothing in Y
+		R2:      false, // x2 has no successor in Y
+		R2Prime: false, // no y follows all of X
+		R3:      true,  // x1 precedes all of Y
+		R3Prime: true,  // every y follows x1
+		R4:      true, R4Prime: true,
+	}
+	for _, eval := range []Evaluator{NewNaive(a), NewProxy(a), NewFast(a)} {
+		for rel, w := range want {
+			if got := eval.Eval(rel, x, y); got != w {
+				t.Errorf("%s: %v = %v, want %v", eval.Name(), rel, got, w)
+			}
+		}
+	}
+}
+
+// TestOverlapBoundary documents the disjointness requirement: for X = Y a
+// single shared event, the quantifier definition of R4 is false (≺ is
+// strict) while the cut-timestamp condition reports true. EvalChecked
+// protects callers from this divergence.
+func TestOverlapBoundary(t *testing.T) {
+	b := poset.NewBuilder(2)
+	e := b.Append(0)
+	b.Append(1)
+	ex := b.MustBuild()
+	a := NewAnalysis(ex)
+	x := interval.MustNew(ex, []poset.EventID{e})
+	y := interval.MustNew(ex, []poset.EventID{e})
+
+	if NewNaive(a).Eval(R4, x, y) {
+		t.Fatalf("naive R4 on a shared single event must be false (strict ≺)")
+	}
+	if !NewFast(a).Eval(R4, x, y) {
+		t.Fatalf("expected the documented divergence: fast R4 true on overlap; " +
+			"if this changed, update DESIGN.md's strictness note")
+	}
+	if _, err := a.EvalChecked(NewFast(a), R4, x, y); err == nil {
+		t.Fatalf("EvalChecked must reject overlapping intervals")
+	} else {
+		var ov *ErrOverlap
+		if !errors.As(err, &ov) {
+			t.Fatalf("err = %v, want *ErrOverlap", err)
+		}
+	}
+}
+
+func TestEvalCheckedHappyPathAndForeignInterval(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	a, x, y := randomPair(r)
+	held, err := a.EvalChecked(NewFast(a), R4, x, y)
+	if err != nil {
+		t.Fatalf("EvalChecked: %v", err)
+	}
+	if want := NewNaive(a).Eval(R4, x, y); held != want {
+		t.Fatalf("EvalChecked = %v, want %v", held, want)
+	}
+	// An interval from another execution must be rejected by EvalChecked and
+	// make Cuts panic.
+	b, x2, _ := randomPair(r)
+	if _, err := a.EvalChecked(NewFast(a), R4, x2, y); err == nil {
+		t.Fatalf("EvalChecked accepted a foreign interval")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Cuts did not panic on a foreign interval")
+			}
+		}()
+		a.Cuts(x2)
+	}()
+	_ = b
+}
+
+func TestAnalysisCutsCacheAndConcurrency(t *testing.T) {
+	r := rand.New(rand.NewSource(127))
+	a, x, y := randomPair(r)
+	c1 := a.Cuts(x)
+	if c2 := a.Cuts(x); c1 != c2 {
+		t.Fatalf("Cuts must return the cached value")
+	}
+	// Concurrent evaluation must be safe (run with -race).
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fast := NewFast(a)
+			for k := 0; k < 50; k++ {
+				for _, rel := range Relations() {
+					fast.Eval(rel, x, y)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRelationStrings(t *testing.T) {
+	seenS := make(map[string]bool)
+	seenQ := make(map[string]bool)
+	for _, rel := range Relations() {
+		s, q, c := rel.String(), rel.Quantifier(), rel.EvalCondition()
+		if s == "" || q == "?" || c == "?" {
+			t.Errorf("%v: missing metadata", rel)
+		}
+		if seenS[s] {
+			t.Errorf("duplicate String %q", s)
+		}
+		seenS[s] = true
+		if seenQ[q] {
+			t.Errorf("duplicate Quantifier %q", q)
+		}
+		seenQ[q] = true
+	}
+	if Relation(99).String() == "" || Relation(99).Quantifier() != "?" {
+		t.Errorf("out-of-range relation misrendered")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("ComplexityBound must panic on invalid relation")
+		}
+	}()
+	Relation(99).ComplexityBound(1, 1)
+}
+
+func TestParseRelation(t *testing.T) {
+	for _, rel := range Relations() {
+		got, err := ParseRelation(rel.String())
+		if err != nil || got != rel {
+			t.Errorf("ParseRelation(%q) = %v, %v", rel.String(), got, err)
+		}
+	}
+	aliases := map[string]Relation{
+		"r1": R1, "R2p": R2Prime, "r3prime": R3Prime, "R4'": R4Prime, "r2": R2,
+	}
+	for s, want := range aliases {
+		if got, err := ParseRelation(s); err != nil || got != want {
+			t.Errorf("ParseRelation(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseRelation("R9"); err == nil {
+		t.Errorf("ParseRelation accepted R9")
+	}
+}
+
+// TestEvaluatorPanicsOnUnknownRelation ensures all evaluators reject
+// out-of-range relations loudly rather than returning garbage.
+func TestEvaluatorPanicsOnUnknownRelation(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	a, x, y := randomPair(r)
+	for _, eval := range []Evaluator{NewNaive(a), NewProxy(a), NewFast(a)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", eval.Name())
+				}
+			}()
+			eval.Eval(Relation(42), x, y)
+		}()
+	}
+}
+
+func TestEvaluatorNames(t *testing.T) {
+	r := rand.New(rand.NewSource(137))
+	a, _, _ := randomPair(r)
+	names := map[string]bool{}
+	for _, eval := range []Evaluator{NewNaive(a), NewProxy(a), NewFast(a)} {
+		if eval.Name() == "" || names[eval.Name()] {
+			t.Errorf("bad or duplicate name %q", eval.Name())
+		}
+		names[eval.Name()] = true
+	}
+	if a.Execution() == nil || a.Clocks() == nil {
+		t.Errorf("Analysis accessors returned nil")
+	}
+}
+
+func TestErrOverlapMessage(t *testing.T) {
+	b := poset.NewBuilder(1)
+	e := b.Append(0)
+	ex := b.MustBuild()
+	iv := interval.MustNew(ex, []poset.EventID{e})
+	err := &ErrOverlap{X: iv, Y: iv}
+	if !strings.Contains(err.Error(), "overlap") || !strings.Contains(err.Error(), "p0:1") {
+		t.Errorf("ErrOverlap message unhelpful: %v", err)
+	}
+}

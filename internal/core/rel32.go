@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"causet/internal/interval"
+)
+
+// Rel32 identifies one member of the full relation set ℛ of [KSHEM-WPDRTS97]:
+// a Table 1 relation applied to a chosen proxy of X and a chosen proxy of Y.
+// With 8 relations and 2×2 proxy choices, |ℛ| = 32. Each r(X, Y) ∈ ℛ is, by
+// construction, exactly R(X̂, Ŷ) for nonatomic events X̂ = proxy(X) and
+// Ŷ = proxy(Y), so any Evaluator decides it.
+type Rel32 struct {
+	R  Relation
+	PX interval.ProxyKind // proxy of X (L_X or U_X)
+	PY interval.ProxyKind // proxy of Y (L_Y or U_Y)
+}
+
+// String renders e.g. "R3(U_X, L_Y)".
+func (r Rel32) String() string {
+	return fmt.Sprintf("%v(%v_X, %v_Y)", r.R, r.PX, r.PY)
+}
+
+// AllRel32 returns the 32 relations of ℛ in a fixed order: Table 1 order,
+// then proxy of X (L before U), then proxy of Y.
+func AllRel32() []Rel32 {
+	out := make([]Rel32, 0, 32)
+	for _, rel := range Relations() {
+		for _, px := range []interval.ProxyKind{interval.ProxyL, interval.ProxyU} {
+			for _, py := range []interval.ProxyKind{interval.ProxyL, interval.ProxyU} {
+				out = append(out, Rel32{R: rel, PX: px, PY: py})
+			}
+		}
+	}
+	return out
+}
+
+// ParseRel32 parses strings of the form "R2'(L,U)", "R2p(l,u)",
+// "R4(U_X,L_Y)" — a relation name followed by a parenthesized pair of proxy
+// letters, optionally suffixed with _X/_Y.
+func ParseRel32(s string) (Rel32, error) {
+	open := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '(' {
+			open = i
+			break
+		}
+	}
+	if open < 0 || s[len(s)-1] != ')' {
+		return Rel32{}, fmt.Errorf("core: malformed relation %q, want e.g. \"R2'(L,U)\"", s)
+	}
+	rel, err := ParseRelation(s[:open])
+	if err != nil {
+		return Rel32{}, err
+	}
+	inner := s[open+1 : len(s)-1]
+	comma := -1
+	for i := 0; i < len(inner); i++ {
+		if inner[i] == ',' {
+			comma = i
+			break
+		}
+	}
+	if comma < 0 {
+		return Rel32{}, fmt.Errorf("core: malformed proxy pair in %q", s)
+	}
+	px, err := parseProxy(inner[:comma])
+	if err != nil {
+		return Rel32{}, fmt.Errorf("core: %v in %q", err, s)
+	}
+	py, err := parseProxy(inner[comma+1:])
+	if err != nil {
+		return Rel32{}, fmt.Errorf("core: %v in %q", err, s)
+	}
+	return Rel32{R: rel, PX: px, PY: py}, nil
+}
+
+func parseProxy(s string) (interval.ProxyKind, error) {
+	t := ""
+	for _, c := range s {
+		if c != ' ' {
+			t += string(c)
+		}
+	}
+	switch lower(t) {
+	case "l", "l_x", "l_y":
+		return interval.ProxyL, nil
+	case "u", "u_x", "u_y":
+		return interval.ProxyU, nil
+	}
+	return 0, fmt.Errorf("unknown proxy %q", s)
+}
+
+// EvalRel32 evaluates r(X, Y) for r ∈ ℛ by materializing the chosen proxies
+// (under the given definition) as intervals and applying eval to them. Under
+// interval.DefGlobal a proxy may be empty, in which case an error is
+// returned (Definition 3 leaves the relation undefined there).
+func (a *Analysis) EvalRel32(eval Evaluator, r Rel32, x, y *interval.Interval, def interval.ProxyDef) (bool, error) {
+	px, err := x.ProxyInterval(r.PX, def, a.clk)
+	if err != nil {
+		return false, err
+	}
+	py, err := y.ProxyInterval(r.PY, def, a.clk)
+	if err != nil {
+		return false, err
+	}
+	return eval.Eval(r.R, px, py), nil
+}
+
+// HoldingRel32 evaluates all 32 relations of ℛ between x and y (per-node
+// proxies, Definition 2) and returns the ones that hold, in AllRel32 order.
+func (a *Analysis) HoldingRel32(eval Evaluator, x, y *interval.Interval) []Rel32 {
+	var out []Rel32
+	for _, r := range AllRel32() {
+		held, err := a.EvalRel32(eval, r, x, y, interval.DefPerNode)
+		if err != nil {
+			// Per-node proxies of valid intervals are never empty.
+			panic(err)
+		}
+		if held {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"causet/internal/interval"
+)
+
+func TestAllRel32Enumeration(t *testing.T) {
+	all := AllRel32()
+	if len(all) != 32 {
+		t.Fatalf("|ℛ| = %d, want 32", len(all))
+	}
+	seen := make(map[Rel32]bool)
+	for _, r := range all {
+		if seen[r] {
+			t.Fatalf("duplicate member %v", r)
+		}
+		seen[r] = true
+	}
+	if all[0].String() != "R1(L_X, L_Y)" {
+		t.Errorf("first member renders as %q", all[0].String())
+	}
+}
+
+// TestRel32EvaluatorAgreement extends E1 to the full relation set ℛ: Fast,
+// Proxy and Naive agree on every r ∈ ℛ for random disjoint interval pairs
+// (under per-node proxies, whose disjointness follows from X ∩ Y = ∅).
+func TestRel32EvaluatorAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(139))
+	for trial := 0; trial < 120; trial++ {
+		a, x, y := randomPair(r)
+		naive := NewNaive(a)
+		fast := NewFast(a)
+		for _, r32 := range AllRel32() {
+			want, err := a.EvalRel32(naive, r32, x, y, interval.DefPerNode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.EvalRel32(fast, r32, x, y, interval.DefPerNode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d: %v: fast=%v naive=%v (X=%v Y=%v)", trial, r32, got, want, x, y)
+			}
+		}
+	}
+}
+
+// TestRel32ProxyEquivalence verifies the 1-1 correspondence the paper builds
+// ℛ on: r(X,Y) with proxies (P, Q) equals R(X̂, Ŷ) where X̂, Ŷ are the proxy
+// intervals — i.e. EvalRel32 equals evaluating the base relation on
+// materialized proxies.
+func TestRel32ProxyEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(149))
+	for trial := 0; trial < 60; trial++ {
+		a, x, y := randomPair(r)
+		naive := NewNaive(a)
+		for _, r32 := range AllRel32() {
+			px, err := x.ProxyInterval(r32.PX, interval.DefPerNode, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			py, err := y.ProxyInterval(r32.PY, interval.DefPerNode, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naive.Eval(r32.R, px, py)
+			got, err := a.EvalRel32(naive, r32, x, y, interval.DefPerNode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d: %v: EvalRel32=%v direct=%v", trial, r32, got, want)
+			}
+		}
+	}
+}
+
+// TestRel32GlobalProxyErrors: under Definition 3 an interval whose extrema
+// are concurrent has an empty proxy; EvalRel32 must surface that as an
+// error, not a silent false.
+func TestRel32GlobalProxyErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(151))
+	sawErr, sawOK := false, false
+	for trial := 0; trial < 120 && !(sawErr && sawOK); trial++ {
+		a, x, y := randomPair(r)
+		_, err := a.EvalRel32(NewFast(a), Rel32{R: R4, PX: interval.ProxyL, PY: interval.ProxyU}, x, y, interval.DefGlobal)
+		if err != nil {
+			sawErr = true
+		} else {
+			sawOK = true
+		}
+	}
+	if !sawErr || !sawOK {
+		t.Errorf("expected both empty-proxy errors (%v) and successes (%v) across trials", sawErr, sawOK)
+	}
+}
+
+func TestHoldingRel32(t *testing.T) {
+	r := rand.New(rand.NewSource(157))
+	a, x, y := randomPair(r)
+	fast := NewFast(a)
+	holding := a.HoldingRel32(fast, x, y)
+	inSet := make(map[Rel32]bool, len(holding))
+	for _, h := range holding {
+		inSet[h] = true
+	}
+	for _, r32 := range AllRel32() {
+		want, err := a.EvalRel32(fast, r32, x, y, interval.DefPerNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inSet[r32] != want {
+			t.Errorf("%v: HoldingRel32 membership %v, want %v", r32, inSet[r32], want)
+		}
+	}
+}
+
+func TestParseRel32(t *testing.T) {
+	good := map[string]Rel32{
+		"R1(L,L)":      {R: R1, PX: interval.ProxyL, PY: interval.ProxyL},
+		"R2'(L,U)":     {R: R2Prime, PX: interval.ProxyL, PY: interval.ProxyU},
+		"r2p(l, u)":    {R: R2Prime, PX: interval.ProxyL, PY: interval.ProxyU},
+		"R4(U_X, L_Y)": {R: R4, PX: interval.ProxyU, PY: interval.ProxyL},
+		"r3prime(U,U)": {R: R3Prime, PX: interval.ProxyU, PY: interval.ProxyU},
+	}
+	for s, want := range good {
+		got, err := ParseRel32(s)
+		if err != nil || got != want {
+			t.Errorf("ParseRel32(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "R1", "R1(L)", "R1(L,L", "R9(L,L)", "R1(Q,L)", "R1(L,Q)"} {
+		if _, err := ParseRel32(bad); err == nil {
+			t.Errorf("ParseRel32(%q) accepted", bad)
+		}
+	}
+	// Round trip through String for every member.
+	for _, r32 := range AllRel32() {
+		got, err := ParseRel32(r32.String())
+		if err != nil || got != r32 {
+			t.Errorf("round trip %v: got %v, %v", r32, got, err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package cuts
+
+import (
+	"math/rand"
+	"testing"
+
+	"causet/internal/poset"
+	"causet/internal/poset/posettest"
+	"causet/internal/vclock"
+)
+
+// TestPastCutsAreConsistent pins the paper's observation after Definition
+// 10: ∩⇓X, ∪⇓X (and every ↓e) are downward closed in (E, ≺) — consistent —
+// for random executions and intervals.
+func TestPastCutsAreConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 40; trial++ {
+		ex := posettest.Random(r, 2+r.Intn(4), 5+r.Intn(20), 0.5)
+		clk := vclock.New(ex)
+		x := posettest.RandomInterval(r, ex, 5)
+		if x == nil {
+			continue
+		}
+		if !Consistent(ex, IntersectDown(clk, x)) {
+			t.Fatalf("trial %d: ∩⇓X inconsistent", trial)
+		}
+		if !Consistent(ex, UnionDown(clk, x)) {
+			t.Fatalf("trial %d: ∪⇓X inconsistent", trial)
+		}
+		for _, e := range x {
+			if !Consistent(ex, Down(clk, e)) {
+				t.Fatalf("trial %d: ↓%v inconsistent", trial, e)
+			}
+		}
+	}
+}
+
+// TestFutureCutsCanBeInconsistent exhibits the other half of the paper's
+// observation: ∩⇑X and ∪⇑X are not downward closed in (E, ≺) in general.
+// Fixture: x on p0; p1 sends to p2 before p2's first event that follows x,
+// so x↑ contains p2's receive without the matching p1 send... constructed
+// concretely below with p2 receiving from p1 after also hearing from p0.
+func TestFutureCutsCanBeInconsistent(t *testing.T) {
+	b := poset.NewBuilder(3)
+	x := b.Append(0)
+	// p1 does early independent work and sends to p2.
+	p1send := b.Append(1)
+	// p2 first hears from p0 (so its first ⪰x event is the receive from
+	// p0), then receives p1's old message.
+	recvFromP0 := b.Append(2)
+	if err := b.Message(x, recvFromP0); err != nil {
+		t.Fatal(err)
+	}
+	recvFromP1 := b.Append(2)
+	if err := b.Message(p1send, recvFromP1); err != nil {
+		t.Fatal(err)
+	}
+	// p1's first event ⪰ x comes later, via a message from p2.
+	p2send := b.Append(2)
+	p1recv := b.Append(1)
+	if err := b.Message(p2send, p1recv); err != nil {
+		t.Fatal(err)
+	}
+	ex := b.MustBuild()
+	clk := vclock.New(ex)
+
+	up := Up(clk, x) // x↑
+	// x↑ includes p1's events up to p1recv (pos 2): in particular p1recv,
+	// whose incoming message from p2send (pos 3 on p2) is NOT in the cut
+	// (x↑ on p2 stops at recvFromP0, pos 1).
+	if up[1] != 2 || up[2] != 1 {
+		t.Fatalf("fixture drifted: x↑ = %v", up)
+	}
+	if Consistent(ex, up) {
+		t.Fatalf("x↑ = %v unexpectedly consistent", up)
+	}
+	x4 := UnionUp(clk, []poset.EventID{x})
+	if Consistent(ex, x4) {
+		t.Fatalf("∪⇑{x} = %v unexpectedly consistent", x4)
+	}
+}
+
+func TestMostRecentConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(223))
+	for trial := 0; trial < 60; trial++ {
+		ex := posettest.Random(r, 2+r.Intn(4), 5+r.Intn(20), 0.5)
+		clk := vclock.New(ex)
+		c := randomCut(r, ex)
+		mrc := MostRecentConsistent(clk, c)
+		if !Consistent(ex, mrc) {
+			t.Fatalf("trial %d: MostRecentConsistent(%v) = %v is inconsistent", trial, c, mrc)
+		}
+		if !mrc.Subset(c) {
+			t.Fatalf("trial %d: result %v not inside input %v", trial, mrc, c)
+		}
+		// Maximality: raising any node's frontier by one real event breaks
+		// consistency or leaves the cut (weak check: result must equal input
+		// whenever the input was already consistent).
+		if Consistent(ex, c) && !mrc.Equal(c) {
+			t.Fatalf("trial %d: consistent input %v shrunk to %v", trial, c, mrc)
+		}
+		for i := range mrc {
+			if mrc[i] >= min(c[i], ex.NumReal(i)) {
+				continue
+			}
+			bigger := mrc.Clone()
+			bigger[i]++
+			if Consistent(ex, bigger) {
+				t.Fatalf("trial %d: %v not maximal at node %d (input %v)", trial, mrc, i, c)
+			}
+		}
+	}
+}
+
+func TestLeastConsistentExtension(t *testing.T) {
+	r := rand.New(rand.NewSource(227))
+	for trial := 0; trial < 60; trial++ {
+		ex := posettest.Random(r, 2+r.Intn(4), 5+r.Intn(20), 0.5)
+		clk := vclock.New(ex)
+		c := randomCut(r, ex)
+		lce := LeastConsistentExtension(clk, c)
+		if !Consistent(ex, lce) {
+			t.Fatalf("trial %d: extension %v of %v inconsistent", trial, c, lce)
+		}
+		if !c.Subset(lce) {
+			t.Fatalf("trial %d: input %v not inside extension %v", trial, c, lce)
+		}
+		if Consistent(ex, c) && !lce.Equal(c) {
+			t.Fatalf("trial %d: consistent input %v grew to %v", trial, c, lce)
+		}
+		// Minimality: every consistent cut containing c contains lce.
+		for k := 0; k < 10; k++ {
+			d := randomCut(r, ex)
+			if c.Subset(d) && Consistent(ex, d) && !lce.Subset(d) {
+				t.Fatalf("trial %d: %v consistent ⊇ %v but ⊉ extension %v", trial, d, c, lce)
+			}
+		}
+	}
+}
+
+func TestConsistencyRoundTrip(t *testing.T) {
+	// MostRecentConsistent ∘ LeastConsistentExtension and vice versa are
+	// identity on consistent cuts.
+	r := rand.New(rand.NewSource(229))
+	ex := posettest.Random(r, 4, 24, 0.5)
+	clk := vclock.New(ex)
+	for k := 0; k < 50; k++ {
+		c := MostRecentConsistent(clk, randomCut(r, ex))
+		if got := LeastConsistentExtension(clk, c); !got.Equal(c) {
+			t.Fatalf("extension moved a consistent cut: %v -> %v", c, got)
+		}
+		d := LeastConsistentExtension(clk, randomCut(r, ex))
+		if got := MostRecentConsistent(clk, d); !got.Equal(d) {
+			t.Fatalf("rollback moved a consistent cut: %v -> %v", d, got)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package cuts
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"causet/internal/poset"
+)
+
+// quickExec is a fixed execution shape for the algebraic quick checks: the
+// laws under test depend only on frontier arithmetic, so one shape with
+// mixed per-process sizes (including an empty process) suffices.
+var quickExec = func() *poset.Execution {
+	b := poset.NewBuilder(4)
+	b.AppendN(0, 5)
+	b.AppendN(1, 1)
+	b.AppendN(2, 7)
+	// process 3 stays empty: TopPos = 1
+	return b.MustBuild()
+}()
+
+// genCut decodes four bytes into a valid cut of quickExec.
+func genCut(raw [4]uint8) Cut {
+	c := make(Cut, 4)
+	for i := range c {
+		c[i] = int(raw[i]) % (quickExec.TopPos(i) + 1)
+	}
+	return c
+}
+
+// cutGen adapts genCut to testing/quick's Generator-less API via Values.
+func cutGen(args []reflect.Value, r *rand.Rand) {
+	for i := range args {
+		var raw [4]uint8
+		for k := range raw {
+			raw[k] = uint8(r.Intn(256))
+		}
+		args[i] = reflect.ValueOf(genCut(raw))
+	}
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 3000, Values: cutGen}
+}
+
+// TestQuickLatticeLaws checks the semilattice laws of Union/Intersect on
+// random cuts: commutativity, associativity, idempotence, and absorption.
+func TestQuickLatticeLaws(t *testing.T) {
+	comm := func(a, b Cut) bool {
+		return a.Union(b).Equal(b.Union(a)) && a.Intersect(b).Equal(b.Intersect(a))
+	}
+	if err := quick.Check(comm, quickCfg()); err != nil {
+		t.Error("commutativity:", err)
+	}
+	assoc := func(a, b, c Cut) bool {
+		return a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) &&
+			a.Intersect(b.Intersect(c)).Equal(a.Intersect(b).Intersect(c))
+	}
+	if err := quick.Check(assoc, quickCfg()); err != nil {
+		t.Error("associativity:", err)
+	}
+	idem := func(a Cut) bool {
+		return a.Union(a).Equal(a) && a.Intersect(a).Equal(a)
+	}
+	if err := quick.Check(idem, quickCfg()); err != nil {
+		t.Error("idempotence:", err)
+	}
+	absorb := func(a, b Cut) bool {
+		return a.Union(a.Intersect(b)).Equal(a) && a.Intersect(a.Union(b)).Equal(a)
+	}
+	if err := quick.Check(absorb, quickCfg()); err != nil {
+		t.Error("absorption:", err)
+	}
+}
+
+// TestQuickSubsetConsistency: c ⊆ d iff c ∪ d = d iff c ∩ d = c.
+func TestQuickSubsetConsistency(t *testing.T) {
+	f := func(c, d Cut) bool {
+		sub := c.Subset(d)
+		return sub == c.Union(d).Equal(d) && sub == c.Intersect(d).Equal(c)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLessProperties: ≪ implies proper subset; ≪ is preserved by
+// enlarging the right side and shrinking the left side (monotonicity on the
+// structured side used by the evaluation conditions).
+func TestQuickLessProperties(t *testing.T) {
+	implySubset := func(c, d Cut) bool {
+		if !Less(c, d) {
+			return true
+		}
+		return c.Subset(d) && !c.Equal(d)
+	}
+	if err := quick.Check(implySubset, quickCfg()); err != nil {
+		t.Error("≪ ⇒ ⊊:", err)
+	}
+	monotone := func(c, d, e Cut) bool {
+		if !Less(c, d) {
+			return true
+		}
+		// Enlarging d preserves ≪; shrinking c preserves it too.
+		if !Less(c, d.Union(e)) {
+			return false
+		}
+		return Less(c.Intersect(d).Intersect(c), d) // c∩d∩c ⊆ c
+	}
+	if err := quick.Check(monotone, quickCfg()); err != nil {
+		t.Error("monotonicity:", err)
+	}
+}
+
+// TestQuickSurfaceContainsFrontier: every cut contains exactly its surface
+// events as per-node maxima.
+func TestQuickSurfaceContainsFrontier(t *testing.T) {
+	f := func(c Cut) bool {
+		for i, e := range c.Surface() {
+			if e.Proc != i || e.Pos != c[i] {
+				return false
+			}
+			if !c.Contains(e) {
+				return false
+			}
+			if c.Contains(poset.EventID{Proc: i, Pos: c[i] + 1}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFromEventsIsLeastUpperBound: FromEvents returns the smallest cut
+// containing its inputs.
+func TestQuickFromEventsIsLeastUpperBound(t *testing.T) {
+	f := func(raw [3][2]uint8, other Cut) bool {
+		events := make([]poset.EventID, 0, 3)
+		for _, r := range raw {
+			p := int(r[0]) % 4
+			events = append(events, poset.EventID{Proc: p, Pos: int(r[1]) % (quickExec.TopPos(p) + 1)})
+		}
+		c := FromEvents(quickExec, events)
+		for _, e := range events {
+			if !c.Contains(e) {
+				return false
+			}
+		}
+		// Any cut containing all the events contains c.
+		containsAll := true
+		for _, e := range events {
+			if !other.Contains(e) {
+				containsAll = false
+				break
+			}
+		}
+		if containsAll && !c.Subset(other) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 3000, Values: func(args []reflect.Value, r *rand.Rand) {
+		var raw [3][2]uint8
+		for i := range raw {
+			raw[i][0] = uint8(r.Intn(256))
+			raw[i][1] = uint8(r.Intn(256))
+		}
+		args[0] = reflect.ValueOf(raw)
+		var craw [4]uint8
+		for k := range craw {
+			craw[k] = uint8(r.Intn(256))
+		}
+		args[1] = reflect.ValueOf(genCut(craw))
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package detect implements global-predicate detection over the lattice of
+// consistent global states (Cooper & Marzullo's Possibly/Definitely
+// modalities) — the classical companion of the paper's Problem 4 and the
+// substrate behind "distributed predicate specification" in its §1. It is
+// built on the consistent-cut machinery of internal/cuts.
+//
+// A global state is a consistent cut, identified by its frontier vector.
+// Possibly(φ) holds when some reachable global state satisfies φ;
+// Definitely(φ) when every observation (every maximal path through the
+// lattice from the initial to the final state) passes through a state
+// satisfying φ.
+//
+// The lattice can be exponential in the execution size, so every walker
+// takes an explicit state budget and fails loudly when it is exceeded; the
+// intended use is testing and offline analysis of bounded traces.
+//
+// Two bridge theorems connect the modalities to the paper's relations, and
+// the package tests verify both against the evaluators:
+//
+//	R1(X, Y)   ⟺  Definitely(allDone(X) ∧ noneStarted(Y))
+//	¬R4(Y, X)  ⟺  Possibly(allDone(X) ∧ noneStarted(Y))
+package detect
+
+import (
+	"errors"
+	"fmt"
+
+	"causet/internal/cuts"
+	"causet/internal/interval"
+	"causet/internal/poset"
+	"causet/internal/vclock"
+)
+
+// Predicate evaluates a global state. The frontier has one component per
+// process: the position of its latest executed event (0 = none yet). The
+// slice is reused across calls; implementations must not retain it.
+type Predicate func(frontier cuts.Cut) bool
+
+// ErrBudget is returned when the lattice walk exceeds its state budget.
+var ErrBudget = errors.New("detect: state budget exceeded")
+
+// Detector walks the lattice of consistent global states of one execution.
+type Detector struct {
+	ex     *poset.Execution
+	clk    *vclock.Clocks
+	budget int
+}
+
+// New creates a detector with the given state budget (the maximum number of
+// distinct global states any one query may visit; ≤ 0 means a default of
+// one million).
+func New(ex *poset.Execution, budget int) *Detector {
+	if budget <= 0 {
+		budget = 1_000_000
+	}
+	return &Detector{ex: ex, clk: vclock.New(ex), budget: budget}
+}
+
+// initial returns the empty global state.
+func (d *Detector) initial() cuts.Cut { return cuts.Bottom(d.ex) }
+
+// isFinal reports whether the state has executed every real event.
+func (d *Detector) isFinal(c cuts.Cut) bool {
+	for i, f := range c {
+		if f != d.ex.NumReal(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// succ appends the consistent successors of c (advance one process by one
+// real event) to dst and returns it.
+func (d *Detector) succ(c cuts.Cut, dst []cuts.Cut) []cuts.Cut {
+	for i := range c {
+		pos := c[i] + 1
+		if pos > d.ex.NumReal(i) {
+			continue
+		}
+		t := d.clk.T(poset.EventID{Proc: i, Pos: pos})
+		ok := true
+		for j := range c {
+			if j != i && t[j] > c[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			next := c.Clone()
+			next[i] = pos
+			dst = append(dst, next)
+		}
+	}
+	return dst
+}
+
+// key encodes a frontier for the visited set.
+func key(c cuts.Cut) string {
+	b := make([]byte, 0, len(c)*2)
+	for _, f := range c {
+		b = append(b, byte(f), byte(f>>8))
+	}
+	return string(b)
+}
+
+// States enumerates every consistent global state (BFS order). It errors
+// when the lattice exceeds the budget.
+func (d *Detector) States() ([]cuts.Cut, error) {
+	var out []cuts.Cut
+	err := d.walk(func(c cuts.Cut) bool { out = append(out, c); return false }, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Possibly reports whether some consistent global state satisfies pred.
+func (d *Detector) Possibly(pred Predicate) (bool, error) {
+	found := false
+	err := d.walk(func(c cuts.Cut) bool {
+		if pred(c) {
+			found = true
+			return true
+		}
+		return false
+	}, nil)
+	if err != nil {
+		return false, err
+	}
+	return found, nil
+}
+
+// Definitely reports whether every observation of the execution passes
+// through a state satisfying pred: equivalently, the final state is not
+// reachable from the initial one through ¬pred states only.
+func (d *Detector) Definitely(pred Predicate) (bool, error) {
+	if pred(d.initial()) {
+		return true, nil
+	}
+	finalAvoiding := false
+	err := d.walk(func(c cuts.Cut) bool {
+		if d.isFinal(c) {
+			finalAvoiding = true
+			return true
+		}
+		return false
+	}, func(c cuts.Cut) bool { return pred(c) }) // prune states satisfying pred
+	if err != nil {
+		return false, err
+	}
+	return !finalAvoiding, nil
+}
+
+// walk runs a BFS over the lattice, calling visit on each state (stopping
+// early when it returns true). States for which prune returns true are
+// counted as visited but not expanded and not passed to visit — they are
+// barriers. The budget bounds the visited set.
+func (d *Detector) walk(visit func(cuts.Cut) bool, prune func(cuts.Cut) bool) error {
+	start := d.initial()
+	seen := map[string]bool{key(start): true}
+	queue := []cuts.Cut{start}
+	var scratch []cuts.Cut
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if prune != nil && prune(c) {
+			continue
+		}
+		if visit(c) {
+			return nil
+		}
+		scratch = d.succ(c, scratch[:0])
+		for _, n := range scratch {
+			k := key(n)
+			if seen[k] {
+				continue
+			}
+			if len(seen) >= d.budget {
+				return fmt.Errorf("%w (%d states)", ErrBudget, d.budget)
+			}
+			seen[k] = true
+			queue = append(queue, n)
+		}
+	}
+	return nil
+}
+
+// AllDone returns a predicate satisfied when every event of the interval
+// has executed.
+func AllDone(x *interval.Interval) Predicate {
+	events := x.Events()
+	return func(c cuts.Cut) bool {
+		for _, e := range events {
+			if e.Pos > c[e.Proc] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// NoneStarted returns a predicate satisfied while no event of the interval
+// has executed.
+func NoneStarted(x *interval.Interval) Predicate {
+	// Only the earliest member per node matters.
+	least := x.PerNodeLeast()
+	return func(c cuts.Cut) bool {
+		for _, e := range least {
+			if e.Pos <= c[e.Proc] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// And conjoins predicates.
+func And(preds ...Predicate) Predicate {
+	return func(c cuts.Cut) bool {
+		for _, p := range preds {
+			if !p(c) {
+				return false
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,204 @@
+package detect
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"causet/internal/core"
+	"causet/internal/cuts"
+	"causet/internal/interval"
+	"causet/internal/poset"
+	"causet/internal/poset/posettest"
+)
+
+// TestStatesMatchBruteForce: the BFS enumeration of consistent global
+// states equals the brute-force filter of all frontier vectors.
+func TestStatesMatchBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 25; trial++ {
+		ex := posettest.Random(r, 2+r.Intn(3), 3+r.Intn(8), 0.5)
+		d := New(ex, 0)
+		states, err := d.States()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]bool, len(states))
+		for _, c := range states {
+			if !cuts.Consistent(ex, c) {
+				t.Fatalf("trial %d: enumerated inconsistent state %v", trial, c)
+			}
+			got[key(c)] = true
+		}
+		// Brute force over all frontier vectors of real positions.
+		var want int
+		var walk func(c cuts.Cut, i int)
+		walk = func(c cuts.Cut, i int) {
+			if i == ex.NumProcs() {
+				if cuts.Consistent(ex, c) {
+					want++
+					if !got[key(c)] {
+						t.Fatalf("trial %d: consistent state %v not enumerated", trial, c)
+					}
+				}
+				return
+			}
+			for pos := 0; pos <= ex.NumReal(i); pos++ {
+				c[i] = pos
+				walk(c, i+1)
+			}
+			c[i] = 0
+		}
+		walk(cuts.Bottom(ex), 0)
+		if want != len(states) {
+			t.Fatalf("trial %d: %d enumerated, brute force %d", trial, len(states), want)
+		}
+	}
+}
+
+// twoFlags: two independent single-event processes.
+func twoFlags(t *testing.T) *poset.Execution {
+	t.Helper()
+	b := poset.NewBuilder(2)
+	b.Append(0)
+	b.Append(1)
+	return b.MustBuild()
+}
+
+func TestPossiblyDefinitelyClassic(t *testing.T) {
+	ex := twoFlags(t)
+	d := New(ex, 0)
+	p0Only := func(c cuts.Cut) bool { return c[0] == 1 && c[1] == 0 }
+	both := func(c cuts.Cut) bool { return c[0] == 1 && c[1] == 1 }
+	neither := func(c cuts.Cut) bool { return c[0] == 0 && c[1] == 0 }
+
+	if got, err := d.Possibly(p0Only); err != nil || !got {
+		t.Errorf("Possibly(p0 only) = %v, %v; want true", got, err)
+	}
+	// Some observation does p1 first, skipping the p0-only state.
+	if got, err := d.Definitely(p0Only); err != nil || got {
+		t.Errorf("Definitely(p0 only) = %v, %v; want false", got, err)
+	}
+	// Every observation ends with both done and starts with neither.
+	if got, err := d.Definitely(both); err != nil || !got {
+		t.Errorf("Definitely(both) = %v, %v; want true", got, err)
+	}
+	if got, err := d.Definitely(neither); err != nil || !got {
+		t.Errorf("Definitely(neither) = %v, %v; want true (initial state)", got, err)
+	}
+	if got, err := d.Possibly(func(c cuts.Cut) bool { return c[0] == 2 }); err != nil || got {
+		t.Errorf("Possibly(impossible) = %v, %v; want false", got, err)
+	}
+}
+
+// TestDefinitelyRequiresUnavoidable: with a message p0:1 → p1:1 the state
+// "p0 done, p1 not started" is unavoidable (p1 cannot move first).
+func TestDefinitelyRequiresUnavoidable(t *testing.T) {
+	b := poset.NewBuilder(2)
+	s := b.Append(0)
+	rcv := b.Append(1)
+	if err := b.Message(s, rcv); err != nil {
+		t.Fatal(err)
+	}
+	ex := b.MustBuild()
+	d := New(ex, 0)
+	phi := func(c cuts.Cut) bool { return c[0] == 1 && c[1] == 0 }
+	if got, err := d.Definitely(phi); err != nil || !got {
+		t.Errorf("Definitely = %v, %v; want true (the send must come first)", got, err)
+	}
+}
+
+// TestBridgeTheorems cross-validates the detector against the relation
+// evaluators on random executions:
+//
+//	R1(X, Y)  ⟺ Definitely(allDone(X) ∧ noneStarted(Y))
+//	¬R4(Y, X) ⟺ Possibly(allDone(X) ∧ noneStarted(Y))
+func TestBridgeTheorems(t *testing.T) {
+	r := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 60; trial++ {
+		ex := posettest.Random(r, 2+r.Intn(3), 4+r.Intn(8), 0.5)
+		xe, ye := posettest.DisjointIntervals(r, ex, 3)
+		if xe == nil {
+			continue
+		}
+		x := interval.MustNew(ex, xe)
+		y := interval.MustNew(ex, ye)
+		a := core.NewAnalysis(ex)
+		fast := core.NewFast(a)
+		d := New(ex, 0)
+		phi := And(AllDone(x), NoneStarted(y))
+
+		wantDef := fast.Eval(core.R1, x, y)
+		gotDef, err := d.Definitely(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotDef != wantDef {
+			t.Fatalf("trial %d: Definitely = %v but R1 = %v (X=%v Y=%v)", trial, gotDef, wantDef, x, y)
+		}
+
+		wantPos := !fast.Eval(core.R4, y, x)
+		gotPos, err := d.Possibly(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotPos != wantPos {
+			t.Fatalf("trial %d: Possibly = %v but ¬R4(Y,X) = %v (X=%v Y=%v)", trial, gotPos, wantPos, x, y)
+		}
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := poset.NewBuilder(4)
+	for p := 0; p < 4; p++ {
+		b.AppendN(p, 4) // 5^4 = 625 states, all independent
+	}
+	ex := b.MustBuild()
+	d := New(ex, 10)
+	if _, err := d.States(); !errors.Is(err, ErrBudget) {
+		t.Errorf("States err = %v, want ErrBudget", err)
+	}
+	if _, err := d.Possibly(func(cuts.Cut) bool { return false }); !errors.Is(err, ErrBudget) {
+		t.Errorf("Possibly err = %v, want ErrBudget", err)
+	}
+	if _, err := d.Definitely(func(cuts.Cut) bool { return false }); !errors.Is(err, ErrBudget) {
+		t.Errorf("Definitely err = %v, want ErrBudget", err)
+	}
+	// A generous budget succeeds: 625 states.
+	if states, err := New(ex, 1000).States(); err != nil || len(states) != 625 {
+		t.Errorf("states = %d, %v; want 625", len(states), err)
+	}
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	ex := twoFlags(t)
+	x := interval.MustNew(ex, []poset.EventID{{Proc: 0, Pos: 1}})
+	y := interval.MustNew(ex, []poset.EventID{{Proc: 1, Pos: 1}})
+	allX := AllDone(x)
+	noneY := NoneStarted(y)
+	if !allX(cuts.Cut{1, 0}) || allX(cuts.Cut{0, 1}) {
+		t.Errorf("AllDone misbehaves")
+	}
+	if !noneY(cuts.Cut{1, 0}) || noneY(cuts.Cut{0, 1}) {
+		t.Errorf("NoneStarted misbehaves")
+	}
+	conj := And(allX, noneY)
+	if !conj(cuts.Cut{1, 0}) || conj(cuts.Cut{1, 1}) {
+		t.Errorf("And misbehaves")
+	}
+}
+
+// TestPossiblyEarlyExit: Possibly stops at the first satisfying state, so a
+// tiny budget still succeeds when the initial state already matches.
+func TestPossiblyEarlyExit(t *testing.T) {
+	b := poset.NewBuilder(3)
+	for p := 0; p < 3; p++ {
+		b.AppendN(p, 5)
+	}
+	ex := b.MustBuild()
+	d := New(ex, 4)
+	got, err := d.Possibly(func(c cuts.Cut) bool { return true })
+	if err != nil || !got {
+		t.Errorf("Possibly(init) = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,101 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+
+	"causet/internal/core"
+)
+
+func TestProfilesAreExactlyTheFilters(t *testing.T) {
+	profiles := Profiles()
+	seen := make(map[Profile]bool)
+	for _, p := range profiles {
+		if !p.IsFilter() {
+			t.Errorf("profile %v is not a filter", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate profile %v", p)
+		}
+		seen[p] = true
+	}
+	// Brute-force the filter count independently.
+	count := 0
+	for p := Profile(0); p < 1<<6; p++ {
+		if p.IsFilter() {
+			count++
+		}
+	}
+	if len(profiles) != count {
+		t.Fatalf("Profiles() = %d entries, brute force %d", len(profiles), count)
+	}
+	// Structural anchors: the empty profile, {R4}, and the full set are
+	// always filters; a set violating an implication is not.
+	if !seen[0] {
+		t.Errorf("∅ missing")
+	}
+	full := ProfileOf(Canonical())
+	if !seen[full] {
+		t.Errorf("full profile missing")
+	}
+	bad := ProfileOf([]core.Relation{core.R2}) // R2 without R4
+	if bad.IsFilter() {
+		t.Errorf("{R2} must not be a filter")
+	}
+	t.Logf("lattice has %d filters: %v", count, profiles)
+}
+
+func TestProfilePacking(t *testing.T) {
+	p := ProfileOf([]core.Relation{core.R4Prime, core.R2Prime, core.R2, core.R4})
+	if !p.Has(core.R4) || !p.Has(core.R2Prime) || !p.Has(core.R2) {
+		t.Errorf("membership lost: %v", p)
+	}
+	if p.Has(core.R1) || p.Has(core.R3) {
+		t.Errorf("phantom membership: %v", p)
+	}
+	rels := p.Relations()
+	if len(rels) != 3 {
+		t.Errorf("Relations = %v", rels)
+	}
+	if p.String() != "{R2',R2,R4}" {
+		t.Errorf("String = %q", p.String())
+	}
+	if Profile(0).String() != "∅" {
+		t.Errorf("empty profile renders as %q", Profile(0).String())
+	}
+	// R1' and R4' collapse onto R1/R4 bits.
+	q := ProfileOf([]core.Relation{core.R1Prime})
+	if !q.Has(core.R1) {
+		t.Errorf("R1' did not collapse onto R1")
+	}
+}
+
+// TestEveryProfileRealizable searches random interval pairs for a witness of
+// every filter: the hierarchy admits no "phantom" classifications — each
+// up-closed truth assignment actually occurs. (Soundness — only filters
+// occur — is checked on every instance along the way.)
+func TestEveryProfileRealizable(t *testing.T) {
+	want := make(map[Profile]bool)
+	for _, p := range Profiles() {
+		want[p] = false
+	}
+	r := rand.New(rand.NewSource(101))
+	found := 0
+	for trial := 0; trial < 60000 && found < len(want); trial++ {
+		a, x, y := randomPair(r)
+		fast := core.NewFast(a)
+		p := ClassifyPair(fast, x, y)
+		if !p.IsFilter() {
+			t.Fatalf("trial %d: observed profile %v is not up-closed — hierarchy unsound", trial, p)
+		}
+		if done, ok := want[p]; ok && !done {
+			want[p] = true
+			found++
+		}
+	}
+	for p, ok := range want {
+		if !ok {
+			t.Errorf("profile %v never realized; either it is unrealizable (document it) or the workload is too narrow", p)
+		}
+	}
+}

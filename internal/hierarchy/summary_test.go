@@ -1,0 +1,102 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+
+	"causet/internal/core"
+	"causet/internal/interval"
+	"causet/internal/sim"
+)
+
+func TestSummarizeRingRounds(t *testing.T) {
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: 3, Rounds: 3, Seed: 1})
+	a := core.NewAnalysis(res.Exec)
+	fast := core.NewFast(a)
+	var names []string
+	var ivs []*interval.Interval
+	for _, ph := range res.Phases {
+		names = append(names, ph.Name)
+		ivs = append(ivs, interval.MustNew(res.Exec, ph.Events))
+	}
+	pm, err := Summarize(a, fast, names, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring rounds are causally stacked: earlier → later pairs hold at least
+	// R4; later → earlier pairs hold nothing.
+	for i := range ivs {
+		for j := range ivs {
+			cell := pm.Cells[i][j]
+			switch {
+			case i == j:
+				if len(cell.Strongest) != 0 || cell.Overlap {
+					t.Errorf("diagonal cell %d populated: %+v", i, cell)
+				}
+			case i < j:
+				if len(cell.Strongest) == 0 {
+					t.Errorf("round %d → %d: no relation reported", i, j)
+				}
+			default:
+				if len(cell.Strongest) != 0 {
+					t.Errorf("round %d → %d: unexpected %v", i, j, cell.Strongest)
+				}
+			}
+		}
+	}
+	// Every reported cell holds only maximal, mutually incomparable
+	// relations, all of which actually hold.
+	naive := core.NewNaive(a)
+	for i := range ivs {
+		for j := range ivs {
+			if i == j {
+				continue
+			}
+			for _, r := range pm.Cells[i][j].Strongest {
+				if !naive.Eval(r, ivs[i], ivs[j]) {
+					t.Errorf("cell %d,%d reports %v which does not hold", i, j, r)
+				}
+				for _, s := range pm.Cells[i][j].Strongest {
+					if r != s && Implies(s, r) {
+						t.Errorf("cell %d,%d not maximal: %v dominated by %v", i, j, r, s)
+					}
+				}
+			}
+		}
+	}
+	out := pm.String()
+	if !strings.Contains(out, "ring-round-0") || !strings.Contains(out, "·") {
+		t.Errorf("matrix rendering missing labels:\n%s", out)
+	}
+}
+
+func TestSummarizeOverlapAndErrors(t *testing.T) {
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: 3, Rounds: 1, Seed: 1})
+	a := core.NewAnalysis(res.Exec)
+	fast := core.NewFast(a)
+	iv := interval.MustNew(res.Exec, res.Phases[0].Events)
+	half := interval.MustNew(res.Exec, res.Phases[0].Events[:2])
+	pm, err := Summarize(a, fast, []string{"whole", "half"}, []*interval.Interval{iv, half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pm.Cells[0][1].Overlap || !pm.Cells[1][0].Overlap {
+		t.Errorf("overlapping pair not flagged: %+v", pm.Cells)
+	}
+	if got := pm.Cells[0][1].String(); got != "ovl" {
+		t.Errorf("overlap cell renders as %q", got)
+	}
+	if _, err := Summarize(a, fast, []string{"one"}, nil); err == nil {
+		t.Errorf("mismatched names/intervals accepted")
+	}
+}
+
+func TestCellString(t *testing.T) {
+	if got := (Cell{}).String(); got != "–" {
+		t.Errorf("empty cell = %q", got)
+	}
+	c := Cell{Strongest: []core.Relation{core.R2Prime, core.R3Prime}}
+	if got := c.String(); got != "R2'+R3'" {
+		t.Errorf("cell = %q", got)
+	}
+}

@@ -1,0 +1,100 @@
+// Package knowledge implements the knowledge-theoretic reading of the
+// condensed cuts that Section 2.2 of the paper gives (following Chandy &
+// Misra, "How Processes Learn", Distributed Computing 1986):
+//
+//   - Ψ^e, the knowledge available at an event, is its causal past ↓e;
+//   - an event e knows a fact Φ_C about an execution prefix C when the
+//     whole prefix lies in e's past, C ⊆ ↓e;
+//   - ∩⇓X is the largest prefix *every* member of X knows (their common
+//     knowledge of the execution);
+//   - ∪⇓X is the largest prefix the members of X know *collectively*;
+//   - S(∩⇑X) holds, per node, the earliest event that knows *some* member
+//     of X; and
+//   - S(∪⇑X) the earliest event per node that knows *every* member of X —
+//     the earliest moments the rest of the system can have learned of X.
+//
+// The package exposes these as queryable predicates over a Clocks
+// structure; the tests verify the four numbered knowledge properties of
+// Section 2.2 on randomized executions.
+package knowledge
+
+import (
+	"causet/internal/cuts"
+	"causet/internal/interval"
+	"causet/internal/poset"
+	"causet/internal/vclock"
+)
+
+// At returns Ψ^e: the execution prefix known at event e (its causal past).
+func At(clk *vclock.Clocks, e poset.EventID) cuts.Cut {
+	return cuts.Down(clk, e)
+}
+
+// Knows reports K_e(Φ_C): event e knows the prefix C, i.e. C ⊆ ↓e. The
+// test is |P| integer comparisons on the frontier vectors.
+func Knows(clk *vclock.Clocks, e poset.EventID, c cuts.Cut) bool {
+	return c.Subset(cuts.Down(clk, e))
+}
+
+// KnowsEvent reports whether e knows the occurrence of event x, i.e. x ⪯ e.
+func KnowsEvent(clk *vclock.Clocks, e, x poset.EventID) bool {
+	return clk.PrecedesEq(x, e)
+}
+
+// CommonPrefix returns ∩⇓X: the maximum prefix about which every member of
+// X has knowledge (§2.2 item 1). Every event of the interval satisfies
+// Knows(e, CommonPrefix(X)).
+func CommonPrefix(clk *vclock.Clocks, x *interval.Interval) cuts.Cut {
+	return cuts.IntersectDown(clk, x.PerNodeLeast())
+}
+
+// CollectivePrefix returns ∪⇓X: the maximum prefix about which the members
+// of X collectively have knowledge (§2.2 item 2) — the union of their Ψ's.
+func CollectivePrefix(clk *vclock.Clocks, x *interval.Interval) cuts.Cut {
+	return cuts.UnionDown(clk, x.PerNodeGreatest())
+}
+
+// FirstLearners returns S(∩⇑X) restricted to real events: for each node,
+// the earliest event that knows some member of X (§2.2 item 3). Nodes whose
+// only such "event" is the dummy ⊤ (the node never learns of X inside the
+// recorded execution) are omitted.
+func FirstLearners(clk *vclock.Clocks, x *interval.Interval) []poset.EventID {
+	return surfaceReal(clk.Execution(), cuts.IntersectUp(clk, x.PerNodeLeast()))
+}
+
+// FullLearners returns S(∪⇑X) restricted to real events: for each node, the
+// earliest event that knows every member of X (§2.2 item 4). Nodes that
+// never learn all of X are omitted.
+func FullLearners(clk *vclock.Clocks, x *interval.Interval) []poset.EventID {
+	return surfaceReal(clk.Execution(), cuts.UnionUp(clk, x.PerNodeGreatest()))
+}
+
+func surfaceReal(ex *poset.Execution, c cuts.Cut) []poset.EventID {
+	var out []poset.EventID
+	for _, e := range c.Surface() {
+		if ex.IsReal(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LatencyToFullKnowledge reports, per node, how many local events elapse
+// between the last member of X on that node's horizon and the node's first
+// event that knows all of X — a simple real-time observability metric built
+// on the cuts (∞ is reported as -1 when the node never learns all of X).
+// Nodes are indexed by position in the returned slice.
+func LatencyToFullKnowledge(clk *vclock.Clocks, x *interval.Interval) []int {
+	ex := clk.Execution()
+	full := cuts.UnionUp(clk, x.PerNodeGreatest())
+	out := make([]int, ex.NumProcs())
+	for i := range out {
+		pos := full[i]
+		if pos > ex.NumReal(i) { // only ⊤ knows all of X
+			out[i] = -1
+			continue
+		}
+		out[i] = pos
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package knowledge
+
+import (
+	"math/rand"
+	"testing"
+
+	"causet/internal/cuts"
+	"causet/internal/interval"
+	"causet/internal/poset"
+	"causet/internal/poset/posettest"
+	"causet/internal/vclock"
+)
+
+func randomCase(t *testing.T, r *rand.Rand) (*poset.Execution, *vclock.Clocks, *interval.Interval) {
+	t.Helper()
+	for {
+		ex := posettest.Random(r, 2+r.Intn(4), 5+r.Intn(20), 0.45)
+		events := posettest.RandomInterval(r, ex, 5)
+		if events == nil {
+			continue
+		}
+		return ex, vclock.New(ex), interval.MustNew(ex, events)
+	}
+}
+
+// TestSection22Property1: ∀x ∈ X, K_x(Φ_{∩⇓X}) — every member of the
+// interval knows the common prefix, and it is the *maximum* such prefix.
+func TestSection22Property1(t *testing.T) {
+	r := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 40; trial++ {
+		ex, clk, iv := randomCase(t, r)
+		common := CommonPrefix(clk, iv)
+		for _, x := range iv.Events() {
+			if !Knows(clk, x, common) {
+				t.Fatalf("trial %d: member %v does not know ∩⇓X = %v", trial, x, common)
+			}
+		}
+		// Maximality: adding any one more event to the frontier breaks the
+		// property for some member.
+		for i := range common {
+			if common[i] >= ex.TopPos(i) {
+				continue
+			}
+			bigger := common.Clone()
+			bigger[i]++
+			allKnow := true
+			for _, x := range iv.Events() {
+				if !Knows(clk, x, bigger) {
+					allKnow = false
+					break
+				}
+			}
+			if allKnow {
+				t.Fatalf("trial %d: ∩⇓X not maximal at node %d (%v)", trial, i, common)
+			}
+		}
+	}
+}
+
+// TestSection22Property2: ∪_{x∈X} Ψ^x = Φ_{∪⇓X} — the collective prefix is
+// exactly the union of the members' knowledge.
+func TestSection22Property2(t *testing.T) {
+	r := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 40; trial++ {
+		_, clk, iv := randomCase(t, r)
+		collective := CollectivePrefix(clk, iv)
+		union := cuts.Bottom(clk.Execution())
+		for _, x := range iv.Events() {
+			union = union.Union(At(clk, x))
+		}
+		if !collective.Equal(union) {
+			t.Fatalf("trial %d: ∪⇓X = %v but ∪Ψ^x = %v", trial, collective, union)
+		}
+	}
+}
+
+// TestSection22Property3: every first-learner knows some member of X, and
+// no earlier event on its node does.
+func TestSection22Property3(t *testing.T) {
+	r := rand.New(rand.NewSource(205))
+	for trial := 0; trial < 40; trial++ {
+		_, clk, iv := randomCase(t, r)
+		for _, e := range FirstLearners(clk, iv) {
+			knowsSome := false
+			for _, x := range iv.Events() {
+				if KnowsEvent(clk, e, x) {
+					knowsSome = true
+					break
+				}
+			}
+			if !knowsSome {
+				t.Fatalf("trial %d: first learner %v knows no member of X", trial, e)
+			}
+			if e.Pos > 1 {
+				prev := poset.EventID{Proc: e.Proc, Pos: e.Pos - 1}
+				for _, x := range iv.Events() {
+					if KnowsEvent(clk, prev, x) {
+						t.Fatalf("trial %d: %v is not the FIRST learner on its node", trial, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSection22Property4: every full-learner knows every member of X
+// (∀x: Ψ^x ⊆ Ψ^{e'}), and no earlier event on its node does.
+func TestSection22Property4(t *testing.T) {
+	r := rand.New(rand.NewSource(207))
+	for trial := 0; trial < 40; trial++ {
+		_, clk, iv := randomCase(t, r)
+		for _, e := range FullLearners(clk, iv) {
+			for _, x := range iv.Events() {
+				if !KnowsEvent(clk, e, x) {
+					t.Fatalf("trial %d: full learner %v misses member %v", trial, e, x)
+				}
+				if !At(clk, x).Subset(At(clk, e)) {
+					t.Fatalf("trial %d: Ψ^%v ⊄ Ψ^%v", trial, x, e)
+				}
+			}
+			if e.Pos > 1 {
+				prev := poset.EventID{Proc: e.Proc, Pos: e.Pos - 1}
+				knowsAll := true
+				for _, x := range iv.Events() {
+					if !KnowsEvent(clk, prev, x) {
+						knowsAll = false
+						break
+					}
+				}
+				if knowsAll {
+					t.Fatalf("trial %d: %v is not the EARLIEST full learner on its node", trial, e)
+				}
+			}
+		}
+	}
+}
+
+func TestKnowsIsDownwardMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(209))
+	ex, clk, iv := randomCase(t, r)
+	_ = iv
+	// If e knows C then every event after e on the same node knows C too.
+	for _, e := range ex.RealEvents() {
+		c := At(clk, e)
+		for pos := e.Pos; pos <= ex.NumReal(e.Proc); pos++ {
+			later := poset.EventID{Proc: e.Proc, Pos: pos}
+			if !Knows(clk, later, c) {
+				t.Fatalf("%v does not know the past of its predecessor %v", later, e)
+			}
+		}
+	}
+}
+
+func TestLatencyToFullKnowledge(t *testing.T) {
+	// p0: x1 x2 ; p1 learns x2 at its event 2 (recv); p2 never learns.
+	b := poset.NewBuilder(3)
+	x1 := b.Append(0)
+	x2 := b.Append(0)
+	b.Append(1) // unrelated early event on p1
+	recv := b.Append(1)
+	if err := b.Message(x2, recv); err != nil {
+		t.Fatal(err)
+	}
+	b.Append(2) // p2 event, causally unrelated
+	ex := b.MustBuild()
+	clk := vclock.New(ex)
+	iv := interval.MustNew(ex, []poset.EventID{x1, x2})
+
+	lat := LatencyToFullKnowledge(clk, iv)
+	if lat[0] != 2 { // x2 itself is p0's first full-knowledge event
+		t.Errorf("lat[0] = %d, want 2", lat[0])
+	}
+	if lat[1] != 2 { // the receive at position 2
+		t.Errorf("lat[1] = %d, want 2", lat[1])
+	}
+	if lat[2] != -1 { // p2 never learns of X
+		t.Errorf("lat[2] = %d, want -1", lat[2])
+	}
+	// FullLearners must list exactly p0:2 and p1:2.
+	fl := FullLearners(clk, iv)
+	if len(fl) != 2 || fl[0] != x2 || fl[1] != recv {
+		t.Errorf("FullLearners = %v", fl)
+	}
+}

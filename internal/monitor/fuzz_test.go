@@ -1,0 +1,100 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"causet/internal/core"
+)
+
+// FuzzParse exercises the DSL parser with arbitrary inputs: it must never
+// panic, and any expression it accepts must render to a string that parses
+// back to the same rendering (print/parse stability).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"R1(a, b)",
+		"R2'(L(a), U(b)) && !R3(c, d)",
+		"((R4(a,b)))",
+		"R1(a,b) || R2(b,c) && R3(c,d)",
+		"!!!R4(x, y)",
+		"R9(a, b)",
+		"R1(L(, b)",
+		"&& || ! ( ) ,",
+		"r2p(l, u)",
+		"R1(a'b, c)",
+		"\x00\xff",
+		strings.Repeat("(", 1000),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		rendered := expr.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", src, rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("rendering not stable: %q -> %q", rendered, again.String())
+		}
+	})
+}
+
+// TestQuickRandomExprRoundTrip generates random ASTs and checks the
+// print/parse round trip — structured coverage complementing FuzzParse.
+func TestQuickRandomExprRoundTrip(t *testing.T) {
+	// Encode a random expression tree from a byte budget.
+	var build func(budget []byte) (Expr, []byte)
+	build = func(budget []byte) (Expr, []byte) {
+		if len(budget) == 0 {
+			return &atomExpr{rel: 0, x: operand{name: "a"}, y: operand{name: "b"}}, nil
+		}
+		op := budget[0] % 5
+		budget = budget[1:]
+		switch op {
+		case 0, 1: // atom
+			rel := int(op)
+			if len(budget) > 0 {
+				rel = int(budget[0]) % 8
+				budget = budget[1:]
+			}
+			x := operand{name: "iv" + string(rune('a'+rel))}
+			y := operand{name: "other"}
+			if rel%2 == 0 {
+				x = operand{name: "p", useProxy: true, proxy: 0}
+			}
+			return &atomExpr{rel: core.Relation(rel % 8), x: x, y: y}, budget
+		case 2: // not
+			inner, rest := build(budget)
+			return &notExpr{e: inner}, rest
+		case 3: // and
+			l, rest := build(budget)
+			r, rest2 := build(rest)
+			return &binExpr{op: "&&", l: l, r: r}, rest2
+		default: // or
+			l, rest := build(budget)
+			r, rest2 := build(rest)
+			return &binExpr{op: "||", l: l, r: r}, rest2
+		}
+	}
+	f := func(budget []byte) bool {
+		if len(budget) > 40 {
+			budget = budget[:40]
+		}
+		expr, _ := build(budget)
+		rendered := expr.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Logf("render: %q", rendered)
+			return false
+		}
+		return again.String() == rendered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}

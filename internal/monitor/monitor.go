@@ -1,0 +1,217 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"causet/internal/core"
+	"causet/internal/interval"
+	"causet/internal/poset"
+)
+
+// State classifies a condition's status at a Check.
+type State int
+
+const (
+	// Pending: the condition references intervals not yet defined.
+	Pending State = iota
+	// Holds: the condition evaluated to true.
+	Holds
+	// Violated: the condition evaluated to false.
+	Violated
+	// Failed: evaluation errored (e.g. overlapping operands).
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Holds:
+		return "holds"
+	case Violated:
+		return "violated"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Result is the outcome of checking one condition.
+type Result struct {
+	Name  string
+	State State
+	Err   error // non-nil iff State == Failed
+}
+
+// Condition is a named, parsed synchronization condition.
+type Condition struct {
+	Name string
+	Src  string
+	Expr Expr
+}
+
+// Monitor evaluates synchronization conditions over the nonatomic events of
+// one execution. Intervals may be registered incrementally (e.g. as an
+// online application completes its high-level activities); Check reports
+// each condition as pending until every interval it references is defined.
+//
+// A Monitor is safe for concurrent use.
+type Monitor struct {
+	mu         sync.RWMutex
+	a          *core.Analysis
+	eval       core.Evaluator
+	intervals  map[string]*interval.Interval
+	conditions []*Condition
+}
+
+// New creates a monitor over ex using the paper's linear-time evaluator.
+func New(ex *poset.Execution) *Monitor {
+	a := core.NewAnalysis(ex)
+	return &Monitor{
+		a:         a,
+		eval:      core.NewFast(a),
+		intervals: make(map[string]*interval.Interval),
+	}
+}
+
+// Analysis exposes the underlying analysis (timestamps, cut caches).
+func (m *Monitor) Analysis() *core.Analysis { return m.a }
+
+// Define registers the named nonatomic event from raw member events.
+// Redefining a name is an error (conditions may already have been checked
+// against the old value).
+func (m *Monitor) Define(name string, events []poset.EventID) error {
+	iv, err := interval.New(m.a.Execution(), events)
+	if err != nil {
+		return fmt.Errorf("monitor: interval %q: %w", name, err)
+	}
+	return m.DefineInterval(name, iv)
+}
+
+// DefineInterval registers an already-constructed interval under name.
+func (m *Monitor) DefineInterval(name string, iv *interval.Interval) error {
+	if name == "" {
+		return errors.New("monitor: interval name must be non-empty")
+	}
+	if iv.Execution() != m.a.Execution() {
+		return fmt.Errorf("monitor: interval %q belongs to a different execution", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.intervals[name]; dup {
+		return fmt.Errorf("monitor: interval %q already defined", name)
+	}
+	m.intervals[name] = iv
+	return nil
+}
+
+// Interval returns a registered interval.
+func (m *Monitor) Interval(name string) (*interval.Interval, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	iv, ok := m.intervals[name]
+	return iv, ok
+}
+
+// IntervalNames returns the sorted names of the registered intervals.
+func (m *Monitor) IntervalNames() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.intervals))
+	for name := range m.intervals {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddCondition parses src and registers it under name.
+func (m *Monitor) AddCondition(name, src string) error {
+	expr, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.conditions {
+		if c.Name == name {
+			return fmt.Errorf("monitor: condition %q already defined", name)
+		}
+	}
+	m.conditions = append(m.conditions, &Condition{Name: name, Src: src, Expr: expr})
+	return nil
+}
+
+// Conditions returns the registered conditions in registration order.
+func (m *Monitor) Conditions() []*Condition {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]*Condition(nil), m.conditions...)
+}
+
+// Check evaluates every registered condition and returns one result per
+// condition, in registration order.
+func (m *Monitor) Check() []Result {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Result, 0, len(m.conditions))
+	for _, c := range m.conditions {
+		out = append(out, m.checkLocked(c))
+	}
+	return out
+}
+
+func (m *Monitor) checkLocked(c *Condition) Result {
+	for _, name := range Referenced(c.Expr) {
+		if _, ok := m.intervals[name]; !ok {
+			return Result{Name: c.Name, State: Pending}
+		}
+	}
+	env := &evalEnv{a: m.a, eval: m.eval, intervals: m.intervals, checked: true}
+	held, err := c.Expr.eval(env)
+	switch {
+	case err != nil:
+		return Result{Name: c.Name, State: Failed, Err: err}
+	case held:
+		return Result{Name: c.Name, State: Holds}
+	default:
+		return Result{Name: c.Name, State: Violated}
+	}
+}
+
+// Eval parses and evaluates a one-shot expression against the registered
+// intervals. Unlike Check it fails (rather than reporting pending) on
+// undefined intervals.
+func (m *Monitor) Eval(src string) (bool, error) {
+	expr, err := Parse(src)
+	if err != nil {
+		return false, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	env := &evalEnv{a: m.a, eval: m.eval, intervals: m.intervals, checked: true}
+	return expr.eval(env)
+}
+
+// HoldingRelations reports which of the 32 relations of ℛ hold between two
+// registered intervals — Problem 4(ii) as a monitor query.
+func (m *Monitor) HoldingRelations(xName, yName string) ([]core.Rel32, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	x, ok := m.intervals[xName]
+	if !ok {
+		return nil, &UndefinedError{Name: xName}
+	}
+	y, ok := m.intervals[yName]
+	if !ok {
+		return nil, &UndefinedError{Name: yName}
+	}
+	if x.Overlaps(y) {
+		return nil, &core.ErrOverlap{X: x, Y: y}
+	}
+	return m.a.HoldingRel32(m.eval, x, y), nil
+}

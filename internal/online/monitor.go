@@ -1,0 +1,223 @@
+package online
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"causet/internal/core"
+	"causet/internal/hierarchy"
+	"causet/internal/monitor"
+	"causet/internal/poset"
+)
+
+// Monitor detects synchronization conditions online: nonatomic events grow
+// via Observe as their member events occur, become immutable via Complete,
+// and each condition is evaluated as soon as every interval it references
+// is complete. By verdict stability (see the package comment) the first
+// non-pending result of a condition is also its final one; Check memoizes
+// it and never re-evaluates.
+type Monitor struct {
+	stream *Stream
+
+	mu         sync.Mutex
+	growing    map[string][]poset.EventID
+	complete   map[string][]poset.EventID
+	conditions []*monitor.Condition
+	settled    map[string]monitor.Result
+}
+
+// NewMonitor creates an online monitor over the stream.
+func NewMonitor(s *Stream) *Monitor {
+	return &Monitor{
+		stream:   s,
+		growing:  make(map[string][]poset.EventID),
+		complete: make(map[string][]poset.EventID),
+		settled:  make(map[string]monitor.Result),
+	}
+}
+
+// Observe appends member events to the named growing interval, creating it
+// on first use. Observing a completed interval is an error.
+func (m *Monitor) Observe(name string, events ...poset.EventID) error {
+	if name == "" {
+		return fmt.Errorf("online: interval name must be non-empty")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, done := m.complete[name]; done {
+		return fmt.Errorf("online: interval %q is already complete", name)
+	}
+	m.growing[name] = append(m.growing[name], events...)
+	return nil
+}
+
+// Complete freezes the named interval; conditions referencing it become
+// evaluable once their other references complete too.
+func (m *Monitor) Complete(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	events, ok := m.growing[name]
+	if !ok {
+		return fmt.Errorf("online: interval %q was never observed", name)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("online: interval %q has no events", name)
+	}
+	delete(m.growing, name)
+	m.complete[name] = events
+	return nil
+}
+
+// AddCondition parses and registers a condition in the monitor DSL.
+func (m *Monitor) AddCondition(name, src string) error {
+	expr, err := monitor.Parse(src)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.conditions {
+		if c.Name == name {
+			return fmt.Errorf("online: condition %q already defined", name)
+		}
+	}
+	m.conditions = append(m.conditions, &monitor.Condition{Name: name, Src: src, Expr: expr})
+	return nil
+}
+
+// Check evaluates all conditions against the current stream prefix and
+// returns one result per condition in registration order. Conditions whose
+// referenced intervals are not all complete report Pending; every other
+// verdict is final and memoized.
+func (m *Monitor) Check() []monitor.Result {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Which conditions still need evaluation?
+	var todo []*monitor.Condition
+	for _, c := range m.conditions {
+		if _, done := m.settled[c.Name]; done {
+			continue
+		}
+		ready := true
+		for _, ref := range monitor.Referenced(c.Expr) {
+			if _, ok := m.complete[ref]; !ok {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			todo = append(todo, c)
+		}
+	}
+	if len(todo) > 0 {
+		snap := m.stream.Snapshot()
+		inner := monitor.New(snap.Exec)
+		// Define only what the ready conditions need, to keep the snapshot
+		// evaluation proportional to the active conditions.
+		needed := map[string]bool{}
+		for _, c := range todo {
+			for _, ref := range monitor.Referenced(c.Expr) {
+				needed[ref] = true
+			}
+		}
+		names := make([]string, 0, len(needed))
+		for n := range needed {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if err := inner.Define(n, m.complete[n]); err != nil {
+				// A completed interval that the snapshot rejects (e.g. its
+				// events were reported with bogus IDs) fails every condition
+				// that references it.
+				for _, c := range todo {
+					if refers(c, n) {
+						m.settled[c.Name] = monitor.Result{Name: c.Name, State: monitor.Failed, Err: err}
+					}
+				}
+				continue
+			}
+		}
+		for _, c := range todo {
+			if _, done := m.settled[c.Name]; done {
+				continue
+			}
+			if err := inner.AddCondition(c.Name, c.Src); err != nil {
+				m.settled[c.Name] = monitor.Result{Name: c.Name, State: monitor.Failed, Err: err}
+			}
+		}
+		for _, res := range inner.Check() {
+			m.settled[res.Name] = res
+		}
+	}
+
+	out := make([]monitor.Result, 0, len(m.conditions))
+	for _, c := range m.conditions {
+		if res, done := m.settled[c.Name]; done {
+			out = append(out, res)
+		} else {
+			out = append(out, monitor.Result{Name: c.Name, State: monitor.Pending})
+		}
+	}
+	return out
+}
+
+func refers(c *monitor.Condition, name string) bool {
+	for _, ref := range monitor.Referenced(c.Expr) {
+		if ref == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CompletedIntervals returns the names of the completed intervals, sorted.
+func (m *Monitor) CompletedIntervals() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.complete))
+	for n := range m.complete {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StrongestBetween reports the maximal relations (under the hierarchy's
+// implication order) holding between two completed intervals at the current
+// prefix — the compact online answer to Problem 4(ii). By verdict stability
+// the answer is final once both intervals are complete.
+func (m *Monitor) StrongestBetween(xName, yName string) ([]core.Relation, error) {
+	m.mu.Lock()
+	xe, okX := m.complete[xName]
+	ye, okY := m.complete[yName]
+	m.mu.Unlock()
+	if !okX {
+		return nil, fmt.Errorf("online: interval %q is not complete", xName)
+	}
+	if !okY {
+		return nil, fmt.Errorf("online: interval %q is not complete", yName)
+	}
+	snap := m.stream.Snapshot()
+	inner := monitor.New(snap.Exec)
+	if err := inner.Define(xName, xe); err != nil {
+		return nil, err
+	}
+	if err := inner.Define(yName, ye); err != nil {
+		return nil, err
+	}
+	var held []core.Relation
+	for _, rel := range core.Relations() {
+		src := fmt.Sprintf("%s(%s, %s)", rel.String(), xName, yName)
+		ok, err := inner.Eval(src)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			held = append(held, rel)
+		}
+	}
+	return hierarchy.Strongest(held), nil
+}

@@ -1,0 +1,420 @@
+// Package poset implements the poset event-structure model (E, ≺) of a
+// distributed computation, as used by Kshemkalyani (IPPS 1998) and the prior
+// literature it builds on (Lamport 1978, Fidge 1988, Mattern 1989).
+//
+// The element set E is partitioned into local executions E_i, one per
+// process (node) i. Each E_i is linearly ordered by program order and is
+// bracketed by two dummy events: an initial event ⊥_i and a final event ⊤_i.
+// Causality between events on different nodes is imposed by message edges
+// (send ≺ receive). The relation ≺ is the irreflexive transitive closure of
+// program order and message edges, extended with the paper's dummy-event
+// axiom: for every ⊥_i, ⊤_j and every real event e, ⊥_i ≺ e ≺ ⊤_j.
+//
+// Events are identified by (process, position). On node i with m_i real
+// events, position 0 is ⊥_i, positions 1..m_i are the real events in program
+// order, and position m_i+1 is ⊤_i.
+//
+// The package provides a Builder for constructing executions, structural
+// accessors, and a brute-force causality oracle (Precedes) that the rest of
+// the repository uses as ground truth when validating the timestamp-based
+// fast paths.
+package poset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EventID identifies an event by its process (node) index and its position in
+// that process's local execution. Position 0 is the dummy initial event ⊥,
+// position NumReal(proc)+1 is the dummy final event ⊤, and positions
+// 1..NumReal(proc) are real events in program order.
+type EventID struct {
+	Proc int // process (node) index, 0-based
+	Pos  int // position within the local execution, 0-based including ⊥
+}
+
+// String renders the event as "p<proc>:<pos>", with ⊥/⊤ markers for dummies
+// resolved only when an Execution is available; standalone IDs print raw.
+func (e EventID) String() string {
+	return fmt.Sprintf("p%d:%d", e.Proc, e.Pos)
+}
+
+// Less orders events lexicographically by (Proc, Pos). It is a total order
+// used for deterministic iteration, not the causality order.
+func (e EventID) Less(o EventID) bool {
+	if e.Proc != o.Proc {
+		return e.Proc < o.Proc
+	}
+	return e.Pos < o.Pos
+}
+
+// Message is a causal edge from a send event to a receive event on a
+// different process. Both endpoints are real events.
+type Message struct {
+	From EventID
+	To   EventID
+}
+
+// Execution is an immutable distributed computation (E, ≺). Construct one
+// with a Builder. The zero value is an empty execution with no processes.
+type Execution struct {
+	counts []int                 // number of real events per process
+	msgs   []Message             // all message edges, in insertion order
+	out    map[EventID][]EventID // message successors of a real event
+	in     map[EventID][]EventID // message predecessors of a real event
+}
+
+// Errors returned by Builder methods and Build.
+var (
+	ErrNoSuchProcess = errors.New("poset: process index out of range")
+	ErrNoSuchEvent   = errors.New("poset: event does not exist")
+	ErrDummyEndpoint = errors.New("poset: message endpoint must be a real event")
+	ErrSelfMessage   = errors.New("poset: message endpoints on the same process")
+	ErrCausalCycle   = errors.New("poset: message edges create a causal cycle")
+)
+
+// Builder incrementally constructs an Execution. Methods record events and
+// message edges; Build validates acyclicity and freezes the result.
+type Builder struct {
+	counts []int
+	msgs   []Message
+}
+
+// NewBuilder returns a Builder for an execution with procs processes, each
+// initially containing only its dummy events.
+func NewBuilder(procs int) *Builder {
+	if procs < 0 {
+		procs = 0
+	}
+	return &Builder{counts: make([]int, procs)}
+}
+
+// NumProcs reports the number of processes configured so far.
+func (b *Builder) NumProcs() int { return len(b.counts) }
+
+// Append adds one real event at the end of process proc's local execution and
+// returns its EventID. It panics if proc is out of range, mirroring slice
+// indexing semantics; use NumProcs to validate externally sourced indices.
+func (b *Builder) Append(proc int) EventID {
+	if proc < 0 || proc >= len(b.counts) {
+		panic(fmt.Sprintf("poset: Append(%d) with %d processes", proc, len(b.counts)))
+	}
+	b.counts[proc]++
+	return EventID{Proc: proc, Pos: b.counts[proc]}
+}
+
+// AppendN adds n real events to process proc and returns the ID of the last
+// one appended. n must be positive.
+func (b *Builder) AppendN(proc, n int) EventID {
+	if n <= 0 {
+		panic(fmt.Sprintf("poset: AppendN with n=%d", n))
+	}
+	var last EventID
+	for i := 0; i < n; i++ {
+		last = b.Append(proc)
+	}
+	return last
+}
+
+// Message records a causal message edge from one existing real event to
+// another on a different process.
+func (b *Builder) Message(from, to EventID) error {
+	for _, e := range [2]EventID{from, to} {
+		if e.Proc < 0 || e.Proc >= len(b.counts) {
+			return fmt.Errorf("%w: %v", ErrNoSuchProcess, e)
+		}
+		if e.Pos > b.counts[e.Proc] {
+			return fmt.Errorf("%w: %v", ErrNoSuchEvent, e)
+		}
+		if e.Pos <= 0 {
+			return fmt.Errorf("%w: %v", ErrDummyEndpoint, e)
+		}
+	}
+	if from.Proc == to.Proc {
+		return fmt.Errorf("%w: %v -> %v", ErrSelfMessage, from, to)
+	}
+	b.msgs = append(b.msgs, Message{From: from, To: to})
+	return nil
+}
+
+// SendRecv appends a fresh send event on fromProc and a fresh receive event
+// on toProc, links them with a message edge, and returns both IDs. It is the
+// common way workload generators emit communication.
+func (b *Builder) SendRecv(fromProc, toProc int) (send, recv EventID, err error) {
+	if fromProc == toProc {
+		return EventID{}, EventID{}, fmt.Errorf("%w: process %d", ErrSelfMessage, fromProc)
+	}
+	send = b.Append(fromProc)
+	recv = b.Append(toProc)
+	if err := b.Message(send, recv); err != nil {
+		return EventID{}, EventID{}, err
+	}
+	return send, recv, nil
+}
+
+// Build validates the recorded structure and returns the immutable Execution.
+// It fails with ErrCausalCycle if the message edges, combined with program
+// order, admit no linear extension (i.e. a receive causally precedes its own
+// send).
+func (b *Builder) Build() (*Execution, error) {
+	ex := &Execution{
+		counts: append([]int(nil), b.counts...),
+		msgs:   append([]Message(nil), b.msgs...),
+		out:    make(map[EventID][]EventID, len(b.msgs)),
+		in:     make(map[EventID][]EventID, len(b.msgs)),
+	}
+	for _, m := range ex.msgs {
+		ex.out[m.From] = append(ex.out[m.From], m.To)
+		ex.in[m.To] = append(ex.in[m.To], m.From)
+	}
+	if _, err := ex.linearize(); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+// MustBuild is Build that panics on error, for tests and fixed fixtures.
+func (b *Builder) MustBuild() *Execution {
+	ex, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return ex
+}
+
+// NumProcs reports the number of processes |P|.
+func (ex *Execution) NumProcs() int { return len(ex.counts) }
+
+// NumReal reports the number of real (non-dummy) events on process i.
+func (ex *Execution) NumReal(i int) int { return ex.counts[i] }
+
+// Len reports |E_i| including both dummy events, i.e. NumReal(i)+2.
+func (ex *Execution) Len(i int) int { return ex.counts[i] + 2 }
+
+// NumEvents reports the total number of real events in the execution.
+func (ex *Execution) NumEvents() int {
+	n := 0
+	for _, c := range ex.counts {
+		n += c
+	}
+	return n
+}
+
+// Bottom returns ⊥_i, the dummy initial event of process i.
+func (ex *Execution) Bottom(i int) EventID { return EventID{Proc: i, Pos: 0} }
+
+// Top returns ⊤_i, the dummy final event of process i.
+func (ex *Execution) Top(i int) EventID { return EventID{Proc: i, Pos: ex.counts[i] + 1} }
+
+// TopPos returns the position of ⊤_i, i.e. NumReal(i)+1.
+func (ex *Execution) TopPos(i int) int { return ex.counts[i] + 1 }
+
+// Valid reports whether e denotes an event (real or dummy) of this execution.
+func (ex *Execution) Valid(e EventID) bool {
+	return e.Proc >= 0 && e.Proc < len(ex.counts) && e.Pos >= 0 && e.Pos <= ex.counts[e.Proc]+1
+}
+
+// IsBottom reports whether e is some ⊥_i.
+func (ex *Execution) IsBottom(e EventID) bool { return ex.Valid(e) && e.Pos == 0 }
+
+// IsTop reports whether e is some ⊤_i.
+func (ex *Execution) IsTop(e EventID) bool {
+	return ex.Valid(e) && e.Pos == ex.counts[e.Proc]+1
+}
+
+// IsDummy reports whether e is a dummy (⊥ or ⊤) event.
+func (ex *Execution) IsDummy(e EventID) bool { return ex.IsBottom(e) || ex.IsTop(e) }
+
+// IsReal reports whether e is a real (application) event of this execution.
+func (ex *Execution) IsReal(e EventID) bool {
+	return ex.Valid(e) && e.Pos >= 1 && e.Pos <= ex.counts[e.Proc]
+}
+
+// Messages returns the message edges in insertion order. The slice is shared;
+// callers must not modify it.
+func (ex *Execution) Messages() []Message { return ex.msgs }
+
+// MsgSuccessors returns the receive events of messages sent at e. The slice
+// is shared; callers must not modify it.
+func (ex *Execution) MsgSuccessors(e EventID) []EventID { return ex.out[e] }
+
+// MsgPredecessors returns the send events of messages received at e. The
+// slice is shared; callers must not modify it.
+func (ex *Execution) MsgPredecessors(e EventID) []EventID { return ex.in[e] }
+
+// RealEvents returns all real events in deterministic (Proc, Pos) order.
+func (ex *Execution) RealEvents() []EventID {
+	out := make([]EventID, 0, ex.NumEvents())
+	for p, c := range ex.counts {
+		for pos := 1; pos <= c; pos++ {
+			out = append(out, EventID{Proc: p, Pos: pos})
+		}
+	}
+	return out
+}
+
+// AllEvents returns all events including dummies in (Proc, Pos) order.
+func (ex *Execution) AllEvents() []EventID {
+	out := make([]EventID, 0, ex.NumEvents()+2*len(ex.counts))
+	for p, c := range ex.counts {
+		for pos := 0; pos <= c+1; pos++ {
+			out = append(out, EventID{Proc: p, Pos: pos})
+		}
+	}
+	return out
+}
+
+// Precedes reports whether a ≺ b (strict causality). Dummy axioms: every ⊥_i
+// strictly precedes every event that is not a ⊥, and every ⊤_j strictly
+// follows every event that is not a ⊤. Distinct ⊥s are incomparable, as are
+// distinct ⊤s. For real events the relation is the transitive closure of
+// program order and message edges, computed by breadth-first search; this is
+// the repository's ground-truth oracle and is deliberately simple rather than
+// fast (the fast paths live in internal/vclock and internal/core).
+func (ex *Execution) Precedes(a, b EventID) bool {
+	if !ex.Valid(a) || !ex.Valid(b) || a == b {
+		return false
+	}
+	switch {
+	case ex.IsBottom(a):
+		return !ex.IsBottom(b)
+	case ex.IsTop(a):
+		return false
+	case ex.IsBottom(b):
+		return false
+	case ex.IsTop(b):
+		return true
+	}
+	// Both real. Same process: program order.
+	if a.Proc == b.Proc {
+		return a.Pos < b.Pos
+	}
+	return ex.reaches(a, b)
+}
+
+// PrecedesEq reports a ⪯ b, i.e. a == b or a ≺ b.
+func (ex *Execution) PrecedesEq(a, b EventID) bool {
+	return a == b || ex.Precedes(a, b)
+}
+
+// Concurrent reports whether a and b are distinct and causally unrelated.
+func (ex *Execution) Concurrent(a, b EventID) bool {
+	return a != b && !ex.Precedes(a, b) && !ex.Precedes(b, a)
+}
+
+// reaches runs a BFS from real event a over program-order and message edges,
+// returning true as soon as real event b is reachable.
+func (ex *Execution) reaches(a, b EventID) bool {
+	type key = EventID
+	seen := map[key]bool{a: true}
+	queue := []EventID{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		// Program-order successor.
+		if cur.Pos < ex.counts[cur.Proc] {
+			next := EventID{Proc: cur.Proc, Pos: cur.Pos + 1}
+			// Prune: on b's process, reaching any position ≤ b.Pos suffices.
+			if next.Proc == b.Proc && next.Pos <= b.Pos {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+		for _, next := range ex.out[cur] {
+			if next == b || (next.Proc == b.Proc && next.Pos <= b.Pos) {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}
+
+// linearize computes a linear extension of the real events (Kahn's
+// algorithm over program order + message edges). It is used by Build to
+// detect causal cycles and exported via LinearExtension for consumers that
+// need a topological processing order (e.g. vector-clock propagation).
+func (ex *Execution) linearize() ([]EventID, error) {
+	n := ex.NumEvents()
+	indeg := make(map[EventID]int, n)
+	for p, c := range ex.counts {
+		for pos := 1; pos <= c; pos++ {
+			e := EventID{Proc: p, Pos: pos}
+			d := len(ex.in[e])
+			if pos > 1 {
+				d++
+			}
+			indeg[e] = d
+		}
+	}
+	queue := make([]EventID, 0, len(ex.counts))
+	for p, c := range ex.counts {
+		if c > 0 {
+			e := EventID{Proc: p, Pos: 1}
+			if indeg[e] == 0 {
+				queue = append(queue, e)
+			}
+		}
+	}
+	order := make([]EventID, 0, n)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		order = append(order, cur)
+		if cur.Pos < ex.counts[cur.Proc] {
+			next := EventID{Proc: cur.Proc, Pos: cur.Pos + 1}
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+		for _, next := range ex.out[cur] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCausalCycle
+	}
+	return order, nil
+}
+
+// LinearExtension returns a topological order of the real events consistent
+// with ≺. The order is deterministic for a given execution.
+func (ex *Execution) LinearExtension() []EventID {
+	order, err := ex.linearize()
+	if err != nil {
+		// Build guarantees acyclicity; reaching here means memory corruption
+		// or misuse of an Execution constructed outside Build.
+		panic(err)
+	}
+	return order
+}
+
+// Stats summarizes the structure of an execution.
+type Stats struct {
+	Procs     int // |P|
+	Events    int // total real events
+	Messages  int // message edges
+	MaxPerind int // max real events on any one process
+}
+
+// Stats returns summary statistics for the execution.
+func (ex *Execution) Stats() Stats {
+	s := Stats{Procs: len(ex.counts), Events: ex.NumEvents(), Messages: len(ex.msgs)}
+	for _, c := range ex.counts {
+		if c > s.MaxPerind {
+			s.MaxPerind = c
+		}
+	}
+	return s
+}

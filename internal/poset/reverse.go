@@ -1,0 +1,36 @@
+package poset
+
+// Reverse returns the time-reversed execution: every process's event order
+// is flipped and every message edge is inverted, so that a ≺ b in ex iff
+// Reverse(b) ≺ Reverse(a) in the result (with ⊥ and ⊤ swapping roles).
+//
+// Time reversal is the duality underlying the relation algebra: R2 ↔ R3'
+// and R2' ↔ R3 swap under it (see internal/hierarchy.Converse), which the
+// hierarchy tests exploit to cross-check composition results.
+func Reverse(ex *Execution) *Execution {
+	b := NewBuilder(ex.NumProcs())
+	for p := 0; p < ex.NumProcs(); p++ {
+		if n := ex.NumReal(p); n > 0 {
+			b.AppendN(p, n)
+		}
+	}
+	for _, m := range ex.Messages() {
+		// A send→recv edge becomes recv'→send' on the mirrored positions.
+		if err := b.Message(ReverseID(ex, m.To), ReverseID(ex, m.From)); err != nil {
+			// The original execution was validated; mirroring preserves
+			// validity, so an error here indicates corruption.
+			panic(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+// ReverseID maps an event of ex to its mirror image in Reverse(ex): real
+// position p on a node with m real events maps to m+1-p; ⊥ maps to ⊤ and
+// vice versa.
+func ReverseID(ex *Execution, e EventID) EventID {
+	if !ex.Valid(e) {
+		panic("poset: ReverseID of invalid event")
+	}
+	return EventID{Proc: e.Proc, Pos: ex.NumReal(e.Proc) + 1 - e.Pos}
+}

@@ -1,0 +1,96 @@
+package poset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReverseIDMirrorsPositions(t *testing.T) {
+	b := NewBuilder(2)
+	b.AppendN(0, 3)
+	b.AppendN(1, 1)
+	ex := b.MustBuild()
+	cases := []struct{ in, want EventID }{
+		{EventID{0, 0}, EventID{0, 4}}, // ⊥ ↔ ⊤
+		{EventID{0, 1}, EventID{0, 3}},
+		{EventID{0, 2}, EventID{0, 2}}, // middle is a fixed point
+		{EventID{0, 4}, EventID{0, 0}},
+		{EventID{1, 1}, EventID{1, 1}},
+	}
+	for _, tc := range cases {
+		if got := ReverseID(ex, tc.in); got != tc.want {
+			t.Errorf("ReverseID(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("ReverseID accepted an invalid event")
+			}
+		}()
+		ReverseID(ex, EventID{9, 9})
+	}()
+}
+
+// TestReverseInvertsCausality is the defining property: a ≺ b in ex iff
+// rev(b) ≺ rev(a) in Reverse(ex), over all real event pairs of random
+// executions.
+func TestReverseInvertsCausality(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		ex := buildRandom(r, 2+r.Intn(4), 5+r.Intn(20), 0.4)
+		rev := Reverse(ex)
+		if rev.NumEvents() != ex.NumEvents() || len(rev.Messages()) != len(ex.Messages()) {
+			t.Fatalf("trial %d: shape changed under reversal", trial)
+		}
+		for _, a := range ex.RealEvents() {
+			for _, b := range ex.RealEvents() {
+				want := ex.Precedes(a, b)
+				got := rev.Precedes(ReverseID(ex, b), ReverseID(ex, a))
+				if got != want {
+					t.Fatalf("trial %d: %v ≺ %v = %v, reversed %v", trial, a, b, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestReverseInvolution: reversing twice restores the original causality.
+func TestReverseInvolution(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	ex := buildRandom(r, 4, 24, 0.5)
+	back := Reverse(Reverse(ex))
+	for _, a := range ex.RealEvents() {
+		for _, b := range ex.RealEvents() {
+			if ex.Precedes(a, b) != back.Precedes(a, b) {
+				t.Fatalf("double reversal changed %v ≺ %v", a, b)
+			}
+		}
+	}
+}
+
+// buildRandom is a local random-execution helper (posettest imports this
+// package, so it cannot be used here).
+func buildRandom(r *rand.Rand, procs, events int, msgProb float64) *Execution {
+	b := NewBuilder(procs)
+	lastOn := make([]EventID, procs)
+	for i := 0; i < events; i++ {
+		p := r.Intn(procs)
+		if procs > 1 && r.Float64() < msgProb {
+			q := r.Intn(procs - 1)
+			if q >= p {
+				q++
+			}
+			if lastOn[q].Pos > 0 {
+				recv := b.Append(p)
+				if err := b.Message(lastOn[q], recv); err != nil {
+					panic(err)
+				}
+				lastOn[p] = recv
+				continue
+			}
+		}
+		lastOn[p] = b.Append(p)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,170 @@
+// Package render draws ASCII space-time diagrams of executions: one timeline
+// per process with position-numbered events, optional per-event markers
+// (interval membership, proxies), cut-surface markers beneath each timeline,
+// and the message list. It reproduces the information content of the paper's
+// Figures 1–3 — poset events, their proxies, and the surfaces of the cuts
+// C1(X)–C4(X) — in a form that golden tests can pin.
+//
+// Layout example (one cut named "∩⇓X" registered):
+//
+//	  p0  ⊥  .1 *2 .3 ⊤
+//	∩⇓X:        ^
+//	  p1  ⊥  *1 .2 ⊤
+//	∩⇓X:     ^
+//	messages: p0:2→p1:1
+//
+// The ^ sits under the latest event of the cut on that timeline (the cut's
+// surface event at that node); it sits under ⊥ when the cut contains
+// nothing real there.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"causet/internal/cuts"
+	"causet/internal/poset"
+)
+
+// Diagram accumulates an execution plus decorations and renders them.
+type Diagram struct {
+	ex      *poset.Execution
+	markers map[poset.EventID]byte
+	cuts    []namedCut
+}
+
+type namedCut struct {
+	name string
+	c    cuts.Cut
+}
+
+// New creates an empty diagram for ex. Real events render as '.' until
+// marked.
+func New(ex *poset.Execution) *Diagram {
+	return &Diagram{ex: ex, markers: make(map[poset.EventID]byte)}
+}
+
+// Mark sets the marker character for the given events (e.g. '*' for the
+// members of a nonatomic event, 'L'/'U' for proxies). Later marks override
+// earlier ones. Invalid or dummy events panic: decorations address real
+// events only.
+func (d *Diagram) Mark(events []poset.EventID, marker byte) *Diagram {
+	for _, e := range events {
+		if !d.ex.IsReal(e) {
+			panic(fmt.Sprintf("render: Mark of non-real event %v", e))
+		}
+		d.markers[e] = marker
+	}
+	return d
+}
+
+// AddCut registers a cut to draw. Cuts render in registration order, one
+// marker line per cut per process. The cut must have one component per
+// process of the execution.
+func (d *Diagram) AddCut(name string, c cuts.Cut) *Diagram {
+	if len(c) != d.ex.NumProcs() {
+		panic(fmt.Sprintf("render: cut %q has %d components for %d processes", name, len(c), d.ex.NumProcs()))
+	}
+	d.cuts = append(d.cuts, namedCut{name: name, c: c})
+	return d
+}
+
+// Render produces the diagram.
+func (d *Diagram) Render() string {
+	var b strings.Builder
+	cw := d.cellWidth()
+	// The left gutter holds either the process label ("p3") or a cut label
+	// ("∩⇓X:"), right-aligned; size it to the widest, in display runes.
+	gut := 1 + len(fmt.Sprint(d.ex.NumProcs()-1))
+	for _, nc := range d.cuts {
+		if w := len([]rune(nc.name)) + 1; w > gut {
+			gut = w
+		}
+	}
+
+	writeGutter := func(label string) {
+		pad := gut - len([]rune(label))
+		if pad > 0 {
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		b.WriteString(label)
+		b.WriteString("  ")
+	}
+
+	for p := 0; p < d.ex.NumProcs(); p++ {
+		writeGutter(fmt.Sprintf("p%d", p))
+		for pos := 0; pos <= d.ex.TopPos(p); pos++ {
+			b.WriteString(d.cell(poset.EventID{Proc: p, Pos: pos}, cw))
+		}
+		b.WriteByte('\n')
+		// One surface-marker row per cut: '^' under the frontier cell.
+		for _, nc := range d.cuts {
+			writeGutter(nc.name + ":")
+			b.WriteString(strings.Repeat(" ", nc.c[p]*(cw+1)))
+			b.WriteByte('^')
+			b.WriteByte('\n')
+		}
+	}
+	msgs := d.ex.Messages()
+	if len(msgs) > 0 {
+		b.WriteString("messages:")
+		for _, m := range msgs {
+			fmt.Fprintf(&b, " %v→%v", m.From, m.To)
+		}
+		b.WriteByte('\n')
+	}
+	// Strip trailing cell padding so golden tests stay whitespace-clean.
+	lines := strings.Split(b.String(), "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// cellWidth returns the character width of one event cell (marker + digits).
+func (d *Diagram) cellWidth() int {
+	maxPos := 1
+	for p := 0; p < d.ex.NumProcs(); p++ {
+		if tp := d.ex.TopPos(p); tp > maxPos {
+			maxPos = tp
+		}
+	}
+	return 1 + len(fmt.Sprint(maxPos))
+}
+
+// cell renders one event as marker+position padded to width cw, followed by
+// a separating space. Dummies render as ⊥ / ⊤.
+func (d *Diagram) cell(e poset.EventID, cw int) string {
+	var body string
+	switch {
+	case d.ex.IsBottom(e):
+		body = "⊥"
+	case d.ex.IsTop(e):
+		body = "⊤"
+	default:
+		marker := byte('.')
+		if m, ok := d.markers[e]; ok {
+			marker = m
+		}
+		body = fmt.Sprintf("%c%d", marker, e.Pos)
+	}
+	// Pad to cw display columns (⊥/⊤ are single-column runes).
+	pad := cw - len([]rune(body))
+	if pad < 0 {
+		pad = 0
+	}
+	return body + strings.Repeat(" ", pad) + " "
+}
+
+// ColumnOf reports the display-rune column of event e's cell start in its
+// rendered timeline row; exported for the tests that verify marker
+// alignment.
+func (d *Diagram) ColumnOf(e poset.EventID) int {
+	gut := 1 + len(fmt.Sprint(d.ex.NumProcs()-1))
+	for _, nc := range d.cuts {
+		if w := len([]rune(nc.name)) + 1; w > gut {
+			gut = w
+		}
+	}
+	return gut + 2 + e.Pos*(d.cellWidth()+1)
+}

@@ -1,0 +1,240 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"causet/internal/core"
+	"causet/internal/cuts"
+	"causet/internal/interval"
+	"causet/internal/poset"
+	"causet/internal/poset/posettest"
+)
+
+func tiny(t *testing.T) *poset.Execution {
+	t.Helper()
+	b := poset.NewBuilder(2)
+	s := b.Append(0)
+	r := b.Append(1)
+	if err := b.Message(s, r); err != nil {
+		t.Fatal(err)
+	}
+	b.Append(0)
+	return b.MustBuild()
+}
+
+func TestRenderGolden(t *testing.T) {
+	ex := tiny(t)
+	d := New(ex).
+		Mark([]poset.EventID{{Proc: 0, Pos: 1}}, '*').
+		AddCut("C", cuts.FromEvents(ex, []poset.EventID{{Proc: 0, Pos: 1}}))
+	got := d.Render()
+	want := strings.Join([]string{
+		"p0  ⊥  *1 .2 ⊤",
+		"C:     ^",
+		"p1  ⊥  .1 ⊤",
+		"C:  ^",
+		"messages: p0:1→p1:1",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("Render mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// markerColumn returns the rune column of '^' in a marker line, or -1.
+func markerColumn(line string) int {
+	for i, r := range []rune(line) {
+		if r == '^' {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkAlignment verifies that every cut's '^' markers sit exactly at the
+// rendered column of the cut's surface event on each timeline.
+func checkAlignment(t *testing.T, d *Diagram, ex *poset.Execution, named map[string]cuts.Cut, out string) {
+	t.Helper()
+	lines := strings.Split(out, "\n")
+	li := 0
+	for p := 0; p < ex.NumProcs(); p++ {
+		if !strings.Contains(lines[li], "⊥") {
+			t.Fatalf("line %d is not a timeline: %q", li, lines[li])
+		}
+		li++
+		for i := 0; i < len(named); i++ {
+			line := lines[li]
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				t.Fatalf("marker line %d lacks a label: %q", li, line)
+			}
+			name := strings.TrimSpace(line[:colon])
+			c, ok := named[name]
+			if !ok {
+				t.Fatalf("unknown cut label %q", name)
+			}
+			wantCol := d.ColumnOf(poset.EventID{Proc: p, Pos: c[p]})
+			if got := markerColumn(line); got != wantCol {
+				t.Errorf("cut %q proc %d: marker at col %d, want %d (line %q)", name, p, got, wantCol, line)
+			}
+			li++
+		}
+	}
+}
+
+// TestFigure2Cuts is experiment F2: reconstruct the Figure 2 poset (4 nodes,
+// 8 X-events) and render the surfaces of the four cuts of Table 2. The four
+// surfaces must be pairwise distinct (as in the published figure) and each
+// marker must align with the cut's frontier.
+func TestFigure2Cuts(t *testing.T) {
+	ex, xEvents := posettest.Figure2()
+	a := core.NewAnalysis(ex)
+	x := interval.MustNew(ex, xEvents)
+	ic := a.Cuts(x)
+
+	named := map[string]cuts.Cut{
+		"C1": ic.InterDown,
+		"C2": ic.UnionDown,
+		"C3": ic.InterUp,
+		"C4": ic.UnionUp,
+	}
+	// The figure shows four distinct cuts.
+	for n1, c1 := range named {
+		for n2, c2 := range named {
+			if n1 < n2 && c1.Equal(c2) {
+				t.Errorf("cuts %s and %s coincide (%v); fixture no longer matches Figure 2", n1, n2, c1)
+			}
+		}
+	}
+	// And the containment C1 ⊆ C2, C3 ⊆ C4, C1 ⊆ C3 the figure depicts.
+	if !ic.InterDown.Subset(ic.UnionDown) || !ic.InterUp.Subset(ic.UnionUp) || !ic.InterDown.Subset(ic.InterUp) {
+		t.Errorf("cut containments violated: C1=%v C2=%v C3=%v C4=%v",
+			ic.InterDown, ic.UnionDown, ic.InterUp, ic.UnionUp)
+	}
+
+	d := New(ex).Mark(xEvents, '*')
+	d.AddCut("C1", ic.InterDown).AddCut("C2", ic.UnionDown).
+		AddCut("C3", ic.InterUp).AddCut("C4", ic.UnionUp)
+	out := d.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("X members not marked:\n%s", out)
+	}
+	checkAlignment(t, d, ex, named, out)
+	wantLines := ex.NumProcs()*(1+len(named)) + 1 + 1 // timelines+markers, messages, trailing
+	if got := len(strings.Split(out, "\n")); got != wantLines {
+		t.Errorf("rendered %d lines, want %d:\n%s", got, wantLines, out)
+	}
+}
+
+// TestFigure1Proxies is experiment F1: two poset events X and Y with their
+// proxies L/U marked, as in Figure 1.
+func TestFigure1Proxies(t *testing.T) {
+	ex, xEvents := posettest.Figure2()
+	x := interval.MustNew(ex, xEvents)
+	lx := x.Proxy(interval.ProxyL, interval.DefPerNode, nil)
+	ux := x.Proxy(interval.ProxyU, interval.DefPerNode, nil)
+
+	d := New(ex).Mark(xEvents, 'x').Mark(lx, 'L').Mark(ux, 'U')
+	out := d.Render()
+	// Each node of N_X shows exactly one L and one U (the fixture has two
+	// X events per node, so the proxies never coincide).
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "⊥") {
+			continue
+		}
+		if got := strings.Count(line, "L"); got != 1 {
+			t.Errorf("timeline %q has %d L-marks, want 1", line, got)
+		}
+		if got := strings.Count(line, "U"); got != 1 {
+			t.Errorf("timeline %q has %d U-marks, want 1", line, got)
+		}
+	}
+	// Later marks override earlier ones: no 'x' may remain on the 2-event
+	// nodes... the fixture has exactly 2 X events per node, so all are
+	// proxies and no plain 'x' remains.
+	if strings.Contains(out, "x") {
+		t.Errorf("unexpected non-proxy X member in:\n%s", out)
+	}
+}
+
+// TestFigure3ProxyCuts is experiment F3: the cuts of the proxies relate to
+// the cuts of X exactly as the construction promises — C1/C3 of X are the
+// C1/C3 of L_X, and C2/C4 of X are the C2/C4 of U_X (the paper computes
+// them from per-node extrema for precisely this reason).
+func TestFigure3ProxyCuts(t *testing.T) {
+	ex, xEvents := posettest.Figure2()
+	a := core.NewAnalysis(ex)
+	x := interval.MustNew(ex, xEvents)
+	lx, err := x.ProxyInterval(interval.ProxyL, interval.DefPerNode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ux, err := x.ProxyInterval(interval.ProxyU, interval.DefPerNode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, cl, cu := a.Cuts(x), a.Cuts(lx), a.Cuts(ux)
+	if !cx.InterDown.Equal(cl.InterDown) || !cx.InterUp.Equal(cl.InterUp) {
+		t.Errorf("C1/C3 of X differ from those of L_X")
+	}
+	if !cx.UnionDown.Equal(cu.UnionDown) || !cx.UnionUp.Equal(cu.UnionUp) {
+		t.Errorf("C2/C4 of X differ from those of U_X")
+	}
+	// Render both proxies' full cut sets, as Figure 3 does.
+	d := New(ex).
+		Mark(lx.Events(), 'L').Mark(ux.Events(), 'U').
+		AddCut("L1", cl.InterDown).AddCut("L2", cl.UnionDown).
+		AddCut("L3", cl.InterUp).AddCut("L4", cl.UnionUp).
+		AddCut("U1", cu.InterDown).AddCut("U2", cu.UnionDown).
+		AddCut("U3", cu.InterUp).AddCut("U4", cu.UnionUp)
+	out := d.Render()
+	named := map[string]cuts.Cut{
+		"L1": cl.InterDown, "L2": cl.UnionDown, "L3": cl.InterUp, "L4": cl.UnionUp,
+		"U1": cu.InterDown, "U2": cu.UnionDown, "U3": cu.InterUp, "U4": cu.UnionUp,
+	}
+	checkAlignment(t, d, ex, named, out)
+}
+
+func TestRenderPanics(t *testing.T) {
+	ex := tiny(t)
+	for _, fn := range []func(){
+		func() { New(ex).Mark([]poset.EventID{ex.Bottom(0)}, '*') },
+		func() { New(ex).Mark([]poset.EventID{{Proc: 9, Pos: 1}}, '*') },
+		func() { New(ex).AddCut("bad", cuts.Cut{0}) }, // wrong arity
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRenderWithoutDecorations(t *testing.T) {
+	ex := tiny(t)
+	out := New(ex).Render()
+	if !strings.Contains(out, "p0") || !strings.Contains(out, "p1") {
+		t.Errorf("missing timelines:\n%s", out)
+	}
+	if strings.Contains(out, "^") {
+		t.Errorf("marker without cuts:\n%s", out)
+	}
+}
+
+func TestRenderManyProcsAlignment(t *testing.T) {
+	// Two-digit process indices and positions must stay aligned.
+	b := poset.NewBuilder(12)
+	for p := 0; p < 12; p++ {
+		b.AppendN(p, 11)
+	}
+	ex := b.MustBuild()
+	c := cuts.Full(ex)
+	d := New(ex).AddCut("F", c)
+	out := d.Render()
+	named := map[string]cuts.Cut{"F": c}
+	checkAlignment(t, d, ex, named, out)
+}

@@ -1,0 +1,172 @@
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"causet/internal/cuts"
+	"causet/internal/poset"
+)
+
+// SVG renders an execution as a scalable vector graphic in the visual
+// style of the paper's figures: horizontal process lines, filled circles
+// for events (shaded for marked ones), arrows for messages, and smooth
+// polylines crossing the timelines for registered cut surfaces. The output
+// is self-contained SVG 1.1 with no external resources, suitable for
+// embedding in documentation.
+//
+// Geometry follows the Timeline layout: events are placed at globally
+// ordered columns (a linear extension), so message arrows always point
+// rightward.
+type SVG struct {
+	ex      *poset.Execution
+	marked  map[poset.EventID]bool
+	labels  map[poset.EventID]string
+	cutList []namedCut
+}
+
+// NewSVG creates an empty SVG rendering for ex.
+func NewSVG(ex *poset.Execution) *SVG {
+	return &SVG{
+		ex:     ex,
+		marked: make(map[poset.EventID]bool),
+		labels: make(map[poset.EventID]string),
+	}
+}
+
+// Mark shades the given real events (the figures' "shaded circles" for the
+// members of a nonatomic event). Panics on non-real events.
+func (s *SVG) Mark(events []poset.EventID) *SVG {
+	for _, e := range events {
+		if !s.ex.IsReal(e) {
+			panic(fmt.Sprintf("render: SVG.Mark of non-real event %v", e))
+		}
+		s.marked[e] = true
+	}
+	return s
+}
+
+// Label attaches a text label to an event (drawn above it).
+func (s *SVG) Label(e poset.EventID, text string) *SVG {
+	if !s.ex.IsReal(e) {
+		panic(fmt.Sprintf("render: SVG.Label of non-real event %v", e))
+	}
+	s.labels[e] = text
+	return s
+}
+
+// AddCut registers a cut; its surface is drawn as a labeled dashed polyline
+// crossing each timeline just after the cut's frontier event.
+func (s *SVG) AddCut(name string, c cuts.Cut) *SVG {
+	if len(c) != s.ex.NumProcs() {
+		panic(fmt.Sprintf("render: cut %q has %d components for %d processes", name, len(c), s.ex.NumProcs()))
+	}
+	s.cutList = append(s.cutList, namedCut{name: name, c: c})
+	return s
+}
+
+// Geometry constants (user units).
+const (
+	svgColW    = 46 // horizontal distance between event columns
+	svgRowH    = 64 // vertical distance between process lines
+	svgMarginX = 70 // left margin (process labels)
+	svgMarginY = 40 // top margin
+	svgRadius  = 6  // event circle radius
+)
+
+// Render produces the SVG document.
+func (s *SVG) Render() string {
+	ex := s.ex
+	order := ex.LinearExtension()
+	colOf := make(map[poset.EventID]int, len(order))
+	for i, e := range order {
+		colOf[e] = i
+	}
+	x := func(e poset.EventID) int { return svgMarginX + colOf[e]*svgColW }
+	y := func(p int) int { return svgMarginY + p*svgRowH }
+	width := svgMarginX + len(order)*svgColW + svgMarginX/2
+	height := svgMarginY + (ex.NumProcs()-1)*svgRowH + svgMarginY + 20*len(s.cutList)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<defs><marker id="arr" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="7" markerHeight="7" orient="auto-start-reverse"><path d="M 0 0 L 10 5 L 0 10 z"/></marker></defs>` + "\n")
+
+	// Process lines and labels.
+	for p := 0; p < ex.NumProcs(); p++ {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+			svgMarginX-30, y(p), width-10, y(p))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">p%d</text>`+"\n",
+			svgMarginX-36, y(p)+4, p)
+	}
+
+	// Messages (under the event circles).
+	for _, m := range ex.Messages() {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black" stroke-width="0.8" marker-end="url(#arr)"/>`+"\n",
+			x(m.From), y(m.From.Proc), x(m.To), y(m.To.Proc))
+	}
+
+	// Events.
+	for _, e := range order {
+		fill := "white"
+		if s.marked[e] {
+			fill = "#444"
+		}
+		fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="%d" fill="%s" stroke="black"/>`+"\n",
+			x(e), y(e.Proc), svgRadius, fill)
+		if label, ok := s.labels[e]; ok {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+				x(e), y(e.Proc)-svgRadius-4, escape(label))
+		}
+	}
+
+	// Cut surfaces: a dashed polyline through the midpoint after each
+	// lane's frontier event (or before the lane's first column for an
+	// empty prefix), labeled at the top.
+	for k, nc := range s.cutList {
+		dash := 3 + 2*k
+		var pts []string
+		for p := 0; p < ex.NumProcs(); p++ {
+			cx := svgMarginX - 18 // frontier at ⊥: left of everything
+			if f := nc.c[p]; f >= 1 {
+				pos := f
+				if pos > ex.NumReal(p) {
+					pos = ex.NumReal(p) // ⊤: right of the last real event
+					cx = x(poset.EventID{Proc: p, Pos: pos}) + svgColW/2
+				} else {
+					cx = x(poset.EventID{Proc: p, Pos: pos}) + svgColW/3
+				}
+				if ex.NumReal(p) == 0 {
+					cx = svgMarginX - 18
+				}
+			}
+			pts = append(pts, fmt.Sprintf("%d,%d", cx, y(p)-svgRowH/3), fmt.Sprintf("%d,%d", cx, y(p)+svgRowH/3))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="black" stroke-dasharray="%d,3"/>`+"\n",
+			strings.Join(pts, " "), dash)
+		firstX := strings.SplitN(pts[0], ",", 2)[0]
+		fmt.Fprintf(&b, `<text x="%s" y="%d" text-anchor="middle">%s</text>`+"\n",
+			firstX, svgMarginY-20, escape(nc.name))
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// escape makes a string safe for SVG text content.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// SortedMarked returns the marked events in (Proc, Pos) order; exported for
+// tests.
+func (s *SVG) SortedMarked() []poset.EventID {
+	out := make([]poset.EventID, 0, len(s.marked))
+	for e := range s.marked {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,101 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"causet/internal/core"
+	"causet/internal/interval"
+	"causet/internal/poset"
+	"causet/internal/poset/posettest"
+)
+
+func TestSVGWellFormed(t *testing.T) {
+	ex, xEvents := posettest.Figure2()
+	a := core.NewAnalysis(ex)
+	x := interval.MustNew(ex, xEvents)
+	ic := a.Cuts(x)
+	svg := NewSVG(ex).Mark(xEvents).
+		AddCut("C1", ic.InterDown).AddCut("C2", ic.UnionDown).
+		AddCut("C3", ic.InterUp).AddCut("C4", ic.UnionUp)
+	out := svg.Render()
+
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Fatalf("not an SVG document")
+	}
+	// One circle per real event; marked ones shaded.
+	if got := strings.Count(out, "<circle "); got != ex.NumEvents() {
+		t.Errorf("circles = %d, want %d", got, ex.NumEvents())
+	}
+	if got := strings.Count(out, `fill="#444"`); got != len(xEvents) {
+		t.Errorf("shaded circles = %d, want %d", got, len(xEvents))
+	}
+	// One arrowed line per message plus one plain line per process.
+	if got := strings.Count(out, "marker-end"); got != len(ex.Messages()) {
+		t.Errorf("message arrows = %d, want %d", got, len(ex.Messages()))
+	}
+	// One dashed polyline + label per cut.
+	if got := strings.Count(out, "<polyline "); got != 4 {
+		t.Errorf("cut polylines = %d, want 4", got)
+	}
+	for _, name := range []string{"C1", "C2", "C3", "C4"} {
+		if !strings.Contains(out, ">"+name+"<") {
+			t.Errorf("cut label %s missing", name)
+		}
+	}
+	// Balanced tags (rudimentary well-formedness).
+	for _, tag := range []string{"svg", "defs", "marker"} {
+		open := strings.Count(out, "<"+tag)
+		closed := strings.Count(out, "</"+tag+">")
+		if open != closed {
+			t.Errorf("tag %s: %d open, %d closed", tag, open, closed)
+		}
+	}
+}
+
+func TestSVGLabelsAndEscape(t *testing.T) {
+	b := poset.NewBuilder(2)
+	e := b.Append(0)
+	b.Append(1)
+	ex := b.MustBuild()
+	out := NewSVG(ex).Label(e, "a<b&c").Render()
+	if !strings.Contains(out, "a&lt;b&amp;c") {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+	if strings.Contains(out, "a<b&c") {
+		t.Errorf("raw label leaked")
+	}
+}
+
+func TestSVGPanics(t *testing.T) {
+	b := poset.NewBuilder(2)
+	b.Append(0)
+	ex := b.MustBuild()
+	for _, fn := range []func(){
+		func() { NewSVG(ex).Mark([]poset.EventID{ex.Bottom(0)}) },
+		func() { NewSVG(ex).Label(ex.Top(1), "x") },
+		func() { NewSVG(ex).AddCut("bad", []int{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSVGSortedMarked(t *testing.T) {
+	b := poset.NewBuilder(2)
+	e1 := b.Append(0)
+	e2 := b.Append(1)
+	e3 := b.Append(0)
+	ex := b.MustBuild()
+	svg := NewSVG(ex).Mark([]poset.EventID{e3, e2, e1})
+	got := svg.SortedMarked()
+	if len(got) != 3 || got[0] != e1 || got[1] != e3 || got[2] != e2 {
+		t.Errorf("SortedMarked = %v", got)
+	}
+}

@@ -1,0 +1,111 @@
+package render
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"causet/internal/cuts"
+	"causet/internal/poset"
+	"causet/internal/poset/posettest"
+)
+
+func timelineFixture(t *testing.T) *poset.Execution {
+	t.Helper()
+	b := poset.NewBuilder(3)
+	a1 := b.Append(0)
+	b1 := b.Append(1)
+	if err := b.Message(a1, b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := b.Append(1)
+	b.Append(2)
+	c2 := b.Append(2)
+	if err := b.Message(b2, c2); err != nil {
+		t.Fatal(err)
+	}
+	b.Append(0)
+	return b.MustBuild()
+}
+
+func TestTimelineGolden(t *testing.T) {
+	ex := timelineFixture(t)
+	got := NewTimeline(ex).Render()
+	// Linear extension order: a1, c1, a2, b1, b2, c2 — so the columns are
+	// a1=4, c1=7, a2=10, b1=13, b2=16, c2=19.
+	want := strings.Join([]string{
+		"p0 -*-----*------------",
+		"    +--------+",
+		"p1 ----------v--*------",
+		"                +--+",
+		"p2 ----*-----------v---",
+		"legend: * event (v/^ = receive), | + - message path",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("timeline mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestTimelineStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(503))
+	for trial := 0; trial < 15; trial++ {
+		ex := posettest.Random(r, 2+trial%3, 6+trial, 0.5)
+		out := NewTimeline(ex).Render()
+		lines := strings.Split(out, "\n")
+		// One lane line per process, identifiable by its label.
+		for p := 0; p < ex.NumProcs(); p++ {
+			found := false
+			for _, l := range lines {
+				if strings.HasPrefix(l, "p"+string(rune('0'+p))+" ") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: lane p%d missing:\n%s", trial, p, out)
+			}
+		}
+		// Every event appears: count glyphs (either '*' or arrowheads).
+		glyphs := strings.Count(out, "*") + strings.Count(out, "v") + strings.Count(out, "^")
+		// The legend contributes fixed glyphs; subtract its line.
+		if len(ex.Messages()) > 0 {
+			legend := "legend: * event (v/^ = receive), | + - message path"
+			glyphs -= strings.Count(legend, "*") + strings.Count(legend, "v") + strings.Count(legend, "^")
+		}
+		if glyphs < ex.NumEvents() {
+			t.Fatalf("trial %d: %d glyphs for %d events:\n%s", trial, glyphs, ex.NumEvents(), out)
+		}
+	}
+}
+
+func TestTimelineMarksAndCuts(t *testing.T) {
+	ex := timelineFixture(t)
+	tl := NewTimeline(ex).
+		Mark([]poset.EventID{{Proc: 0, Pos: 1}}, 'X').
+		AddCut("C1", cuts.Cut{1, 0, 3})
+	out := tl.Render()
+	if !strings.Contains(out, "X") {
+		t.Errorf("mark missing:\n%s", out)
+	}
+	if !strings.Contains(out, "cut C1:") || !strings.Contains(out, "p1:⊥") || !strings.Contains(out, "p2:⊤") {
+		t.Errorf("cut legend missing or wrong:\n%s", out)
+	}
+}
+
+func TestTimelinePanics(t *testing.T) {
+	ex := timelineFixture(t)
+	for _, fn := range []func(){
+		func() { NewTimeline(ex).Mark([]poset.EventID{ex.Bottom(0)}, '*') },
+		func() { NewTimeline(ex).AddCut("bad", cuts.Cut{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

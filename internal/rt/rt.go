@@ -1,0 +1,180 @@
+// Package rt adds the physical-time dimension of the paper's target domain
+// ("distributed real-time applications"): wall-clock timestamps for every
+// event, consistent with causality, plus the timing queries applications
+// layer over the causal relations — spans, gaps, and response-time
+// deadlines between nonatomic events.
+//
+// The causality relations say in which *order* nonatomic activities happen;
+// the timing layer says *how long* they take and how far apart they are. A
+// typical real-time contract combines both: R1(detect, engage) (causal
+// order, checked by the evaluators) and
+// ResponseTime(detect, engage) ≤ 50 ms (checked here).
+//
+// Timestamps are validated against the execution: they must strictly
+// increase along each process and must not place a receive before its send.
+// Those two local conditions imply t(a) < t(b) whenever a ≺ b (monotone
+// along every causal path), which the tests verify globally.
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"causet/internal/interval"
+	"causet/internal/poset"
+)
+
+// Validation errors returned by New.
+var (
+	ErrShape       = errors.New("rt: times shape does not match the execution")
+	ErrNotMonotone = errors.New("rt: times must strictly increase along each process")
+	ErrBeforeSend  = errors.New("rt: a receive is timestamped before its send")
+)
+
+// Timing assigns a physical timestamp to every real event of one execution.
+// Construct with New (validating) or Synthesize (generating).
+type Timing struct {
+	ex *poset.Execution
+	t  [][]time.Duration // t[p][pos-1] = timestamp of real event (p, pos)
+}
+
+// New validates per-event timestamps: times[p] holds process p's event
+// times in position order.
+func New(ex *poset.Execution, times [][]time.Duration) (*Timing, error) {
+	if len(times) != ex.NumProcs() {
+		return nil, fmt.Errorf("%w: %d processes timed, execution has %d", ErrShape, len(times), ex.NumProcs())
+	}
+	for p := range times {
+		if len(times[p]) != ex.NumReal(p) {
+			return nil, fmt.Errorf("%w: process %d has %d times for %d events", ErrShape, p, len(times[p]), ex.NumReal(p))
+		}
+		for i := 1; i < len(times[p]); i++ {
+			if times[p][i] <= times[p][i-1] {
+				return nil, fmt.Errorf("%w: p%d positions %d..%d", ErrNotMonotone, p, i, i+1)
+			}
+		}
+	}
+	tm := &Timing{ex: ex, t: times}
+	for _, m := range ex.Messages() {
+		if tm.Of(m.To) < tm.Of(m.From) {
+			return nil, fmt.Errorf("%w: %v→%v", ErrBeforeSend, m.From, m.To)
+		}
+	}
+	return tm, nil
+}
+
+// SynthesizeConfig parameterizes Synthesize.
+type SynthesizeConfig struct {
+	// MinStep/MaxStep bound the local delay between consecutive events of a
+	// process (defaults 1ms/5ms).
+	MinStep, MaxStep time.Duration
+	// MinLatency/MaxLatency bound message network latency (defaults
+	// 2ms/20ms).
+	MinLatency, MaxLatency time.Duration
+	Seed                   int64
+}
+
+func (c *SynthesizeConfig) defaults() {
+	if c.MaxStep == 0 {
+		c.MinStep, c.MaxStep = time.Millisecond, 5*time.Millisecond
+	}
+	if c.MaxLatency == 0 {
+		c.MinLatency, c.MaxLatency = 2*time.Millisecond, 20*time.Millisecond
+	}
+}
+
+// Synthesize generates causality-consistent timestamps for ex: each event
+// occurs one random local step after its predecessor on the same process,
+// and no earlier than its message's send time plus a random network
+// latency. Deterministic for a given seed.
+func Synthesize(ex *poset.Execution, cfg SynthesizeConfig) *Timing {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	draw := func(lo, hi time.Duration) time.Duration {
+		if hi <= lo {
+			return lo
+		}
+		return lo + time.Duration(r.Int63n(int64(hi-lo)))
+	}
+	tm := &Timing{ex: ex, t: make([][]time.Duration, ex.NumProcs())}
+	for p := range tm.t {
+		tm.t[p] = make([]time.Duration, ex.NumReal(p))
+	}
+	for _, e := range ex.LinearExtension() {
+		t := time.Duration(0)
+		if e.Pos > 1 {
+			t = tm.t[e.Proc][e.Pos-2]
+		}
+		t += draw(cfg.MinStep, cfg.MaxStep)
+		for _, from := range ex.MsgPredecessors(e) {
+			if arrive := tm.Of(from) + draw(cfg.MinLatency, cfg.MaxLatency); arrive > t {
+				t = arrive
+			}
+		}
+		tm.t[e.Proc][e.Pos-1] = t
+	}
+	return tm
+}
+
+// Execution returns the timed execution.
+func (tm *Timing) Execution() *poset.Execution { return tm.ex }
+
+// Of returns the timestamp of a real event; it panics on dummies or
+// unknown events (timing is only defined for application events).
+func (tm *Timing) Of(e poset.EventID) time.Duration {
+	if !tm.ex.IsReal(e) {
+		panic(fmt.Sprintf("rt: Of(%v): not a real event", e))
+	}
+	return tm.t[e.Proc][e.Pos-1]
+}
+
+// Times returns the raw per-process timestamp table (shared; do not
+// modify), for serialization.
+func (tm *Timing) Times() [][]time.Duration { return tm.t }
+
+// Start returns the earliest timestamp among the interval's events.
+func (tm *Timing) Start(x *interval.Interval) time.Duration {
+	first := true
+	var lo time.Duration
+	for _, e := range x.Events() {
+		if t := tm.Of(e); first || t < lo {
+			lo, first = t, false
+		}
+	}
+	return lo
+}
+
+// End returns the latest timestamp among the interval's events.
+func (tm *Timing) End(x *interval.Interval) time.Duration {
+	var hi time.Duration
+	for _, e := range x.Events() {
+		if t := tm.Of(e); t > hi {
+			hi = t
+		}
+	}
+	return hi
+}
+
+// Span reports how long the nonatomic event lasted (End − Start).
+func (tm *Timing) Span(x *interval.Interval) time.Duration {
+	return tm.End(x) - tm.Start(x)
+}
+
+// Gap reports the idle time between x finishing and y beginning
+// (Start(y) − End(x)); negative when they overlap in physical time.
+func (tm *Timing) Gap(x, y *interval.Interval) time.Duration {
+	return tm.Start(y) - tm.End(x)
+}
+
+// ResponseTime reports End(y) − Start(x): how long after x began did y
+// fully complete — the quantity real-time deadlines bound.
+func (tm *Timing) ResponseTime(x, y *interval.Interval) time.Duration {
+	return tm.End(y) - tm.Start(x)
+}
+
+// WithinDeadline reports whether y completed within d of x beginning.
+func (tm *Timing) WithinDeadline(x, y *interval.Interval, d time.Duration) bool {
+	return tm.ResponseTime(x, y) <= d
+}

@@ -1,0 +1,166 @@
+package rt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"causet/internal/interval"
+	"causet/internal/poset"
+	"causet/internal/poset/posettest"
+)
+
+func msgFixture(t *testing.T) *poset.Execution {
+	t.Helper()
+	b := poset.NewBuilder(2)
+	s := b.Append(0)
+	r := b.Append(1)
+	if err := b.Message(s, r); err != nil {
+		t.Fatal(err)
+	}
+	b.Append(0)
+	return b.MustBuild()
+}
+
+func TestNewValidation(t *testing.T) {
+	ex := msgFixture(t)
+	ms := time.Millisecond
+	good := [][]time.Duration{{1 * ms, 5 * ms}, {3 * ms}}
+	if _, err := New(ex, good); err != nil {
+		t.Fatalf("valid times rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		times [][]time.Duration
+		want  error
+	}{
+		{[][]time.Duration{{1 * ms, 5 * ms}}, ErrShape},                 // missing process
+		{[][]time.Duration{{1 * ms}, {3 * ms}}, ErrShape},               // missing event
+		{[][]time.Duration{{5 * ms, 1 * ms}, {7 * ms}}, ErrNotMonotone}, // decreasing
+		{[][]time.Duration{{5 * ms, 6 * ms}, {3 * ms}}, ErrBeforeSend},  // recv at 3 < send at 5
+		{[][]time.Duration{{1 * ms, 1 * ms}, {3 * ms}}, ErrNotMonotone}, // equal
+	} {
+		if _, err := New(ex, tc.times); !errors.Is(err, tc.want) {
+			t.Errorf("times %v: err = %v, want %v", tc.times, err, tc.want)
+		}
+	}
+}
+
+// TestSynthesizeCausalMonotone: synthesized timestamps strictly increase
+// along causality — t(a) < t(b) whenever a ≺ b — on random executions.
+func TestSynthesizeCausalMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 25; trial++ {
+		ex := posettest.Random(r, 2+r.Intn(4), 5+r.Intn(20), 0.5)
+		tm := Synthesize(ex, SynthesizeConfig{Seed: int64(trial)})
+		if _, err := New(ex, tm.Times()); err != nil {
+			t.Fatalf("trial %d: synthesized times invalid: %v", trial, err)
+		}
+		for _, a := range ex.RealEvents() {
+			for _, b := range ex.RealEvents() {
+				if ex.Precedes(a, b) && tm.Of(a) >= tm.Of(b) {
+					t.Fatalf("trial %d: %v ≺ %v but t=%v ≥ %v", trial, a, b, tm.Of(a), tm.Of(b))
+				}
+			}
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	ex := msgFixture(t)
+	a := Synthesize(ex, SynthesizeConfig{Seed: 9})
+	b := Synthesize(ex, SynthesizeConfig{Seed: 9})
+	c := Synthesize(ex, SynthesizeConfig{Seed: 10})
+	for _, e := range ex.RealEvents() {
+		if a.Of(e) != b.Of(e) {
+			t.Fatalf("same seed diverged at %v", e)
+		}
+	}
+	same := true
+	for _, e := range ex.RealEvents() {
+		if a.Of(e) != c.Of(e) {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical timings")
+	}
+}
+
+func TestIntervalTimingQueries(t *testing.T) {
+	ex := msgFixture(t)
+	ms := time.Millisecond
+	tm, err := New(ex, [][]time.Duration{{2 * ms, 30 * ms}, {10 * ms}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := interval.MustNew(ex, []poset.EventID{{Proc: 0, Pos: 1}, {Proc: 1, Pos: 1}})
+	y := interval.MustNew(ex, []poset.EventID{{Proc: 0, Pos: 2}})
+	if got := tm.Start(x); got != 2*ms {
+		t.Errorf("Start = %v", got)
+	}
+	if got := tm.End(x); got != 10*ms {
+		t.Errorf("End = %v", got)
+	}
+	if got := tm.Span(x); got != 8*ms {
+		t.Errorf("Span = %v", got)
+	}
+	if got := tm.Gap(x, y); got != 20*ms {
+		t.Errorf("Gap = %v", got)
+	}
+	if got := tm.ResponseTime(x, y); got != 28*ms {
+		t.Errorf("ResponseTime = %v", got)
+	}
+	if !tm.WithinDeadline(x, y, 28*ms) || tm.WithinDeadline(x, y, 27*ms) {
+		t.Errorf("WithinDeadline boundary wrong")
+	}
+	// Overlapping-in-time intervals have a negative gap.
+	if got := tm.Gap(y, x); got >= 0 {
+		t.Errorf("reverse gap = %v, want negative", got)
+	}
+}
+
+func TestOfPanicsOnDummy(t *testing.T) {
+	ex := msgFixture(t)
+	tm := Synthesize(ex, SynthesizeConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Of(⊥) did not panic")
+		}
+	}()
+	tm.Of(ex.Bottom(0))
+}
+
+func TestSynthesizeRespectsBounds(t *testing.T) {
+	ex := msgFixture(t)
+	cfg := SynthesizeConfig{
+		MinStep: 10 * time.Millisecond, MaxStep: 11 * time.Millisecond,
+		MinLatency: 50 * time.Millisecond, MaxLatency: 51 * time.Millisecond,
+		Seed: 1,
+	}
+	tm := Synthesize(ex, cfg)
+	send := tm.Of(poset.EventID{Proc: 0, Pos: 1})
+	recv := tm.Of(poset.EventID{Proc: 1, Pos: 1})
+	if lat := recv - send; lat < cfg.MinLatency {
+		t.Errorf("latency %v below minimum %v", lat, cfg.MinLatency)
+	}
+	if send < cfg.MinStep {
+		t.Errorf("first event at %v, before its local step", send)
+	}
+	// Degenerate bounds (hi == lo) must not panic and must use lo.
+	tm2 := Synthesize(ex, SynthesizeConfig{
+		MinStep: time.Millisecond, MaxStep: time.Millisecond,
+		MinLatency: time.Millisecond, MaxLatency: time.Millisecond,
+	})
+	if tm2.Of(poset.EventID{Proc: 0, Pos: 1}) != time.Millisecond {
+		t.Errorf("degenerate step bound not honored")
+	}
+}
+
+func TestExecutionAccessorAndErrorStrings(t *testing.T) {
+	ex := msgFixture(t)
+	tm := Synthesize(ex, SynthesizeConfig{})
+	if tm.Execution() != ex {
+		t.Errorf("Execution accessor wrong")
+	}
+}

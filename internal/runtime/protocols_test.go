@@ -1,0 +1,176 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"causet/internal/core"
+	"causet/internal/interval"
+	"causet/internal/poset"
+)
+
+// txnIntervals materializes one transaction's three nonatomic events.
+func txnIntervals(t *testing.T, res *TwoPhaseResult, k int) (votes, decide, applies *interval.Interval) {
+	t.Helper()
+	txn := res.Txns[k]
+	votes = interval.MustNew(res.Exec, txn.Votes)
+	decide = interval.MustNew(res.Exec, []poset.EventID{txn.Decide})
+	applies = interval.MustNew(res.Exec, txn.Applies)
+	return
+}
+
+// TestTwoPhaseCommitContract verifies the 2PC synchronization contract on a
+// live trace: R2'(votes, decide), R3(decide, applies), and the transitive
+// R1(votes, applies) — for every transaction and on every schedule.
+func TestTwoPhaseCommitContract(t *testing.T) {
+	const participants, txns = 4, 3
+	res, err := RunTwoPhaseCommit(participants, txns, 0.7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Txns) != txns {
+		t.Fatalf("txns = %d", len(res.Txns))
+	}
+	a := core.NewAnalysis(res.Exec)
+	fast := core.NewFast(a)
+	naive := core.NewNaive(a)
+	for k := 0; k < txns; k++ {
+		votes, decide, applies := txnIntervals(t, res, k)
+		if votes.Size() != participants || applies.Size() != participants {
+			t.Fatalf("txn %d: votes=%d applies=%d", k, votes.Size(), applies.Size())
+		}
+		for _, tc := range []struct {
+			rel  core.Relation
+			x, y *interval.Interval
+			name string
+		}{
+			{core.R2Prime, votes, decide, "R2'(votes, decide)"},
+			{core.R3, decide, applies, "R3(decide, applies)"},
+			{core.R1, votes, applies, "R1(votes, applies)"},
+		} {
+			if !fast.Eval(tc.rel, tc.x, tc.y) {
+				t.Errorf("txn %d: %s violated", k, tc.name)
+			}
+			if naive.Eval(tc.rel, tc.x, tc.y) != fast.Eval(tc.rel, tc.x, tc.y) {
+				t.Errorf("txn %d: evaluator disagreement on %s", k, tc.name)
+			}
+		}
+		// Nothing in a transaction may causally precede its own votes.
+		if fast.Eval(core.R4, applies, votes) {
+			t.Errorf("txn %d: applications precede votes", k)
+		}
+	}
+	// Transactions are sequential: txn k's applies wholly precede txn k+1's
+	// votes... via the coordinator only; the participants apply then vote
+	// next round in program order, so R2(applies_k, votes_{k+1}) holds.
+	for k := 0; k+1 < txns; k++ {
+		_, _, appliesK := txnIntervals(t, res, k)
+		votesK1, _, _ := txnIntervals(t, res, k+1)
+		if !fast.Eval(core.R2, appliesK, votesK1) {
+			t.Errorf("txn %d applies should R2-precede txn %d votes", k, k+1)
+		}
+	}
+}
+
+// TestTwoPhaseOutcomes: with vote probability 1 every transaction commits;
+// with 0 every one aborts; labels record the applied verb.
+func TestTwoPhaseOutcomes(t *testing.T) {
+	resYes, err := RunTwoPhaseCommit(3, 2, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, txn := range resYes.Txns {
+		if !txn.Committed {
+			t.Errorf("txn %d aborted under unanimous yes", txn.Txn)
+		}
+	}
+	resNo, err := RunTwoPhaseCommit(3, 2, 0.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commits := 0
+	for _, l := range resNo.Labels {
+		if strings.HasPrefix(l, "apply-commit") {
+			commits++
+		}
+	}
+	if commits != 0 {
+		t.Errorf("%d commit applications under unanimous no", commits)
+	}
+	for _, txn := range resNo.Txns {
+		if txn.Committed {
+			t.Errorf("txn %d committed under unanimous no", txn.Txn)
+		}
+	}
+	if _, err := RunTwoPhaseCommit(0, 1, 1, 1); err == nil {
+		t.Errorf("0 participants accepted")
+	}
+	if _, err := RunTwoPhaseCommit(2, 0, 1, 1); err == nil {
+		t.Errorf("0 txns accepted")
+	}
+}
+
+// TestElectionContract verifies Chang–Roberts on a live trace: the node
+// holding the maximal identifier wins; R2'(candidacies, win),
+// R3(win, learns) and R1(candidacies, learns) hold on every schedule.
+func TestElectionContract(t *testing.T) {
+	const n = 5
+	res, err := RunElection(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeaderID != n-1 {
+		t.Fatalf("leader id = %d, want %d", res.LeaderID, n-1)
+	}
+	a := core.NewAnalysis(res.Exec)
+	fast := core.NewFast(a)
+	cand := interval.MustNew(res.Exec, res.Candidacies)
+	win := interval.MustNew(res.Exec, []poset.EventID{res.Win})
+	learns := interval.MustNew(res.Exec, res.Learns)
+	if cand.NodeCount() != n || learns.NodeCount() != n {
+		t.Fatalf("candidacies/learns do not span the ring")
+	}
+	if !fast.Eval(core.R2Prime, cand, win) {
+		t.Errorf("R2'(candidacies, win) violated: the win must follow every initiation")
+	}
+	if !fast.Eval(core.R3, win, learns) {
+		t.Errorf("R3(win, learns) violated")
+	}
+	if !fast.Eval(core.R1, cand, learns) {
+		t.Errorf("R1(candidacies, learns) violated")
+	}
+	if fast.Eval(core.R4, learns, cand) {
+		t.Errorf("learning the leader cannot precede any candidacy")
+	}
+	// Every node recorded a learn event.
+	for i, e := range res.Learns {
+		if !res.Exec.IsReal(e) {
+			t.Errorf("node %d has no learn event", i)
+		}
+	}
+	if _, err := RunElection(1, 1); err == nil {
+		t.Errorf("1-node election accepted")
+	}
+}
+
+// TestElectionManySchedules reruns the election to exercise different
+// goroutine interleavings; the winner and the contract are schedule-
+// invariant.
+func TestElectionManySchedules(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		res, err := RunElection(4, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LeaderID != 3 {
+			t.Fatalf("run %d: leader id %d", i, res.LeaderID)
+		}
+		a := core.NewAnalysis(res.Exec)
+		fast := core.NewFast(a)
+		cand := interval.MustNew(res.Exec, res.Candidacies)
+		learns := interval.MustNew(res.Exec, res.Learns)
+		if !fast.Eval(core.R1, cand, learns) {
+			t.Fatalf("run %d: R1(candidacies, learns) violated", i)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package runtime is a live, goroutine-based message-passing runtime with
+// trace-recording middleware. Each node runs application code in its own
+// goroutine; sends and receives go through in-memory channels and are
+// recorded — together with internal events — as a poset execution that the
+// relation evaluators can analyze afterwards.
+//
+// This is the online counterpart of internal/sim: instead of synthesizing a
+// trace shape, real concurrent code produces the trace, demonstrating that
+// the paper's machinery applies to actual distributed programs (package
+// runtime also hosts the Ricart–Agrawala mutual-exclusion application used
+// by the mutex example, one of the paper's motivating scenarios).
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"causet/internal/poset"
+)
+
+// Envelope is a message in flight: the payload plus the recorded send event,
+// which the receiver's middleware links to its receive event.
+type Envelope struct {
+	From    int
+	To      int
+	Payload any
+
+	sendEvent poset.EventID
+}
+
+// System owns the nodes, their channels, and the shared trace recorder.
+type System struct {
+	n       int
+	inboxes []chan Envelope
+
+	mu     sync.Mutex
+	b      *poset.Builder
+	counts []int
+	labels map[poset.EventID]string
+}
+
+// NewSystem creates a system of n nodes with buffered inboxes. The buffer
+// must be large enough that the application's sends never block on a node
+// that is itself blocked sending (classic simulation convention; size it at
+// the expected total message count or above).
+func NewSystem(n, inboxCap int) *System {
+	if n < 1 {
+		panic(fmt.Sprintf("runtime: NewSystem(%d)", n))
+	}
+	s := &System{
+		n:       n,
+		inboxes: make([]chan Envelope, n),
+		b:       poset.NewBuilder(n),
+		counts:  make([]int, n),
+		labels:  make(map[poset.EventID]string),
+	}
+	for i := range s.inboxes {
+		s.inboxes[i] = make(chan Envelope, inboxCap)
+	}
+	return s
+}
+
+// NumNodes reports the number of nodes.
+func (s *System) NumNodes() int { return s.n }
+
+// Run executes fn concurrently on every node and waits for all to return.
+// It may be called once per System.
+func (s *System) Run(fn func(nd *Node)) {
+	var wg sync.WaitGroup
+	for i := 0; i < s.n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			fn(&Node{id: id, sys: s})
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Trace finalizes and returns the recorded execution and the event labels.
+// Call it after Run has returned.
+func (s *System) Trace() (*poset.Execution, map[poset.EventID]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ex, err := s.b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := make(map[poset.EventID]string, len(s.labels))
+	for k, v := range s.labels {
+		labels[k] = v
+	}
+	return ex, labels, nil
+}
+
+// record appends one event for node id under the recorder lock.
+func (s *System) record(id int, label string) poset.EventID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.b.Append(id)
+	s.counts[id]++
+	if label != "" {
+		s.labels[e] = label
+	}
+	return e
+}
+
+// recordEdge links a send event to a freshly recorded receive event.
+func (s *System) recordEdge(from poset.EventID, toNode int, label string) poset.EventID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recv := s.b.Append(toNode)
+	s.counts[toNode]++
+	if label != "" {
+		s.labels[recv] = label
+	}
+	if err := s.b.Message(from, recv); err != nil {
+		// The builder only rejects structurally impossible edges; reaching
+		// here indicates recorder corruption, not an application error.
+		panic(err)
+	}
+	return recv
+}
+
+// Node is the per-goroutine handle the application code uses. Its methods
+// must be called only from the goroutine Run started for this node.
+type Node struct {
+	id  int
+	sys *System
+}
+
+// ID returns the node index.
+func (nd *Node) ID() int { return nd.id }
+
+// NumNodes reports the system size.
+func (nd *Node) NumNodes() int { return nd.sys.n }
+
+// Internal records a local event with the given label and returns it.
+func (nd *Node) Internal(label string) poset.EventID {
+	return nd.sys.record(nd.id, label)
+}
+
+// Send records a send event, then delivers the payload to the target node's
+// inbox. Sending to self or to an out-of-range node panics (a programming
+// error in the application).
+func (nd *Node) Send(to int, payload any) poset.EventID {
+	if to == nd.id || to < 0 || to >= nd.sys.n {
+		panic(fmt.Sprintf("runtime: node %d sending to %d", nd.id, to))
+	}
+	send := nd.sys.record(nd.id, fmt.Sprintf("send→%d", to))
+	nd.sys.inboxes[to] <- Envelope{From: nd.id, To: to, Payload: payload, sendEvent: send}
+	return send
+}
+
+// Recv blocks for the next message, records the receive event (linked to
+// the sender's send event), and returns the envelope with the event.
+func (nd *Node) Recv() (Envelope, poset.EventID) {
+	env := <-nd.sys.inboxes[nd.id]
+	recv := nd.sys.recordEdge(env.sendEvent, nd.id, fmt.Sprintf("recv←%d", env.From))
+	return env, recv
+}
+
+// TryRecv is Recv without blocking; ok is false when the inbox is empty (no
+// event is recorded in that case).
+func (nd *Node) TryRecv() (Envelope, poset.EventID, bool) {
+	select {
+	case env := <-nd.sys.inboxes[nd.id]:
+		recv := nd.sys.recordEdge(env.sendEvent, nd.id, fmt.Sprintf("recv←%d", env.From))
+		return env, recv, true
+	default:
+		return Envelope{}, poset.EventID{}, false
+	}
+}
+
+// Broadcast sends payload to every other node and returns the send events.
+func (nd *Node) Broadcast(payload any) []poset.EventID {
+	out := make([]poset.EventID, 0, nd.sys.n-1)
+	for to := 0; to < nd.sys.n; to++ {
+		if to != nd.id {
+			out = append(out, nd.Send(to, payload))
+		}
+	}
+	return out
+}

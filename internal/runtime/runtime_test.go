@@ -1,0 +1,199 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"causet/internal/core"
+	"causet/internal/interval"
+	"causet/internal/poset"
+)
+
+func TestPingPongTrace(t *testing.T) {
+	sys := NewSystem(2, 8)
+	sys.Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Internal("init")
+			nd.Send(1, "ping")
+			env, _ := nd.Recv()
+			if env.Payload != "pong" {
+				t.Errorf("got %v, want pong", env.Payload)
+			}
+		} else {
+			env, _ := nd.Recv()
+			if env.Payload != "ping" {
+				t.Errorf("got %v, want ping", env.Payload)
+			}
+			nd.Send(0, "pong")
+		}
+	})
+	ex, labels, err := sys.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.NumEvents() != 5 {
+		t.Fatalf("events = %d, want 5 (init, 2×send, 2×recv)", ex.NumEvents())
+	}
+	if len(ex.Messages()) != 2 {
+		t.Fatalf("messages = %d, want 2", len(ex.Messages()))
+	}
+	// init ≺ everything on node 1.
+	init := poset.EventID{Proc: 0, Pos: 1}
+	if labels[init] != "init" {
+		t.Errorf("label of %v = %q", init, labels[init])
+	}
+	for pos := 1; pos <= ex.NumReal(1); pos++ {
+		if !ex.Precedes(init, poset.EventID{Proc: 1, Pos: pos}) {
+			t.Errorf("init does not precede p1:%d", pos)
+		}
+	}
+	// Send/recv labels recorded.
+	var sawSend, sawRecv bool
+	for _, l := range labels {
+		if strings.HasPrefix(l, "send→") {
+			sawSend = true
+		}
+		if strings.HasPrefix(l, "recv←") {
+			sawRecv = true
+		}
+	}
+	if !sawSend || !sawRecv {
+		t.Errorf("missing middleware labels: send=%v recv=%v", sawSend, sawRecv)
+	}
+}
+
+func TestTryRecvAndBroadcast(t *testing.T) {
+	sys := NewSystem(3, 8)
+	sys.Run(func(nd *Node) {
+		switch nd.ID() {
+		case 0:
+			nd.Broadcast("hello")
+		default:
+			// Spin until the broadcast arrives; TryRecv must not record an
+			// event for empty polls.
+			for {
+				env, _, ok := nd.TryRecv()
+				if ok {
+					if env.Payload != "hello" || env.From != 0 {
+						t.Errorf("node %d: bad envelope %+v", nd.ID(), env)
+					}
+					return
+				}
+			}
+		}
+	})
+	ex, _, err := sys.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.NumReal(1) != 1 || ex.NumReal(2) != 1 {
+		t.Errorf("receivers recorded %d,%d events, want 1,1 (no empty-poll events)",
+			ex.NumReal(1), ex.NumReal(2))
+	}
+	if ex.NumReal(0) != 2 {
+		t.Errorf("broadcaster recorded %d events, want 2", ex.NumReal(0))
+	}
+}
+
+func TestNodePanics(t *testing.T) {
+	sys := NewSystem(2, 4)
+	var recovered any
+	sys.Run(func(nd *Node) {
+		if nd.ID() != 0 {
+			return
+		}
+		defer func() { recovered = recover() }()
+		nd.Send(0, "self") // sending to self is a programming error
+	})
+	if recovered == nil {
+		t.Fatalf("Send to self did not panic")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("NewSystem(0) did not panic")
+			}
+		}()
+		NewSystem(0, 1)
+	}()
+}
+
+// TestMutexExclusion runs live Ricart–Agrawala and verifies, with the
+// relation evaluators, that every pair of critical sections from different
+// nodes is totally ordered by R1 — the paper's formulation of mutual
+// exclusion over nonatomic events. The goroutine schedule differs run to
+// run; exclusion must hold regardless.
+func TestMutexExclusion(t *testing.T) {
+	const nodes, entries = 4, 3
+	res, err := RunMutex(nodes, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sections) != nodes*entries {
+		t.Fatalf("sections = %d, want %d", len(res.Sections), nodes*entries)
+	}
+	a := core.NewAnalysis(res.Exec)
+	fast := core.NewFast(a)
+	naive := core.NewNaive(a)
+	for i, s1 := range res.Sections {
+		for j, s2 := range res.Sections {
+			if j <= i || s1.Node == s2.Node {
+				continue
+			}
+			x := interval.MustNew(res.Exec, []poset.EventID{s1.Enter, s1.Exit})
+			y := interval.MustNew(res.Exec, []poset.EventID{s2.Enter, s2.Exit})
+			fwd := fast.Eval(core.R1, x, y)
+			bwd := fast.Eval(core.R1, y, x)
+			if fwd == bwd { // both false = overlap; both true = cycle
+				t.Fatalf("sections %v and %v violate mutual exclusion (R1 fwd=%v bwd=%v)",
+					s1, s2, fwd, bwd)
+			}
+			if naive.Eval(core.R1, x, y) != fwd {
+				t.Fatalf("evaluator disagreement on live trace")
+			}
+		}
+	}
+	// Same-node sections are ordered by program order — R1 must hold in
+	// entry order.
+	for i, s1 := range res.Sections {
+		for _, s2 := range res.Sections[i+1:] {
+			if s1.Node != s2.Node {
+				continue
+			}
+			x := interval.MustNew(res.Exec, []poset.EventID{s1.Enter, s1.Exit})
+			y := interval.MustNew(res.Exec, []poset.EventID{s2.Enter, s2.Exit})
+			if !fast.Eval(core.R1, x, y) && !fast.Eval(core.R1, y, x) {
+				t.Fatalf("same-node sections unordered: %v %v", s1, s2)
+			}
+		}
+	}
+}
+
+func TestMutexValidation(t *testing.T) {
+	if _, err := RunMutex(1, 1); err == nil {
+		t.Errorf("RunMutex(1,1) accepted")
+	}
+	if _, err := RunMutex(2, 0); err == nil {
+		t.Errorf("RunMutex(2,0) accepted")
+	}
+}
+
+// TestMutexLabels spot-checks that enter/exit labels are recorded.
+func TestMutexLabels(t *testing.T) {
+	res, err := RunMutex(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enters, exits int
+	for _, l := range res.Labels {
+		if strings.HasPrefix(l, "cs-enter-") {
+			enters++
+		}
+		if strings.HasPrefix(l, "cs-exit-") {
+			exits++
+		}
+	}
+	if enters != 2 || exits != 2 {
+		t.Errorf("labels: enters=%d exits=%d, want 2,2", enters, exits)
+	}
+}

@@ -1,0 +1,157 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+
+	"causet/internal/poset"
+)
+
+// This file implements two-phase commit on the live runtime. A transaction
+// run decomposes into three nonatomic events per transaction —
+//
+//	vote-k:    every participant's vote (prepare-phase work),
+//	decide-k:  the coordinator's decision event,
+//	apply-k:   every participant's commit/abort application,
+//
+// whose synchronization contract is expressible in the relation family:
+// R2'(vote-k, decide-k) (the decision follows every vote), R3(decide-k,
+// apply-k) (one decision precedes every application), and — transitively,
+// by the composition table: R2' ∘ R3 is empty in general but here the
+// middle interval is the singleton decision, so R2'(vote, decide) ∧
+// R3(decide, apply) gives every vote ≺ the decision ≺ every apply, i.e.
+// R1(vote-k, apply-k). The tests and the example verify all of it on live
+// traces.
+
+// tpcKind enumerates 2PC message types.
+type tpcKind int
+
+const (
+	tpcPrepare tpcKind = iota
+	tpcVote
+	tpcDecision
+)
+
+type tpcMsg struct {
+	Kind   tpcKind
+	Txn    int
+	Commit bool // vote yes / decision commit
+}
+
+// TxnOutcome records one transaction's nonatomic events in a 2PC run.
+type TxnOutcome struct {
+	Txn       int
+	Committed bool
+	Votes     []poset.EventID // one vote event per participant
+	Decide    poset.EventID   // the coordinator's decision event
+	Applies   []poset.EventID // one application event per participant
+}
+
+// TwoPhaseResult is the trace of a two-phase-commit run.
+type TwoPhaseResult struct {
+	Exec   *poset.Execution
+	Labels map[poset.EventID]string
+	Txns   []TxnOutcome
+}
+
+// RunTwoPhaseCommit executes txns sequential two-phase-commit rounds with
+// the given number of participant nodes (node 0 coordinates). voteYesProb
+// is each participant's per-transaction probability of voting yes, driven
+// by a seeded PRNG per participant so runs are reproducible up to goroutine
+// scheduling (which 2PC's verdicts are invariant to).
+func RunTwoPhaseCommit(participants, txns int, voteYesProb float64, seed int64) (*TwoPhaseResult, error) {
+	if participants < 1 || txns < 1 {
+		return nil, fmt.Errorf("runtime: RunTwoPhaseCommit(%d, %d): need ≥ 1 participant and ≥ 1 txn", participants, txns)
+	}
+	nodes := participants + 1
+	sys := NewSystem(nodes, nodes*txns*4+16)
+
+	applies := make([][]poset.EventID, txns) // per txn, per participant
+	decides := make([]poset.EventID, txns)   // per txn
+	committed := make([]bool, txns)          // per txn
+	for k := range applies {
+		applies[k] = make([]poset.EventID, participants)
+	}
+
+	sys.Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			coordinator(nd, participants, txns, decides, committed)
+			return
+		}
+		participant(nd, txns, voteYesProb, seed, applies)
+	})
+
+	ex, labels, err := sys.Trace()
+	if err != nil {
+		return nil, err
+	}
+	res := &TwoPhaseResult{Exec: ex, Labels: labels}
+	for k := 0; k < txns; k++ {
+		res.Txns = append(res.Txns, TxnOutcome{
+			Txn:       k,
+			Committed: committed[k],
+			Votes:     res.VoteEvents(k),
+			Decide:    decides[k],
+			Applies:   applies[k],
+		})
+	}
+	return res, nil
+}
+
+func coordinator(nd *Node, participants, txns int, decides []poset.EventID, committed []bool) {
+	for k := 0; k < txns; k++ {
+		nd.Broadcast(tpcMsg{Kind: tpcPrepare, Txn: k})
+		allYes := true
+		for got := 0; got < participants; got++ {
+			env, _ := nd.Recv() // the receive puts the vote in the decision's causal past
+			msg := env.Payload.(tpcMsg)
+			if msg.Kind != tpcVote || msg.Txn != k {
+				panic(fmt.Sprintf("2pc: unexpected %v in txn %d", msg, k))
+			}
+			if !msg.Commit {
+				allYes = false
+			}
+		}
+		decides[k] = nd.Internal(fmt.Sprintf("decide-%d", k))
+		committed[k] = allYes
+		nd.Broadcast(tpcMsg{Kind: tpcDecision, Txn: k, Commit: allYes})
+	}
+}
+
+func participant(nd *Node, txns int, voteYesProb float64, seed int64, applies [][]poset.EventID) {
+	r := rand.New(rand.NewSource(seed + int64(nd.ID())))
+	for k := 0; k < txns; k++ {
+		env, _ := nd.Recv()
+		if m := env.Payload.(tpcMsg); m.Kind != tpcPrepare || m.Txn != k {
+			panic(fmt.Sprintf("2pc: participant %d expected prepare %d, got %v", nd.ID(), k, m))
+		}
+		yes := r.Float64() < voteYesProb
+		nd.Send(0, tpcMsg{Kind: tpcVote, Txn: k, Commit: yes})
+		env, _ = nd.Recv()
+		dec := env.Payload.(tpcMsg)
+		if dec.Kind != tpcDecision || dec.Txn != k {
+			panic(fmt.Sprintf("2pc: participant %d expected decision %d, got %v", nd.ID(), k, dec))
+		}
+		verb := "abort"
+		if dec.Commit {
+			verb = "commit"
+		}
+		applies[k][nd.ID()-1] = nd.Internal(fmt.Sprintf("apply-%s-%d", verb, k))
+	}
+}
+
+// VoteEvents reconstructs each participant's vote event (its send to the
+// coordinator for transaction k) from the trace labels; exposed for tests
+// and examples that did not capture the events during the run.
+func (r *TwoPhaseResult) VoteEvents(k int) []poset.EventID {
+	// Votes are the participants' k-th sends to node 0. Participant i's
+	// events alternate recv(prepare), send(vote), recv(decision),
+	// apply — 4 events per transaction, so the vote send for txn k is
+	// position 4k+2.
+	participants := r.Exec.NumProcs() - 1
+	out := make([]poset.EventID, 0, participants)
+	for p := 1; p <= participants; p++ {
+		out = append(out, poset.EventID{Proc: p, Pos: 4*k + 2})
+	}
+	return out
+}

@@ -1,0 +1,445 @@
+// Package sim generates synthetic distributed executions for testing and
+// benchmarking the relation evaluators. It provides the communication
+// patterns that the paper's motivating applications exhibit — client/server
+// control loops, rings, broadcasts, pipelines, gossip, and periodic
+// real-time rounds — plus unstructured random traffic.
+//
+// Every generator is deterministic for a given seed, and most patterns also
+// return named Phases: the higher-level nonatomic activities (a broadcast
+// round, a pipeline item's journey, a periodic job) that applications would
+// register as nonatomic events.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"causet/internal/poset"
+)
+
+// Pattern selects a workload shape.
+type Pattern int
+
+const (
+	// Random: unstructured traffic; each event is internal or receives from
+	// a random peer's latest event with probability MsgProb.
+	Random Pattern = iota
+	// Ring: a token circulates Rounds times through all processes in index
+	// order. Phase r contains round r's send/receive events.
+	Ring
+	// ClientServer: process 0 serves Rounds request/reply exchanges from
+	// each other process. One phase per client session.
+	ClientServer
+	// Broadcast: in round r, process r mod Procs sends to every other
+	// process. Phase r contains the round's events.
+	Broadcast
+	// Pipeline: Rounds items flow through the processes in stage order.
+	// Phase r contains item r's events across all stages.
+	Pipeline
+	// Gossip: in each round every process sends one message to a random
+	// peer. Phase r contains round r's events.
+	Gossip
+	// Periodic: a real-time control pattern; in each round every worker
+	// process performs Compute local events, reports to the coordinator
+	// (process 0), and receives an acknowledgement. Phase r contains round
+	// r's events on all processes.
+	Periodic
+	// Barrier: bulk-synchronous supersteps; in each round every worker
+	// performs Compute local events, then all synchronize through a
+	// coordinator barrier (process 0 gathers and releases). Phase r is
+	// superstep r; by construction consecutive supersteps satisfy R2' and
+	// R3 (all of step r precedes step r+1's release; step r's release
+	// precedes all of step r+1), and R1 holds at distance two — the tests
+	// pin these invariants.
+	Barrier
+)
+
+var patternNames = map[Pattern]string{
+	Random: "random", Ring: "ring", ClientServer: "clientserver",
+	Broadcast: "broadcast", Pipeline: "pipeline", Gossip: "gossip",
+	Periodic: "periodic", Barrier: "barrier",
+}
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	if s, ok := patternNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// ParsePattern parses a pattern name as printed by String.
+func ParsePattern(s string) (Pattern, error) {
+	for p, name := range patternNames {
+		if s == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown pattern %q", s)
+}
+
+// Patterns returns all patterns in declaration order.
+func Patterns() []Pattern {
+	return []Pattern{Random, Ring, ClientServer, Broadcast, Pipeline, Gossip, Periodic, Barrier}
+}
+
+// Config parameterizes a workload.
+type Config struct {
+	Pattern Pattern
+	Procs   int     // number of processes (≥ 2 for communicating patterns)
+	Events  int     // total real events (Random only)
+	MsgProb float64 // message probability (Random only; default 0.4)
+	Rounds  int     // rounds/sessions/items (all patterns except Random)
+	Compute int     // per-round local events (Periodic only; default 2)
+	Seed    int64   // PRNG seed; same seed ⇒ identical execution
+}
+
+// Phase is a named group of events produced by a structured pattern — the
+// natural nonatomic events of the workload.
+type Phase struct {
+	Name   string
+	Events []poset.EventID
+}
+
+// Result is a generated execution plus its pattern-level phases.
+type Result struct {
+	Exec   *poset.Execution
+	Phases []Phase
+}
+
+// Validation errors returned by Generate.
+var (
+	ErrProcs  = errors.New("sim: Procs must be at least 2")
+	ErrEvents = errors.New("sim: Events must be positive for the random pattern")
+	ErrRounds = errors.New("sim: Rounds must be positive for structured patterns")
+)
+
+// Generate builds the configured workload.
+func Generate(cfg Config) (*Result, error) {
+	if cfg.Procs < 2 {
+		return nil, fmt.Errorf("%w (got %d)", ErrProcs, cfg.Procs)
+	}
+	if cfg.MsgProb == 0 {
+		cfg.MsgProb = 0.4
+	}
+	if cfg.Compute == 0 {
+		cfg.Compute = 2
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	switch cfg.Pattern {
+	case Random:
+		if cfg.Events <= 0 {
+			return nil, ErrEvents
+		}
+		return genRandom(r, cfg)
+	case Ring, ClientServer, Broadcast, Pipeline, Gossip, Periodic, Barrier:
+		if cfg.Rounds <= 0 {
+			return nil, ErrRounds
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown pattern %d", int(cfg.Pattern))
+	}
+	switch cfg.Pattern {
+	case Ring:
+		return genRing(cfg)
+	case ClientServer:
+		return genClientServer(r, cfg)
+	case Broadcast:
+		return genBroadcast(cfg)
+	case Pipeline:
+		return genPipeline(cfg)
+	case Gossip:
+		return genGossip(r, cfg)
+	case Periodic:
+		return genPeriodic(cfg)
+	default: // Barrier
+		return genBarrier(cfg)
+	}
+}
+
+// MustGenerate is Generate that panics on error, for benchmarks and fixed
+// fixtures.
+func MustGenerate(cfg Config) *Result {
+	res, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func genRandom(r *rand.Rand, cfg Config) (*Result, error) {
+	b := poset.NewBuilder(cfg.Procs)
+	lastOn := make([]poset.EventID, cfg.Procs)
+	for i := 0; i < cfg.Events; i++ {
+		p := r.Intn(cfg.Procs)
+		if r.Float64() < cfg.MsgProb {
+			q := r.Intn(cfg.Procs - 1)
+			if q >= p {
+				q++
+			}
+			if lastOn[q].Pos > 0 {
+				recv := b.Append(p)
+				if err := b.Message(lastOn[q], recv); err != nil {
+					return nil, err
+				}
+				lastOn[p] = recv
+				continue
+			}
+		}
+		lastOn[p] = b.Append(p)
+	}
+	ex, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Exec: ex}, nil
+}
+
+func genRing(cfg Config) (*Result, error) {
+	b := poset.NewBuilder(cfg.Procs)
+	res := &Result{}
+	for round := 0; round < cfg.Rounds; round++ {
+		ph := Phase{Name: fmt.Sprintf("ring-round-%d", round)}
+		for i := 0; i < cfg.Procs; i++ {
+			from, to := i, (i+1)%cfg.Procs
+			s, rcv, err := b.SendRecv(from, to)
+			if err != nil {
+				return nil, err
+			}
+			ph.Events = append(ph.Events, s, rcv)
+		}
+		res.Phases = append(res.Phases, ph)
+	}
+	ex, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	res.Exec = ex
+	return res, nil
+}
+
+func genClientServer(r *rand.Rand, cfg Config) (*Result, error) {
+	b := poset.NewBuilder(cfg.Procs)
+	res := &Result{}
+	phases := make([]Phase, cfg.Procs-1)
+	for c := 1; c < cfg.Procs; c++ {
+		phases[c-1].Name = fmt.Sprintf("client-%d-session", c)
+	}
+	// Interleave the clients' request/reply exchanges in random order.
+	type job struct{ client, round int }
+	var jobs []job
+	for c := 1; c < cfg.Procs; c++ {
+		for round := 0; round < cfg.Rounds; round++ {
+			jobs = append(jobs, job{client: c, round: round})
+		}
+	}
+	// Shuffle while preserving each client's round order.
+	r.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+	done := make([]int, cfg.Procs)
+	queue := jobs
+	for len(queue) > 0 {
+		next := queue[0]
+		queue = queue[1:]
+		if next.round != done[next.client] {
+			queue = append(queue, next) // not this client's turn yet
+			continue
+		}
+		done[next.client]++
+		req, srecv, err := b.SendRecv(next.client, 0)
+		if err != nil {
+			return nil, err
+		}
+		work := b.Append(0)
+		rep, crecv, err := b.SendRecv(0, next.client)
+		if err != nil {
+			return nil, err
+		}
+		phases[next.client-1].Events = append(phases[next.client-1].Events, req, srecv, work, rep, crecv)
+	}
+	ex, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	res.Exec = ex
+	res.Phases = phases
+	return res, nil
+}
+
+func genBroadcast(cfg Config) (*Result, error) {
+	b := poset.NewBuilder(cfg.Procs)
+	res := &Result{}
+	for round := 0; round < cfg.Rounds; round++ {
+		root := round % cfg.Procs
+		ph := Phase{Name: fmt.Sprintf("broadcast-round-%d", round)}
+		for i := 0; i < cfg.Procs; i++ {
+			if i == root {
+				continue
+			}
+			s, rcv, err := b.SendRecv(root, i)
+			if err != nil {
+				return nil, err
+			}
+			ph.Events = append(ph.Events, s, rcv)
+		}
+		res.Phases = append(res.Phases, ph)
+	}
+	ex, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	res.Exec = ex
+	return res, nil
+}
+
+func genPipeline(cfg Config) (*Result, error) {
+	b := poset.NewBuilder(cfg.Procs)
+	res := &Result{}
+	for item := 0; item < cfg.Rounds; item++ {
+		ph := Phase{Name: fmt.Sprintf("pipeline-item-%d", item)}
+		intake := b.Append(0)
+		ph.Events = append(ph.Events, intake)
+		for stage := 0; stage+1 < cfg.Procs; stage++ {
+			s, rcv, err := b.SendRecv(stage, stage+1)
+			if err != nil {
+				return nil, err
+			}
+			ph.Events = append(ph.Events, s, rcv)
+		}
+		res.Phases = append(res.Phases, ph)
+	}
+	ex, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	res.Exec = ex
+	return res, nil
+}
+
+func genGossip(r *rand.Rand, cfg Config) (*Result, error) {
+	b := poset.NewBuilder(cfg.Procs)
+	res := &Result{}
+	for round := 0; round < cfg.Rounds; round++ {
+		ph := Phase{Name: fmt.Sprintf("gossip-round-%d", round)}
+		for i := 0; i < cfg.Procs; i++ {
+			peer := r.Intn(cfg.Procs - 1)
+			if peer >= i {
+				peer++
+			}
+			s, rcv, err := b.SendRecv(i, peer)
+			if err != nil {
+				return nil, err
+			}
+			ph.Events = append(ph.Events, s, rcv)
+		}
+		res.Phases = append(res.Phases, ph)
+	}
+	ex, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	res.Exec = ex
+	return res, nil
+}
+
+func genPeriodic(cfg Config) (*Result, error) {
+	b := poset.NewBuilder(cfg.Procs)
+	res := &Result{}
+	for round := 0; round < cfg.Rounds; round++ {
+		ph := Phase{Name: fmt.Sprintf("periodic-round-%d", round)}
+		for w := 1; w < cfg.Procs; w++ {
+			for k := 0; k < cfg.Compute; k++ {
+				ph.Events = append(ph.Events, b.Append(w))
+			}
+			rep, crecv, err := b.SendRecv(w, 0)
+			if err != nil {
+				return nil, err
+			}
+			ack, wrecv, err := b.SendRecv(0, w)
+			if err != nil {
+				return nil, err
+			}
+			ph.Events = append(ph.Events, rep, crecv, ack, wrecv)
+		}
+		res.Phases = append(res.Phases, ph)
+	}
+	ex, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	res.Exec = ex
+	return res, nil
+}
+
+// genBarrier emits bulk-synchronous supersteps: every worker computes, then
+// reports to the coordinator (gather); once all reports are in, the
+// coordinator releases every worker (scatter). Each superstep's release
+// event follows everything in the previous step and precedes everything in
+// the next, so consecutive phases satisfy R2' ∧ R3 and phases two apart
+// satisfy full R1 — the barrier semantics expressed in the relation family.
+func genBarrier(cfg Config) (*Result, error) {
+	b := poset.NewBuilder(cfg.Procs)
+	res := &Result{}
+	for round := 0; round < cfg.Rounds; round++ {
+		ph := Phase{Name: fmt.Sprintf("superstep-%d", round)}
+		// Compute + gather.
+		for w := 1; w < cfg.Procs; w++ {
+			for k := 0; k < cfg.Compute; k++ {
+				ph.Events = append(ph.Events, b.Append(w))
+			}
+			send, recv, err := b.SendRecv(w, 0)
+			if err != nil {
+				return nil, err
+			}
+			ph.Events = append(ph.Events, send, recv)
+		}
+		// Barrier release: one coordinator event after all gathers, then a
+		// release message to every worker.
+		release := b.Append(0)
+		ph.Events = append(ph.Events, release)
+		for w := 1; w < cfg.Procs; w++ {
+			send, recv, err := b.SendRecv(0, w)
+			if err != nil {
+				return nil, err
+			}
+			ph.Events = append(ph.Events, send, recv)
+		}
+		res.Phases = append(res.Phases, ph)
+	}
+	ex, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	res.Exec = ex
+	return res, nil
+}
+
+// ExtremalPair returns two disjoint event sets spanning every process of ex:
+// X holds the first real event of each process and Y the last. It requires
+// at least two real events on every process (so the sets are disjoint) and
+// is the standard instance for the complexity sweeps, where |N_X| = |N_Y| =
+// NumProcs.
+func ExtremalPair(ex *poset.Execution) (x, y []poset.EventID, err error) {
+	return SpanPair(ex, 1)
+}
+
+// SpanPair generalizes ExtremalPair: X holds the first k real events of each
+// process and Y the last k, so |X| = |Y| = k·NumProcs while |N_X| = |N_Y| =
+// NumProcs. It requires at least 2k real events on every process (so the
+// sets are disjoint). With k > 1 the naive |X|·|Y| evaluation is visibly
+// more expensive than the |N_X|·|N_Y| proxy evaluation in the sweeps.
+func SpanPair(ex *poset.Execution, k int) (x, y []poset.EventID, err error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("sim: SpanPair with k=%d", k)
+	}
+	for p := 0; p < ex.NumProcs(); p++ {
+		if ex.NumReal(p) < 2*k {
+			return nil, nil, fmt.Errorf("sim: process %d has %d events, need ≥ %d", p, ex.NumReal(p), 2*k)
+		}
+		for i := 1; i <= k; i++ {
+			x = append(x, poset.EventID{Proc: p, Pos: i})
+			y = append(y, poset.EventID{Proc: p, Pos: ex.NumReal(p) - k + i})
+		}
+	}
+	return x, y, nil
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"causet/internal/core"
+	"causet/internal/interval"
+	"causet/internal/poset"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Pattern: Random, Procs: 1, Events: 10}); !errors.Is(err, ErrProcs) {
+		t.Errorf("procs=1: err = %v, want ErrProcs", err)
+	}
+	if _, err := Generate(Config{Pattern: Random, Procs: 3}); !errors.Is(err, ErrEvents) {
+		t.Errorf("events=0: err = %v, want ErrEvents", err)
+	}
+	if _, err := Generate(Config{Pattern: Ring, Procs: 3}); !errors.Is(err, ErrRounds) {
+		t.Errorf("rounds=0: err = %v, want ErrRounds", err)
+	}
+	if _, err := Generate(Config{Pattern: Pattern(99), Procs: 3, Rounds: 1}); err == nil {
+		t.Errorf("unknown pattern accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, p := range Patterns() {
+		cfg := Config{Pattern: p, Procs: 4, Events: 40, Rounds: 5, Seed: 42}
+		a := MustGenerate(cfg)
+		b := MustGenerate(cfg)
+		sa, sb := a.Exec.Stats(), b.Exec.Stats()
+		if sa != sb {
+			t.Errorf("%v: stats differ across identical seeds: %+v vs %+v", p, sa, sb)
+		}
+		ma, mb := a.Exec.Messages(), b.Exec.Messages()
+		if len(ma) != len(mb) {
+			t.Errorf("%v: message counts differ", p)
+			continue
+		}
+		for i := range ma {
+			if ma[i] != mb[i] {
+				t.Errorf("%v: message %d differs", p, i)
+				break
+			}
+		}
+	}
+	// Different seeds should give different random executions.
+	a := MustGenerate(Config{Pattern: Random, Procs: 4, Events: 60, Seed: 1})
+	b := MustGenerate(Config{Pattern: Random, Procs: 4, Events: 60, Seed: 2})
+	if len(a.Exec.Messages()) == len(b.Exec.Messages()) {
+		same := true
+		for i := range a.Exec.Messages() {
+			if a.Exec.Messages()[i] != b.Exec.Messages()[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("different seeds produced identical random executions")
+		}
+	}
+}
+
+func TestPatternShapes(t *testing.T) {
+	const procs, rounds = 4, 3
+	for _, tc := range []struct {
+		pattern    Pattern
+		wantEvents int
+		wantMsgs   int
+		wantPhases int
+	}{
+		{Ring, 2 * procs * rounds, procs * rounds, rounds},
+		{Broadcast, 2 * (procs - 1) * rounds, (procs - 1) * rounds, rounds},
+		{Pipeline, (1 + 2*(procs-1)) * rounds, (procs - 1) * rounds, rounds},
+		{Gossip, 2 * procs * rounds, procs * rounds, rounds},
+		{ClientServer, 5 * (procs - 1) * rounds, 2 * (procs - 1) * rounds, procs - 1},
+		{Periodic, (2 + 4) * (procs - 1) * rounds, 2 * (procs - 1) * rounds, rounds},
+		{Barrier, ((2+2)*(procs-1) + 1 + 2*(procs-1)) * rounds, 2 * (procs - 1) * rounds, rounds},
+	} {
+		res := MustGenerate(Config{Pattern: tc.pattern, Procs: procs, Rounds: rounds, Seed: 7})
+		st := res.Exec.Stats()
+		if st.Events != tc.wantEvents {
+			t.Errorf("%v: events = %d, want %d", tc.pattern, st.Events, tc.wantEvents)
+		}
+		if st.Messages != tc.wantMsgs {
+			t.Errorf("%v: messages = %d, want %d", tc.pattern, st.Messages, tc.wantMsgs)
+		}
+		if len(res.Phases) != tc.wantPhases {
+			t.Errorf("%v: phases = %d, want %d", tc.pattern, len(res.Phases), tc.wantPhases)
+		}
+	}
+}
+
+func TestPhasesAreValidDisjointIntervals(t *testing.T) {
+	for _, p := range []Pattern{Ring, ClientServer, Broadcast, Pipeline, Gossip, Periodic, Barrier} {
+		res := MustGenerate(Config{Pattern: p, Procs: 5, Rounds: 4, Seed: 11})
+		seen := make(map[poset.EventID]string)
+		total := 0
+		for _, ph := range res.Phases {
+			if ph.Name == "" {
+				t.Errorf("%v: phase without a name", p)
+			}
+			if _, err := interval.New(res.Exec, ph.Events); err != nil {
+				t.Errorf("%v: phase %q is not a valid interval: %v", p, ph.Name, err)
+			}
+			for _, e := range ph.Events {
+				if prev, dup := seen[e]; dup {
+					t.Errorf("%v: event %v in both %q and %q", p, e, prev, ph.Name)
+				}
+				seen[e] = ph.Name
+			}
+			total += len(ph.Events)
+		}
+		if total != res.Exec.NumEvents() {
+			t.Errorf("%v: phases cover %d events of %d", p, total, res.Exec.NumEvents())
+		}
+	}
+}
+
+// TestRingRoundOrdering checks the structural property that makes Ring a
+// good fixture: consecutive token rounds are totally ordered (R1 holds
+// between round r and round r+1).
+func TestRingRoundOrdering(t *testing.T) {
+	res := MustGenerate(Config{Pattern: Ring, Procs: 4, Rounds: 3, Seed: 3})
+	a := core.NewAnalysis(res.Exec)
+	fast := core.NewFast(a)
+	for r := 0; r+1 < len(res.Phases); r++ {
+		x := interval.MustNew(res.Exec, res.Phases[r].Events)
+		y := interval.MustNew(res.Exec, res.Phases[r+1].Events)
+		// The first send of round r is concurrent with nothing before it, so
+		// full R1 does not hold; but R2 (every event of round r precedes
+		// something in round r+1) and R3' must.
+		for _, rel := range []core.Relation{core.R2, core.R3Prime, core.R4} {
+			if !fast.Eval(rel, x, y) {
+				t.Errorf("round %d → %d: %v should hold on a ring", r, r+1, rel)
+			}
+		}
+		if fast.Eval(core.R1, y, x) {
+			t.Errorf("round %d wholly precedes round %d: causality inverted", r+1, r)
+		}
+	}
+}
+
+// TestPipelineItemOrdering: in a pipeline, item r's intake precedes item
+// r+1's exit, and R1 never holds backwards.
+func TestPipelineItemOrdering(t *testing.T) {
+	res := MustGenerate(Config{Pattern: Pipeline, Procs: 3, Rounds: 4, Seed: 5})
+	a := core.NewAnalysis(res.Exec)
+	fast := core.NewFast(a)
+	for r := 0; r+1 < len(res.Phases); r++ {
+		x := interval.MustNew(res.Exec, res.Phases[r].Events)
+		y := interval.MustNew(res.Exec, res.Phases[r+1].Events)
+		if !fast.Eval(core.R4, x, y) {
+			t.Errorf("item %d → %d: R4 should hold in a pipeline", r, r+1)
+		}
+		if fast.Eval(core.R1, y, x) {
+			t.Errorf("item %d wholly precedes item %d: causality inverted", r+1, r)
+		}
+	}
+}
+
+// TestBarrierSuperstepInvariants pins the barrier semantics in relation
+// form: consecutive supersteps satisfy R2' ∧ R3 but not R1; supersteps two
+// apart satisfy full R1.
+func TestBarrierSuperstepInvariants(t *testing.T) {
+	res := MustGenerate(Config{Pattern: Barrier, Procs: 4, Rounds: 3, Seed: 13})
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases = %d", len(res.Phases))
+	}
+	a := core.NewAnalysis(res.Exec)
+	fast := core.NewFast(a)
+	steps := make([]*interval.Interval, len(res.Phases))
+	for i, ph := range res.Phases {
+		steps[i] = interval.MustNew(res.Exec, ph.Events)
+	}
+	for r := 0; r+1 < len(steps); r++ {
+		for _, rel := range []core.Relation{core.R2Prime, core.R3} {
+			if !fast.Eval(rel, steps[r], steps[r+1]) {
+				t.Errorf("superstep %d → %d: %v should hold", r, r+1, rel)
+			}
+		}
+		if fast.Eval(core.R1, steps[r], steps[r+1]) {
+			t.Errorf("superstep %d → %d: R1 should NOT hold (release receives are concurrent with other workers' next computes)", r, r+1)
+		}
+	}
+	if !fast.Eval(core.R1, steps[0], steps[2]) {
+		t.Errorf("superstep 0 → 2: R1 should hold across a full barrier")
+	}
+}
+
+func TestExtremalPair(t *testing.T) {
+	res := MustGenerate(Config{Pattern: Ring, Procs: 5, Rounds: 3, Seed: 9})
+	x, y, err := ExtremalPair(res.Exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := interval.MustNew(res.Exec, x)
+	iy := interval.MustNew(res.Exec, y)
+	if ix.NodeCount() != 5 || iy.NodeCount() != 5 {
+		t.Errorf("node counts = %d,%d, want 5,5", ix.NodeCount(), iy.NodeCount())
+	}
+	if ix.Overlaps(iy) {
+		t.Errorf("extremal pair overlaps")
+	}
+	// A process with fewer than two events must be rejected.
+	b := poset.NewBuilder(2)
+	b.Append(0)
+	b.Append(0)
+	b.Append(1) // only one event on p1
+	ex := b.MustBuild()
+	if _, _, err := ExtremalPair(ex); err == nil {
+		t.Errorf("ExtremalPair accepted a 1-event process")
+	}
+}
+
+func TestPatternStringsAndParse(t *testing.T) {
+	for _, p := range Patterns() {
+		s := p.String()
+		if s == "" {
+			t.Errorf("empty name for pattern %d", int(p))
+		}
+		got, err := ParsePattern(s)
+		if err != nil || got != p {
+			t.Errorf("ParsePattern(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePattern("nope"); err == nil {
+		t.Errorf("ParsePattern accepted junk")
+	}
+	if Pattern(99).String() == "" {
+		t.Errorf("unknown pattern must still render")
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustGenerate did not panic")
+		}
+	}()
+	MustGenerate(Config{Pattern: Ring, Procs: 0})
+}

@@ -1,0 +1,290 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"causet/internal/poset"
+	"causet/internal/poset/posettest"
+)
+
+func fixture(t *testing.T) *poset.Execution {
+	t.Helper()
+	// p0: a1 --> b1 on p1; p1: b2 --> c2 on p2; p0 has trailing a2.
+	b := poset.NewBuilder(3)
+	a1 := b.Append(0)
+	b1 := b.Append(1)
+	if err := b.Message(a1, b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := b.Append(1)
+	b.Append(2) // c1
+	c2 := b.Append(2)
+	if err := b.Message(b2, c2); err != nil {
+		t.Fatal(err)
+	}
+	b.Append(0) // a2
+	return b.MustBuild()
+}
+
+func TestForwardTimestampsFixture(t *testing.T) {
+	ex := fixture(t)
+	c := New(ex)
+	want := map[poset.EventID]VC{
+		{Proc: 0, Pos: 1}: {1, 0, 0}, // a1
+		{Proc: 0, Pos: 2}: {2, 0, 0}, // a2
+		{Proc: 1, Pos: 1}: {1, 1, 0}, // b1 (recv from a1)
+		{Proc: 1, Pos: 2}: {1, 2, 0}, // b2
+		{Proc: 2, Pos: 1}: {0, 0, 1}, // c1
+		{Proc: 2, Pos: 2}: {1, 2, 2}, // c2 (recv from b2)
+	}
+	for e, w := range want {
+		if got := c.T(e); !got.Equal(w) {
+			t.Errorf("T(%v) = %v, want %v", e, got, w)
+		}
+	}
+}
+
+func TestReverseTimestampsFixture(t *testing.T) {
+	ex := fixture(t)
+	c := New(ex)
+	// T^R(e)[i] = number of real events on node i with e' ⪰ e.
+	want := map[poset.EventID]VC{
+		{Proc: 0, Pos: 1}: {2, 2, 1}, // a1: a1,a2 ; b1,b2 ; c2
+		{Proc: 0, Pos: 2}: {1, 0, 0}, // a2
+		{Proc: 1, Pos: 1}: {0, 2, 1}, // b1: b1,b2 ; c2
+		{Proc: 1, Pos: 2}: {0, 1, 1}, // b2: b2 ; c2
+		{Proc: 2, Pos: 1}: {0, 0, 2}, // c1: c1,c2
+		{Proc: 2, Pos: 2}: {0, 0, 1}, // c2
+	}
+	for e, w := range want {
+		if got := c.TR(e); !got.Equal(w) {
+			t.Errorf("TR(%v) = %v, want %v", e, got, w)
+		}
+	}
+}
+
+func TestDummyTimestamps(t *testing.T) {
+	ex := fixture(t)
+	c := New(ex)
+	zero := VC{0, 0, 0}
+	all := VC{2, 2, 2}
+	for i := 0; i < 3; i++ {
+		if got := c.T(ex.Bottom(i)); !got.Equal(zero) {
+			t.Errorf("T(⊥_%d) = %v, want %v", i, got, zero)
+		}
+		if got := c.T(ex.Top(i)); !got.Equal(all) {
+			t.Errorf("T(⊤_%d) = %v, want %v", i, got, all)
+		}
+		if got := c.TR(ex.Bottom(i)); !got.Equal(all) {
+			t.Errorf("TR(⊥_%d) = %v, want %v", i, got, all)
+		}
+		if got := c.TR(ex.Top(i)); !got.Equal(zero) {
+			t.Errorf("TR(⊤_%d) = %v, want %v", i, got, zero)
+		}
+	}
+}
+
+func TestTPanicsOnInvalidEvent(t *testing.T) {
+	ex := fixture(t)
+	c := New(ex)
+	for _, fn := range []func(){
+		func() { c.T(poset.EventID{Proc: 9, Pos: 1}) },
+		func() { c.TR(poset.EventID{Proc: 0, Pos: 99}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic on invalid event")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestDefinition13Isomorphism verifies (E,≺) ≅ (T,<) on random executions:
+// for distinct real events, a ≺ b iff T(a) < T(b) in the vector order.
+func TestDefinition13Isomorphism(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		ex := posettest.Random(r, 2+r.Intn(5), 5+r.Intn(25), 0.4)
+		c := New(ex)
+		evs := ex.RealEvents()
+		for _, a := range evs {
+			for _, b := range evs {
+				if a == b {
+					continue
+				}
+				want := ex.Precedes(a, b)
+				if got := c.T(a).Less(c.T(b)); got != want {
+					t.Fatalf("trial %d: T(%v)<T(%v) = %v, but a≺b = %v", trial, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDefinition14ReverseCounts verifies T^R(e)[i] literally counts the real
+// events on node i that causally follow or equal e, per Definition 14.
+func TestDefinition14ReverseCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		ex := posettest.Random(r, 2+r.Intn(4), 5+r.Intn(20), 0.5)
+		c := New(ex)
+		for _, e := range ex.RealEvents() {
+			tr := c.TR(e)
+			for i := 0; i < ex.NumProcs(); i++ {
+				count := 0
+				for pos := 1; pos <= ex.NumReal(i); pos++ {
+					if ex.PrecedesEq(e, poset.EventID{Proc: i, Pos: pos}) {
+						count++
+					}
+				}
+				if tr[i] != count {
+					t.Fatalf("trial %d: TR(%v)[%d] = %d, want %d", trial, e, i, tr[i], count)
+				}
+			}
+		}
+	}
+}
+
+// TestForwardCountsDefinition verifies T(e)[i] literally counts the real
+// events on node i that causally precede or equal e, per Definition 13
+// (real-event convention).
+func TestForwardCountsDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		ex := posettest.Random(r, 2+r.Intn(4), 5+r.Intn(20), 0.5)
+		c := New(ex)
+		for _, e := range ex.RealEvents() {
+			tv := c.T(e)
+			for i := 0; i < ex.NumProcs(); i++ {
+				count := 0
+				for pos := 1; pos <= ex.NumReal(i); pos++ {
+					if ex.PrecedesEq(poset.EventID{Proc: i, Pos: pos}, e) {
+						count++
+					}
+				}
+				if tv[i] != count {
+					t.Fatalf("trial %d: T(%v)[%d] = %d, want %d", trial, e, i, tv[i], count)
+				}
+			}
+		}
+	}
+}
+
+// TestPrecedesAgreesWithOracle cross-checks the O(1) timestamp causality test
+// against the brute-force BFS oracle over all event pairs, dummies included.
+func TestPrecedesAgreesWithOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 25; trial++ {
+		ex := posettest.Random(r, 2+r.Intn(4), 5+r.Intn(20), 0.4)
+		c := New(ex)
+		evs := ex.AllEvents()
+		for _, a := range evs {
+			for _, b := range evs {
+				if got, want := c.Precedes(a, b), ex.Precedes(a, b); got != want {
+					t.Fatalf("trial %d: Precedes(%v,%v) = %v, oracle %v", trial, a, b, got, want)
+				}
+				if got, want := c.Concurrent(a, b), ex.Concurrent(a, b); got != want {
+					t.Fatalf("trial %d: Concurrent(%v,%v) = %v, oracle %v", trial, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestVCComparisons(t *testing.T) {
+	for _, tc := range []struct {
+		v, w VC
+		want Ordering
+	}{
+		{VC{1, 2}, VC{1, 2}, OrderedEqual},
+		{VC{1, 2}, VC{1, 3}, OrderedBefore},
+		{VC{2, 2}, VC{1, 3}, OrderedConcurrent},
+		{VC{5, 5}, VC{4, 5}, OrderedAfter},
+		{VC{0, 0}, VC{0, 0}, OrderedEqual},
+	} {
+		if got := Compare(tc.v, tc.w); got != tc.want {
+			t.Errorf("Compare(%v,%v) = %v, want %v", tc.v, tc.w, got, tc.want)
+		}
+	}
+	if Compare(VC{1}, VC{1, 2}) != OrderedConcurrent {
+		t.Errorf("length mismatch must compare as concurrent (incomparable)")
+	}
+	for _, o := range []Ordering{OrderedEqual, OrderedBefore, OrderedAfter, OrderedConcurrent, Ordering(99)} {
+		if o.String() == "" {
+			t.Errorf("empty String for %d", int(o))
+		}
+	}
+}
+
+func TestVCMutators(t *testing.T) {
+	v := VC{1, 5, 2}
+	w := v.Clone()
+	w[0] = 9
+	if v[0] != 1 {
+		t.Errorf("Clone aliases the original")
+	}
+	v.MaxInto(VC{3, 1, 2})
+	if !v.Equal(VC{3, 5, 2}) {
+		t.Errorf("MaxInto = %v, want [3 5 2]", v)
+	}
+	if v.String() != "[3 5 2]" {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+// TestVCOrderIsPartialOrder property-checks reflexivity/antisymmetry/
+// transitivity of the vector order on random small vectors.
+func TestVCOrderIsPartialOrder(t *testing.T) {
+	gen := func(vals []uint8) VC {
+		v := make(VC, 4)
+		for i := range v {
+			v[i] = int(vals[i] % 8)
+		}
+		return v
+	}
+	f := func(a, b, c [4]uint8) bool {
+		v, w, u := gen(a[:]), gen(b[:]), gen(c[:])
+		if !v.LessEq(v) {
+			return false
+		}
+		if v.LessEq(w) && w.LessEq(v) && !v.Equal(w) {
+			return false
+		}
+		if v.LessEq(w) && w.LessEq(u) && !v.LessEq(u) {
+			return false
+		}
+		if v.Less(w) && !v.LessEq(w) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClocksExecutionAccessor(t *testing.T) {
+	ex := fixture(t)
+	c := New(ex)
+	if c.Execution() != ex {
+		t.Errorf("Execution accessor does not return the source execution")
+	}
+}
+
+func TestVCConcurrentAndPrecedesEq(t *testing.T) {
+	ex := fixture(t)
+	c := New(ex)
+	if !(VC{2, 1}).Concurrent(VC{1, 2}) || (VC{1, 1}).Concurrent(VC{1, 2}) {
+		t.Errorf("VC.Concurrent misreports")
+	}
+	a1 := poset.EventID{Proc: 0, Pos: 1}
+	b1 := poset.EventID{Proc: 1, Pos: 1}
+	if !c.PrecedesEq(a1, a1) || !c.PrecedesEq(a1, b1) || c.PrecedesEq(b1, a1) {
+		t.Errorf("Clocks.PrecedesEq misreports")
+	}
+}
