@@ -1,4 +1,5 @@
 GO ?= go
+FUZZTIME ?= 30s
 
 .PHONY: all build vet test race bench tables fuzz examples coverage clean
 
@@ -23,7 +24,8 @@ tables:
 	$(GO) run ./cmd/benchtab -table all
 
 fuzz:
-	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/monitor/
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/monitor/
+	$(GO) test -fuzz FuzzEvaluatorAgreement -fuzztime $(FUZZTIME) ./internal/core/
 
 examples:
 	$(GO) run ./examples/quickstart

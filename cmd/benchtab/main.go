@@ -6,8 +6,11 @@
 //	benchtab -table e4      Theorem 20: per-relation comparison counts
 //	benchtab -table e5      linear vs polynomial evaluation sweep
 //	benchtab -table e6      one-time setup amortization (Key Idea 1)
+//	benchtab -table e7      serial vs parallel batch evaluation sweep
 //	benchtab -table alg     relation algebra: hierarchy + composition table
 //	benchtab -table all     everything
+//
+// -parallel N sets the worker-pool width for e7 (0 = GOMAXPROCS).
 package main
 
 import (
@@ -30,10 +33,11 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	table := fs.String("table", "all", "which experiment to run: e1|e3|e4|e5|e6|alg|all")
+	table := fs.String("table", "all", "which experiment to run: e1|e3|e4|e5|e6|e7|alg|all")
 	trials := fs.Int("trials", 400, "randomized trials for e1/e3/e4")
-	reps := fs.Int("reps", 50, "repetitions per point for e5")
+	reps := fs.Int("reps", 50, "repetitions per point for e5/e7")
 	seed := fs.Int64("seed", 1, "PRNG seed")
+	parallel := fs.Int("parallel", 0, "worker-pool width for e7 (0 = GOMAXPROCS)")
 	csv := fs.Bool("csv", false, "emit the e5 sweep as CSV (for plotting) instead of a table")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +65,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if runAll || *table == "e6" {
 		e6(out, *seed)
+		ran = true
+	}
+	if runAll || *table == "e7" {
+		e7(out, *parallel, *reps, *seed)
 		ran = true
 	}
 	if runAll || *table == "alg" {
@@ -186,6 +194,26 @@ func e5CSV(out io.Writer, reps int, seed int64) error {
 			r.N, r.NaiveCmp, r.ProxyCmp, r.FastCmp, r.NaiveNsOp, r.ProxyNsOp, r.FastNsOp)
 	}
 	return nil
+}
+
+func e7(out io.Writer, workers, reps int, seed int64) {
+	fmt.Fprintln(out, "E7 — serial vs parallel batch evaluation (internal/batch, ring rounds × 8 relations)")
+	fmt.Fprintln(out)
+	rows := bench.ParallelSweep([]int{8, 32, 128}, workers, reps, seed)
+	var cells [][]string
+	for _, r := range rows {
+		agree := "identical"
+		if !r.Agree {
+			agree = "MISMATCH"
+		}
+		cells = append(cells, []string{
+			strconv.Itoa(r.N), strconv.Itoa(r.Queries), strconv.Itoa(r.Workers),
+			bench.F(r.SerialNs), bench.F(r.ParallelNs),
+			fmt.Sprintf("%.1fx", r.Speedup), agree,
+		})
+	}
+	fmt.Fprintln(out, bench.FormatTable(
+		[]string{"N", "queries", "workers", "serial ns", "parallel ns", "speedup", "verdicts+counts"}, cells))
 }
 
 func e6(out io.Writer, seed int64) {

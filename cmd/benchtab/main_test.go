@@ -85,3 +85,25 @@ func TestRunCSV(t *testing.T) {
 		t.Errorf("row order wrong:\n%s", buf.String())
 	}
 }
+
+// TestRunE7ParallelSweep: the serial-vs-parallel table reports identical
+// verdicts and aggregate comparison counts at every size, for several pool
+// widths.
+func TestRunE7ParallelSweep(t *testing.T) {
+	for _, workers := range []string{"0", "1", "4"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-table", "e7", "-reps", "2", "-parallel", workers}, &buf); err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "serial vs parallel batch evaluation") {
+			t.Errorf("workers=%s: missing header:\n%s", workers, out)
+		}
+		if strings.Contains(out, "MISMATCH") {
+			t.Errorf("workers=%s: parallel batch disagreed with serial:\n%s", workers, out)
+		}
+		if got := strings.Count(out, "identical"); got != 3 {
+			t.Errorf("workers=%s: %d of 3 sweep sizes verified:\n%s", workers, got, out)
+		}
+	}
+}

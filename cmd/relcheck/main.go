@@ -9,6 +9,10 @@
 //	relcheck -trace t.json -x a -y b -strongest                      # maximal relations only
 //	relcheck -trace t.json -matrix                                   # all interval pairs
 //	relcheck -trace t.json -x a -y b -evaluator naive -count         # cost comparison
+//	relcheck -trace t.json -matrix -parallel 8                       # 8-worker batch engine
+//
+// -parallel N routes evaluation through the internal/batch worker pool;
+// output is byte-identical for every N (and to the serial path).
 package main
 
 import (
@@ -16,8 +20,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 
+	"causet/internal/batch"
 	"causet/internal/core"
 	"causet/internal/hierarchy"
 	"causet/internal/interval"
@@ -44,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list the trace's interval names and exit")
 	strongest := fs.Bool("strongest", false, "print only the hierarchy-maximal relations")
 	matrix := fs.Bool("matrix", false, "print the strongest-relation matrix over all intervals")
+	parallel := fs.Int("parallel", 0, "evaluate with an N-worker batch engine (0 = serial, -1 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,8 +71,23 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+
+	a := core.NewAnalysis(ex)
+	newEval, err := evaluatorFactory(*evalName)
+	if err != nil {
+		return err
+	}
+	eval := newEval(a)
+	// -parallel routes every evaluation through the batch engine; its
+	// results are deterministic, so the output below is byte-identical for
+	// any worker count.
+	var eng *batch.Engine
+	if *parallel != 0 {
+		eng = batch.New(a, batch.Options{Workers: workerCount(*parallel), NewEvaluator: newEval})
+	}
+
 	if *matrix {
-		return printMatrix(out, f, ex, *evalName)
+		return printMatrix(out, f, ex, a, eval, eng)
 	}
 	if *xName == "" || *yName == "" {
 		return fmt.Errorf("missing -x or -y (use -list to see interval names)")
@@ -79,19 +101,6 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	a := core.NewAnalysis(ex)
-	var eval core.Evaluator
-	switch *evalName {
-	case "fast":
-		eval = core.NewFast(a)
-	case "proxy":
-		eval = core.NewProxy(a)
-	case "naive":
-		eval = core.NewNaive(a)
-	default:
-		return fmt.Errorf("unknown evaluator %q", *evalName)
-	}
-
 	fmt.Fprintf(out, "X = %s %v  (|X|=%d, N_X=%v)\n", *xName, x, x.Size(), x.NodeSet())
 	fmt.Fprintf(out, "Y = %s %v  (|Y|=%d, N_Y=%v)\n", *yName, y, y.Size(), y.NodeSet())
 	if tm, err := f.Timing(ex); err == nil {
@@ -100,7 +109,16 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *all32 {
-		holding := a.HoldingRel32(eval, x, y)
+		var holding []core.Rel32
+		if eng != nil {
+			profiles, _ := eng.Profiles([]batch.Pair{{X: x, Y: y}})
+			if profiles[0].Err != nil {
+				return profiles[0].Err
+			}
+			holding = profiles[0].Holding
+		} else {
+			holding = a.HoldingRel32(eval, x, y)
+		}
 		fmt.Fprintf(out, "%d of 32 relations hold:\n", len(holding))
 		for _, r := range holding {
 			fmt.Fprintf(out, "  %v\n", r)
@@ -108,17 +126,17 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	if *strongest {
-		var held []core.Relation
-		for _, rel := range core.Relations() {
-			ok, err := a.EvalChecked(eval, rel, x, y)
-			if err != nil {
-				return err
-			}
-			if ok {
-				held = append(held, rel)
+		held, err := evalRelations(a, eval, eng, core.Relations(), x, y)
+		if err != nil {
+			return err
+		}
+		var heldRels []core.Relation
+		for i, rel := range core.Relations() {
+			if held[i].held {
+				heldRels = append(heldRels, rel)
 			}
 		}
-		max := hierarchy.Strongest(held)
+		max := hierarchy.Strongest(heldRels)
 		if len(max) == 0 {
 			fmt.Fprintln(out, "no relation holds (not even R4)")
 			return nil
@@ -142,25 +160,80 @@ func run(args []string, out io.Writer) error {
 		}
 		rels = []core.Relation{rel}
 	}
-	for _, rel := range rels {
-		held, err := a.EvalChecked(eval, rel, x, y)
-		if err != nil {
-			return err
-		}
+	verdicts, err := evalRelations(a, eval, eng, rels, x, y)
+	if err != nil {
+		return err
+	}
+	for i, rel := range rels {
 		if *count {
-			_, n := eval.EvalCount(rel, x, y)
 			fmt.Fprintf(out, "%-4v %-22s = %-5v  (%d comparisons, %s)\n",
-				rel, rel.Quantifier(), held, n, eval.Name())
+				rel, rel.Quantifier(), verdicts[i].held, verdicts[i].comparisons, eval.Name())
 		} else {
-			fmt.Fprintf(out, "%-4v %-22s = %v\n", rel, rel.Quantifier(), held)
+			fmt.Fprintf(out, "%-4v %-22s = %v\n", rel, rel.Quantifier(), verdicts[i].held)
 		}
 	}
 	return nil
 }
 
+// verdict is one evaluated relation of the listing/strongest paths.
+type verdict struct {
+	held        bool
+	comparisons int64
+}
+
+// evalRelations answers rels over (x, y), through the batch engine when one
+// is configured and the checked serial path otherwise. Both reject overlap
+// and foreign intervals identically.
+func evalRelations(a *core.Analysis, eval core.Evaluator, eng *batch.Engine, rels []core.Relation, x, y *interval.Interval) ([]verdict, error) {
+	out := make([]verdict, len(rels))
+	if eng != nil {
+		res := eng.EvalQueries(batch.PairQueries([]batch.Pair{{X: x, Y: y}}, rels))
+		for i, r := range res.Results {
+			if r.Err != nil {
+				return nil, r.Err
+			}
+			out[i] = verdict{held: r.Held, comparisons: r.Comparisons}
+		}
+		return out, nil
+	}
+	for i, rel := range rels {
+		held, err := a.EvalChecked(eval, rel, x, y)
+		if err != nil {
+			return nil, err
+		}
+		_, n := eval.EvalCount(rel, x, y)
+		out[i] = verdict{held: held, comparisons: n}
+	}
+	return out, nil
+}
+
+// evaluatorFactory maps an -evaluator name to a per-worker constructor.
+func evaluatorFactory(name string) (func(*core.Analysis) core.Evaluator, error) {
+	switch name {
+	case "fast":
+		return func(a *core.Analysis) core.Evaluator { return core.NewFast(a) }, nil
+	case "proxy":
+		return func(a *core.Analysis) core.Evaluator { return core.NewProxy(a) }, nil
+	case "naive":
+		return func(a *core.Analysis) core.Evaluator { return core.NewNaive(a) }, nil
+	}
+	return nil, fmt.Errorf("unknown evaluator %q", name)
+}
+
+// workerCount resolves the -parallel flag: positive values name the pool
+// width, negative ones select GOMAXPROCS (0 never reaches here — it means
+// the serial path).
+func workerCount(parallel int) int {
+	if parallel < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallel
+}
+
 // printMatrix renders the strongest-relation matrix over every interval of
-// the trace (Problem 4(ii) at trace scale).
-func printMatrix(out io.Writer, f *trace.File, ex *poset.Execution, evalName string) error {
+// the trace (Problem 4(ii) at trace scale), through the batch engine when
+// one is configured.
+func printMatrix(out io.Writer, f *trace.File, ex *poset.Execution, a *core.Analysis, eval core.Evaluator, eng *batch.Engine) error {
 	ivMap, err := f.AllIntervals(ex)
 	if err != nil {
 		return err
@@ -177,19 +250,12 @@ func printMatrix(out io.Writer, f *trace.File, ex *poset.Execution, evalName str
 	for _, name := range names {
 		ivs = append(ivs, ivMap[name])
 	}
-	a := core.NewAnalysis(ex)
-	var eval core.Evaluator
-	switch evalName {
-	case "fast":
-		eval = core.NewFast(a)
-	case "proxy":
-		eval = core.NewProxy(a)
-	case "naive":
-		eval = core.NewNaive(a)
-	default:
-		return fmt.Errorf("unknown evaluator %q", evalName)
+	var pm *hierarchy.PairMatrix
+	if eng != nil {
+		pm, _, err = eng.Matrix(names, ivs)
+	} else {
+		pm, err = hierarchy.Summarize(a, eval, names, ivs)
 	}
-	pm, err := hierarchy.Summarize(a, eval, names, ivs)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -123,6 +125,62 @@ func TestRunErrors(t *testing.T) {
 	} {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+// TestParallelOutputIndependentOfWorkers is the batch-determinism property
+// at the CLI surface: for every mode, the output of -parallel N is
+// byte-identical for N ∈ {1, 4, GOMAXPROCS} and to the serial path.
+func TestParallelOutputIndependentOfWorkers(t *testing.T) {
+	path := writeTrace(t)
+	modes := [][]string{
+		{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-1", "-count"},
+		{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-1", "-evaluator", "naive", "-count"},
+		{"-trace", path, "-x", "ring-round-2", "-y", "ring-round-0"},
+		{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-2", "-all32"},
+		{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-2", "-strongest"},
+		{"-trace", path, "-matrix"},
+	}
+	workers := []string{"1", "4", strconv.Itoa(runtime.GOMAXPROCS(0)), "-1"}
+	for _, mode := range modes {
+		var serial bytes.Buffer
+		if err := run(mode, &serial); err != nil {
+			t.Fatalf("serial %v: %v", mode, err)
+		}
+		for _, w := range workers {
+			var buf bytes.Buffer
+			args := append(append([]string{}, mode...), "-parallel", w)
+			if err := run(args, &buf); err != nil {
+				t.Fatalf("%v: %v", args, err)
+			}
+			if buf.String() != serial.String() {
+				t.Errorf("output of %v differs from serial:\n%s\nwant:\n%s", args, buf.String(), serial.String())
+			}
+		}
+	}
+}
+
+// TestParallelRejectsOverlap covers the engine's reject path end to end: a
+// pair sharing events errors out under -parallel just as EvalChecked does
+// serially.
+func TestParallelRejectsOverlap(t *testing.T) {
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: 3, Rounds: 3, Seed: 1})
+	named := map[string][]poset.EventID{}
+	for _, ph := range res.Phases {
+		named[ph.Name] = ph.Events
+	}
+	named["rounds-01"] = append(append([]poset.EventID{}, named["ring-round-0"]...), named["ring-round-1"]...)
+	path := filepath.Join(t.TempDir(), "overlap.json")
+	if err := trace.New(res.Exec, named).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{nil, {"-strongest"}} {
+		args := append([]string{"-trace", path, "-x", "ring-round-0", "-y", "rounds-01", "-parallel", "4"}, extra...)
+		var buf bytes.Buffer
+		err := run(args, &buf)
+		if err == nil || !strings.Contains(err.Error(), "overlap") {
+			t.Errorf("run(%v) = %v, want overlap rejection", args, err)
 		}
 	}
 }

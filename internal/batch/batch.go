@@ -1,0 +1,298 @@
+// Package batch evaluates large sets of relation queries concurrently
+// against one shared core.Analysis — the serving layer the ROADMAP's
+// heavy-traffic goal needs on top of the paper's per-query linearity
+// (Theorems 19–20). Three workload shapes are supported:
+//
+//   - EvalQueries: a flat list of (relation, X, Y) triples;
+//   - Profiles: the full 32-relation set ℛ per interval pair;
+//   - Matrix: the all-pairs strongest-relation matrix (Problem 4(ii)).
+//
+// Results are deterministic — results[i] always answers queries[i] and is
+// bit-identical regardless of worker count or Analysis shard count — while
+// the per-worker comparison/held/error counters are aggregated into a
+// single Stats via atomics. The shared Analysis is safe because its cut
+// cache is sharded with a build-once guarantee (core.NewAnalysisShards),
+// so concurrent cold queries on one interval coalesce into one build.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"causet/internal/core"
+	"causet/internal/hierarchy"
+	"causet/internal/interval"
+)
+
+// chunk is the work-stealing granule: workers claim runs of this many items
+// off an atomic cursor, large enough to amortize the claim, small enough to
+// balance uneven per-query cost (early exits, cold cut builds).
+const chunk = 32
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the pool size; values < 1 (and 1 itself) select the
+	// serial path — the engine then evaluates inline on the caller's
+	// goroutine with zero scheduling overhead, which is the baseline the
+	// parallel sweep (EXPERIMENTS.md E7) compares against.
+	Workers int
+	// NewEvaluator builds one evaluator per worker (they are cheap and
+	// stateless, but giving each worker its own keeps the contract local).
+	// nil selects core.NewFast.
+	NewEvaluator func(*core.Analysis) core.Evaluator
+}
+
+// Engine evaluates query batches against one execution's Analysis.
+type Engine struct {
+	a       *core.Analysis
+	workers int
+	newEval func(*core.Analysis) core.Evaluator
+}
+
+// New returns an engine over a with the given options.
+func New(a *core.Analysis, opts Options) *Engine {
+	w := opts.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	ne := opts.NewEvaluator
+	if ne == nil {
+		ne = func(a *core.Analysis) core.Evaluator { return core.NewFast(a) }
+	}
+	return &Engine{a: a, workers: w, newEval: ne}
+}
+
+// Workers reports the configured pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Query is one relation query: does Rel(X, Y) hold?
+type Query struct {
+	Rel  core.Relation
+	X, Y *interval.Interval
+}
+
+// Result answers one Query.
+type Result struct {
+	// Held is the verdict; false when Err is non-nil.
+	Held bool
+	// Comparisons is the number of integer comparisons spent (the paper's
+	// cost model), 0 when Err is non-nil.
+	Comparisons int64
+	// Err is non-nil for rejected queries: *core.ErrOverlap for
+	// overlapping pairs, or a foreign-execution error.
+	Err error
+}
+
+// Stats aggregates the counters of one batch.
+type Stats struct {
+	Queries     int64
+	Held        int64
+	Errors      int64
+	Comparisons int64
+}
+
+// add merges a worker-local tally into the shared stats with atomics.
+func (s *Stats) add(local Stats) {
+	atomic.AddInt64(&s.Queries, local.Queries)
+	atomic.AddInt64(&s.Held, local.Held)
+	atomic.AddInt64(&s.Errors, local.Errors)
+	atomic.AddInt64(&s.Comparisons, local.Comparisons)
+}
+
+// Results is one evaluated batch: Results[i] answers Queries[i].
+type Results struct {
+	Queries []Query
+	Results []Result
+	Stats   Stats
+}
+
+// evalOne answers q into r and tallies into the worker-local st.
+func (e *Engine) evalOne(ev core.Evaluator, q Query, r *Result, st *Stats) {
+	st.Queries++
+	if q.X.Execution() != e.a.Execution() || q.Y.Execution() != e.a.Execution() {
+		r.Err = fmt.Errorf("batch: interval from a different execution")
+		st.Errors++
+		return
+	}
+	if q.X.Overlaps(q.Y) {
+		r.Err = &core.ErrOverlap{X: q.X, Y: q.Y}
+		st.Errors++
+		return
+	}
+	r.Held, r.Comparisons = ev.EvalCount(q.Rel, q.X, q.Y)
+	st.Comparisons += r.Comparisons
+	if r.Held {
+		st.Held++
+	}
+}
+
+// run distributes n items over the pool. Each worker claims chunks off an
+// atomic cursor and calls do with a worker-local evaluator; with a pool
+// size of 1 it degenerates to an inline loop on the caller's goroutine.
+func (e *Engine) run(n int, do func(ev core.Evaluator, i int, st *Stats)) Stats {
+	var total Stats
+	if e.workers == 1 || n <= chunk {
+		ev := e.newEval(e.a)
+		var local Stats
+		for i := 0; i < n; i++ {
+			do(ev, i, &local)
+		}
+		total.add(local)
+		return total
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := e.newEval(e.a)
+			var local Stats
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= n {
+					break
+				}
+				hi := min(lo+chunk, n)
+				for i := lo; i < hi; i++ {
+					do(ev, i, &local)
+				}
+			}
+			total.add(local)
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// EvalQueries answers every query in qs. Result order matches query order
+// and each result is independent of the worker count.
+func (e *Engine) EvalQueries(qs []Query) *Results {
+	res := &Results{Queries: qs, Results: make([]Result, len(qs))}
+	res.Stats = e.run(len(qs), func(ev core.Evaluator, i int, st *Stats) {
+		e.evalOne(ev, qs[i], &res.Results[i], st)
+	})
+	return res
+}
+
+// PairQueries expands ordered interval pairs × relations into a flat query
+// list, pairs-major in the given order — the canonical many-query workload.
+func PairQueries(pairs []Pair, rels []core.Relation) []Query {
+	qs := make([]Query, 0, len(pairs)*len(rels))
+	for _, p := range pairs {
+		for _, rel := range rels {
+			qs = append(qs, Query{Rel: rel, X: p.X, Y: p.Y})
+		}
+	}
+	return qs
+}
+
+// Pair is one ordered interval pair (X related to Y).
+type Pair struct {
+	X, Y *interval.Interval
+}
+
+// Profile reports which members of the 32-relation set ℛ hold for one pair,
+// under the per-node proxies of Definition 2.
+type Profile struct {
+	Pair Pair
+	// Holding lists the relations that hold, in core.AllRel32 order.
+	Holding []core.Rel32
+	// Bits has bit i set iff core.AllRel32()[i] holds — a compact
+	// fingerprint for deduplicating profiles at scale.
+	Bits uint32
+	// Err is non-nil when the pair was rejected (overlap or foreign
+	// execution); Holding is empty then.
+	Err error
+}
+
+// Profiles evaluates the full relation set ℛ for every pair. Profile order
+// matches pair order.
+func (e *Engine) Profiles(pairs []Pair) ([]Profile, Stats) {
+	out := make([]Profile, len(pairs))
+	all := core.AllRel32()
+	stats := e.run(len(pairs), func(ev core.Evaluator, i int, st *Stats) {
+		p := pairs[i]
+		out[i].Pair = p
+		st.Queries++
+		if p.X.Execution() != e.a.Execution() || p.Y.Execution() != e.a.Execution() {
+			out[i].Err = fmt.Errorf("batch: interval from a different execution")
+			st.Errors++
+			return
+		}
+		if p.X.Overlaps(p.Y) {
+			out[i].Err = &core.ErrOverlap{X: p.X, Y: p.Y}
+			st.Errors++
+			return
+		}
+		for bit, r := range all {
+			held, err := e.a.EvalRel32(ev, r, p.X, p.Y, interval.DefPerNode)
+			if err != nil {
+				// Per-node proxies of valid intervals are never empty.
+				panic(err)
+			}
+			if held {
+				out[i].Holding = append(out[i].Holding, r)
+				out[i].Bits |= 1 << uint(bit)
+				st.Held++
+			}
+		}
+	})
+	return out, stats
+}
+
+// Matrix computes the strongest-relation pair matrix over the named
+// intervals — the parallel counterpart of hierarchy.Summarize, cell-for-cell
+// identical to it. names and ivs run in parallel; all intervals must belong
+// to the engine's execution.
+func (e *Engine) Matrix(names []string, ivs []*interval.Interval) (*hierarchy.PairMatrix, Stats, error) {
+	if len(names) != len(ivs) {
+		return nil, Stats{}, fmt.Errorf("batch: %d names for %d intervals", len(names), len(ivs))
+	}
+	n := len(ivs)
+	pm := &hierarchy.PairMatrix{
+		Names: append([]string(nil), names...),
+		Cells: make([][]hierarchy.Cell, n),
+	}
+	for i := range pm.Cells {
+		pm.Cells[i] = make([]hierarchy.Cell, n)
+	}
+	errs := make([]error, n*n)
+	canonical := hierarchy.Canonical()
+	stats := e.run(n*n, func(ev core.Evaluator, k int, st *Stats) {
+		i, j := k/n, k%n
+		if i == j {
+			return
+		}
+		x, y := ivs[i], ivs[j]
+		st.Queries++
+		if x.Execution() != e.a.Execution() || y.Execution() != e.a.Execution() {
+			errs[k] = fmt.Errorf("batch: interval %q from a different execution", names[i])
+			st.Errors++
+			return
+		}
+		if x.Overlaps(y) {
+			pm.Cells[i][j] = hierarchy.Cell{Overlap: true}
+			return
+		}
+		var held []core.Relation
+		for _, rel := range canonical {
+			ok, cmp := ev.EvalCount(rel, x, y)
+			st.Comparisons += cmp
+			if ok {
+				held = append(held, rel)
+				st.Held++
+			}
+		}
+		pm.Cells[i][j] = hierarchy.Cell{Strongest: hierarchy.Strongest(held)}
+	})
+	// First error in cell order, so failures are deterministic too.
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	return pm, stats, nil
+}

@@ -1,0 +1,106 @@
+package batch
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"causet/internal/core"
+	"causet/internal/interval"
+	"causet/internal/sim"
+)
+
+// sweepWorkload builds the E5-style batch workload at |N_X| = |N_Y| = n: a
+// ring execution whose rounds are the intervals, queried over every ordered
+// round pair × all 8 relations.
+func sweepWorkload(n int) (*sim.Result, []Query) {
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: n, Rounds: 8, Seed: 1})
+	ivs := make([]*interval.Interval, 0, len(res.Phases))
+	for _, ph := range res.Phases {
+		ivs = append(ivs, interval.MustNew(res.Exec, ph.Events))
+	}
+	var pairs []Pair
+	for i, x := range ivs {
+		for j, y := range ivs {
+			if i != j {
+				pairs = append(pairs, Pair{X: x, Y: y})
+			}
+		}
+	}
+	return res, PairQueries(pairs, core.Relations())
+}
+
+// BenchmarkBatchParallelSweep compares serial (workers=1, inline loop)
+// against parallel (workers=GOMAXPROCS) batch evaluation on the E5 sweep
+// sizes. On a machine with GOMAXPROCS ≥ 4 the parallel rows show the
+// near-linear speedup recorded in EXPERIMENTS.md E7; verdicts and aggregate
+// comparison counts are identical by construction (asserted by
+// TestParallelSweepAgreesWithSerial).
+func BenchmarkBatchParallelSweep(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		res, qs := sweepWorkload(n)
+		for _, cfg := range []struct {
+			name    string
+			workers int
+		}{
+			{"serial", 1},
+			{"parallel", runtime.GOMAXPROCS(0)},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, cfg.name), func(b *testing.B) {
+				a := core.NewAnalysis(res.Exec)
+				eng := New(a, Options{Workers: cfg.workers})
+				eng.EvalQueries(qs) // warm the cut cache out of the timed loop
+				b.ResetTimer()
+				var held int64
+				for i := 0; i < b.N; i++ {
+					held = eng.EvalQueries(qs).Stats.Held
+				}
+				b.StopTimer()
+				if held == 0 {
+					b.Fatal("ring rounds must satisfy some relations")
+				}
+				b.ReportMetric(float64(len(qs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			})
+		}
+	}
+}
+
+// TestParallelSweepAgreesWithSerial runs the n=128 sweep workload both ways
+// and requires bit-identical verdicts and aggregate comparison counts; on a
+// machine with enough parallelism (and no race instrumentation) it also
+// requires the ≥2× throughput the batch layer exists for.
+func TestParallelSweepAgreesWithSerial(t *testing.T) {
+	res, qs := sweepWorkload(128)
+	serial := New(core.NewAnalysis(res.Exec), Options{Workers: 1})
+	parallel := New(core.NewAnalysis(res.Exec), Options{Workers: runtime.GOMAXPROCS(0)})
+
+	sr := serial.EvalQueries(qs)
+	pr := parallel.EvalQueries(qs)
+	if !reflect.DeepEqual(sr.Results, pr.Results) {
+		t.Fatal("parallel verdicts differ from serial")
+	}
+	if sr.Stats != pr.Stats {
+		t.Fatalf("aggregate stats differ: serial %+v, parallel %+v", sr.Stats, pr.Stats)
+	}
+
+	if runtime.GOMAXPROCS(0) < 4 || raceEnabled || testing.Short() {
+		t.Skip("throughput check needs GOMAXPROCS ≥ 4 without race instrumentation")
+	}
+	measure := func(e *Engine) time.Duration {
+		const reps = 20
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			e.EvalQueries(qs)
+		}
+		return time.Since(start) / reps
+	}
+	measure(serial) // warm both paths before timing
+	measure(parallel)
+	st, pt := measure(serial), measure(parallel)
+	if speedup := float64(st) / float64(pt); speedup < 2 {
+		t.Errorf("parallel speedup %.2fx at n=128 with GOMAXPROCS=%d, want ≥ 2x (serial %v, parallel %v)",
+			speedup, runtime.GOMAXPROCS(0), st, pt)
+	}
+}

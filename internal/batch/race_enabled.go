@@ -1,0 +1,7 @@
+//go:build race
+
+package batch
+
+// raceEnabled reports whether the race detector is compiled in; the
+// throughput assertions skip under it (instrumentation skews timing).
+const raceEnabled = true

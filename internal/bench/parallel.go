@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"causet/internal/batch"
+	"causet/internal/core"
+	"causet/internal/interval"
+	"causet/internal/sim"
+)
+
+// ParallelRow is one point of experiment E7: serial versus parallel batch
+// evaluation of the E5 ring workload at |N_X| = |N_Y| = N.
+type ParallelRow struct {
+	N          int
+	Workers    int
+	Queries    int     // queries per batch (ordered round pairs × 8 relations)
+	SerialNs   float64 // one full batch, workers = 1 (inline loop)
+	ParallelNs float64 // one full batch on the worker pool
+	Speedup    float64 // SerialNs / ParallelNs
+	Agree      bool    // identical verdicts and aggregate comparison counts
+}
+
+// sweepQueries builds the E7 batch workload at size n: the rounds of a ring
+// execution as intervals, queried over every ordered round pair × all 8
+// relations.
+func sweepQueries(n int, seed int64) (*sim.Result, []batch.Query) {
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: n, Rounds: 8, Seed: seed})
+	ivs := make([]*interval.Interval, 0, len(res.Phases))
+	for _, ph := range res.Phases {
+		ivs = append(ivs, interval.MustNew(res.Exec, ph.Events))
+	}
+	var pairs []batch.Pair
+	for i, x := range ivs {
+		for j, y := range ivs {
+			if i != j {
+				pairs = append(pairs, batch.Pair{X: x, Y: y})
+			}
+		}
+	}
+	return res, batch.PairQueries(pairs, core.Relations())
+}
+
+// ParallelSweep runs E7: for each N it times the same query batch through
+// the serial path and through a workers-wide pool (workers ≤ 0 selects
+// GOMAXPROCS), and cross-checks that both produce identical verdicts and
+// aggregate comparison counts. Timing excludes the one-time Analysis and
+// cut-cache warmup, matching E5's convention.
+func ParallelSweep(ns []int, workers, reps int, seed int64) []ParallelRow {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	rows := make([]ParallelRow, 0, len(ns))
+	for _, n := range ns {
+		res, qs := sweepQueries(n, seed)
+		serial := batch.New(core.NewAnalysis(res.Exec), batch.Options{Workers: 1})
+		parallel := batch.New(core.NewAnalysis(res.Exec), batch.Options{Workers: workers})
+		sres := serial.EvalQueries(qs) // warm both cut caches
+		pres := parallel.EvalQueries(qs)
+
+		agree := sres.Stats == pres.Stats
+		for i := range qs {
+			if sres.Results[i] != pres.Results[i] {
+				agree = false
+				break
+			}
+		}
+
+		measure := func(e *batch.Engine) float64 {
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				e.EvalQueries(qs)
+			}
+			return float64(time.Since(start).Nanoseconds()) / float64(reps)
+		}
+		row := ParallelRow{
+			N:          n,
+			Workers:    workers,
+			Queries:    len(qs),
+			SerialNs:   measure(serial),
+			ParallelNs: measure(parallel),
+			Agree:      agree,
+		}
+		if row.ParallelNs > 0 {
+			row.Speedup = row.SerialNs / row.ParallelNs
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

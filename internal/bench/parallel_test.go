@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestParallelSweepAgreesAtEverySize(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, runtime.GOMAXPROCS(0)} {
+		rows := ParallelSweep([]int{4, 16}, workers, 2, 1)
+		if len(rows) != 2 {
+			t.Fatalf("workers=%d: %d rows, want 2", workers, len(rows))
+		}
+		for _, r := range rows {
+			if !r.Agree {
+				t.Errorf("workers=%d N=%d: parallel verdicts or counts differ from serial", workers, r.N)
+			}
+			// 8 ring rounds → 56 ordered pairs × 8 relations.
+			if r.Queries != 448 {
+				t.Errorf("workers=%d N=%d: %d queries, want 448", workers, r.N, r.Queries)
+			}
+			if r.SerialNs <= 0 || r.ParallelNs <= 0 || r.Speedup <= 0 {
+				t.Errorf("workers=%d N=%d: non-positive timings %+v", workers, r.N, r)
+			}
+			if want := max(workers, 1); workers != 0 && r.Workers != want {
+				t.Errorf("workers=%d N=%d: row reports %d workers", workers, r.N, r.Workers)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"causet/internal/cuts"
 	"causet/internal/interval"
@@ -10,28 +11,63 @@ import (
 	"causet/internal/vclock"
 )
 
+// DefaultCacheShards is the shard count of the cut cache under NewAnalysis.
+// Sharding bounds lock contention when many goroutines query the same
+// Analysis (internal/batch fans queries across a worker pool); 32 shards
+// keep the per-shard maps small at negligible fixed cost.
+const DefaultCacheShards = 32
+
+// cacheEntry is one slot of the cut cache. The sync.Once gives the
+// build-once guarantee: however many goroutines race on a cold interval,
+// exactly one executes buildCuts and the rest block until it is published.
+type cacheEntry struct {
+	once sync.Once
+	ic   *IntervalCuts
+}
+
+// cacheShard is one lock domain of the cut cache.
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[*interval.Interval]*cacheEntry
+}
+
 // Analysis is the per-execution precomputation shared by the evaluators:
-// the forward/reverse timestamp structure of Section 2.3 plus a cache of the
-// condensed cuts of each interval (Key Idea 1 — the cuts of a nonatomic
-// event are computed once and reused against many other events).
+// the forward/reverse timestamp structure of Section 2.3 plus a sharded
+// cache of the condensed cuts of each interval (Key Idea 1 — the cuts of a
+// nonatomic event are computed once and reused against many other events,
+// and against many concurrent queriers).
 //
 // An Analysis is safe for concurrent use after construction.
 type Analysis struct {
 	ex  *poset.Execution
 	clk *vclock.Clocks
 
-	mu    sync.RWMutex
-	cache map[*interval.Interval]*IntervalCuts
+	shards []cacheShard
+	builds atomic.Int64
 }
 
 // NewAnalysis computes the timestamp structure for ex. This is the one-time
 // setup cost whose amortization experiment E6 measures.
 func NewAnalysis(ex *poset.Execution) *Analysis {
-	return &Analysis{
-		ex:    ex,
-		clk:   vclock.New(ex),
-		cache: make(map[*interval.Interval]*IntervalCuts),
+	return NewAnalysisShards(ex, DefaultCacheShards)
+}
+
+// NewAnalysisShards is NewAnalysis with an explicit cut-cache shard count
+// (minimum 1). Results never depend on the shard count — only contention
+// does; the batch property tests exercise several counts.
+func NewAnalysisShards(ex *poset.Execution, shards int) *Analysis {
+	if shards < 1 {
+		shards = 1
 	}
+	a := &Analysis{
+		ex:     ex,
+		clk:    vclock.New(ex),
+		shards: make([]cacheShard, shards),
+	}
+	for i := range a.shards {
+		a.shards[i].m = make(map[*interval.Interval]*cacheEntry)
+	}
+	return a
 }
 
 // Execution returns the analyzed execution.
@@ -60,25 +96,51 @@ type IntervalCuts struct {
 	FirstPos, LastPos []int
 }
 
+// shard maps an interval to its lock domain. The hash mixes the interval's
+// first event and size rather than its address so shard placement is
+// deterministic for a given execution (and needs no unsafe).
+func (a *Analysis) shard(iv *interval.Interval) *cacheShard {
+	e := iv.Events()[0]
+	h := uint(e.Proc)*0x9e3779b1 ^ uint(e.Pos)*0x85ebca77 ^ uint(iv.Size())*0xc2b2ae3d
+	return &a.shards[h%uint(len(a.shards))]
+}
+
 // Cuts returns the condensed cuts of iv, computing them on first use and
 // caching thereafter (Key Idea 1). It panics when iv belongs to a different
 // execution.
+//
+// The lookup is double-checked: a shared-lock probe on the hot path, then an
+// exclusive-lock slot reservation, then a singleflight build outside the
+// shard lock — concurrent queries for the same cold interval build its cuts
+// exactly once (CutBuilds counts), and builds of different intervals in the
+// same shard never serialize on each other.
 func (a *Analysis) Cuts(iv *interval.Interval) *IntervalCuts {
 	if iv.Execution() != a.ex {
 		panic(fmt.Sprintf("core: interval %v belongs to a different execution", iv))
 	}
-	a.mu.RLock()
-	ic, ok := a.cache[iv]
-	a.mu.RUnlock()
-	if ok {
-		return ic
+	s := a.shard(iv)
+	s.mu.RLock()
+	e, ok := s.m[iv]
+	s.mu.RUnlock()
+	if !ok {
+		s.mu.Lock()
+		if e, ok = s.m[iv]; !ok {
+			e = &cacheEntry{}
+			s.m[iv] = e
+		}
+		s.mu.Unlock()
 	}
-	ic = a.buildCuts(iv)
-	a.mu.Lock()
-	a.cache[iv] = ic
-	a.mu.Unlock()
-	return ic
+	e.once.Do(func() {
+		e.ic = a.buildCuts(iv)
+		a.builds.Add(1)
+	})
+	return e.ic
 }
+
+// CutBuilds reports how many IntervalCuts this Analysis has constructed —
+// with the build-once guarantee it equals the number of distinct intervals
+// queried, no matter how many goroutines raced on them.
+func (a *Analysis) CutBuilds() int64 { return a.builds.Load() }
 
 // buildCuts constructs the cuts from the per-node extrema only: as observed
 // at the end of Section 2.3, for C1/C3 it suffices to fold over the least

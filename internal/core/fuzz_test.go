@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"causet/internal/interval"
+	"causet/internal/poset"
+	"causet/internal/poset/posettest"
+)
+
+// FuzzEvaluatorAgreement is the differential fuzz target: every input byte
+// string names a random execution plus a disjoint interval pair, on which
+// Naive, Proxy, and Fast must agree for all 32 relations of ℛ (and for the
+// eight Table 1 relations through EvalChecked). The reject path is covered
+// too: an overlapping pair must come back as *ErrOverlap from every
+// evaluator.
+//
+// CI runs this as a short smoke (`make fuzz FUZZTIME=10s`); the seed corpus
+// below alone replays as a plain test case.
+func FuzzEvaluatorAgreement(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(24), uint8(115), uint8(4))
+	f.Add(int64(42), uint8(0), uint8(2), uint8(0), uint8(0))
+	f.Add(int64(7), uint8(5), uint8(60), uint8(255), uint8(5))
+	f.Add(int64(-3), uint8(3), uint8(40), uint8(128), uint8(2))
+	f.Add(int64(987654321), uint8(255), uint8(255), uint8(64), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, procsB, eventsB, msgProbB, sizeB uint8) {
+		procs := 2 + int(procsB%6)
+		events := 4 + int(eventsB%44)
+		msgProb := float64(msgProbB) / 255
+		maxSize := 1 + int(sizeB%6)
+		r := rand.New(rand.NewSource(seed))
+		ex := posettest.Random(r, procs, events, msgProb)
+		xe, ye := posettest.DisjointIntervals(r, ex, maxSize)
+		if xe == nil {
+			t.Skip("execution too small for a disjoint pair")
+		}
+		x, y := interval.MustNew(ex, xe), interval.MustNew(ex, ye)
+		a := NewAnalysis(ex)
+		evals := []Evaluator{NewNaive(a), NewProxy(a), NewFast(a)}
+
+		for _, r32 := range AllRel32() {
+			var first bool
+			for k, ev := range evals {
+				held, err := a.EvalRel32(ev, r32, x, y, interval.DefPerNode)
+				if err != nil {
+					t.Fatalf("%s: EvalRel32(%v) error: %v", ev.Name(), r32, err)
+				}
+				if k == 0 {
+					first = held
+				} else if held != first {
+					t.Fatalf("evaluators disagree on %v(%v, %v): naive=%v %s=%v",
+						r32, x, y, first, ev.Name(), held)
+				}
+			}
+		}
+
+		for _, rel := range Relations() {
+			var first bool
+			for k, ev := range evals {
+				held, err := a.EvalChecked(ev, rel, x, y)
+				if err != nil {
+					t.Fatalf("%s: EvalChecked(%v) rejected a disjoint pair: %v", ev.Name(), rel, err)
+				}
+				if k == 0 {
+					first = held
+				} else if held != first {
+					t.Fatalf("evaluators disagree on %v(%v, %v)", rel, x, y)
+				}
+			}
+		}
+
+		// Reject path: grafting one event of X onto Y makes the pair
+		// overlap, and every evaluator must refuse it with *ErrOverlap.
+		ov := interval.MustNew(ex, append(append([]poset.EventID{}, ye...), xe[0]))
+		for _, ev := range evals {
+			_, err := a.EvalChecked(ev, R4, x, ov)
+			var ovl *ErrOverlap
+			if !errors.As(err, &ovl) {
+				t.Fatalf("%s: EvalChecked on overlapping pair = %v, want *ErrOverlap", ev.Name(), err)
+			}
+		}
+	})
+}
