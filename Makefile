@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench tables fuzz examples coverage clean
+.PHONY: all build vet test race bench tables metrics trace fuzz examples coverage clean
 
 all: build vet test
 
@@ -23,6 +23,18 @@ bench:
 tables:
 	$(GO) run ./cmd/benchtab -table all
 
+# Machine-readable benchmark report (schema causet-benchtab/1) on stdout.
+metrics:
+	$(GO) run ./cmd/benchtab -json - -trials 100 -reps 5
+
+# Chrome trace_event demo: generate a ring trace, evaluate the all-pairs
+# matrix on the batch engine, and leave the span trace in trace_spans.json
+# (open in Perfetto or about://tracing).
+trace:
+	$(GO) run ./cmd/tracegen -pattern ring -procs 8 -rounds 5 -o trace_ring.json
+	$(GO) run ./cmd/relcheck -trace trace_ring.json -matrix -parallel 4 -trace-out trace_spans.json -metrics -
+	@echo "spans written to trace_spans.json"
+
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/monitor/
 	$(GO) test -fuzz FuzzEvaluatorAgreement -fuzztime $(FUZZTIME) ./internal/core/
@@ -39,4 +51,4 @@ coverage:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt trace_ring.json trace_spans.json

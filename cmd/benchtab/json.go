@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+
+	"causet/internal/bench"
+	"causet/internal/obs"
+)
+
+// jsonSchema identifies the report layout; bump the suffix on breaking
+// changes so downstream tooling can reject files it does not understand.
+const jsonSchema = "causet-benchtab/1"
+
+// jsonReport is the machine-readable benchmark report emitted by
+// benchtab -json. BENCH_*.json files committed at the repo root track these
+// across PRs; the checked-in BENCH_e1.json is the schema example that
+// TestJSONMatchesCommittedSchema validates against.
+type jsonReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Seed       int64  `json:"seed"`
+	Trials     int    `json:"trials"`
+	Reps       int    `json:"reps"`
+
+	// E1: three-evaluator agreement per relation (correctness anchor).
+	E1 []jsonAgreementRow `json:"e1_agreement"`
+	// E4: Fast-evaluator comparison counts vs the Theorem 20 bounds.
+	E4 []jsonBoundRow `json:"e4_bounds"`
+	// E5: comparisons/op and ns/op per evaluator across sizes.
+	E5 []jsonSweepRow `json:"e5_sweep"`
+	// E7: serial vs parallel batch timing.
+	E7 []jsonParallelRow `json:"e7_parallel"`
+
+	// Metrics is the registry snapshot accumulated while the experiments
+	// above ran: core.<eval>.comparisons[.<rel>], core.cut_builds,
+	// batch.* counters, and the associated histograms.
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+type jsonAgreementRow struct {
+	Relation   string `json:"relation"`
+	Trials     int    `json:"trials"`
+	Agreements int    `json:"agreements"`
+	Held       int    `json:"held"`
+}
+
+type jsonBoundRow struct {
+	Relation    string `json:"relation"`
+	Bound       string `json:"bound"`
+	Trials      int    `json:"trials"`
+	WithinBound int    `json:"within_bound"`
+	TightHits   int    `json:"tight_hits"`
+	MaxCount    int64  `json:"max_comparisons"`
+}
+
+type jsonSweepRow struct {
+	N          int     `json:"n"`
+	NaiveCmp   float64 `json:"naive_cmp"`
+	ProxyCmp   float64 `json:"proxy_cmp"`
+	FastCmp    float64 `json:"fast_cmp"`
+	NaiveNsOp  float64 `json:"naive_ns_op"`
+	ProxyNsOp  float64 `json:"proxy_ns_op"`
+	FastNsOp   float64 `json:"fast_ns_op"`
+	SpeedupPxF float64 `json:"proxy_over_fast"`
+}
+
+type jsonParallelRow struct {
+	N          int     `json:"n"`
+	Workers    int     `json:"workers"`
+	Queries    int     `json:"queries"`
+	SerialNs   float64 `json:"serial_ns"`
+	ParallelNs float64 `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+	Agree      bool    `json:"agree"`
+}
+
+// buildJSONReport runs E1, E4, E5, and E7 with the timing sweeps
+// instrumented against reg (so the snapshot carries the comparison
+// counters behind the numbers) and assembles the report.
+func buildJSONReport(trials, reps, workers int, seed int64, reg *obs.Registry, tr *obs.Tracer) jsonReport {
+	rep := jsonReport{
+		Schema:     jsonSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		Trials:     trials,
+		Reps:       reps,
+	}
+	for _, r := range bench.Table1Agreement(trials, seed) {
+		rep.E1 = append(rep.E1, jsonAgreementRow{
+			Relation:   r.Relation.String(),
+			Trials:     r.Trials,
+			Agreements: r.Agreements,
+			Held:       r.HeldCount,
+		})
+	}
+	for _, r := range bench.Theorem20Counts(trials, seed) {
+		rep.E4 = append(rep.E4, jsonBoundRow{
+			Relation:    r.Relation.String(),
+			Bound:       r.BoundExpr,
+			Trials:      r.Trials,
+			WithinBound: r.WithinBound,
+			TightHits:   r.TightHits,
+			MaxCount:    r.MaxCount,
+		})
+	}
+	for _, r := range bench.ComplexitySweepObs([]int{2, 4, 8, 16, 32, 64, 128, 256}, reps, seed, reg, tr) {
+		rep.E5 = append(rep.E5, jsonSweepRow{
+			N:          r.N,
+			NaiveCmp:   r.NaiveCmp,
+			ProxyCmp:   r.ProxyCmp,
+			FastCmp:    r.FastCmp,
+			NaiveNsOp:  r.NaiveNsOp,
+			ProxyNsOp:  r.ProxyNsOp,
+			FastNsOp:   r.FastNsOp,
+			SpeedupPxF: r.SpeedupPxF,
+		})
+	}
+	for _, r := range bench.ParallelSweepObs([]int{8, 32, 128}, workers, reps, seed, reg, tr) {
+		rep.E7 = append(rep.E7, jsonParallelRow{
+			N:          r.N,
+			Workers:    r.Workers,
+			Queries:    r.Queries,
+			SerialNs:   r.SerialNs,
+			ParallelNs: r.ParallelNs,
+			Speedup:    r.Speedup,
+			Agree:      r.Agree,
+		})
+	}
+	rep.Metrics = reg.Snapshot()
+	return rep
+}
+
+// writeJSONReport marshals the report, indented, with a trailing newline.
+func writeJSONReport(w io.Writer, rep jsonReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

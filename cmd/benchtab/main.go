@@ -11,6 +11,18 @@
 //	benchtab -table all     everything
 //
 // -parallel N sets the worker-pool width for e7 (0 = GOMAXPROCS).
+//
+// -json out.json writes a machine-readable benchmark report instead of the
+// text tables (- = stdout): E1 agreement, E4 bound counts, and the E5/E7
+// timing sweeps, plus the metrics-registry snapshot (comparison counters,
+// cut builds, batch histograms) accumulated while they ran. Committed
+// BENCH_*.json files at the repo root use this format to track performance
+// across PRs.
+//
+// Observability: -metrics dumps a registry snapshot as JSON (file path, or
+// - for stderr); -trace-out writes a Chrome trace_event file covering the
+// E5/E7 sweeps; -debug-addr serves net/http/pprof, expvar, and
+// /debug/metrics while the tables run.
 package main
 
 import (
@@ -22,7 +34,12 @@ import (
 
 	"causet/internal/bench"
 	"causet/internal/hierarchy"
+	"causet/internal/obs"
 )
+
+// stderrW is where "-metrics -" and the -debug-addr banner go; a variable so
+// tests can capture it.
+var stderrW io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -39,44 +56,114 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "PRNG seed")
 	parallel := fs.Int("parallel", 0, "worker-pool width for e7 (0 = GOMAXPROCS)")
 	csv := fs.Bool("csv", false, "emit the e5 sweep as CSV (for plotting) instead of a table")
+	jsonOut := fs.String("json", "", "write a machine-readable benchmark report to this file (- = stdout) instead of text tables")
+	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /debug/metrics on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *csv {
-		return e5CSV(out, *reps, *seed)
+
+	var reg *obs.Registry
+	if *metricsOut != "" || *debugAddr != "" || *jsonOut != "" {
+		reg = obs.New()
 	}
-	runAll := *table == "all"
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.NewTracer()
+	}
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderrW, "benchtab: debug server on http://%s/debug/metrics\n", ln.Addr())
+	}
+
+	err := runTables(out, *table, *trials, *reps, *parallel, *seed, *csv, *jsonOut, reg, tr)
+	if ferr := flushObs(reg, tr, *metricsOut, *traceOut); ferr != nil && err == nil {
+		err = ferr
+	}
+	return err
+}
+
+func runTables(out io.Writer, table string, trials, reps, parallel int, seed int64, csv bool, jsonOut string, reg *obs.Registry, tr *obs.Tracer) error {
+	if jsonOut != "" {
+		w := out
+		if jsonOut != "-" {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return writeJSONReport(w, buildJSONReport(trials, reps, parallel, seed, reg, tr))
+	}
+	if csv {
+		return e5CSV(out, reps, seed)
+	}
+	runAll := table == "all"
 	ran := false
-	if runAll || *table == "e1" {
-		e1(out, *trials, *seed)
+	if runAll || table == "e1" {
+		e1(out, trials, seed)
 		ran = true
 	}
-	if runAll || *table == "e3" {
-		e3(out, *trials, *seed)
+	if runAll || table == "e3" {
+		e3(out, trials, seed)
 		ran = true
 	}
-	if runAll || *table == "e4" {
-		e4(out, *trials, *seed)
+	if runAll || table == "e4" {
+		e4(out, trials, seed)
 		ran = true
 	}
-	if runAll || *table == "e5" {
-		e5(out, *reps, *seed)
+	if runAll || table == "e5" {
+		e5(out, reps, seed, reg, tr)
 		ran = true
 	}
-	if runAll || *table == "e6" {
-		e6(out, *seed)
+	if runAll || table == "e6" {
+		e6(out, seed)
 		ran = true
 	}
-	if runAll || *table == "e7" {
-		e7(out, *parallel, *reps, *seed)
+	if runAll || table == "e7" {
+		e7(out, parallel, reps, seed, reg, tr)
 		ran = true
 	}
-	if runAll || *table == "alg" {
+	if runAll || table == "alg" {
 		alg(out)
 		ran = true
 	}
 	if !ran {
-		return fmt.Errorf("unknown table %q", *table)
+		return fmt.Errorf("unknown table %q", table)
+	}
+	return nil
+}
+
+// flushObs writes the -metrics snapshot and -trace-out file at the end of a
+// run. metricsOut of "-" selects stderr.
+func flushObs(reg *obs.Registry, tr *obs.Tracer, metricsOut, traceOut string) error {
+	if reg != nil && metricsOut != "" {
+		w := stderrW
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	if tr != nil && traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return tr.WriteJSON(f)
 	}
 	return nil
 }
@@ -168,9 +255,9 @@ func e4(out io.Writer, trials int, seed int64) {
 	fmt.Fprintln(out)
 }
 
-func e5(out io.Writer, reps int, seed int64) {
+func e5(out io.Writer, reps int, seed int64, reg *obs.Registry, tr *obs.Tracer) {
 	fmt.Fprintf(out, "E5 — linear vs polynomial evaluation, |N_X| = |N_Y| = N (%d reps/point, 8 relations/op)\n\n", reps)
-	rows := bench.ComplexitySweep([]int{2, 4, 8, 16, 32, 64, 128, 256}, reps, seed)
+	rows := bench.ComplexitySweepObs([]int{2, 4, 8, 16, 32, 64, 128, 256}, reps, seed, reg, tr)
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{
@@ -196,10 +283,10 @@ func e5CSV(out io.Writer, reps int, seed int64) error {
 	return nil
 }
 
-func e7(out io.Writer, workers, reps int, seed int64) {
+func e7(out io.Writer, workers, reps int, seed int64, reg *obs.Registry, tr *obs.Tracer) {
 	fmt.Fprintln(out, "E7 — serial vs parallel batch evaluation (internal/batch, ring rounds × 8 relations)")
 	fmt.Fprintln(out)
-	rows := bench.ParallelSweep([]int{8, 32, 128}, workers, reps, seed)
+	rows := bench.ParallelSweepObs([]int{8, 32, 128}, workers, reps, seed, reg, tr)
 	var cells [][]string
 	for _, r := range rows {
 		agree := "identical"

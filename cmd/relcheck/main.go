@@ -10,9 +10,18 @@
 //	relcheck -trace t.json -matrix                                   # all interval pairs
 //	relcheck -trace t.json -x a -y b -evaluator naive -count         # cost comparison
 //	relcheck -trace t.json -matrix -parallel 8                       # 8-worker batch engine
+//	relcheck -trace t.json -matrix -metrics - -trace-out prof.json   # observability
 //
 // -parallel N routes evaluation through the internal/batch worker pool;
 // output is byte-identical for every N (and to the serial path).
+//
+// Observability: -metrics dumps an internal/obs registry snapshot as JSON
+// (to a file, or to stderr with "-") containing the comparison-accounting
+// counters (core.<evaluator>.comparisons[.<relation>], core.cut_builds) and,
+// under -parallel, the batch.* counters; -trace-out writes a Chrome
+// trace_event file loadable in about://tracing or https://ui.perfetto.dev;
+// -debug-addr serves net/http/pprof, expvar, and /debug/metrics for the
+// duration of the run.
 package main
 
 import (
@@ -27,15 +36,48 @@ import (
 	"causet/internal/core"
 	"causet/internal/hierarchy"
 	"causet/internal/interval"
+	"causet/internal/obs"
 	"causet/internal/poset"
 	"causet/internal/trace"
 )
+
+// stderrW is where "-metrics -" and the -debug-addr banner go; a variable so
+// tests can capture it.
+var stderrW io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "relcheck:", err)
 		os.Exit(1)
 	}
+}
+
+// flushObs writes the -metrics snapshot and -trace-out file at the end of a
+// run. metricsOut of "-" selects stderr.
+func flushObs(reg *obs.Registry, tr *obs.Tracer, metricsOut, traceOut string) error {
+	if reg != nil && metricsOut != "" {
+		w := stderrW
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	if tr != nil && traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return tr.WriteJSON(f)
+	}
+	return nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -51,6 +93,9 @@ func run(args []string, out io.Writer) error {
 	strongest := fs.Bool("strongest", false, "print only the hierarchy-maximal relations")
 	matrix := fs.Bool("matrix", false, "print the strongest-relation matrix over all intervals")
 	parallel := fs.Int("parallel", 0, "evaluate with an N-worker batch engine (0 = serial, -1 = GOMAXPROCS)")
+	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /debug/metrics on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,7 +117,25 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	var reg *obs.Registry
+	if *metricsOut != "" || *debugAddr != "" {
+		reg = obs.New()
+	}
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.NewTracer()
+	}
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderrW, "relcheck: debug server on http://%s/debug/metrics\n", ln.Addr())
+	}
+
 	a := core.NewAnalysis(ex)
+	a.Instrument(reg, tr)
 	newEval, err := evaluatorFactory(*evalName)
 	if err != nil {
 		return err
@@ -83,32 +146,52 @@ func run(args []string, out io.Writer) error {
 	// any worker count.
 	var eng *batch.Engine
 	if *parallel != 0 {
-		eng = batch.New(a, batch.Options{Workers: workerCount(*parallel), NewEvaluator: newEval})
+		eng = batch.New(a, batch.Options{Workers: workerCount(*parallel), NewEvaluator: newEval, Metrics: reg, Tracer: tr})
 	}
 
-	if *matrix {
+	err = evalMain(out, f, ex, a, eval, eng, modeFlags{
+		xName: *xName, yName: *yName, relName: *relName,
+		all32: *all32, count: *count, strongest: *strongest, matrix: *matrix,
+		evalName: *evalName,
+	})
+	if ferr := flushObs(reg, tr, *metricsOut, *traceOut); ferr != nil && err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// modeFlags carries the evaluation-mode flags into evalMain.
+type modeFlags struct {
+	xName, yName, relName, evalName string
+	all32, count, strongest, matrix bool
+}
+
+// evalMain is the evaluation body of run, split out so the observability
+// flush happens on every exit path.
+func evalMain(out io.Writer, f *trace.File, ex *poset.Execution, a *core.Analysis, eval core.Evaluator, eng *batch.Engine, m modeFlags) error {
+	if m.matrix {
 		return printMatrix(out, f, ex, a, eval, eng)
 	}
-	if *xName == "" || *yName == "" {
+	if m.xName == "" || m.yName == "" {
 		return fmt.Errorf("missing -x or -y (use -list to see interval names)")
 	}
-	x, err := f.Interval(ex, *xName)
+	x, err := f.Interval(ex, m.xName)
 	if err != nil {
 		return err
 	}
-	y, err := f.Interval(ex, *yName)
+	y, err := f.Interval(ex, m.yName)
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "X = %s %v  (|X|=%d, N_X=%v)\n", *xName, x, x.Size(), x.NodeSet())
-	fmt.Fprintf(out, "Y = %s %v  (|Y|=%d, N_Y=%v)\n", *yName, y, y.Size(), y.NodeSet())
+	fmt.Fprintf(out, "X = %s %v  (|X|=%d, N_X=%v)\n", m.xName, x, x.Size(), x.NodeSet())
+	fmt.Fprintf(out, "Y = %s %v  (|Y|=%d, N_Y=%v)\n", m.yName, y, y.Size(), y.NodeSet())
 	if tm, err := f.Timing(ex); err == nil {
 		fmt.Fprintf(out, "timing: span(X)=%v span(Y)=%v gap(X→Y)=%v response(X→Y)=%v\n",
 			tm.Span(x), tm.Span(y), tm.Gap(x, y), tm.ResponseTime(x, y))
 	}
 
-	if *all32 {
+	if m.all32 {
 		var holding []core.Rel32
 		if eng != nil {
 			profiles, _ := eng.Profiles([]batch.Pair{{X: x, Y: y}})
@@ -125,7 +208,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	if *strongest {
+	if m.strongest {
 		held, err := evalRelations(a, eval, eng, core.Relations(), x, y)
 		if err != nil {
 			return err
@@ -153,8 +236,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	rels := core.Relations()
-	if *relName != "" {
-		rel, err := core.ParseRelation(*relName)
+	if m.relName != "" {
+		rel, err := core.ParseRelation(m.relName)
 		if err != nil {
 			return err
 		}
@@ -165,7 +248,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	for i, rel := range rels {
-		if *count {
+		if m.count {
 			fmt.Fprintf(out, "%-4v %-22s = %-5v  (%d comparisons, %s)\n",
 				rel, rel.Quantifier(), verdicts[i].held, verdicts[i].comparisons, eval.Name())
 		} else {

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunMetricsAndTraceOut: -metrics captures the comparison-accounting
+// counters of the evaluations relcheck ran, and -trace-out emits a valid
+// Chrome trace_event file with at least the cut-build spans.
+func TestRunMetricsAndTraceOut(t *testing.T) {
+	path := writeTrace(t)
+	dir := t.TempDir()
+	metPath := filepath.Join(dir, "metrics.json")
+	trPath := filepath.Join(dir, "trace.json")
+	var buf bytes.Buffer
+	err := run([]string{"-trace", path, "-all32", "-x", "ring-round-0", "-y", "ring-round-2",
+		"-metrics", metPath, "-trace-out", trPath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	metBytes, err := os.ReadFile(metPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(metBytes, &snap); err != nil {
+		t.Fatalf("metrics snapshot invalid JSON: %v\n%s", err, metBytes)
+	}
+	if snap.Counters["core.fast.comparisons"] <= 0 {
+		t.Errorf("core.fast.comparisons missing from snapshot: %v", snap.Counters)
+	}
+	if snap.Counters["core.fast.evals"] < 32 {
+		t.Errorf("core.fast.evals = %d, want ≥ 32 (-all32 run)", snap.Counters["core.fast.evals"])
+	}
+	if snap.Counters["core.cut_builds"] < 1 {
+		t.Errorf("core.cut_builds missing: %v", snap.Counters)
+	}
+
+	trBytes, err := os.ReadFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trBytes, &tf); err != nil {
+		t.Fatalf("trace file invalid JSON: %v\n%s", err, trBytes)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Error("trace file has no events")
+	}
+}
+
+// TestRunMetricsDash: "-metrics -" writes the snapshot to stderr (captured
+// via the stderrW hook) — the acceptance-criteria invocation.
+func TestRunMetricsDash(t *testing.T) {
+	path := writeTrace(t)
+	var errBuf bytes.Buffer
+	old := stderrW
+	stderrW = &errBuf
+	defer func() { stderrW = old }()
+
+	var buf bytes.Buffer
+	err := run([]string{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-1", "-count",
+		"-metrics", "-"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(errBuf.Bytes(), &snap); err != nil {
+		t.Fatalf("stderr snapshot invalid JSON: %v\n%s", err, errBuf.String())
+	}
+	found := false
+	for name, v := range snap.Counters {
+		if len(name) > len("core.") && name[:5] == "core." && v > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no positive core.* comparison counters on stderr: %v", snap.Counters)
+	}
+}
+
+// TestRunBatchMetrics: parallel batch runs mirror their Stats into batch.*
+// registry counters.
+func TestRunBatchMetrics(t *testing.T) {
+	path := writeTrace(t)
+	metPath := filepath.Join(t.TempDir(), "metrics.json")
+	var buf bytes.Buffer
+	err := run([]string{"-trace", path, "-matrix", "-parallel", "2",
+		"-metrics", metPath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metBytes, err := os.ReadFile(metPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(metBytes, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["batch.queries"] <= 0 || snap.Counters["batch.batches"] <= 0 {
+		t.Errorf("batch counters missing from -matrix -parallel run: %v", snap.Counters)
+	}
+}

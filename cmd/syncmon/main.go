@@ -8,8 +8,21 @@
 //	syncmon -trace t.json -conds conditions.txt
 //
 // A conditions file holds one "name: expression" per line; blank lines and
-// lines starting with '#' are ignored. Exit status is 0 when every condition
-// holds, 1 on violations or errors.
+// lines starting with '#' are ignored.
+//
+// Exit status contract (scripts and CI steps rely on it):
+//
+//	0  every condition evaluated and holds
+//	1  at least one condition violated; everything evaluated cleanly
+//	2  internal error: bad flags, unreadable trace, unparsable condition,
+//	   a condition referencing undefined intervals (SKIP), or an
+//	   evaluation error (ERROR) — errors dominate violations
+//
+// Observability: -metrics dumps an internal/obs registry snapshot as JSON
+// (file path, or - for stderr) with the evaluator comparison counters behind
+// the checks; -trace-out writes a Chrome trace_event file; -debug-addr
+// serves net/http/pprof, expvar, and /debug/metrics — intended for
+// long-running monitor sessions.
 package main
 
 import (
@@ -21,18 +34,28 @@ import (
 	"strings"
 
 	"causet/internal/monitor"
+	"causet/internal/obs"
 	"causet/internal/trace"
 )
 
+// Exit codes of the syncmon contract (see the command comment).
+const (
+	exitOK        = 0
+	exitViolation = 1
+	exitError     = 2
+)
+
+// stderrW is where "-metrics -" and the -debug-addr banner go; a variable so
+// tests can capture it.
+var stderrW io.Writer = os.Stderr
+
 func main() {
-	ok, err := run(os.Args[1:], os.Stdout)
+	code, err := run(os.Args[1:], os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "syncmon:", err)
-		os.Exit(1)
+		os.Exit(exitError)
 	}
-	if !ok {
-		os.Exit(1)
-	}
+	os.Exit(code)
 }
 
 // condList collects repeated -cond flags.
@@ -41,42 +64,65 @@ type condList []string
 func (c *condList) String() string     { return strings.Join(*c, "; ") }
 func (c *condList) Set(s string) error { *c = append(*c, s); return nil }
 
-func run(args []string, out io.Writer) (bool, error) {
+// run returns the process exit code per the contract above; a non-nil error
+// is itself an internal error (the caller maps it to exitError).
+func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("syncmon", flag.ContinueOnError)
 	path := fs.String("trace", "", "trace file (.json or .gob)")
 	var conds condList
 	fs.Var(&conds, "cond", "condition \"name: expression\" (repeatable)")
 	condFile := fs.String("conds", "", "file with one \"name: expression\" per line")
+	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /debug/metrics on this address")
 	if err := fs.Parse(args); err != nil {
-		return false, err
+		return exitError, err
 	}
 	if *path == "" {
-		return false, fmt.Errorf("missing -trace")
+		return exitError, fmt.Errorf("missing -trace")
 	}
 	f, err := trace.Load(*path)
 	if err != nil {
-		return false, err
+		return exitError, err
 	}
 	ex, err := f.Execution()
 	if err != nil {
-		return false, err
+		return exitError, err
+	}
+
+	var reg *obs.Registry
+	if *metricsOut != "" || *debugAddr != "" {
+		reg = obs.New()
+	}
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.NewTracer()
+	}
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return exitError, err
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderrW, "syncmon: debug server on http://%s/debug/metrics\n", ln.Addr())
 	}
 
 	m := monitor.New(ex)
+	m.Analysis().Instrument(reg, tr)
 	ivs, err := f.AllIntervals(ex)
 	if err != nil {
-		return false, err
+		return exitError, err
 	}
 	for name, iv := range ivs {
 		if err := m.DefineInterval(name, iv); err != nil {
-			return false, err
+			return exitError, err
 		}
 	}
 
 	if *condFile != "" {
 		file, err := os.Open(*condFile)
 		if err != nil {
-			return false, err
+			return exitError, err
 		}
 		defer file.Close()
 		sc := bufio.NewScanner(file)
@@ -88,37 +134,68 @@ func run(args []string, out io.Writer) (bool, error) {
 			conds = append(conds, line)
 		}
 		if err := sc.Err(); err != nil {
-			return false, err
+			return exitError, err
 		}
 	}
 	if len(conds) == 0 {
-		return false, fmt.Errorf("no conditions given (use -cond or -conds)")
+		return exitError, fmt.Errorf("no conditions given (use -cond or -conds)")
 	}
 	for i, c := range conds {
 		name, expr, ok := strings.Cut(c, ":")
 		if !ok {
-			return false, fmt.Errorf("condition %d: want \"name: expression\", got %q", i, c)
+			return exitError, fmt.Errorf("condition %d: want \"name: expression\", got %q", i, c)
 		}
 		if err := m.AddCondition(strings.TrimSpace(name), strings.TrimSpace(expr)); err != nil {
-			return false, err
+			return exitError, err
 		}
 	}
 
-	allHold := true
+	code := exitOK
 	for _, res := range m.Check() {
 		switch res.State {
 		case monitor.Holds:
 			fmt.Fprintf(out, "PASS  %s\n", res.Name)
 		case monitor.Violated:
 			fmt.Fprintf(out, "FAIL  %s\n", res.Name)
-			allHold = false
+			code = max(code, exitViolation)
 		case monitor.Pending:
 			fmt.Fprintf(out, "SKIP  %s (references undefined intervals)\n", res.Name)
-			allHold = false
+			code = exitError
 		case monitor.Failed:
 			fmt.Fprintf(out, "ERROR %s: %v\n", res.Name, res.Err)
-			allHold = false
+			code = exitError
 		}
 	}
-	return allHold, nil
+	if err := flushObs(reg, tr, *metricsOut, *traceOut); err != nil {
+		return exitError, err
+	}
+	return code, nil
+}
+
+// flushObs writes the -metrics snapshot and -trace-out file at the end of a
+// run. metricsOut of "-" selects stderr.
+func flushObs(reg *obs.Registry, tr *obs.Tracer, metricsOut, traceOut string) error {
+	if reg != nil && metricsOut != "" {
+		w := stderrW
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	if tr != nil && traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return tr.WriteJSON(f)
+	}
+	return nil
 }

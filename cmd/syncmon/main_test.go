@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,48 +30,63 @@ func writeTrace(t *testing.T) string {
 func TestRunPassAndFail(t *testing.T) {
 	path := writeTrace(t)
 	var buf bytes.Buffer
-	ok, err := run([]string{"-trace", path,
+	code, err := run([]string{"-trace", path,
 		"-cond", "ordered: R1(ring-round-0, ring-round-1)",
 		"-cond", "no-backflow: !R4(ring-round-1, ring-round-0)",
 	}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ok {
-		t.Errorf("all conditions should hold:\n%s", buf.String())
+	if code != exitOK {
+		t.Errorf("all conditions should hold, got exit %d:\n%s", code, buf.String())
 	}
 	if strings.Count(buf.String(), "PASS") != 2 {
 		t.Errorf("expected 2 PASS lines:\n%s", buf.String())
 	}
 
 	buf.Reset()
-	ok, err = run([]string{"-trace", path, "-cond", "backwards: R1(ring-round-1, ring-round-0)"}, &buf)
+	code, err = run([]string{"-trace", path, "-cond", "backwards: R1(ring-round-1, ring-round-0)"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok || !strings.Contains(buf.String(), "FAIL  backwards") {
-		t.Errorf("violation not reported (ok=%v):\n%s", ok, buf.String())
+	if code != exitViolation || !strings.Contains(buf.String(), "FAIL  backwards") {
+		t.Errorf("violation should exit %d, got %d:\n%s", exitViolation, code, buf.String())
 	}
 }
 
+// TestRunExitCodeContract pins the documented contract: violations exit 1,
+// internal errors (SKIP/ERROR results) exit 2, and errors dominate
+// violations when both occur in one run.
 func TestRunPendingAndError(t *testing.T) {
 	path := writeTrace(t)
 	var buf bytes.Buffer
-	ok, err := run([]string{"-trace", path, "-cond", "ghost: R1(nope, ring-round-0)"}, &buf)
+	code, err := run([]string{"-trace", path, "-cond", "ghost: R1(nope, ring-round-0)"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok || !strings.Contains(buf.String(), "SKIP  ghost") {
-		t.Errorf("undefined interval not reported as SKIP:\n%s", buf.String())
+	if code != exitError || !strings.Contains(buf.String(), "SKIP  ghost") {
+		t.Errorf("undefined interval should exit %d, got %d:\n%s", exitError, code, buf.String())
 	}
 	// Overlapping operands produce an evaluation error.
 	buf.Reset()
-	ok, err = run([]string{"-trace", path, "-cond", "self: R4(ring-round-0, ring-round-0)"}, &buf)
+	code, err = run([]string{"-trace", path, "-cond", "self: R4(ring-round-0, ring-round-0)"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok || !strings.Contains(buf.String(), "ERROR self") {
-		t.Errorf("overlap not reported as ERROR:\n%s", buf.String())
+	if code != exitError || !strings.Contains(buf.String(), "ERROR self") {
+		t.Errorf("overlap should exit %d, got %d:\n%s", exitError, code, buf.String())
+	}
+	// Errors dominate violations: a FAIL plus a SKIP is still exit 2.
+	buf.Reset()
+	code, err = run([]string{"-trace", path,
+		"-cond", "backwards: R1(ring-round-1, ring-round-0)",
+		"-cond", "ghost: R1(nope, ring-round-0)",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitError {
+		t.Errorf("error should dominate violation: want exit %d, got %d:\n%s", exitError, code, buf.String())
 	}
 }
 
@@ -82,12 +98,12 @@ func TestRunConditionsFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	ok, err := run([]string{"-trace", path, "-conds", condPath}, &buf)
+	code, err := run([]string{"-trace", path, "-conds", condPath}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ok || strings.Count(buf.String(), "PASS") != 2 {
-		t.Errorf("conditions file run failed (ok=%v):\n%s", ok, buf.String())
+	if code != exitOK || strings.Count(buf.String(), "PASS") != 2 {
+		t.Errorf("conditions file run failed (exit %d):\n%s", code, buf.String())
 	}
 }
 
@@ -105,5 +121,57 @@ func TestRunErrors(t *testing.T) {
 		if _, err := run(args, &buf); err == nil {
 			t.Errorf("run(%v) succeeded", args)
 		}
+	}
+}
+
+// TestRunMetricsAndTrace checks that -metrics captures the evaluator
+// comparison counters behind the monitor checks and -trace-out produces a
+// valid Chrome trace_event file.
+func TestRunMetricsAndTrace(t *testing.T) {
+	path := writeTrace(t)
+	dir := t.TempDir()
+	metPath := filepath.Join(dir, "metrics.json")
+	trPath := filepath.Join(dir, "trace.json")
+	var buf bytes.Buffer
+	code, err := run([]string{"-trace", path,
+		"-metrics", metPath, "-trace-out", trPath,
+		"-cond", "ordered: R1(ring-round-0, ring-round-1)",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Fatalf("exit %d:\n%s", code, buf.String())
+	}
+
+	metBytes, err := os.ReadFile(metPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(metBytes, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v\n%s", err, metBytes)
+	}
+	if snap.Counters["core.fast.comparisons"] <= 0 {
+		t.Errorf("core.fast.comparisons not recorded: %v", snap.Counters)
+	}
+	if snap.Counters["core.cut_builds"] < 1 {
+		t.Errorf("core.cut_builds not recorded: %v", snap.Counters)
+	}
+
+	trBytes, err := os.ReadFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trBytes, &tf); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v\n%s", err, trBytes)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Error("trace file has no events")
 	}
 }

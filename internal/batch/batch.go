@@ -20,10 +20,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"causet/internal/core"
 	"causet/internal/hierarchy"
 	"causet/internal/interval"
+	"causet/internal/obs"
 )
 
 // chunk is the work-stealing granule: workers claim runs of this many items
@@ -42,6 +44,29 @@ type Options struct {
 	// stateless, but giving each worker its own keeps the contract local).
 	// nil selects core.NewFast.
 	NewEvaluator func(*core.Analysis) core.Evaluator
+	// Metrics, when non-nil, receives the engine's cumulative counters
+	// (batch.batches, batch.queries, batch.held, batch.errors,
+	// batch.comparisons) and latency/size histograms (batch.batch_ns,
+	// batch.batch_queries). The per-batch Stats views returned by the
+	// evaluation methods are unchanged; the registry aggregates across
+	// batches and engines sharing it.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records one "batch" span per batch run plus one
+	// span per worker goroutine (tid = worker index + 1), in Chrome
+	// trace_event form.
+	Tracer *obs.Tracer
+}
+
+// engineObs holds the engine's pre-interned instruments; all nil when no
+// registry was configured (every record is then a no-op).
+type engineObs struct {
+	batches      *obs.Counter
+	queries      *obs.Counter
+	held         *obs.Counter
+	errors       *obs.Counter
+	comparisons  *obs.Counter
+	batchNs      *obs.Histogram
+	batchQueries *obs.Histogram
 }
 
 // Engine evaluates query batches against one execution's Analysis.
@@ -49,6 +74,8 @@ type Engine struct {
 	a       *core.Analysis
 	workers int
 	newEval func(*core.Analysis) core.Evaluator
+	met     engineObs
+	tr      *obs.Tracer
 }
 
 // New returns an engine over a with the given options.
@@ -61,7 +88,19 @@ func New(a *core.Analysis, opts Options) *Engine {
 	if ne == nil {
 		ne = func(a *core.Analysis) core.Evaluator { return core.NewFast(a) }
 	}
-	return &Engine{a: a, workers: w, newEval: ne}
+	e := &Engine{a: a, workers: w, newEval: ne, tr: opts.Tracer}
+	if reg := opts.Metrics; reg != nil {
+		e.met = engineObs{
+			batches:      reg.Counter("batch.batches"),
+			queries:      reg.Counter("batch.queries"),
+			held:         reg.Counter("batch.held"),
+			errors:       reg.Counter("batch.errors"),
+			comparisons:  reg.Counter("batch.comparisons"),
+			batchNs:      reg.Histogram("batch.batch_ns", obs.DurationBuckets),
+			batchQueries: reg.Histogram("batch.batch_queries", obs.SizeBuckets),
+		}
+	}
+	return e
 }
 
 // Workers reports the configured pool size.
@@ -85,7 +124,10 @@ type Result struct {
 	Err error
 }
 
-// Stats aggregates the counters of one batch.
+// Stats aggregates the counters of one batch. It is the per-batch view of
+// the engine's accounting; an engine configured with Options.Metrics also
+// feeds the same tallies, cumulatively, into registry counters of the same
+// names (batch.queries, batch.held, batch.errors, batch.comparisons).
 type Stats struct {
 	Queries     int64
 	Held        int64
@@ -131,7 +173,30 @@ func (e *Engine) evalOne(ev core.Evaluator, q Query, r *Result, st *Stats) {
 // run distributes n items over the pool. Each worker claims chunks off an
 // atomic cursor and calls do with a worker-local evaluator; with a pool
 // size of 1 it degenerates to an inline loop on the caller's goroutine.
+// When the engine is instrumented, the batch is wrapped in a tracer span
+// (one sub-span per worker) and the totals are published to the registry
+// after the barrier.
 func (e *Engine) run(n int, do func(ev core.Evaluator, i int, st *Stats)) Stats {
+	sp := e.tr.Begin("batch", "batch")
+	var t0 time.Time
+	if e.met.batchNs != nil {
+		t0 = time.Now()
+	}
+	total := e.runPool(n, do)
+	if e.met.batchNs != nil {
+		e.met.batchNs.Observe(time.Since(t0).Nanoseconds())
+	}
+	sp.End()
+	e.met.batches.Add(1)
+	e.met.batchQueries.Observe(total.Queries)
+	e.met.queries.Add(total.Queries)
+	e.met.held.Add(total.Held)
+	e.met.errors.Add(total.Errors)
+	e.met.comparisons.Add(total.Comparisons)
+	return total
+}
+
+func (e *Engine) runPool(n int, do func(ev core.Evaluator, i int, st *Stats)) Stats {
 	var total Stats
 	if e.workers == 1 || n <= chunk {
 		ev := e.newEval(e.a)
@@ -146,8 +211,10 @@ func (e *Engine) run(n int, do func(ev core.Evaluator, i int, st *Stats)) Stats 
 	var wg sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wsp := e.tr.BeginTID("batch", "worker", int64(w)+1)
+			defer wsp.End()
 			ev := e.newEval(e.a)
 			var local Stats
 			for {
@@ -161,7 +228,7 @@ func (e *Engine) run(n int, do func(ev core.Evaluator, i int, st *Stats)) Stats 
 				}
 			}
 			total.add(local)
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return total

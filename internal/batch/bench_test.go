@@ -9,6 +9,7 @@ import (
 
 	"causet/internal/core"
 	"causet/internal/interval"
+	"causet/internal/obs"
 	"causet/internal/sim"
 )
 
@@ -85,7 +86,7 @@ func TestParallelSweepAgreesWithSerial(t *testing.T) {
 		t.Fatalf("aggregate stats differ: serial %+v, parallel %+v", sr.Stats, pr.Stats)
 	}
 
-	if runtime.GOMAXPROCS(0) < 4 || raceEnabled || testing.Short() {
+	if runtime.GOMAXPROCS(0) < 4 || obs.RaceEnabled || testing.Short() {
 		t.Skip("throughput check needs GOMAXPROCS ≥ 4 without race instrumentation")
 	}
 	measure := func(e *Engine) time.Duration {

@@ -21,6 +21,7 @@ import (
 	"causet/internal/core"
 	"causet/internal/cuts"
 	"causet/internal/interval"
+	"causet/internal/obs"
 	"causet/internal/poset/posettest"
 	"causet/internal/sim"
 )
@@ -216,10 +217,20 @@ type SweepRow struct {
 // Timing excludes the one-time Analysis setup, which E6 measures
 // separately.
 func ComplexitySweep(ns []int, reps int, seed int64) []SweepRow {
+	return ComplexitySweepObs(ns, reps, seed, nil, nil)
+}
+
+// ComplexitySweepObs is ComplexitySweep with every per-size Analysis
+// instrumented against reg and tr (either may be nil): the registry
+// accumulates the comparison-accounting counters (core.<eval>.comparisons
+// and friends) across the whole sweep, which benchtab -json snapshots into
+// its report.
+func ComplexitySweepObs(ns []int, reps int, seed int64, reg *obs.Registry, tr *obs.Tracer) []SweepRow {
 	rows := make([]SweepRow, 0, len(ns))
 	for _, n := range ns {
 		res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: n, Rounds: 4, Seed: seed})
 		a := core.NewAnalysis(res.Exec)
+		a.Instrument(reg, tr)
 		xe, ye, err := sim.SpanPair(res.Exec, 2)
 		if err != nil {
 			panic(err)

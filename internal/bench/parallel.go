@@ -7,6 +7,7 @@ import (
 	"causet/internal/batch"
 	"causet/internal/core"
 	"causet/internal/interval"
+	"causet/internal/obs"
 	"causet/internal/sim"
 )
 
@@ -48,6 +49,16 @@ func sweepQueries(n int, seed int64) (*sim.Result, []batch.Query) {
 // aggregate comparison counts. Timing excludes the one-time Analysis and
 // cut-cache warmup, matching E5's convention.
 func ParallelSweep(ns []int, workers, reps int, seed int64) []ParallelRow {
+	return ParallelSweepObs(ns, workers, reps, seed, nil, nil)
+}
+
+// ParallelSweepObs is ParallelSweep with both engines instrumented against
+// reg and tr (either may be nil): the registry accumulates the batch.*
+// counters across the sweep and the tracer records per-batch and per-worker
+// spans. Instrumentation is attached to the engines only, not the timing
+// convention — the serial and parallel engines carry identical overhead, so
+// the reported speedups stay comparable to the uninstrumented sweep.
+func ParallelSweepObs(ns []int, workers, reps int, seed int64, reg *obs.Registry, tr *obs.Tracer) []ParallelRow {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -57,8 +68,8 @@ func ParallelSweep(ns []int, workers, reps int, seed int64) []ParallelRow {
 	rows := make([]ParallelRow, 0, len(ns))
 	for _, n := range ns {
 		res, qs := sweepQueries(n, seed)
-		serial := batch.New(core.NewAnalysis(res.Exec), batch.Options{Workers: 1})
-		parallel := batch.New(core.NewAnalysis(res.Exec), batch.Options{Workers: workers})
+		serial := batch.New(core.NewAnalysis(res.Exec), batch.Options{Workers: 1, Metrics: reg, Tracer: tr})
+		parallel := batch.New(core.NewAnalysis(res.Exec), batch.Options{Workers: workers, Metrics: reg, Tracer: tr})
 		sres := serial.EvalQueries(qs) // warm both cut caches
 		pres := parallel.EvalQueries(qs)
 

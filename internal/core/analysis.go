@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"causet/internal/cuts"
 	"causet/internal/interval"
+	"causet/internal/obs"
 	"causet/internal/poset"
 	"causet/internal/vclock"
 )
@@ -44,6 +46,75 @@ type Analysis struct {
 
 	shards []cacheShard
 	builds atomic.Int64
+
+	met analysisObs
+}
+
+// evalKind indexes analysisObs.evals; it matches Evaluator.Name order.
+type evalKind int
+
+const (
+	evalNaive evalKind = iota
+	evalProxy
+	evalFast
+	numEvalKinds
+)
+
+// evalObs holds the pre-interned comparison-accounting instruments of one
+// evaluator. All fields are nil on an uninstrumented Analysis, so record
+// degrades to three nil checks per evaluation.
+type evalObs struct {
+	evals       *obs.Counter
+	comparisons *obs.Counter
+	perRel      [numRelations]*obs.Counter
+}
+
+// record tallies one EvalCount outcome: the evaluation itself, its total
+// comparison spend, and the per-relation spend the Theorem 19/20 bound
+// tables read back out of a registry snapshot.
+func (m *evalObs) record(rel Relation, checks int64) {
+	m.evals.Add(1)
+	m.comparisons.Add(checks)
+	m.perRel[rel].Add(checks)
+}
+
+// analysisObs is the instrumentation of one Analysis; its zero value (the
+// uninstrumented state) makes every record call a nil-receiver no-op.
+type analysisObs struct {
+	tracer     *obs.Tracer
+	cutBuilds  *obs.Counter
+	cutBuildNs *obs.Histogram
+	evals      [numEvalKinds]evalObs
+}
+
+// Instrument attaches a metrics registry and/or execution tracer to the
+// analysis. Either may be nil. The registry receives, cumulatively:
+//
+//	core.cut_builds                      distinct intervals whose cuts were built
+//	core.cut_build_ns                    histogram of cut-construction latency
+//	core.<eval>.evals                    EvalCount calls per evaluator
+//	core.<eval>.comparisons              integer comparisons per evaluator
+//	core.<eval>.comparisons.<relation>   the same, split by Table 1 relation
+//
+// for <eval> ∈ {naive, proxy, fast} — the paper's cost model (Theorems
+// 19–20) as live counters. The tracer records one "cut-build" span per cut
+// construction. Call Instrument before sharing the Analysis across
+// goroutines; it is not synchronized with concurrent evaluations.
+func (a *Analysis) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	a.met.tracer = tr
+	if reg == nil {
+		return
+	}
+	a.met.cutBuilds = reg.Counter("core.cut_builds")
+	a.met.cutBuildNs = reg.Histogram("core.cut_build_ns", obs.DurationBuckets)
+	for k, name := range [numEvalKinds]string{"naive", "proxy", "fast"} {
+		eo := &a.met.evals[k]
+		eo.evals = reg.Counter("core." + name + ".evals")
+		eo.comparisons = reg.Counter("core." + name + ".comparisons")
+		for _, rel := range Relations() {
+			eo.perRel[rel] = reg.Counter("core." + name + ".comparisons." + rel.String())
+		}
+	}
 }
 
 // NewAnalysis computes the timestamp structure for ex. This is the one-time
@@ -131,8 +202,18 @@ func (a *Analysis) Cuts(iv *interval.Interval) *IntervalCuts {
 		s.mu.Unlock()
 	}
 	e.once.Do(func() {
+		sp := a.met.tracer.Begin("core", "cut-build")
+		var t0 time.Time
+		if a.met.cutBuildNs != nil {
+			t0 = time.Now()
+		}
 		e.ic = a.buildCuts(iv)
+		if a.met.cutBuildNs != nil {
+			a.met.cutBuildNs.Observe(time.Since(t0).Nanoseconds())
+		}
+		sp.End()
 		a.builds.Add(1)
+		a.met.cutBuilds.Add(1)
 	})
 	return e.ic
 }

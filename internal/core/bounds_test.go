@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"causet/internal/interval"
+	"causet/internal/obs"
+	"causet/internal/poset"
+)
+
+// TestE8Rel32FastWithinTheorem20Bounds is experiment E8: for every r ∈ ℛ
+// (all 32 relations) on randomized posets, the Fast evaluator's exact
+// comparison count — now reported through the observability layer's
+// accounting — stays within the Theorem 19/20 bound
+// ComplexityBound(|N_X̂|, |N_Ŷ|) of the materialized proxy pair, while
+// agreeing with the naive ground truth. This test fails if fast.go is
+// perturbed to spend even one comparison over the bound on any relation.
+func TestE8Rel32FastWithinTheorem20Bounds(t *testing.T) {
+	r := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 150; trial++ {
+		a, x, y := randomPair(r)
+		fast, naive := NewFast(a), NewNaive(a)
+		for _, r32 := range AllRel32() {
+			px, err := x.ProxyInterval(r32.PX, interval.DefPerNode, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			py, err := y.ProxyInterval(r32.PY, interval.DefPerNode, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			held, n := fast.EvalCount(r32.R, px, py)
+			bound := int64(r32.R.ComplexityBound(px.NodeCount(), py.NodeCount()))
+			if n > bound {
+				t.Errorf("trial %d: %v: %d comparisons exceeds Theorem 20 bound %d (|N_X̂|=%d, |N_Ŷ|=%d)",
+					trial, r32, n, bound, px.NodeCount(), py.NodeCount())
+			}
+			if want := naive.Eval(r32.R, px, py); held != want {
+				t.Errorf("trial %d: %v: fast=%v naive=%v", trial, r32, held, want)
+			}
+		}
+	}
+}
+
+// hubSeparatedPair builds an execution where every X event causally precedes
+// every Y event: n processes each record 2 X events, all processes gather
+// through process 0 and spread back out, then each records 2 Y events. The
+// message-carrying events themselves belong to neither interval.
+func hubSeparatedPair(t *testing.T, n int) (*Analysis, *interval.Interval, *interval.Interval) {
+	t.Helper()
+	b := poset.NewBuilder(n)
+	var xe, ye []poset.EventID
+	for p := 0; p < n; p++ {
+		xe = append(xe, b.Append(p), b.Append(p))
+	}
+	for p := 1; p < n; p++ {
+		send := b.Append(p)
+		recv := b.Append(0)
+		if err := b.Message(send, recv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 1; p < n; p++ {
+		send := b.Append(0)
+		recv := b.Append(p)
+		if err := b.Message(send, recv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 0; p < n; p++ {
+		ye = append(ye, b.Append(p), b.Append(p))
+	}
+	ex, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAnalysis(ex), interval.MustNew(ex, xe), interval.MustNew(ex, ye)
+}
+
+// TestE8NaiveQuadraticFastLinear pins the complexity separation the paper's
+// Theorem 20 formalizes, with exact counts: on the hub-separated family
+// where R1 holds (so no early exit anywhere), the naive evaluator spends
+// exactly |X|·|Y| = 4n² comparisons while Fast stays within min(|N_X|,|N_Y|)
+// = n — quadratic versus linear growth in n.
+func TestE8NaiveQuadraticFastLinear(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		a, x, y := hubSeparatedPair(t, n)
+		naive, fast := NewNaive(a), NewFast(a)
+
+		held, nc := naive.EvalCount(R1, x, y)
+		if !held {
+			t.Fatalf("n=%d: R1 should hold on the hub-separated pair", n)
+		}
+		if want := int64(4 * n * n); nc != want {
+			t.Errorf("n=%d: naive comparisons = %d, want exactly %d", n, nc, want)
+		}
+
+		held, fc := fast.EvalCount(R1, x, y)
+		if !held {
+			t.Fatalf("n=%d: fast disagrees with naive on R1", n)
+		}
+		if bound := int64(R1.ComplexityBound(x.NodeCount(), y.NodeCount())); fc > bound {
+			t.Errorf("n=%d: fast comparisons = %d exceeds bound %d", n, fc, bound)
+		}
+		if fc > int64(n) {
+			t.Errorf("n=%d: fast comparisons = %d not linear (min(|N_X|,|N_Y|) = %d)", n, fc, n)
+		}
+	}
+}
+
+// TestComparisonAccountingRegistry: the core.<eval>.comparisons counters an
+// instrumented Analysis feeds agree exactly with the counts EvalCount
+// returns, per evaluator and per relation.
+func TestComparisonAccountingRegistry(t *testing.T) {
+	r := rand.New(rand.NewSource(191))
+	reg := obs.New()
+	a, x, y := randomPair(r)
+	a.Instrument(reg, nil)
+	fast, naive := NewFast(a), NewNaive(a)
+
+	var fastTotal, naiveTotal int64
+	perRel := map[string]int64{}
+	for _, rel := range Relations() {
+		_, fn := fast.EvalCount(rel, x, y)
+		fastTotal += fn
+		perRel[rel.String()] += fn
+		_, nn := naive.EvalCount(rel, x, y)
+		naiveTotal += nn
+	}
+
+	if got := reg.Counter("core.fast.comparisons").Value(); got != fastTotal {
+		t.Errorf("core.fast.comparisons = %d, want %d", got, fastTotal)
+	}
+	if got := reg.Counter("core.naive.comparisons").Value(); got != naiveTotal {
+		t.Errorf("core.naive.comparisons = %d, want %d", got, naiveTotal)
+	}
+	if got := reg.Counter("core.fast.evals").Value(); got != int64(len(Relations())) {
+		t.Errorf("core.fast.evals = %d, want %d", got, len(Relations()))
+	}
+	for rel, want := range perRel {
+		if got := reg.Counter("core.fast.comparisons." + rel).Value(); got != want {
+			t.Errorf("core.fast.comparisons.%s = %d, want %d", rel, got, want)
+		}
+	}
+	if got := reg.Counter("core.cut_builds").Value(); got < 1 {
+		t.Errorf("core.cut_builds = %d, want ≥ 1", got)
+	}
+}

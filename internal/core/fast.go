@@ -124,5 +124,6 @@ func (f *FastEvaluator) EvalCount(rel Relation, x, y *interval.Interval) (bool, 
 	default:
 		panic(fmt.Sprintf("core: unknown relation %d", int(rel)))
 	}
+	f.a.met.evals[evalFast].record(rel, checks)
 	return held, checks
 }

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-global expvar publication: expvar.Publish
+// panics on duplicate names, and the CLIs may construct several registries
+// in tests. The first registry served wins the expvar slot; later ones are
+// still fully served on their own /debug/metrics endpoint.
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP server on addr for long-running sessions (the
+// CLIs' -debug-addr flag), exposing
+//
+//	/debug/pprof/   the net/http/pprof profiles
+//	/debug/vars     expvar (including this registry under "causet_metrics")
+//	/debug/metrics  the registry snapshot as JSON
+//
+// It returns the bound listener so the caller can report the actual address
+// (addr may use port 0) and close it on shutdown. reg may be nil, in which
+// case /debug/metrics serves an empty snapshot.
+func ServeDebug(addr string, reg *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if reg != nil {
+		publishOnce.Do(func() {
+			expvar.Publish("causet_metrics", expvar.Func(func() any { return reg.Snapshot() }))
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln, nil
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServeDebug(t *testing.T) {
+	reg := New()
+	reg.Counter("debug.hits").Add(42)
+	ln, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := fmt.Sprintf("http://%s", ln.Addr())
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/debug/metrics"), &snap); err != nil {
+		t.Fatalf("/debug/metrics not valid JSON: %v", err)
+	}
+	if snap.Counters["debug.hits"] != 42 {
+		t.Errorf("snapshot counters = %v", snap.Counters)
+	}
+	if !json.Valid(get("/debug/vars")) {
+		t.Error("/debug/vars not valid JSON")
+	}
+	if len(get("/debug/pprof/")) == 0 {
+		t.Error("/debug/pprof/ empty")
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import "sync/atomic"
+
+// DurationBuckets is the default bound set for nanosecond-duration
+// histograms: powers of four from 256ns to ~4.3s. Thirteen buckets keep the
+// Observe search short while spanning cut builds (~µs) through whole batch
+// runs (~s).
+var DurationBuckets = []int64{
+	1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20,
+	1 << 22, 1 << 24, 1 << 26, 1 << 28, 1 << 30, 1 << 32,
+}
+
+// SizeBuckets is the default bound set for count/size histograms (queries
+// per batch, comparisons per evaluation): powers of four from 1 to ~16M.
+var SizeBuckets = []int64{
+	1, 1 << 2, 1 << 4, 1 << 6, 1 << 8, 1 << 10, 1 << 12,
+	1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24,
+}
+
+// Histogram is a fixed-bucket histogram over int64 observations (the unit is
+// the caller's convention — nanoseconds for the *_ns instruments). Bucket i
+// counts observations ≤ bounds[i]; one implicit overflow bucket catches the
+// rest. Observations are lock-free: one atomic add into the bucket plus
+// count/sum upkeep. A nil Histogram is a no-op.
+type Histogram struct {
+	bounds []int64        // ascending upper bounds, immutable after creation
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// newHistogram builds a histogram over the given ascending bounds; with no
+// bounds it degrades to a count/sum pair with a single bucket.
+func newHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound ≥ v; the bound sets above are small
+	// (≤ 13), so this is a handful of well-predicted branches.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the running sum of observations; 0 on a nil receiver.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramSnapshot is the serialized form of a Histogram: Counts[i] pairs
+// with Bounds[i], and the final Counts entry is the overflow bucket.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,239 @@
+// Package obs is the repo's zero-dependency observability layer: a registry
+// of named atomic counters, gauges, and fixed-bucket histograms, plus a
+// span-style execution tracer that emits Chrome trace_event JSON (viewable
+// in about://tracing or https://ui.perfetto.dev).
+//
+// The design goal is instrumentation cheap enough to leave compiled into hot
+// paths. Two properties deliver that:
+//
+//   - Every instrument is nil-safe: methods on a nil *Counter, *Gauge,
+//     *Histogram, *Tracer, or *Registry are no-ops, so uninstrumented code
+//     pays one nil check per record call — no branches on a config struct,
+//     no interface dispatch, no allocation.
+//   - Counters stripe their hot field across cache-line-padded atomic cells
+//     selected by a per-goroutine-ish hash, so concurrent writers do not
+//     serialize on one cache line (the increment path takes no locks).
+//
+// The intended wiring: a caller that wants measurements constructs a
+// Registry (and/or Tracer) and passes it to Instrument methods on the
+// subsystems it cares about (core.Analysis, batch.Engine via batch.Options,
+// runtime.System, online.Stream); those pre-intern their instruments once,
+// then record unconditionally. Callers that pass nil get the no-op behavior
+// throughout. A Snapshot serializes the whole registry as JSON for the CLIs'
+// -metrics flags and the /debug/metrics endpoint of ServeDebug.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterStripes is the number of padded atomic cells per Counter; a power
+// of two so stripe selection is a mask.
+const counterStripes = 16
+
+// stripe is one cache-line-padded atomic cell of a Counter.
+type stripe struct {
+	v atomic.Int64
+	_ [56]byte // pad to 64 bytes against false sharing between stripes
+}
+
+// stripeIndex picks a stripe from the address of a stack variable: distinct
+// goroutines run on distinct stacks, so concurrent writers spread across
+// stripes without needing a goroutine ID (which the runtime does not
+// expose). Only the Pointer→uintptr direction is used, which is always safe.
+func stripeIndex() int {
+	var b byte
+	return int((uintptr(unsafe.Pointer(&b)) >> 10) & (counterStripes - 1))
+}
+
+// Counter is a monotonically increasing striped atomic counter. The zero
+// value is usable; a nil Counter is a no-op.
+type Counter struct {
+	stripes [counterStripes]stripe
+}
+
+// Add adds n to the counter. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.stripes[stripeIndex()].v.Add(n)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the stripes. Concurrent with writers it is a consistent lower
+// bound, exact once writers have quiesced.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a last-write-wins atomic value (pool sizes, watermarks). A nil
+// Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the gauge; 0 on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a process-local namespace of instruments, keyed by dotted
+// names ("core.fast.comparisons"). Get-or-create lookups are guarded by one
+// mutex — callers intern instruments once at Instrument time, so the lock is
+// never on a hot path. A nil Registry hands out nil instruments, making
+// every downstream record call a no-op.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (the no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (later bounds are ignored — the first registration
+// wins). Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time JSON-serializable view of a registry. Taken
+// concurrently with writers it is internally consistent per instrument but
+// not across instruments (each value is read once, atomically).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument's current value. On a nil registry it
+// returns empty (non-nil) maps, so the JSON shape is stable.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// CounterNames returns the sorted names of the registered counters.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON (map keys sort, so output
+// is deterministic for a given state).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

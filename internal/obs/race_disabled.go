@@ -1,0 +1,10 @@
+//go:build !race
+
+package obs
+
+// RaceEnabled reports whether the race detector is compiled into this
+// binary. Timing-sensitive assertions (throughput floors, overhead caps)
+// skip under it, since instrumentation skews timing by an order of
+// magnitude. Shared here so every package tests the same constant instead
+// of duplicating the build-tag pair.
+const RaceEnabled = false

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records span-style execution traces in the Chrome trace_event JSON
+// format (the "JSON Array Format" with complete "X" events and thread-scoped
+// "i" instants), which about://tracing and https://ui.perfetto.dev load
+// directly. Spans are buffered in memory and serialized by WriteJSON at the
+// end of a run — the CLIs' -trace-out flag.
+//
+// Timestamps are microseconds since the tracer's construction. The tid field
+// names a logical timeline: batch workers use their worker index, runtime
+// nodes their node ID, so each lane renders as its own row.
+//
+// A nil Tracer is a no-op: Begin returns a zero Span whose End does nothing,
+// and no clock is read.
+type Tracer struct {
+	origin time.Time
+
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// traceEvent is one entry of the traceEvents array. Field names follow the
+// Chrome trace_event spec.
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat"`
+	Ph    string  `json:"ph"`
+	TS    float64 `json:"ts"` // microseconds since tracer origin
+	Dur   float64 `json:"dur,omitempty"`
+	PID   int     `json:"pid"`
+	TID   int64   `json:"tid"`
+	Scope string  `json:"s,omitempty"` // "t" for thread-scoped instants
+}
+
+// NewTracer returns an empty tracer with its time origin at now.
+func NewTracer() *Tracer { return &Tracer{origin: time.Now()} }
+
+// Span is an open interval on one timeline; close it with End. The zero Span
+// (from a nil Tracer) is a no-op.
+type Span struct {
+	t     *Tracer
+	cat   string
+	name  string
+	tid   int64
+	start time.Time
+}
+
+// Begin opens a span on timeline 0. No-op (and no clock read) on a nil
+// tracer.
+func (t *Tracer) Begin(cat, name string) Span { return t.BeginTID(cat, name, 0) }
+
+// BeginTID opens a span on the given logical timeline.
+func (t *Tracer) BeginTID(cat, name string, tid int64) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, name: name, tid: tid, start: time.Now()}
+}
+
+// End closes the span, recording one complete ("X") event.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	now := time.Now()
+	s.t.add(traceEvent{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		TS:  float64(s.start.Sub(s.t.origin).Nanoseconds()) / 1e3,
+		Dur: float64(now.Sub(s.start).Nanoseconds()) / 1e3,
+		PID: 1, TID: s.tid,
+	})
+}
+
+// Instant records a zero-duration thread-scoped event on the given timeline.
+func (t *Tracer) Instant(cat, name string, tid int64) {
+	if t == nil {
+		return
+	}
+	t.add(traceEvent{
+		Name: name, Cat: cat, Ph: "i", Scope: "t",
+		TS:  float64(time.Since(t.origin).Nanoseconds()) / 1e3,
+		PID: 1, TID: tid,
+	})
+}
+
+func (t *Tracer) add(e traceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Len reports the number of recorded events; 0 on a nil tracer.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON serializes the trace in the Chrome trace_event object form.
+// Safe to call on a nil tracer (writes an empty trace).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	var events []traceEvent
+	if t != nil {
+		t.mu.Lock()
+		events = append(events, t.events...)
+		t.mu.Unlock()
+	}
+	if events == nil {
+		events = []traceEvent{}
+	}
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// traceFile mirrors the Chrome trace_event JSON container for decoding.
+type traceFile struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		PID  int64   `json:"pid"`
+		TID  int64   `json:"tid"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestTracerSpansAndInstants(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Begin("core", "cut-build")
+	sp.End()
+	tr.BeginTID("batch", "worker", 3).End()
+	tr.Instant("runtime", "send", 1)
+	if tr.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", tr.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace JSON invalid: %v\n%s", err, buf.String())
+	}
+	if len(tf.TraceEvents) != 3 {
+		t.Fatalf("traceEvents = %d, want 3", len(tf.TraceEvents))
+	}
+	byName := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		byName[e.Name]++
+		if e.TS < 0 || e.Dur < 0 {
+			t.Errorf("%s: negative ts/dur: %+v", e.Name, e)
+		}
+	}
+	if byName["cut-build"] != 1 || byName["worker"] != 1 || byName["send"] != 1 {
+		t.Errorf("event names: %v", byName)
+	}
+	for _, e := range tf.TraceEvents {
+		switch e.Name {
+		case "cut-build", "worker":
+			if e.Ph != "X" {
+				t.Errorf("%s: ph = %q, want X (complete span)", e.Name, e.Ph)
+			}
+		case "send":
+			if e.Ph != "i" {
+				t.Errorf("send: ph = %q, want i (instant)", e.Ph)
+			}
+		}
+	}
+	for _, e := range tf.TraceEvents {
+		if e.Name == "worker" && e.TID != 3 {
+			t.Errorf("worker tid = %d, want 3", e.TID)
+		}
+	}
+}
+
+// TestTracerNilSafety: nil tracers produce zero-cost spans and still write a
+// valid (empty) trace file.
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("a", "b")
+	sp.End()
+	tr.BeginTID("a", "b", 1).End()
+	tr.Instant("a", "b", 1)
+	if tr.Len() != 0 {
+		t.Errorf("nil tracer recorded events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("empty trace JSON invalid: %v\n%s", err, buf.String())
+	}
+	if len(tf.TraceEvents) != 0 {
+		t.Errorf("empty trace has events: %+v", tf)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.BeginTID("t", "work", id).End()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if tr.Len() != goroutines*per {
+		t.Errorf("Len() = %d, want %d", tr.Len(), goroutines*per)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("concurrent trace JSON invalid")
+	}
+}

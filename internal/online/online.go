@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"causet/internal/core"
+	"causet/internal/obs"
 	"causet/internal/poset"
 	"causet/internal/vclock"
 )
@@ -46,6 +47,11 @@ type Stream struct {
 	fwd    [][]vclock.VC // forward clocks, maintained incrementally
 
 	snap *Snapshot // cached; nil when dirty
+
+	metEvents    *obs.Counter
+	metSnapshots *obs.Counter
+	metReg       *obs.Registry
+	metTracer    *obs.Tracer
 }
 
 // NewStream starts an empty execution over procs processes.
@@ -63,6 +69,22 @@ func NewStream(procs int) *Stream {
 
 // NumProcs reports the number of processes.
 func (s *Stream) NumProcs() int { return s.procs }
+
+// Instrument attaches a metrics registry and/or tracer; either may be nil.
+// The registry receives online.events (appended events, across all kinds)
+// and online.snapshots (snapshot rebuilds — each one pays the reverse-
+// timestamp pass, so a high snapshots/events ratio flags a caller that
+// snapshots too eagerly). Both are also forwarded to each Snapshot's
+// Analysis, so cut builds and evaluator comparison counts of monitor
+// checks land in the same registry.
+func (s *Stream) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metReg = reg
+	s.metTracer = tr
+	s.metEvents = reg.Counter("online.events")
+	s.metSnapshots = reg.Counter("online.snapshots")
+}
 
 // Local records an internal event on proc and returns it.
 func (s *Stream) Local(proc int) (poset.EventID, error) {
@@ -118,6 +140,7 @@ func (s *Stream) append(proc int, mergeClock vclock.VC) (poset.EventID, error) {
 	}
 	t[proc] = e.Pos
 	s.fwd[proc] = append(s.fwd[proc], t)
+	s.metEvents.Add(1)
 	return e, nil
 }
 
@@ -170,7 +193,10 @@ func (s *Stream) Snapshot() *Snapshot {
 			// events); reaching here indicates corruption.
 			panic(err)
 		}
-		s.snap = &Snapshot{Exec: ex, Analysis: core.NewAnalysis(ex)}
+		a := core.NewAnalysis(ex)
+		a.Instrument(s.metReg, s.metTracer)
+		s.snap = &Snapshot{Exec: ex, Analysis: a}
+		s.metSnapshots.Add(1)
 	}
 	return s.snap
 }

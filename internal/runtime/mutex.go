@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"causet/internal/obs"
 	"causet/internal/poset"
 )
 
@@ -51,10 +52,19 @@ type MutexResult struct {
 // exclusion regardless of goroutine scheduling, so every run — however the
 // race falls — must yield pairwise R1-ordered sections; tests exploit this.
 func RunMutex(nodes, entries int) (*MutexResult, error) {
+	return RunMutexObs(nodes, entries, nil, nil)
+}
+
+// RunMutexObs is RunMutex with an instrumented system: reg and tr (either
+// may be nil) are attached via System.Instrument before the run, so the
+// trace shows one "cs-round-k" span per critical-section entry on each
+// node's timeline alongside the recv-wait blocking structure.
+func RunMutexObs(nodes, entries int, reg *obs.Registry, tr *obs.Tracer) (*MutexResult, error) {
 	if nodes < 2 || entries < 1 {
 		return nil, fmt.Errorf("runtime: RunMutex(%d, %d): need ≥ 2 nodes and ≥ 1 entry", nodes, entries)
 	}
 	sys := NewSystem(nodes, nodes*entries*8+16)
+	sys.Instrument(reg, tr)
 	sections := make([][]Section, nodes)
 
 	sys.Run(func(nd *Node) {
@@ -92,6 +102,8 @@ type raNode struct {
 // acquireAndRun requests the critical section, waits for all replies while
 // serving peers, runs the section (enter/exit events), and releases.
 func (ra *raNode) acquireAndRun(round int) (enter, exit poset.EventID) {
+	sp := ra.nd.Span("mutex", fmt.Sprintf("cs-round-%d", round))
+	defer sp.End()
 	n := ra.nd.NumNodes()
 	ra.clock++
 	ra.requesting = true

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"causet/internal/obs"
 	"causet/internal/poset"
 )
 
@@ -37,6 +38,32 @@ type System struct {
 	b      *poset.Builder
 	counts []int
 	labels map[poset.EventID]string
+
+	met systemObs
+	tr  *obs.Tracer
+}
+
+// systemObs holds the system's pre-interned instruments; all nil when
+// Instrument was not called.
+type systemObs struct {
+	events   *obs.Counter
+	messages *obs.Counter
+}
+
+// Instrument attaches a metrics registry and/or execution tracer to the
+// system; either may be nil. The registry receives runtime.events (every
+// recorded poset event) and runtime.messages (every delivered message). The
+// tracer gets one thread-scoped instant per labeled event and one
+// "recv-wait" span per blocking Recv, each on the node's own timeline (tid =
+// node ID), so a Perfetto view shows per-node lanes with their blocking
+// structure; protocol implementations add round spans via Node.Span. Call
+// Instrument before Run.
+func (s *System) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	s.tr = tr
+	if reg != nil {
+		s.met.events = reg.Counter("runtime.events")
+		s.met.messages = reg.Counter("runtime.messages")
+	}
 }
 
 // NewSystem creates a system of n nodes with buffered inboxes. The buffer
@@ -101,7 +128,9 @@ func (s *System) record(id int, label string) poset.EventID {
 	s.counts[id]++
 	if label != "" {
 		s.labels[e] = label
+		s.tr.Instant("runtime", label, int64(id))
 	}
+	s.met.events.Add(1)
 	return e
 }
 
@@ -113,7 +142,10 @@ func (s *System) recordEdge(from poset.EventID, toNode int, label string) poset.
 	s.counts[toNode]++
 	if label != "" {
 		s.labels[recv] = label
+		s.tr.Instant("runtime", label, int64(toNode))
 	}
+	s.met.events.Add(1)
+	s.met.messages.Add(1)
 	if err := s.b.Message(from, recv); err != nil {
 		// The builder only rejects structurally impossible edges; reaching
 		// here indicates recorder corruption, not an application error.
@@ -153,11 +185,22 @@ func (nd *Node) Send(to int, payload any) poset.EventID {
 }
 
 // Recv blocks for the next message, records the receive event (linked to
-// the sender's send event), and returns the envelope with the event.
+// the sender's send event), and returns the envelope with the event. On an
+// instrumented system the blocking wait is recorded as a "recv-wait" span on
+// the node's timeline.
 func (nd *Node) Recv() (Envelope, poset.EventID) {
+	sp := nd.sys.tr.BeginTID("runtime", "recv-wait", int64(nd.id))
 	env := <-nd.sys.inboxes[nd.id]
+	sp.End()
 	recv := nd.sys.recordEdge(env.sendEvent, nd.id, fmt.Sprintf("recv←%d", env.From))
 	return env, recv
+}
+
+// Span opens a tracer span on this node's timeline — protocol
+// implementations mark their rounds with it (e.g. one span per
+// critical-section entry). No-op on an uninstrumented system.
+func (nd *Node) Span(cat, name string) obs.Span {
+	return nd.sys.tr.BeginTID(cat, name, int64(nd.id))
 }
 
 // TryRecv is Recv without blocking; ok is false when the inbox is empty (no
