@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench tables metrics trace fuzz examples coverage clean
+.PHONY: all build vet test race bench tables metrics trace benchdiff fuzz examples coverage clean
 
 all: build vet test
 
@@ -35,6 +35,13 @@ trace:
 	$(GO) run ./cmd/relcheck -trace trace_ring.json -matrix -parallel 4 -trace-out trace_spans.json -metrics -
 	@echo "spans written to trace_spans.json"
 
+# Perf-regression gate: run a fresh small benchtab sweep and diff it against
+# the committed BENCH_e1.json baseline (exit 1 past the threshold — the same
+# check CI runs).
+benchdiff:
+	$(GO) run ./cmd/benchtab -json benchtab_new.json -trials 100 -reps 3
+	$(GO) run ./cmd/benchdiff -threshold 25 BENCH_e1.json benchtab_new.json
+
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/monitor/
 	$(GO) test -fuzz FuzzEvaluatorAgreement -fuzztime $(FUZZTIME) ./internal/core/
@@ -51,4 +58,4 @@ coverage:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt trace_ring.json trace_spans.json
+	rm -f cover.out test_output.txt bench_output.txt trace_ring.json trace_spans.json benchtab_new.json

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"causet/internal/obs"
+)
+
+// report mirrors the subset of the causet-benchtab/1 layout benchdiff
+// reads. The struct is deliberately decoupled from cmd/benchtab's writer
+// type: the differ decodes tolerantly, so benchtab can grow fields without
+// breaking older benchdiff binaries.
+type report struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	Seed      int64  `json:"seed"`
+	Trials    int    `json:"trials"`
+
+	E1 []struct {
+		Relation   string `json:"relation"`
+		Trials     int    `json:"trials"`
+		Agreements int    `json:"agreements"`
+	} `json:"e1_agreement"`
+	E4 []struct {
+		Relation    string `json:"relation"`
+		Trials      int    `json:"trials"`
+		WithinBound int    `json:"within_bound"`
+		MaxCount    int64  `json:"max_comparisons"`
+	} `json:"e4_bounds"`
+	E5 []struct {
+		N         int     `json:"n"`
+		NaiveCmp  float64 `json:"naive_cmp"`
+		ProxyCmp  float64 `json:"proxy_cmp"`
+		FastCmp   float64 `json:"fast_cmp"`
+		NaiveNsOp float64 `json:"naive_ns_op"`
+		ProxyNsOp float64 `json:"proxy_ns_op"`
+		FastNsOp  float64 `json:"fast_ns_op"`
+	} `json:"e5_sweep"`
+	E7 []struct {
+		N       int     `json:"n"`
+		Workers int     `json:"workers"`
+		Speedup float64 `json:"speedup"`
+		Agree   bool    `json:"agree"`
+	} `json:"e7_parallel"`
+
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// options are the gating knobs.
+type options struct {
+	Threshold   float64 // percent, comparison-count columns
+	NsThreshold float64 // percent, ns/op columns; 0 disables the gate
+}
+
+// colDelta is one compared column of one matched row.
+type colDelta struct {
+	Table  string  `json:"table"`   // e1 | e4 | e5 | e7
+	Row    string  `json:"row"`     // e.g. "R2", "n=256"
+	Column string  `json:"column"`  // e.g. "fast_cmp"
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	Pct    float64 `json:"pct"` // signed percent change; +Inf encoded as 0 with Old==0
+	Gated  bool    `json:"gated"`
+}
+
+// reportDiff is the full comparison of two reports — the -json payload and
+// the data behind the printed summary.
+type reportDiff struct {
+	OldPath     string           `json:"old"`
+	NewPath     string           `json:"new"`
+	Threshold   float64          `json:"threshold_pct"`
+	NsThreshold float64          `json:"ns_threshold_pct"`
+	Deltas      []colDelta       `json:"deltas"`
+	Regressions []string         `json:"regressions"`
+	Metrics     obs.SnapshotDiff `json:"metrics_delta"`
+}
+
+// pctChange is the signed percent change from old to new; a fresh column
+// (old == 0, new > 0) reports +100%.
+func pctChange(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (new - old) / math.Abs(old) * 100
+}
+
+// diffReports compares two decoded reports under the gating options.
+func diffReports(oldPath, newPath string, oldRep, newRep report, opt options) reportDiff {
+	d := reportDiff{
+		OldPath:     oldPath,
+		NewPath:     newPath,
+		Threshold:   opt.Threshold,
+		NsThreshold: opt.NsThreshold,
+	}
+	regress := func(format string, args ...any) {
+		d.Regressions = append(d.Regressions, fmt.Sprintf(format, args...))
+	}
+	addCol := func(table, row, col string, old, new float64, gated bool) {
+		d.Deltas = append(d.Deltas, colDelta{
+			Table: table, Row: row, Column: col,
+			Old: old, New: new, Pct: pctChange(old, new), Gated: gated,
+		})
+	}
+
+	// E1: agreement rate is correctness — any drop regresses, regardless of
+	// threshold. Rates normalize out differing -trials between runs.
+	type e1row struct{ rate float64 }
+	oldE1 := map[string]e1row{}
+	for _, r := range oldRep.E1 {
+		if r.Trials > 0 {
+			oldE1[r.Relation] = e1row{float64(r.Agreements) / float64(r.Trials)}
+		}
+	}
+	for _, r := range newRep.E1 {
+		prev, ok := oldE1[r.Relation]
+		if !ok || r.Trials == 0 {
+			continue
+		}
+		rate := float64(r.Agreements) / float64(r.Trials)
+		addCol("e1", r.Relation, "agreement_rate", prev.rate, rate, true)
+		if rate < prev.rate {
+			regress("e1 %s: agreement rate %.4f -> %.4f", r.Relation, prev.rate, rate)
+		}
+	}
+
+	// E4: bound-conformance rate is correctness too; max_comparisons gates
+	// at the threshold, but only when the trial counts match (the maximum
+	// over fewer trials is not comparable).
+	type e4row struct {
+		rate float64
+		max  int64
+		n    int
+	}
+	oldE4 := map[string]e4row{}
+	for _, r := range oldRep.E4 {
+		if r.Trials > 0 {
+			oldE4[r.Relation] = e4row{float64(r.WithinBound) / float64(r.Trials), r.MaxCount, r.Trials}
+		}
+	}
+	for _, r := range newRep.E4 {
+		prev, ok := oldE4[r.Relation]
+		if !ok || r.Trials == 0 {
+			continue
+		}
+		rate := float64(r.WithinBound) / float64(r.Trials)
+		addCol("e4", r.Relation, "within_bound_rate", prev.rate, rate, true)
+		if rate < prev.rate {
+			regress("e4 %s: within-bound rate %.4f -> %.4f", r.Relation, prev.rate, rate)
+		}
+		if r.Trials == prev.n {
+			addCol("e4", r.Relation, "max_comparisons", float64(prev.max), float64(r.MaxCount), true)
+			if pct := pctChange(float64(prev.max), float64(r.MaxCount)); pct > opt.Threshold {
+				regress("e4 %s: max comparisons %d -> %d (%+.1f%% > %.1f%%)",
+					r.Relation, prev.max, r.MaxCount, pct, opt.Threshold)
+			}
+		}
+	}
+
+	// E5: comparison counts per op are deterministic for a fixed seed —
+	// gate at -threshold. ns/op is machine noise — gate only when
+	// -ns-threshold is set.
+	type e5row struct{ naive, proxy, fast, naiveNs, proxyNs, fastNs float64 }
+	oldE5 := map[int]e5row{}
+	for _, r := range oldRep.E5 {
+		oldE5[r.N] = e5row{r.NaiveCmp, r.ProxyCmp, r.FastCmp, r.NaiveNsOp, r.ProxyNsOp, r.FastNsOp}
+	}
+	for _, r := range newRep.E5 {
+		prev, ok := oldE5[r.N]
+		if !ok {
+			continue
+		}
+		row := fmt.Sprintf("n=%d", r.N)
+		for _, c := range []struct {
+			col      string
+			old, new float64
+			limit    float64
+			timing   bool
+		}{
+			{"naive_cmp", prev.naive, r.NaiveCmp, opt.Threshold, false},
+			{"proxy_cmp", prev.proxy, r.ProxyCmp, opt.Threshold, false},
+			{"fast_cmp", prev.fast, r.FastCmp, opt.Threshold, false},
+			{"naive_ns_op", prev.naiveNs, r.NaiveNsOp, opt.NsThreshold, true},
+			{"proxy_ns_op", prev.proxyNs, r.ProxyNsOp, opt.NsThreshold, true},
+			{"fast_ns_op", prev.fastNs, r.FastNsOp, opt.NsThreshold, true},
+		} {
+			gated := !c.timing || opt.NsThreshold > 0
+			addCol("e5", row, c.col, c.old, c.new, gated)
+			if gated {
+				if pct := pctChange(c.old, c.new); pct > c.limit {
+					regress("e5 %s: %s %.2f -> %.2f (%+.1f%% > %.1f%%)",
+						row, c.col, c.old, c.new, pct, c.limit)
+				}
+			}
+		}
+	}
+
+	// E7: parallel/serial agreement is correctness; speedup is timing and
+	// follows the ns gate. Rows match on (n, workers) — a different worker
+	// count (other machine shape) makes speedups incomparable.
+	type e7key struct{ n, workers int }
+	oldE7 := map[e7key]struct {
+		speedup float64
+		agree   bool
+	}{}
+	for _, r := range oldRep.E7 {
+		oldE7[e7key{r.N, r.Workers}] = struct {
+			speedup float64
+			agree   bool
+		}{r.Speedup, r.Agree}
+	}
+	for _, r := range newRep.E7 {
+		if !r.Agree {
+			regress("e7 n=%d: parallel batch disagrees with serial", r.N)
+		}
+		prev, ok := oldE7[e7key{r.N, r.Workers}]
+		if !ok {
+			continue
+		}
+		row := fmt.Sprintf("n=%d/w=%d", r.N, r.Workers)
+		addCol("e7", row, "speedup", prev.speedup, r.Speedup, opt.NsThreshold > 0)
+		if opt.NsThreshold > 0 && prev.speedup > 0 {
+			if pct := pctChange(prev.speedup, r.Speedup); pct < -opt.NsThreshold {
+				regress("e7 %s: speedup %.2f -> %.2f (%.1f%% < -%.1f%%)",
+					row, prev.speedup, r.Speedup, pct, opt.NsThreshold)
+			}
+		}
+	}
+
+	// Metrics: forensic counter deltas via obs.Snapshot.Diff — never gated
+	// (absolute counts scale with -trials/-reps, not with efficiency).
+	d.Metrics = newRep.Metrics.Diff(oldRep.Metrics)
+	return d
+}
+
+// print writes the human-readable summary: one header, every changed
+// column, then the verdict.
+func (d reportDiff) print(w io.Writer) {
+	fmt.Fprintf(w, "benchdiff %s -> %s  (threshold %.1f%%, ns-threshold %.1f%%)\n",
+		d.OldPath, d.NewPath, d.Threshold, d.NsThreshold)
+	changed := 0
+	for _, c := range d.Deltas {
+		if c.Old == c.New {
+			continue
+		}
+		changed++
+		gate := " "
+		if c.Gated {
+			gate = "*"
+		}
+		fmt.Fprintf(w, "  %s%-3s %-10s %-14s %12.4g -> %-12.4g %+7.1f%%\n",
+			gate, c.Table, c.Row, c.Column, c.Old, c.New, c.Pct)
+	}
+	if changed == 0 {
+		fmt.Fprintln(w, "  no changes in compared columns")
+	}
+	if len(d.Regressions) == 0 {
+		fmt.Fprintln(w, "OK: no regression beyond threshold")
+		return
+	}
+	for _, r := range d.Regressions {
+		fmt.Fprintf(w, "REGRESSION: %s\n", r)
+	}
+}

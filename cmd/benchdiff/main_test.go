@@ -1,0 +1,298 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// baseReport is a minimal well-formed causet-benchtab/1 report the tests
+// perturb. Kept as a Go literal (not a testdata file) so perturbations are
+// explicit at the assertion site.
+func baseReport() map[string]any {
+	return map[string]any{
+		"schema":     "causet-benchtab/1",
+		"go_version": "go1.24.0",
+		"gomaxprocs": 1,
+		"seed":       1,
+		"trials":     100,
+		"reps":       5,
+		"e1_agreement": []map[string]any{
+			{"relation": "R1", "trials": 100, "agreements": 100, "held": 6},
+			{"relation": "R2", "trials": 100, "agreements": 100, "held": 54},
+		},
+		"e4_bounds": []map[string]any{
+			{"relation": "R1", "bound": "min(|N_X|,|N_Y|)", "trials": 100, "within_bound": 100, "tight_hits": 6, "max_comparisons": 2},
+		},
+		"e5_sweep": []map[string]any{
+			{"n": 8, "naive_cmp": 64, "proxy_cmp": 16, "fast_cmp": 4,
+				"naive_ns_op": 900, "proxy_ns_op": 300, "fast_ns_op": 100, "proxy_over_fast": 3.0},
+			{"n": 32, "naive_cmp": 1024, "proxy_cmp": 64, "fast_cmp": 8,
+				"naive_ns_op": 9000, "proxy_ns_op": 1200, "fast_ns_op": 250, "proxy_over_fast": 4.8},
+		},
+		"e7_parallel": []map[string]any{
+			{"n": 32, "workers": 4, "queries": 1000, "serial_ns": 5000, "parallel_ns": 1500, "speedup": 3.3, "agree": true},
+		},
+		"metrics": map[string]any{
+			"counters": map[string]int64{"core.fast.comparisons": 1000, "core.cut_builds": 40},
+			"gauges":   map[string]int64{},
+		},
+	}
+}
+
+// writeReport marshals a report literal into dir under name.
+func writeReport(t *testing.T, dir, name string, rep map[string]any) string {
+	t.Helper()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNoRegressionExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", baseReport())
+	new := writeReport(t, dir, "new.json", baseReport())
+	var buf bytes.Buffer
+	code, err := run([]string{old, new}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Errorf("identical reports: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "OK: no regression") {
+		t.Errorf("missing OK verdict:\n%s", buf.String())
+	}
+}
+
+// TestComparisonRegressionGates: a fast_cmp increase past -threshold exits 1;
+// within the threshold it stays 0 but still shows in the delta listing.
+func TestComparisonRegressionGates(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", baseReport())
+	worse := baseReport()
+	worse["e5_sweep"].([]map[string]any)[1]["fast_cmp"] = 16 // 8 -> 16: +100%
+	new := writeReport(t, dir, "new.json", worse)
+
+	var buf bytes.Buffer
+	code, err := run([]string{"-threshold", "10", old, new}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitRegression {
+		t.Errorf("+100%% fast_cmp at threshold 10: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION: e5 n=32: fast_cmp") {
+		t.Errorf("missing regression line:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	code, err = run([]string{"-threshold", "150", old, new}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Errorf("+100%% under threshold 150: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "fast_cmp") {
+		t.Errorf("delta listing should still show the change:\n%s", buf.String())
+	}
+}
+
+// TestTimingReportedNotGated: ns/op explosions never gate by default, only
+// when -ns-threshold is set.
+func TestTimingReportedNotGated(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", baseReport())
+	slow := baseReport()
+	slow["e5_sweep"].([]map[string]any)[0]["fast_ns_op"] = 100000
+	new := writeReport(t, dir, "new.json", slow)
+
+	var buf bytes.Buffer
+	code, err := run([]string{old, new}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Errorf("timing change should not gate by default: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "fast_ns_op") {
+		t.Errorf("timing delta should still be reported:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	code, err = run([]string{"-ns-threshold", "50", old, new}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitRegression {
+		t.Errorf("-ns-threshold 50 should gate a 1000x slowdown: exit %d\n%s", code, buf.String())
+	}
+}
+
+// TestCorrectnessDropsAlwaysGate: agreement-rate and bound-rate drops and a
+// parallel/serial disagreement regress at any threshold.
+func TestCorrectnessDropsAlwaysGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", baseReport())
+
+	for name, mutate := range map[string]func(map[string]any){
+		"e1 agreement": func(r map[string]any) {
+			r["e1_agreement"].([]map[string]any)[0]["agreements"] = 99
+		},
+		"e4 bound": func(r map[string]any) {
+			r["e4_bounds"].([]map[string]any)[0]["within_bound"] = 98
+		},
+		"e7 disagree": func(r map[string]any) {
+			r["e7_parallel"].([]map[string]any)[0]["agree"] = false
+		},
+	} {
+		bad := baseReport()
+		mutate(bad)
+		new := writeReport(t, dir, "bad.json", bad)
+		var buf bytes.Buffer
+		code, err := run([]string{"-threshold", "10000", old, new}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != exitRegression {
+			t.Errorf("%s drop should gate at any threshold: exit %d\n%s", name, code, buf.String())
+		}
+	}
+}
+
+// TestRateNormalization: the same agreement rate over a different trial
+// count is not a regression (CI runs small sweeps against big baselines).
+func TestRateNormalization(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", baseReport())
+	small := baseReport()
+	small["trials"] = 20
+	for _, row := range small["e1_agreement"].([]map[string]any) {
+		row["trials"] = 20
+		row["agreements"] = 20
+	}
+	for _, row := range small["e4_bounds"].([]map[string]any) {
+		row["trials"] = 20
+		row["within_bound"] = 20
+		row["max_comparisons"] = 1000 // incomparable max over fewer trials: ignored
+	}
+	new := writeReport(t, dir, "new.json", small)
+	var buf bytes.Buffer
+	code, err := run([]string{"-threshold", "5", old, new}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Errorf("perfect rates over fewer trials should pass: exit %d\n%s", code, buf.String())
+	}
+}
+
+// TestTrajectoryMode diffs a directory of BENCH_*.json files pairwise in
+// name order and gates on any pair.
+func TestTrajectoryMode(t *testing.T) {
+	dir := t.TempDir()
+	writeReport(t, dir, "BENCH_a.json", baseReport())
+	mid := baseReport()
+	mid["e5_sweep"].([]map[string]any)[0]["fast_cmp"] = 5 // +25%, within 50%
+	writeReport(t, dir, "BENCH_b.json", mid)
+	bad := baseReport()
+	bad["e5_sweep"].([]map[string]any)[0]["fast_cmp"] = 40 // 5 -> 40 vs mid
+	writeReport(t, dir, "BENCH_c.json", bad)
+
+	var buf bytes.Buffer
+	code, err := run([]string{"-threshold", "50", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitRegression {
+		t.Errorf("trajectory with a bad last hop: exit %d\n%s", code, buf.String())
+	}
+	if got := strings.Count(buf.String(), "benchdiff "); got != 2 {
+		t.Errorf("3 files should print 2 pairwise diffs, got %d:\n%s", got, buf.String())
+	}
+}
+
+// TestJSONOutput: -json emits a machine-readable diff including the metrics
+// counter deltas from obs.Snapshot.Diff.
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", baseReport())
+	newer := baseReport()
+	newer["metrics"].(map[string]any)["counters"].(map[string]int64)["core.fast.comparisons"] = 1500
+	new := writeReport(t, dir, "new.json", newer)
+	outPath := filepath.Join(dir, "diff.json")
+
+	var buf bytes.Buffer
+	if _, err := run([]string{"-json", outPath, old, new}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d reportDiff
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatalf("-json output invalid: %v\n%s", err, data)
+	}
+	if d.OldPath != old || d.NewPath != new {
+		t.Errorf("paths = %q -> %q", d.OldPath, d.NewPath)
+	}
+	if d.Metrics.Counters["core.fast.comparisons"] != 500 {
+		t.Errorf("metrics delta = %v, want core.fast.comparisons=500", d.Metrics.Counters)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", baseReport())
+	wrongSchema := baseReport()
+	wrongSchema["schema"] = "causet-benchtab/999"
+	badSchema := writeReport(t, dir, "bad.json", wrongSchema)
+	notJSON := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(notJSON, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := t.TempDir() // no BENCH_*.json files
+
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{good},
+		{good, good, good},
+		{good, badSchema},
+		{good, notJSON},
+		{good, filepath.Join(dir, "missing.json")},
+		{empty},
+	} {
+		if _, err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+// TestAgainstCommittedBaseline: the committed BENCH_e1.json diffs cleanly
+// against itself — the exact shape of the CI gate's happy path.
+func TestAgainstCommittedBaseline(t *testing.T) {
+	baseline := filepath.Join("..", "..", "BENCH_e1.json")
+	if _, err := os.Stat(baseline); err != nil {
+		t.Skip("BENCH_e1.json not present")
+	}
+	var buf bytes.Buffer
+	code, err := run([]string{"-threshold", "5", baseline, baseline}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Errorf("self-diff of the committed baseline: exit %d\n%s", code, buf.String())
+	}
+}

@@ -59,7 +59,7 @@ func run(args []string, out io.Writer) error {
 	jsonOut := fs.String("json", "", "write a machine-readable benchmark report to this file (- = stdout) instead of text tables")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
-	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /debug/metrics on this address")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), and /metrics (Prometheus 0.0.4) on this address; the first registry served owns the process-global causet_metrics expvar slot — later servers keep their own /debug/metrics but not /debug/vars")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

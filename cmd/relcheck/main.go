@@ -20,8 +20,9 @@
 // counters (core.<evaluator>.comparisons[.<relation>], core.cut_builds) and,
 // under -parallel, the batch.* counters; -trace-out writes a Chrome
 // trace_event file loadable in about://tracing or https://ui.perfetto.dev;
-// -debug-addr serves net/http/pprof, expvar, and /debug/metrics for the
-// duration of the run.
+// -log writes a structured JSONL event log (gated by -log-level);
+// -debug-addr serves net/http/pprof, expvar, /debug/metrics (JSON), and
+// /metrics (Prometheus text 0.0.4) for the duration of the run.
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"causet/internal/hierarchy"
 	"causet/internal/interval"
 	"causet/internal/obs"
+	"causet/internal/obs/logx"
 	"causet/internal/poset"
 	"causet/internal/trace"
 )
@@ -95,13 +97,34 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 0, "evaluate with an N-worker batch engine (0 = serial, -1 = GOMAXPROCS)")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
-	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /debug/metrics on this address")
+	logOut := fs.String("log", "", "write a structured JSONL event log to this file (- = stderr)")
+	logLevel := fs.String("log-level", "info", "minimum -log level: debug, info, warn, or error")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), and /metrics (Prometheus 0.0.4) on this address; the first registry served owns the process-global causet_metrics expvar slot — later servers keep their own /debug/metrics but not /debug/vars")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *path == "" {
 		return fmt.Errorf("missing -trace")
 	}
+
+	var lg *logx.Logger
+	if *logOut != "" {
+		lvl, err := logx.ParseLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		w := stderrW
+		if *logOut != "-" {
+			f, err := os.Create(*logOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		lg = logx.New(w, lvl)
+	}
+
 	f, err := trace.Load(*path)
 	if err != nil {
 		return err
@@ -110,6 +133,8 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	lg.Info("trace_loaded", logx.F("trace", *path), logx.F("procs", ex.NumProcs()),
+		logx.F("intervals", len(f.IntervalNames())))
 	if *list {
 		for _, name := range f.IntervalNames() {
 			fmt.Fprintln(out, name)
@@ -149,11 +174,18 @@ func run(args []string, out io.Writer) error {
 		eng = batch.New(a, batch.Options{Workers: workerCount(*parallel), NewEvaluator: newEval, Metrics: reg, Tracer: tr})
 	}
 
+	lg.Info("eval_start", logx.F("evaluator", *evalName), logx.F("matrix", *matrix),
+		logx.F("workers", workerCount(*parallel)))
 	err = evalMain(out, f, ex, a, eval, eng, modeFlags{
 		xName: *xName, yName: *yName, relName: *relName,
 		all32: *all32, count: *count, strongest: *strongest, matrix: *matrix,
 		evalName: *evalName,
 	})
+	if err != nil {
+		lg.Error("run_complete", logx.F("err", err))
+	} else {
+		lg.Info("run_complete")
+	}
 	if ferr := flushObs(reg, tr, *metricsOut, *traceOut); ferr != nil && err == nil {
 		err = ferr
 	}

@@ -115,3 +115,58 @@ func TestRunBatchMetrics(t *testing.T) {
 		t.Errorf("batch counters missing from -matrix -parallel run: %v", snap.Counters)
 	}
 }
+
+// TestRunLogJSONL: -log emits one valid JSON object per line with the fixed
+// prefix fields and the run lifecycle events, and -log-level error
+// suppresses the info-level ones.
+func TestRunLogJSONL(t *testing.T) {
+	path := writeTrace(t)
+	logPath := filepath.Join(t.TempDir(), "events.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-2",
+		"-log", logPath, "-log-level", "debug"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := map[string]int{}
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		var rec struct {
+			TS    string `json:"ts"`
+			Level string `json:"level"`
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("log line not valid JSON: %v\n%s", err, line)
+		}
+		if rec.TS == "" || rec.Level == "" || rec.Event == "" {
+			t.Errorf("log line missing prefix fields: %s", line)
+		}
+		events[rec.Event]++
+	}
+	for _, want := range []string{"trace_loaded", "eval_start", "run_complete"} {
+		if events[want] != 1 {
+			t.Errorf("%s events = %d, want 1:\n%s", want, events[want], data)
+		}
+	}
+
+	logPath2 := filepath.Join(t.TempDir(), "quiet.jsonl")
+	buf.Reset()
+	if err := run([]string{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-2",
+		"-log", logPath2, "-log-level", "error"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(logPath2); err != nil {
+		t.Fatal(err)
+	} else if len(bytes.TrimSpace(data)) != 0 {
+		t.Errorf("-log-level error on a clean run should log nothing:\n%s", data)
+	}
+
+	if err := run([]string{"-trace", path, "-x", "a", "-y", "b",
+		"-log", "-", "-log-level", "loud"}, &buf); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+}

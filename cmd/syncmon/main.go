@@ -20,9 +20,13 @@
 //
 // Observability: -metrics dumps an internal/obs registry snapshot as JSON
 // (file path, or - for stderr) with the evaluator comparison counters behind
-// the checks; -trace-out writes a Chrome trace_event file; -debug-addr
-// serves net/http/pprof, expvar, and /debug/metrics — intended for
-// long-running monitor sessions.
+// the checks; -trace-out writes a Chrome trace_event file; -log writes a
+// structured JSONL event log (interval definitions, condition settlements,
+// run outcome); -debug-addr serves net/http/pprof, expvar, /debug/metrics
+// (JSON), /metrics (Prometheus text 0.0.4), and /debug/monitor — the live
+// dashboard with per-process vector clocks, interval status, condition
+// verdicts, and recent violations, as auto-refreshing HTML or JSON
+// (?format=json) — intended for long-running monitor sessions.
 package main
 
 import (
@@ -30,11 +34,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 
 	"causet/internal/monitor"
 	"causet/internal/obs"
+	"causet/internal/obs/logx"
 	"causet/internal/trace"
 )
 
@@ -45,9 +51,14 @@ const (
 	exitError     = 2
 )
 
-// stderrW is where "-metrics -" and the -debug-addr banner go; a variable so
-// tests can capture it.
+// stderrW is where "-metrics -", "-log -", and the -debug-addr banner go; a
+// variable so tests can capture it.
 var stderrW io.Writer = os.Stderr
+
+// debugStarted, when non-nil, is called with the bound debug-server address
+// (host:port) as soon as the server is listening — a test hook that removes
+// any need to sleep and poll a guessed port.
+var debugStarted func(addr string)
 
 func main() {
 	code, err := run(os.Args[1:], os.Stdout)
@@ -74,13 +85,34 @@ func run(args []string, out io.Writer) (int, error) {
 	condFile := fs.String("conds", "", "file with one \"name: expression\" per line")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
-	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /debug/metrics on this address")
+	logOut := fs.String("log", "", "write a structured JSONL event log to this file (- = stderr)")
+	logLevel := fs.String("log-level", "info", "minimum -log level: debug, info, warn, or error")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), /metrics (Prometheus 0.0.4), and /debug/monitor (live HTML/JSON dashboard) on this address; the first registry served owns the process-global causet_metrics expvar slot — later servers keep their own /debug/metrics but not /debug/vars")
 	if err := fs.Parse(args); err != nil {
 		return exitError, err
 	}
 	if *path == "" {
 		return exitError, fmt.Errorf("missing -trace")
 	}
+
+	var lg *logx.Logger
+	if *logOut != "" {
+		lvl, err := logx.ParseLevel(*logLevel)
+		if err != nil {
+			return exitError, err
+		}
+		w := stderrW
+		if *logOut != "-" {
+			f, err := os.Create(*logOut)
+			if err != nil {
+				return exitError, err
+			}
+			defer f.Close()
+			w = f
+		}
+		lg = logx.New(w, lvl)
+	}
+
 	f, err := trace.Load(*path)
 	if err != nil {
 		return exitError, err
@@ -89,6 +121,7 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return exitError, err
 	}
+	lg.Info("trace_loaded", logx.F("trace", *path), logx.F("procs", ex.NumProcs()))
 
 	var reg *obs.Registry
 	if *metricsOut != "" || *debugAddr != "" {
@@ -97,14 +130,6 @@ func run(args []string, out io.Writer) (int, error) {
 	var tr *obs.Tracer
 	if *traceOut != "" {
 		tr = obs.NewTracer()
-	}
-	if *debugAddr != "" {
-		ln, err := obs.ServeDebug(*debugAddr, reg)
-		if err != nil {
-			return exitError, err
-		}
-		defer ln.Close()
-		fmt.Fprintf(stderrW, "syncmon: debug server on http://%s/debug/metrics\n", ln.Addr())
 	}
 
 	m := monitor.New(ex)
@@ -116,6 +141,23 @@ func run(args []string, out io.Writer) (int, error) {
 	for name, iv := range ivs {
 		if err := m.DefineInterval(name, iv); err != nil {
 			return exitError, err
+		}
+		lg.Debug("interval_defined", logx.F("interval", name), logx.F("size", iv.Size()))
+	}
+
+	var view *monitorView
+	if *debugAddr != "" {
+		view = newMonitorView(m, ex, reg)
+		ln, err := obs.ServeDebugWith(*debugAddr, reg, map[string]http.Handler{
+			"/debug/monitor": view,
+		})
+		if err != nil {
+			return exitError, err
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderrW, "syncmon: debug server on http://%s/debug/monitor\n", ln.Addr())
+		if debugStarted != nil {
+			debugStarted(ln.Addr().String())
 		}
 	}
 
@@ -150,22 +192,34 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 	}
 
+	violWin := reg.Window("syncmon.violations", 256)
 	code := exitOK
-	for _, res := range m.Check() {
+	results := m.Check()
+	for _, res := range results {
+		fields := []logx.Field{logx.F("condition", res.Name), logx.F("state", res.State.String())}
 		switch res.State {
 		case monitor.Holds:
 			fmt.Fprintf(out, "PASS  %s\n", res.Name)
+			lg.Info("condition_settled", fields...)
 		case monitor.Violated:
 			fmt.Fprintf(out, "FAIL  %s\n", res.Name)
+			violWin.Observe(1)
+			lg.Warn("condition_settled", fields...)
 			code = max(code, exitViolation)
 		case monitor.Pending:
 			fmt.Fprintf(out, "SKIP  %s (references undefined intervals)\n", res.Name)
+			lg.Warn("condition_skipped", fields...)
 			code = exitError
 		case monitor.Failed:
 			fmt.Fprintf(out, "ERROR %s: %v\n", res.Name, res.Err)
+			lg.Error("condition_settled", append(fields, logx.F("err", res.Err))...)
 			code = exitError
 		}
 	}
+	if view != nil {
+		view.setResults(results)
+	}
+	lg.Info("run_complete", logx.F("conditions", len(results)), logx.F("exit_code", code))
 	if err := flushObs(reg, tr, *metricsOut, *traceOut); err != nil {
 		return exitError, err
 	}

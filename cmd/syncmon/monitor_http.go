@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"html/template"
+	"net/http"
+	"sync"
+	"time"
+
+	"causet/internal/monitor"
+	"causet/internal/obs"
+	"causet/internal/poset"
+)
+
+// monitorView serves /debug/monitor on the -debug-addr server: the live
+// monitor state as JSON (?format=json) and, by default, a self-contained
+// auto-refreshing HTML dashboard rendered with the stdlib template engine
+// — per-process vector clocks, interval status, settled/pending
+// conditions, the recent-violation list, and the per-refresh metrics
+// delta (obs.Snapshot.Diff against the previously served snapshot).
+type monitorView struct {
+	m   *monitor.Monitor
+	ex  *poset.Execution
+	reg *obs.Registry
+
+	mu         sync.Mutex
+	results    []monitor.Result
+	violations []string      // most recent last, capped
+	prev       *obs.Snapshot // snapshot served by the previous request
+}
+
+// maxRecentViolations caps the dashboard's violation timeline.
+const maxRecentViolations = 32
+
+// newMonitorView builds the view over a monitor and its execution; reg may
+// be nil (the metrics delta is then empty).
+func newMonitorView(m *monitor.Monitor, ex *poset.Execution, reg *obs.Registry) *monitorView {
+	return &monitorView{m: m, ex: ex, reg: reg}
+}
+
+// setResults publishes check results to the dashboard, appending newly
+// violated conditions to the recent-violation timeline.
+func (v *monitorView) setResults(results []monitor.Result) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	prev := make(map[string]monitor.State, len(v.results))
+	for _, r := range v.results {
+		prev[r.Name] = r.State
+	}
+	for _, r := range results {
+		if r.State == monitor.Violated && prev[r.Name] != monitor.Violated {
+			v.violations = append(v.violations, r.Name)
+			if len(v.violations) > maxRecentViolations {
+				v.violations = v.violations[len(v.violations)-maxRecentViolations:]
+			}
+		}
+	}
+	v.results = append([]monitor.Result(nil), results...)
+}
+
+// procClockState is one process's current vector clock (the forward clock
+// of its latest event; all-zero when the process has no events).
+type procClockState struct {
+	Proc   int   `json:"proc"`
+	Events int   `json:"events"`
+	Clock  []int `json:"clock"`
+}
+
+// intervalState is one defined interval of the monitor.
+type intervalState struct {
+	Name  string `json:"name"`
+	Size  int    `json:"size"`
+	Nodes []int  `json:"nodes"`
+}
+
+// conditionState is one condition with its latest verdict.
+type conditionState struct {
+	Name  string `json:"name"`
+	Src   string `json:"src"`
+	State string `json:"state"`
+	Err   string `json:"err,omitempty"`
+}
+
+// monitorState is the JSON document served at /debug/monitor?format=json
+// and the data behind the HTML view.
+type monitorState struct {
+	Procs        int              `json:"procs"`
+	Clocks       []procClockState `json:"clocks"`
+	Intervals    []intervalState  `json:"intervals"`
+	Conditions   []conditionState `json:"conditions"`
+	Violations   []string         `json:"recent_violations"`
+	MetricsDelta obs.SnapshotDiff `json:"metrics_delta"`
+}
+
+// state assembles the current monitor state, computing the metrics delta
+// against the snapshot taken by the previous call.
+func (v *monitorView) state() monitorState {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+
+	st := monitorState{Procs: v.ex.NumProcs()}
+	clk := v.m.Analysis().Clocks()
+	for p := 0; p < v.ex.NumProcs(); p++ {
+		pc := procClockState{Proc: p, Events: v.ex.NumReal(p), Clock: make([]int, v.ex.NumProcs())}
+		if n := v.ex.NumReal(p); n > 0 {
+			copy(pc.Clock, clk.T(poset.EventID{Proc: p, Pos: n}))
+		}
+		st.Clocks = append(st.Clocks, pc)
+	}
+	for _, name := range v.m.IntervalNames() {
+		iv, ok := v.m.Interval(name)
+		if !ok {
+			continue
+		}
+		st.Intervals = append(st.Intervals, intervalState{Name: name, Size: iv.Size(), Nodes: iv.NodeSet()})
+	}
+	byName := make(map[string]monitor.Result, len(v.results))
+	for _, r := range v.results {
+		byName[r.Name] = r
+	}
+	for _, c := range v.m.Conditions() {
+		cs := conditionState{Name: c.Name, Src: c.Src, State: monitor.Pending.String()}
+		if r, ok := byName[c.Name]; ok {
+			cs.State = r.State.String()
+			if r.Err != nil {
+				cs.Err = r.Err.Error()
+			}
+		}
+		st.Conditions = append(st.Conditions, cs)
+	}
+	st.Violations = append([]string(nil), v.violations...)
+
+	cur := v.reg.Snapshot()
+	if v.prev != nil {
+		st.MetricsDelta = cur.Diff(*v.prev)
+	} else {
+		st.MetricsDelta = cur.Diff(obs.Snapshot{})
+	}
+	v.prev = &cur
+	return st
+}
+
+// ServeHTTP renders the state as JSON when the request asks for it
+// (?format=json) and as the auto-refreshing HTML dashboard otherwise.
+func (v *monitorView) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	st := v.state()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = monitorTmpl.Execute(w, struct {
+		monitorState
+		Now string
+	}{st, time.Now().Format(time.RFC3339)})
+}
+
+// monitorTmpl is the self-contained dashboard: no external assets, a
+// 2-second meta refresh, and state-colored condition rows.
+var monitorTmpl = template.Must(template.New("monitor").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>syncmon live monitor</title>
+<style>
+body { font-family: ui-monospace, SFMono-Regular, Menlo, monospace; margin: 1.5rem; background: #111; color: #ddd; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.4rem; color: #9cf; }
+table { border-collapse: collapse; margin-top: .4rem; }
+th, td { border: 1px solid #333; padding: .25rem .6rem; text-align: left; }
+th { background: #1c1c1c; }
+.holds { color: #7c7; } .violated { color: #f77; } .failed { color: #fa5; } .pending { color: #888; }
+.muted { color: #777; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>syncmon live monitor</h1>
+<p class="muted">auto-refreshes every 2s · {{.Now}} · <a href="?format=json">JSON</a> · <a href="/metrics">Prometheus</a> · <a href="/debug/metrics">metrics JSON</a></p>
+
+<h2>Per-process vector clocks</h2>
+<table><tr><th>proc</th><th>events</th><th>clock T(last)</th></tr>
+{{range .Clocks}}<tr><td>P{{.Proc}}</td><td>{{.Events}}</td><td>{{.Clock}}</td></tr>
+{{end}}</table>
+
+<h2>Intervals</h2>
+<table><tr><th>name</th><th>|X|</th><th>node set</th></tr>
+{{range .Intervals}}<tr><td>{{.Name}}</td><td>{{.Size}}</td><td>{{.Nodes}}</td></tr>
+{{end}}</table>
+
+<h2>Conditions</h2>
+<table><tr><th>name</th><th>expression</th><th>verdict</th></tr>
+{{range .Conditions}}<tr><td>{{.Name}}</td><td>{{.Src}}</td><td class="{{.State}}">{{.State}}{{if .Err}} — {{.Err}}{{end}}</td></tr>
+{{end}}</table>
+
+<h2>Recent violations</h2>
+{{if .Violations}}<table><tr><th>condition</th></tr>
+{{range .Violations}}<tr><td class="violated">{{.}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">none</p>{{end}}
+
+<h2>Metrics delta since last refresh</h2>
+<table><tr><th>counter</th><th>Δ</th></tr>
+{{range $name, $v := .MetricsDelta.Counters}}{{if $v}}<tr><td>{{$name}}</td><td>{{$v}}</td></tr>
+{{end}}{{end}}</table>
+</body>
+</html>
+`))

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"causet/internal/monitor"
+	"causet/internal/obs"
+	"causet/internal/trace"
+)
+
+// loadMonitor builds a monitor over the shared ring trace with all its
+// named intervals defined.
+func loadMonitor(t *testing.T) *monitor.Monitor {
+	t.Helper()
+	f, err := trace.Load(writeTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := f.Execution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := monitor.New(ex)
+	ivs, err := f.AllIntervals(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, iv := range ivs {
+		if err := m.DefineInterval(name, iv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestMonitorViewJSONAndHTML exercises the /debug/monitor handler directly:
+// the JSON document carries clocks, intervals, condition verdicts, and the
+// violation timeline; the default response is the self-contained HTML view.
+func TestMonitorViewJSONAndHTML(t *testing.T) {
+	m := loadMonitor(t)
+	for _, c := range [][2]string{
+		{"ordered", "R1(ring-round-0, ring-round-1)"},
+		{"backwards", "R1(ring-round-1, ring-round-0)"},
+	} {
+		if err := m.AddCondition(c[0], c[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := obs.New()
+	m.Analysis().Instrument(reg, nil)
+	view := newMonitorView(m, m.Analysis().Execution(), reg)
+	view.setResults(m.Check())
+
+	rec := httptest.NewRecorder()
+	view.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/monitor?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("JSON Content-Type = %q", ct)
+	}
+	var st monitorState
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("dashboard JSON invalid: %v\n%s", err, rec.Body.String())
+	}
+	if st.Procs != 3 || len(st.Clocks) != 3 {
+		t.Errorf("procs/clocks = %d/%d, want 3/3", st.Procs, len(st.Clocks))
+	}
+	for _, pc := range st.Clocks {
+		if pc.Events == 0 || len(pc.Clock) != 3 {
+			t.Errorf("clock row %+v not populated", pc)
+		}
+	}
+	if len(st.Intervals) != 2 {
+		t.Errorf("intervals = %+v, want the 2 ring rounds", st.Intervals)
+	}
+	verdicts := map[string]string{}
+	for _, c := range st.Conditions {
+		verdicts[c.Name] = c.State
+	}
+	if verdicts["ordered"] != "holds" || verdicts["backwards"] != "violated" {
+		t.Errorf("verdicts = %v", verdicts)
+	}
+	if len(st.Violations) != 1 || st.Violations[0] != "backwards" {
+		t.Errorf("recent violations = %v, want [backwards]", st.Violations)
+	}
+	if st.MetricsDelta.Counters["core.cut_builds"] < 1 {
+		t.Errorf("first refresh should carry the full metrics delta: %v", st.MetricsDelta.Counters)
+	}
+
+	rec = httptest.NewRecorder()
+	view.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/monitor", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("HTML Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"syncmon live monitor", "http-equiv=\"refresh\"", "backwards", "R1(ring-round-0, ring-round-1)", "violated"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("HTML view missing %q", want)
+		}
+	}
+	if strings.Contains(body, "<script src=") || strings.Contains(body, "href=\"http") {
+		t.Error("HTML view must be self-contained (no external assets)")
+	}
+}
+
+// TestMonitorViewRepeatDelta pins the per-refresh metrics delta: a second
+// refresh with no intervening work reports zero cut builds.
+func TestMonitorViewRepeatDelta(t *testing.T) {
+	m := loadMonitor(t)
+	if err := m.AddCondition("ordered", "R1(ring-round-0, ring-round-1)"); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	m.Analysis().Instrument(reg, nil)
+	view := newMonitorView(m, m.Analysis().Execution(), reg)
+	view.setResults(m.Check())
+
+	first := view.state()
+	if first.MetricsDelta.Counters["core.cut_builds"] < 1 {
+		t.Fatalf("first delta: %v", first.MetricsDelta.Counters)
+	}
+	second := view.state()
+	if d := second.MetricsDelta.Counters["core.cut_builds"]; d != 0 {
+		t.Errorf("idle refresh delta for core.cut_builds = %d, want 0", d)
+	}
+}
+
+// TestRunDebugServer drives the full wiring end to end: -debug-addr brings
+// up the server, and the debugStarted hook (no sleeping, no port guessing)
+// fetches /debug/monitor in both formats plus the Prometheus /metrics page
+// while the run is live.
+func TestRunDebugServer(t *testing.T) {
+	path := writeTrace(t)
+	fetched := map[string]string{}
+	prevHook, prevStderr := debugStarted, stderrW
+	stderrW = io.Discard
+	debugStarted = func(addr string) {
+		for _, ep := range []string{"/debug/monitor", "/debug/monitor?format=json", "/metrics"} {
+			resp, err := http.Get("http://" + addr + ep)
+			if err != nil {
+				t.Errorf("GET %s: %v", ep, err)
+				continue
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			fetched[ep] = resp.Header.Get("Content-Type") + "\n" + string(b)
+		}
+	}
+	defer func() { debugStarted, stderrW = prevHook, prevStderr }()
+
+	var buf bytes.Buffer
+	code, err := run([]string{"-trace", path, "-debug-addr", "127.0.0.1:0",
+		"-cond", "ordered: R1(ring-round-0, ring-round-1)"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Fatalf("exit %d:\n%s", code, buf.String())
+	}
+	if !strings.Contains(fetched["/debug/monitor"], "text/html") ||
+		!strings.Contains(fetched["/debug/monitor"], "syncmon live monitor") {
+		t.Errorf("/debug/monitor did not serve the HTML view:\n%s", fetched["/debug/monitor"])
+	}
+	jsonBody, _, _ := strings.Cut(fetched["/debug/monitor?format=json"], "\n")
+	if jsonBody != "application/json" {
+		t.Errorf("/debug/monitor?format=json Content-Type = %q", jsonBody)
+	}
+	if !strings.Contains(fetched["/metrics"], "version=0.0.4") {
+		t.Errorf("/metrics Content-Type missing exposition version:\n%s", fetched["/metrics"])
+	}
+}
+
+// TestRunLogJSONL checks the -log flag end to end: every line is valid
+// JSON with the fixed prefix, and the expected lifecycle events appear at
+// their documented levels.
+func TestRunLogJSONL(t *testing.T) {
+	path := writeTrace(t)
+	logPath := filepath.Join(t.TempDir(), "events.jsonl")
+	var buf bytes.Buffer
+	code, err := run([]string{"-trace", path, "-log", logPath, "-log-level", "debug",
+		"-cond", "ordered: R1(ring-round-0, ring-round-1)",
+		"-cond", "backwards: R1(ring-round-1, ring-round-0)"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitViolation {
+		t.Fatalf("exit %d:\n%s", code, buf.String())
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := map[string]int{}
+	levels := map[string]string{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var line struct {
+			TS        string `json:"ts"`
+			Level     string `json:"level"`
+			Event     string `json:"event"`
+			Condition string `json:"condition"`
+			State     string `json:"state"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("log line not valid JSON: %v\n%s", err, sc.Text())
+		}
+		if line.TS == "" || line.Level == "" || line.Event == "" {
+			t.Errorf("log line missing prefix fields: %s", sc.Text())
+		}
+		events[line.Event]++
+		if line.Event == "condition_settled" {
+			levels[line.Condition] = line.Level
+		}
+	}
+	for _, want := range []string{"trace_loaded", "interval_defined", "condition_settled", "run_complete"} {
+		if events[want] == 0 {
+			t.Errorf("no %s event in log:\n%s", want, data)
+		}
+	}
+	if events["condition_settled"] != 2 {
+		t.Errorf("condition_settled count = %d, want 2", events["condition_settled"])
+	}
+	if levels["ordered"] != "info" || levels["backwards"] != "warn" {
+		t.Errorf("settlement levels = %v, want ordered:info backwards:warn", levels)
+	}
+
+	// -log-level warn suppresses the info/debug lifecycle noise.
+	logPath2 := filepath.Join(t.TempDir(), "warn.jsonl")
+	buf.Reset()
+	if _, err := run([]string{"-trace", path, "-log", logPath2, "-log-level", "warn",
+		"-cond", "backwards: R1(ring-round-1, ring-round-0)"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(logPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"trace_loaded", "interval_defined", "run_complete"} {
+		if bytes.Contains(data2, []byte(banned)) {
+			t.Errorf("-log-level warn leaked %s:\n%s", banned, data2)
+		}
+	}
+	if !bytes.Contains(data2, []byte("condition_settled")) {
+		t.Errorf("-log-level warn lost the violated settlement:\n%s", data2)
+	}
+
+	// A bad level is an internal error.
+	if _, err := run([]string{"-trace", path, "-log", "-", "-log-level", "loud",
+		"-cond", "a: R1(x, y)"}, &buf); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+}

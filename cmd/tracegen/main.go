@@ -8,6 +8,11 @@
 //	tracegen -pattern random -procs 6 -events 200 -msgprob 0.5 -o trace.gob
 //
 // The named intervals can then be analyzed with relcheck and syncmon.
+//
+// Observability: -metrics dumps an internal/obs registry snapshot as JSON
+// (file path, or - for stderr) with the generated event/message/interval
+// counts; -trace-out writes a Chrome trace_event file spanning the
+// generate/save/stats phases.
 package main
 
 import (
@@ -17,11 +22,15 @@ import (
 	"os"
 	"time"
 
+	"causet/internal/obs"
 	"causet/internal/poset"
 	"causet/internal/rt"
 	"causet/internal/sim"
 	"causet/internal/trace"
 )
+
+// stderrW is where "-metrics -" goes; a variable so tests can capture it.
+var stderrW io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -43,18 +52,31 @@ func run(args []string, out io.Writer) error {
 	stats := fs.Bool("stats", true, "print trace statistics")
 	timing := fs.Bool("timing", false, "attach synthesized physical timestamps")
 	maxLatency := fs.Duration("maxlatency", 20*time.Millisecond, "max message latency for -timing")
+	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.New()
+	}
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.NewTracer()
 	}
 
 	p, err := sim.ParsePattern(*pattern)
 	if err != nil {
 		return err
 	}
+	genSpan := tr.Begin("tracegen", "generate")
 	res, err := sim.Generate(sim.Config{
 		Pattern: p, Procs: *procs, Events: *events, Rounds: *rounds,
 		MsgProb: *msgprob, Compute: *compute, Seed: *seed,
 	})
+	genSpan.End()
 	if err != nil {
 		return err
 	}
@@ -71,16 +93,52 @@ func run(args []string, out io.Writer) error {
 			Seed:       *seed,
 		}))
 	}
-	if err := f.Save(*output); err != nil {
+	saveSpan := tr.Begin("tracegen", "save")
+	err = f.Save(*output)
+	saveSpan.End()
+	if err != nil {
 		return err
 	}
 
 	st := res.Exec.Stats()
+	reg.Counter("tracegen.events").Add(int64(st.Events))
+	reg.Counter("tracegen.messages").Add(int64(st.Messages))
+	reg.Counter("tracegen.intervals").Add(int64(len(res.Phases)))
 	fmt.Fprintf(out, "wrote %s: pattern=%s procs=%d events=%d messages=%d intervals=%d\n",
 		*output, p, st.Procs, st.Events, st.Messages, len(res.Phases))
 	if *stats {
+		statsSpan := tr.Begin("tracegen", "stats")
 		full := trace.ComputeStats(res.Exec)
+		statsSpan.End()
 		fmt.Fprintf(out, "causal density: %.3f (%d ordered pairs)\n", full.Density, full.OrderedPairs)
+	}
+	return flushObs(reg, tr, *metricsOut, *traceOut)
+}
+
+// flushObs writes the -metrics snapshot and -trace-out file at the end of a
+// run. metricsOut of "-" selects stderr.
+func flushObs(reg *obs.Registry, tr *obs.Tracer, metricsOut, traceOut string) error {
+	if reg != nil && metricsOut != "" {
+		w := stderrW
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	if tr != nil && traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return tr.WriteJSON(f)
 	}
 	return nil
 }

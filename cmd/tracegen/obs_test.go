@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunMetricsAndTraceOut: -metrics captures the generated trace's shape
+// counters and -trace-out emits a valid Chrome trace_event file with the
+// generate/save/stats phase spans.
+func TestRunMetricsAndTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.json")
+	metPath := filepath.Join(dir, "metrics.json")
+	trPath := filepath.Join(dir, "trace.json")
+	var buf bytes.Buffer
+	err := run([]string{"-pattern", "ring", "-procs", "3", "-rounds", "2", "-seed", "1",
+		"-o", out, "-metrics", metPath, "-trace-out", trPath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	metBytes, err := os.ReadFile(metPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(metBytes, &snap); err != nil {
+		t.Fatalf("metrics snapshot invalid JSON: %v\n%s", err, metBytes)
+	}
+	// A 3-proc 2-round ring has 3 events per round plus the closing
+	// receives; assert shape-level facts, not exact counts.
+	if snap.Counters["tracegen.events"] < 6 {
+		t.Errorf("tracegen.events = %d, want ≥ 6: %v", snap.Counters["tracegen.events"], snap.Counters)
+	}
+	if snap.Counters["tracegen.messages"] < 1 || snap.Counters["tracegen.intervals"] != 2 {
+		t.Errorf("messages/intervals counters wrong: %v", snap.Counters)
+	}
+
+	trBytes, err := os.ReadFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trBytes, &tf); err != nil {
+		t.Fatalf("trace file invalid JSON: %v\n%s", err, trBytes)
+	}
+	phases := map[string]bool{}
+	for _, e := range tf.TraceEvents {
+		if name, _ := e["name"].(string); name != "" {
+			phases[name] = true
+		}
+	}
+	for _, want := range []string{"generate", "save", "stats"} {
+		if !phases[want] {
+			t.Errorf("trace file missing %q span: %v", want, phases)
+		}
+	}
+}
+
+// TestRunMetricsToStderr: "-metrics -" writes the snapshot to the stderr
+// hook instead of a file.
+func TestRunMetricsToStderr(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.json")
+	var errBuf bytes.Buffer
+	prev := stderrW
+	stderrW = &errBuf
+	defer func() { stderrW = prev }()
+	var buf bytes.Buffer
+	if err := run([]string{"-pattern", "ring", "-procs", "3", "-rounds", "2",
+		"-o", out, "-metrics", "-"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(errBuf.Bytes(), &snap); err != nil {
+		t.Fatalf("stderr snapshot invalid JSON: %v\n%s", err, errBuf.String())
+	}
+	if snap.Counters["tracegen.events"] == 0 {
+		t.Errorf("no events counted: %v", snap.Counters)
+	}
+}

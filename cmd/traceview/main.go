@@ -7,6 +7,10 @@
 //	traceview -trace t.json                          # bare diagram
 //	traceview -trace t.json -interval ring-round-1   # mark members + cuts
 //	traceview -trace t.json -interval x -proxies     # mark L_X/U_X instead
+//
+// Observability: -metrics dumps an internal/obs registry snapshot as JSON
+// (file path, or - for stderr) with the cut-build and comparison counters
+// behind the overlays; -trace-out writes a Chrome trace_event file.
 package main
 
 import (
@@ -16,9 +20,13 @@ import (
 	"os"
 
 	"causet/internal/core"
+	"causet/internal/obs"
 	"causet/internal/render"
 	"causet/internal/trace"
 )
+
+// stderrW is where "-metrics -" goes; a variable so tests can capture it.
+var stderrW io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -35,12 +43,28 @@ func run(args []string, out io.Writer) error {
 	cutsOn := fs.Bool("cuts", true, "overlay the interval's condensed cuts")
 	timeline := fs.Bool("timeline", false, "render globally ordered lanes with message arrows instead of per-node positions")
 	svgPath := fs.String("svg", "", "write a figure-style SVG rendering to this path")
+	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *path == "" {
 		return fmt.Errorf("missing -trace")
 	}
+
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.New()
+	}
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.NewTracer()
+	}
+	defer func() {
+		if err := flushObs(reg, tr, *metricsOut, *traceOut); err != nil {
+			fmt.Fprintln(stderrW, "traceview: flush:", err)
+		}
+	}()
 	f, err := trace.Load(*path)
 	if err != nil {
 		return err
@@ -48,6 +72,13 @@ func run(args []string, out io.Writer) error {
 	ex, err := f.Execution()
 	if err != nil {
 		return err
+	}
+	// newAnalysis is shared by the three rendering paths so each cut build
+	// lands in the same registry and tracer.
+	newAnalysis := func() *core.Analysis {
+		a := core.NewAnalysis(ex)
+		a.Instrument(reg, tr)
+		return a
 	}
 	if *svgPath != "" {
 		svg := render.NewSVG(ex)
@@ -58,7 +89,7 @@ func run(args []string, out io.Writer) error {
 			}
 			svg.Mark(iv.Events())
 			if *cutsOn {
-				a := core.NewAnalysis(ex)
+				a := newAnalysis()
 				ic := a.Cuts(iv)
 				svg.AddCut("∩⇓X", ic.InterDown).AddCut("∪⇓X", ic.UnionDown).
 					AddCut("∩⇑X", ic.InterUp).AddCut("∪⇑X", ic.UnionUp)
@@ -84,7 +115,7 @@ func run(args []string, out io.Writer) error {
 				tl.Mark(iv.PerNodeGreatest(), 'U')
 			}
 			if *cutsOn {
-				a := core.NewAnalysis(ex)
+				a := newAnalysis()
 				ic := a.Cuts(iv)
 				tl.AddCut("∩⇓", ic.InterDown).AddCut("∪⇓", ic.UnionDown).
 					AddCut("∩⇑", ic.InterUp).AddCut("∪⇑", ic.UnionUp)
@@ -109,7 +140,7 @@ func run(args []string, out io.Writer) error {
 			d.Mark(iv.Events(), '*')
 		}
 		if *cutsOn {
-			a := core.NewAnalysis(ex)
+			a := newAnalysis()
 			ic := a.Cuts(iv)
 			d.AddCut("∩⇓", ic.InterDown).AddCut("∪⇓", ic.UnionDown).
 				AddCut("∩⇑", ic.InterUp).AddCut("∪⇑", ic.UnionUp)
@@ -117,5 +148,33 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "interval %s: |X|=%d, N_X=%v\n", *ivName, iv.Size(), iv.NodeSet())
 	}
 	fmt.Fprint(out, d.Render())
+	return nil
+}
+
+// flushObs writes the -metrics snapshot and -trace-out file at the end of a
+// run. metricsOut of "-" selects stderr.
+func flushObs(reg *obs.Registry, tr *obs.Tracer, metricsOut, traceOut string) error {
+	if reg != nil && metricsOut != "" {
+		w := stderrW
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	if tr != nil && traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return tr.WriteJSON(f)
+	}
 	return nil
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunMetricsAndTraceOut: rendering an interval's cut overlay with
+// -metrics set records the cut build in the snapshot, and -trace-out emits
+// a valid Chrome trace_event file.
+func TestRunMetricsAndTraceOut(t *testing.T) {
+	path := writeTrace(t)
+	dir := t.TempDir()
+	metPath := filepath.Join(dir, "metrics.json")
+	trPath := filepath.Join(dir, "trace.json")
+	var buf bytes.Buffer
+	err := run([]string{"-trace", path, "-interval", "ring-round-0",
+		"-metrics", metPath, "-trace-out", trPath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	metBytes, err := os.ReadFile(metPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(metBytes, &snap); err != nil {
+		t.Fatalf("metrics snapshot invalid JSON: %v\n%s", err, metBytes)
+	}
+	if snap.Counters["core.cut_builds"] < 1 {
+		t.Errorf("cut overlay did not record core.cut_builds: %v", snap.Counters)
+	}
+
+	trBytes, err := os.ReadFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trBytes, &tf); err != nil {
+		t.Fatalf("trace file invalid JSON: %v\n%s", err, trBytes)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Error("trace file has no events")
+	}
+}
+
+// TestRunMetricsWithoutCuts: a bare render builds no cuts but still flushes
+// a valid (possibly zero) snapshot.
+func TestRunMetricsWithoutCuts(t *testing.T) {
+	path := writeTrace(t)
+	metPath := filepath.Join(t.TempDir(), "metrics.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-metrics", metPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(metPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Errorf("snapshot not valid JSON:\n%s", data)
+	}
+}

@@ -20,11 +20,27 @@ var publishOnce sync.Once
 //	/debug/pprof/   the net/http/pprof profiles
 //	/debug/vars     expvar (including this registry under "causet_metrics")
 //	/debug/metrics  the registry snapshot as JSON
+//	/metrics        the snapshot in Prometheus text exposition 0.0.4
 //
 // It returns the bound listener so the caller can report the actual address
-// (addr may use port 0) and close it on shutdown. reg may be nil, in which
-// case /debug/metrics serves an empty snapshot.
+// (addr may use port 0) and close it on shutdown — tests should read
+// ln.Addr() instead of sleeping and polling a guessed port. reg may be
+// nil, in which case /debug/metrics and /metrics serve an empty snapshot.
+//
+// The expvar publication is process-global and expvar.Publish panics on
+// duplicate names, so the FIRST registry ever served owns the
+// "causet_metrics" expvar slot for the life of the process; later
+// registries are still fully served on their own /debug/metrics and
+// /metrics endpoints. Call sites that surface -debug-addr should carry
+// this caveat in the flag help.
 func ServeDebug(addr string, reg *Registry) (net.Listener, error) {
+	return ServeDebugWith(addr, reg, nil)
+}
+
+// ServeDebugWith is ServeDebug plus caller-supplied handlers registered on
+// the same mux (e.g. syncmon's /debug/monitor dashboard). Extra patterns
+// must not collide with the built-in ones above.
+func ServeDebugWith(addr string, reg *Registry, extra map[string]http.Handler) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -45,6 +61,13 @@ func ServeDebug(addr string, reg *Registry) (net.Listener, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = reg.Snapshot().WriteJSON(w)
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	go func() { _ = http.Serve(ln, mux) }()
 	return ln, nil
 }

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotDiff(t *testing.T) {
+	reg := New()
+	reg.Counter("a").Add(10)
+	reg.Counter("b").Add(5)
+	reg.Gauge("g").Set(3)
+	reg.Histogram("h", []int64{10}).Observe(4)
+	prev := reg.Snapshot()
+
+	reg.Counter("a").Add(7)
+	reg.Counter("c").Add(2) // appears only in the new snapshot
+	reg.Gauge("g").Set(1)
+	reg.Histogram("h", nil).Observe(6)
+	cur := reg.Snapshot()
+
+	d := cur.Diff(prev)
+	for name, want := range map[string]int64{
+		"a": 7, "b": 0, "c": 2, "h.count": 1, "h.sum": 6,
+	} {
+		if got := d.Counters[name]; got != want {
+			t.Errorf("Counters[%q] = %d, want %d", name, got, want)
+		}
+	}
+	if got := d.Gauges["g"]; got != -2 {
+		t.Errorf("Gauges[g] = %d, want -2", got)
+	}
+
+	// A name only in prev (different registry) yields a negative delta
+	// rather than silently vanishing.
+	other := New()
+	other.Counter("gone").Add(9)
+	d2 := cur.Diff(other.Snapshot())
+	if got := d2.Counters["gone"]; got != -9 {
+		t.Errorf("Counters[gone] = %d, want -9", got)
+	}
+}
+
+// TestSnapshotDiffDeterministic pins the satellite requirement: the JSON
+// serialization of a diff is byte-stable across repeated encodings (sorted
+// keys) and the maps are never nil.
+func TestSnapshotDiffDeterministic(t *testing.T) {
+	reg := New()
+	for _, name := range []string{"z.last", "a.first", "m.middle"} {
+		reg.Counter(name).Add(1)
+	}
+	reg.Gauge("g2").Set(2)
+	reg.Gauge("g1").Set(1)
+	cur := reg.Snapshot()
+
+	var first bytes.Buffer
+	if err := cur.Diff(Snapshot{}).WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		if err := cur.Diff(Snapshot{}).WriteJSON(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("diff JSON not deterministic:\n%s\nvs\n%s", first.Bytes(), again.Bytes())
+		}
+	}
+	d := Snapshot{}.Diff(Snapshot{})
+	if d.Counters == nil || d.Gauges == nil {
+		t.Error("empty diff has nil maps")
+	}
+}

@@ -1,0 +1,180 @@
+// Package logx is the structured event log of the observability layer:
+// leveled, field-based, one JSON object per line (JSONL), nil-safe like
+// the rest of internal/obs — every method on a nil *Logger is a no-op, so
+// unlogged code paths pay one nil check and no formatting.
+//
+// Each line has the fixed prefix keys ts (RFC 3339 with nanoseconds),
+// level, and event, followed by the bound and per-call fields in the order
+// they were given:
+//
+//	{"ts":"2026-08-06T12:00:00.000000001Z","level":"info","event":"condition_settled","condition":"ordered","state":"holds"}
+//
+// The intended wiring mirrors the metrics registry: long-lived subsystems
+// (online.Monitor, runtime.System) take a logger once via SetLogger and
+// emit semantic events — interval growth and completion, condition
+// settlement, sends and receives — while the CLIs construct the logger
+// from their -log / -log-level flags and log run-level events. Lines are
+// written with a single Write under one mutex, so concurrent emitters
+// never interleave bytes.
+package logx
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities. The zero value is Debug, the most verbose.
+type Level int8
+
+// The levels, from most to least verbose.
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "debug"
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Level(%d)", int8(l))
+}
+
+// ParseLevel maps a -log-level flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return Debug, nil
+	case "info":
+		return Info, nil
+	case "warn", "warning":
+		return Warn, nil
+	case "error":
+		return Error, nil
+	}
+	return Debug, fmt.Errorf("logx: unknown level %q (want debug|info|warn|error)", s)
+}
+
+// Field is one key/value pair of a log line. Values are serialized with
+// encoding/json; a value that fails to marshal degrades to its fmt.Sprint
+// string rather than dropping the line.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field; the short name keeps call sites readable.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// sink is the shared write end of a logger and its With children.
+type sink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // injectable for deterministic tests
+}
+
+// Logger writes leveled JSONL events. Create one with New; derive
+// field-bound children with With. A nil *Logger is a no-op.
+type Logger struct {
+	s     *sink
+	level Level
+	bound []Field
+}
+
+// New returns a logger writing events of severity ≥ level to w.
+func New(w io.Writer, level Level) *Logger {
+	return &Logger{s: &sink{w: w, now: time.Now}, level: level}
+}
+
+// With returns a child logger whose lines carry the given fields after
+// the prefix keys (e.g. a per-node logger bound to its node ID). The
+// child shares the parent's sink and level. Nil-safe.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil || len(fields) == 0 {
+		return l
+	}
+	bound := make([]Field, 0, len(l.bound)+len(fields))
+	bound = append(bound, l.bound...)
+	bound = append(bound, fields...)
+	return &Logger{s: l.s, level: l.level, bound: bound}
+}
+
+// Enabled reports whether events at lvl would be written; false on a nil
+// logger. Use it to skip expensive field construction.
+func (l *Logger) Enabled(lvl Level) bool {
+	return l != nil && lvl >= l.level
+}
+
+// Debug emits an event at Debug level.
+func (l *Logger) Debug(event string, fields ...Field) { l.log(Debug, event, fields) }
+
+// Info emits an event at Info level.
+func (l *Logger) Info(event string, fields ...Field) { l.log(Info, event, fields) }
+
+// Warn emits an event at Warn level.
+func (l *Logger) Warn(event string, fields ...Field) { l.log(Warn, event, fields) }
+
+// Error emits an event at Error level.
+func (l *Logger) Error(event string, fields ...Field) { l.log(Error, event, fields) }
+
+func (l *Logger) log(lvl Level, event string, fields []Field) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	// The line is assembled outside the sink lock; only the Write is
+	// serialized, so concurrent emitters never interleave bytes.
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"ts":"`...)
+	buf = l.s.now().UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, lvl.String()...)
+	buf = append(buf, `","event":`...)
+	buf = appendJSON(buf, event)
+	for _, f := range l.bound {
+		buf = appendField(buf, f)
+	}
+	for _, f := range fields {
+		buf = appendField(buf, f)
+	}
+	buf = append(buf, '}', '\n')
+	l.s.mu.Lock()
+	_, _ = l.s.w.Write(buf)
+	l.s.mu.Unlock()
+}
+
+// appendField appends `,"key":value` to buf.
+func appendField(buf []byte, f Field) []byte {
+	buf = append(buf, ',')
+	buf = appendJSON(buf, f.Key)
+	buf = append(buf, ':')
+	return appendJSON(buf, f.Value)
+}
+
+// appendJSON appends the JSON encoding of v, degrading to a quoted
+// fmt.Sprint on marshal failure (e.g. a channel value) so a bad field
+// never suppresses the event.
+func appendJSON(buf []byte, v any) []byte {
+	// Errors are common field values but do not implement json.Marshaler;
+	// log their message.
+	if err, ok := v.(error); ok {
+		v = err.Error()
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return append(buf, b...)
+}

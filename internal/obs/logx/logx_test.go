@@ -1,0 +1,146 @@
+package logx
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parseLines decodes every JSONL line of buf.
+func parseLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line is not valid JSON: %v\n%s", err, sc.Text())
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestLoggerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, Debug)
+	lg.s.now = func() time.Time { return time.Unix(12, 34).UTC() }
+	lg.Info("condition_settled", F("condition", "ordered"), F("state", "holds"), F("n", 3))
+	lg.Debug("interval_observe", F("interval", "x"))
+	lg.Error("boom", F("err", errors.New("kaput")))
+
+	lines := parseLines(t, &buf)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	first := lines[0]
+	if first["level"] != "info" || first["event"] != "condition_settled" {
+		t.Errorf("prefix fields wrong: %v", first)
+	}
+	if first["condition"] != "ordered" || first["state"] != "holds" || first["n"] != float64(3) {
+		t.Errorf("fields wrong: %v", first)
+	}
+	if ts, _ := first["ts"].(string); !strings.HasPrefix(ts, "1970-01-01T00:00:12") {
+		t.Errorf("ts = %v", first["ts"])
+	}
+	if lines[2]["err"] != "kaput" {
+		t.Errorf("error field should log the message: %v", lines[2])
+	}
+}
+
+func TestLoggerLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, Warn)
+	lg.Debug("d")
+	lg.Info("i")
+	lg.Warn("w")
+	lg.Error("e")
+	lines := parseLines(t, &buf)
+	if len(lines) != 2 || lines[0]["event"] != "w" || lines[1]["event"] != "e" {
+		t.Errorf("Warn-level logger emitted: %v", lines)
+	}
+	if lg.Enabled(Info) || !lg.Enabled(Error) {
+		t.Error("Enabled gate wrong")
+	}
+}
+
+func TestLoggerNilSafety(t *testing.T) {
+	var lg *Logger
+	lg.Debug("d")
+	lg.Info("i", F("k", 1))
+	lg.Warn("w")
+	lg.Error("e")
+	if lg.Enabled(Error) {
+		t.Error("nil logger reports enabled")
+	}
+	if lg.With(F("k", 1)) != nil {
+		t.Error("With on nil logger should stay nil")
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, Debug).With(F("node", 2))
+	lg.Info("send", F("to", 3))
+	lines := parseLines(t, &buf)
+	if lines[0]["node"] != float64(2) || lines[0]["to"] != float64(3) {
+		t.Errorf("bound field missing: %v", lines[0])
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": Debug, "INFO": Info, "warn": Warn, "warning": Warn, " error ": Error,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) should fail")
+	}
+}
+
+// TestLoggerConcurrent: concurrent emitters (including With children)
+// never interleave bytes — every line stays parseable. Run under -race in
+// CI.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, Debug)
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			child := lg.With(F("g", id))
+			for i := 0; i < perG; i++ {
+				child.Info("tick", F("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := parseLines(t, &buf)
+	if len(lines) != goroutines*perG {
+		t.Errorf("got %d lines, want %d", len(lines), goroutines*perG)
+	}
+}
+
+func TestUnmarshalableFieldDegrades(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, Debug)
+	lg.Info("odd", F("ch", make(chan int)))
+	lines := parseLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("unmarshalable field dropped the line:\n%s", buf.String())
+	}
+	if _, ok := lines[0]["ch"].(string); !ok {
+		t.Errorf("degraded field should be a string: %v", lines[0])
+	}
+}

@@ -121,6 +121,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	windows    map[string]*Window
 }
 
 // New returns an empty registry.
@@ -129,6 +130,7 @@ func New() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		windows:    make(map[string]*Window),
 	}
 }
 
@@ -181,6 +183,26 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
+// Window returns the named sliding window, creating it with the given
+// sample capacity on first use (later capacities are ignored — the first
+// registration wins, like Histogram bounds). Returns nil on a nil
+// registry. Names share one flat namespace with the other instrument
+// kinds in the Prometheus exposition, so do not reuse a counter/gauge/
+// histogram name for a window.
+func (r *Registry) Window(name string, capacity int) *Window {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.windows[name]
+	if !ok {
+		w = newWindow(capacity)
+		r.windows[name] = w
+	}
+	return w
+}
+
 // Snapshot is a point-in-time JSON-serializable view of a registry. Taken
 // concurrently with writers it is internally consistent per instrument but
 // not across instruments (each value is read once, atomically).
@@ -188,6 +210,7 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Windows    map[string]WindowSnapshot    `json:"windows,omitempty"`
 }
 
 // Snapshot captures every instrument's current value. On a nil registry it
@@ -211,6 +234,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.Snapshot()
+	}
+	if len(r.windows) > 0 {
+		s.Windows = make(map[string]WindowSnapshot, len(r.windows))
+		for name, w := range r.windows {
+			s.Windows[name] = w.Snapshot()
+		}
 	}
 	return s
 }
@@ -236,4 +265,62 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
+}
+
+// SnapshotDiff is the per-instrument delta between two snapshots: for each
+// name present in either snapshot, current minus previous. Counter deltas
+// of a monotonically written registry are non-negative; a negative delta
+// means the snapshots came from different registries (or a restart).
+// Histograms contribute their count and sum deltas under
+// "<name>.count"/"<name>.sum" in Counters, so one flat map carries every
+// monotone series — which is what /debug/monitor's per-refresh delta and
+// benchdiff's metrics comparison consume.
+type SnapshotDiff struct {
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges"`
+}
+
+// Diff returns the delta s − prev. The maps are always non-nil and their
+// JSON serialization is deterministic (encoding/json sorts map keys).
+func (s Snapshot) Diff(prev Snapshot) SnapshotDiff {
+	d := SnapshotDiff{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range prev.Counters {
+		if _, ok := s.Counters[name]; !ok {
+			d.Counters[name] = -v
+		}
+	}
+	for name, h := range s.Histograms {
+		ph := prev.Histograms[name]
+		d.Counters[name+".count"] = h.Count - ph.Count
+		d.Counters[name+".sum"] = h.Sum - ph.Sum
+	}
+	for name, ph := range prev.Histograms {
+		if _, ok := s.Histograms[name]; !ok {
+			d.Counters[name+".count"] = -ph.Count
+			d.Counters[name+".sum"] = -ph.Sum
+		}
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v - prev.Gauges[name]
+	}
+	for name, v := range prev.Gauges {
+		if _, ok := s.Gauges[name]; !ok {
+			d.Gauges[name] = -v
+		}
+	}
+	return d
+}
+
+// WriteJSON writes the diff as indented JSON with deterministically sorted
+// keys.
+func (d SnapshotDiff) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
 }

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for a registry
+// snapshot, served by ServeDebug at /metrics so any Prometheus scraper
+// pointed at a CLI's -debug-addr picks the instruments up directly:
+//
+//   - Counters become counter metrics, gauges become gauge metrics.
+//   - Histograms become histogram metrics with the required cumulative
+//     _bucket{le="..."} series (our per-bucket counts are summed up to
+//     each bound), the implicit le="+Inf" bucket, and _sum/_count.
+//   - Windows become summary metrics: {quantile="0.5|0.9|0.99"} series
+//     from the buffered samples plus lifetime _sum/_count, and one extra
+//     <name>_rate gauge with the buffered observations-per-second.
+//
+// Dotted instrument names are sanitized to the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): "." → "_", the prime in relation names
+// ("R1'") → "_prime", anything else invalid → "_". A HELP line preserves
+// the original registry name so the mapping stays greppable. Output is
+// sorted by metric name within each instrument kind, so a quiesced
+// registry always serializes to identical bytes (the golden-file test
+// pins this).
+
+// promSanitize maps a registry name to a legal Prometheus metric name.
+func promSanitize(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r == '\'':
+			b.WriteString("_prime")
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes a HELP text per the exposition format.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFloat formats a float the way Prometheus parsers expect.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format, version 0.0.4. Serve it with content type
+// "text/plain; version=0.0.4; charset=utf-8" (ServeDebug does).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		m := promSanitize(name)
+		writePromHeader(bw, m, name, "counter")
+		bw.WriteString(m)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(s.Counters[name], 10))
+		bw.WriteByte('\n')
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := promSanitize(name)
+		writePromHeader(bw, m, name, "gauge")
+		bw.WriteString(m)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(s.Gauges[name], 10))
+		bw.WriteByte('\n')
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		m := promSanitize(name)
+		writePromHeader(bw, m, name, "histogram")
+		var cum int64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			bw.WriteString(m)
+			bw.WriteString(`_bucket{le="`)
+			bw.WriteString(strconv.FormatInt(bound, 10))
+			bw.WriteString(`"} `)
+			bw.WriteString(strconv.FormatInt(cum, 10))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString(m)
+		bw.WriteString(`_bucket{le="+Inf"} `)
+		bw.WriteString(strconv.FormatInt(h.Count, 10))
+		bw.WriteByte('\n')
+		bw.WriteString(m)
+		bw.WriteString("_sum ")
+		bw.WriteString(strconv.FormatInt(h.Sum, 10))
+		bw.WriteByte('\n')
+		bw.WriteString(m)
+		bw.WriteString("_count ")
+		bw.WriteString(strconv.FormatInt(h.Count, 10))
+		bw.WriteByte('\n')
+	}
+	for _, name := range sortedKeys(s.Windows) {
+		ws := s.Windows[name]
+		m := promSanitize(name)
+		writePromHeader(bw, m, name, "summary")
+		for _, q := range [...]struct {
+			label string
+			v     int64
+		}{{"0.5", ws.P50}, {"0.9", ws.P90}, {"0.99", ws.P99}} {
+			bw.WriteString(m)
+			bw.WriteString(`{quantile="`)
+			bw.WriteString(q.label)
+			bw.WriteString(`"} `)
+			bw.WriteString(strconv.FormatInt(q.v, 10))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString(m)
+		bw.WriteString("_sum ")
+		bw.WriteString(strconv.FormatInt(ws.Sum, 10))
+		bw.WriteByte('\n')
+		bw.WriteString(m)
+		bw.WriteString("_count ")
+		bw.WriteString(strconv.FormatInt(ws.Count, 10))
+		bw.WriteByte('\n')
+		rate := m + "_rate"
+		writePromHeader(bw, rate, name+" (buffered obs/sec)", "gauge")
+		bw.WriteString(rate)
+		bw.WriteByte(' ')
+		bw.WriteString(promFloat(ws.Rate))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// writePromHeader emits the HELP and TYPE comment lines of one metric.
+func writePromHeader(bw *bufio.Writer, metric, origName, kind string) {
+	bw.WriteString("# HELP ")
+	bw.WriteString(metric)
+	bw.WriteString(" causet registry instrument ")
+	bw.WriteString(promEscapeHelp(origName))
+	bw.WriteByte('\n')
+	bw.WriteString("# TYPE ")
+	bw.WriteString(metric)
+	bw.WriteByte(' ')
+	bw.WriteString(kind)
+	bw.WriteByte('\n')
+}

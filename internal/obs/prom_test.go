@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Prometheus golden file")
+
+// promRegistry builds a registry with one instrument of every kind,
+// including a relation counter whose prime needs sanitizing, with a
+// deterministic window clock.
+func promRegistry() *Registry {
+	reg := New()
+	reg.Counter("core.fast.comparisons").Add(20720)
+	reg.Counter("core.fast.comparisons.R1'").Add(5100)
+	reg.Gauge("batch.workers").Set(4)
+	h := reg.Histogram("core.cut_build_ns", []int64{256, 1024, 4096})
+	for _, v := range []int64{100, 300, 2000, 9999} {
+		h.Observe(v)
+	}
+	w := reg.Window("runtime.recv_wait_ns", 8)
+	w.nowFn = fakeClock(time.Unix(0, 0), 250*time.Millisecond)
+	for _, v := range []int64{10, 20, 30, 40} {
+		w.Observe(v)
+	}
+	return reg
+}
+
+// TestPrometheusGolden pins the exposition bytes against
+// testdata/metrics.prom (regenerate with: go test ./internal/obs -run
+// TestPrometheusGolden -update). Sorted names make the output
+// deterministic for quiesced writers.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// Determinism: a second serialization of the same snapshot is
+	// byte-identical.
+	var again bytes.Buffer
+	if err := promRegistry().Snapshot().WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two serializations differ")
+	}
+}
+
+// promLine matches one exposition sample line: name, optional label set,
+// and a float/int value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? [-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$`)
+
+// TestPrometheusParseable validates every emitted line against the 0.0.4
+// grammar: comments or samples, nothing else.
+func TestPrometheusParseable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Errorf("malformed TYPE line: %q", line)
+				continue
+			}
+			if types[parts[2]] {
+				t.Errorf("duplicate TYPE for %s", parts[2])
+			}
+			types[parts[2]] = true
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary":
+			default:
+				t.Errorf("unknown metric type in %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("unparseable sample line: %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Cumulative-bucket invariant: each le bucket ≥ its predecessor and the
+	// +Inf bucket equals _count.
+	snap := promRegistry().Snapshot()
+	h := snap.Histograms["core.cut_build_ns"]
+	var cum, prev int64
+	for i := range h.Bounds {
+		cum += h.Counts[i]
+		if cum < prev {
+			t.Error("cumulative buckets not monotone")
+		}
+		prev = cum
+	}
+	if h.Count < cum {
+		t.Error("+Inf bucket below last bound bucket")
+	}
+}
+
+func TestPromSanitize(t *testing.T) {
+	for in, want := range map[string]string{
+		"core.fast.comparisons.R1'": "core_fast_comparisons_R1_prime",
+		"batch.workers":             "batch_workers",
+		"1weird name":               "_1weird_name",
+		"":                          "_",
+	} {
+		if got := promSanitize(in); got != want {
+			t.Errorf("promSanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

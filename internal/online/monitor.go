@@ -8,6 +8,8 @@ import (
 	"causet/internal/core"
 	"causet/internal/hierarchy"
 	"causet/internal/monitor"
+	"causet/internal/obs"
+	"causet/internal/obs/logx"
 	"causet/internal/poset"
 )
 
@@ -25,6 +27,10 @@ type Monitor struct {
 	complete   map[string][]poset.EventID
 	conditions []*monitor.Condition
 	settled    map[string]monitor.Result
+
+	lg             *logx.Logger
+	metSettlements *obs.Counter
+	violWin        *obs.Window
 }
 
 // NewMonitor creates an online monitor over the stream.
@@ -34,6 +40,59 @@ func NewMonitor(s *Stream) *Monitor {
 		growing:  make(map[string][]poset.EventID),
 		complete: make(map[string][]poset.EventID),
 		settled:  make(map[string]monitor.Result),
+	}
+}
+
+// SetLogger attaches a structured event log (may be nil). The monitor
+// emits interval_observe (Debug) on growth, interval_complete (Info) on
+// freeze, and — exactly once per condition, by verdict stability —
+// condition_settled with the condition source and final verdict (Info for
+// holds, Warn for violated, Error for failed).
+func (m *Monitor) SetLogger(lg *logx.Logger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lg = lg
+}
+
+// Instrument attaches a metrics registry (may be nil): the
+// online.settlements counter counts final verdicts, and the
+// online.violation_window sliding window observes one sample per violated
+// condition, giving the dashboard a recent-violation rate.
+func (m *Monitor) Instrument(reg *obs.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.metSettlements = reg.Counter("online.settlements")
+	m.violWin = reg.Window("online.violation_window", 256)
+}
+
+// settle records the final verdict of a condition; the caller holds m.mu
+// and guarantees the name is not yet settled. This is the single point
+// every verdict passes through, so the settlement log event fires exactly
+// once per condition.
+func (m *Monitor) settle(c *monitor.Condition, res monitor.Result) {
+	m.settled[c.Name] = res
+	m.metSettlements.Inc()
+	if res.State == monitor.Violated {
+		m.violWin.Observe(1)
+	}
+	if m.lg == nil {
+		return
+	}
+	fields := []logx.Field{
+		logx.F("condition", c.Name),
+		logx.F("src", c.Src),
+		logx.F("state", res.State.String()),
+	}
+	if res.Err != nil {
+		fields = append(fields, logx.F("err", res.Err))
+	}
+	switch res.State {
+	case monitor.Violated:
+		m.lg.Warn("condition_settled", fields...)
+	case monitor.Failed:
+		m.lg.Error("condition_settled", fields...)
+	default:
+		m.lg.Info("condition_settled", fields...)
 	}
 }
 
@@ -49,6 +108,8 @@ func (m *Monitor) Observe(name string, events ...poset.EventID) error {
 		return fmt.Errorf("online: interval %q is already complete", name)
 	}
 	m.growing[name] = append(m.growing[name], events...)
+	m.lg.Debug("interval_observe",
+		logx.F("interval", name), logx.F("added", len(events)), logx.F("size", len(m.growing[name])))
 	return nil
 }
 
@@ -66,6 +127,7 @@ func (m *Monitor) Complete(name string) error {
 	}
 	delete(m.growing, name)
 	m.complete[name] = events
+	m.lg.Info("interval_complete", logx.F("interval", name), logx.F("size", len(events)))
 	return nil
 }
 
@@ -133,8 +195,8 @@ func (m *Monitor) Check() []monitor.Result {
 				// events were reported with bogus IDs) fails every condition
 				// that references it.
 				for _, c := range todo {
-					if refers(c, n) {
-						m.settled[c.Name] = monitor.Result{Name: c.Name, State: monitor.Failed, Err: err}
+					if _, done := m.settled[c.Name]; !done && refers(c, n) {
+						m.settle(c, monitor.Result{Name: c.Name, State: monitor.Failed, Err: err})
 					}
 				}
 				continue
@@ -145,11 +207,17 @@ func (m *Monitor) Check() []monitor.Result {
 				continue
 			}
 			if err := inner.AddCondition(c.Name, c.Src); err != nil {
-				m.settled[c.Name] = monitor.Result{Name: c.Name, State: monitor.Failed, Err: err}
+				m.settle(c, monitor.Result{Name: c.Name, State: monitor.Failed, Err: err})
 			}
 		}
+		byName := make(map[string]*monitor.Condition, len(todo))
+		for _, c := range todo {
+			byName[c.Name] = c
+		}
 		for _, res := range inner.Check() {
-			m.settled[res.Name] = res
+			if _, done := m.settled[res.Name]; !done {
+				m.settle(byName[res.Name], res)
+			}
 		}
 	}
 

@@ -1,0 +1,194 @@
+package online
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"causet/internal/monitor"
+	"causet/internal/obs"
+	"causet/internal/obs/logx"
+	"causet/internal/poset"
+)
+
+// lockedBuffer is a goroutine-safe bytes.Buffer for capturing log output
+// written concurrently.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// TestMonitorConcurrentSettlement drives Observe/Complete/Check from many
+// goroutines (run under -race in CI) and asserts the two properties the
+// online monitor promises:
+//
+//  1. Verdict stability: once a condition reports a non-pending state, every
+//     later Check reports the identical state.
+//  2. Exactly-once settlement: the condition_settled logx event fires once
+//     per condition, however many concurrent Checks race to settle it.
+func TestMonitorConcurrentSettlement(t *testing.T) {
+	const procs = 4
+	const rounds = 8
+
+	s := NewStream(procs)
+	reg := obs.New()
+	s.Instrument(reg, nil)
+	m := NewMonitor(s)
+	m.Instrument(reg)
+	var logBuf lockedBuffer
+	m.SetLogger(logx.New(&logBuf, logx.Debug))
+
+	// One interval per (round, proc): a chain of sends around the ring, so
+	// consecutive rounds are causally ordered and R1 holds between them.
+	type ivKey struct{ round, proc int }
+	events := make(map[ivKey]poset.EventID)
+	var last poset.EventID
+	for r := 0; r < rounds; r++ {
+		for p := 0; p < procs; p++ {
+			var e poset.EventID
+			var err error
+			if r == 0 && p == 0 {
+				e, err = s.Send(p)
+			} else {
+				e, err = s.Recv(p, last)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			events[ivKey{r, p}] = e
+			last = e
+		}
+	}
+
+	// Conditions: consecutive rounds are R1-ordered (holds), the reverse
+	// direction is a violation.
+	condCount := 0
+	for r := 0; r+1 < rounds; r++ {
+		a, b := fmt.Sprintf("round-%d", r), fmt.Sprintf("round-%d", r+1)
+		if err := m.AddCondition(fmt.Sprintf("ordered-%d", r), fmt.Sprintf("R1(%s, %s)", a, b)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddCondition(fmt.Sprintf("backflow-%d", r), fmt.Sprintf("R1(%s, %s)", b, a)); err != nil {
+			t.Fatal(err)
+		}
+		condCount += 2
+	}
+
+	// Concurrently: one goroutine per round observing and completing its
+	// interval, plus checkers polling the settled set the whole time.
+	var (
+		wg        sync.WaitGroup
+		verdictMu sync.Mutex
+		firstSeen = map[string]monitor.State{}
+	)
+	stopCheckers := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				for _, res := range m.Check() {
+					if res.State == monitor.Pending {
+						continue
+					}
+					verdictMu.Lock()
+					if prev, ok := firstSeen[res.Name]; ok && prev != res.State {
+						t.Errorf("verdict of %s changed: %v -> %v", res.Name, prev, res.State)
+					} else if !ok {
+						firstSeen[res.Name] = res.State
+					}
+					verdictMu.Unlock()
+				}
+				select {
+				case <-stopCheckers:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	var growWG sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		growWG.Add(1)
+		go func(r int) {
+			defer growWG.Done()
+			name := fmt.Sprintf("round-%d", r)
+			for p := 0; p < procs; p++ {
+				if err := m.Observe(name, events[ivKey{r, p}]); err != nil {
+					t.Error(err)
+				}
+			}
+			if err := m.Complete(name); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	growWG.Wait()
+	// One final Check after all intervals are complete settles everything.
+	final := m.Check()
+	close(stopCheckers)
+	wg.Wait()
+
+	for _, res := range final {
+		if res.State == monitor.Pending {
+			t.Errorf("%s still pending after all intervals completed", res.Name)
+		}
+	}
+	for r := 0; r+1 < rounds; r++ {
+		wantHold, wantViol := fmt.Sprintf("ordered-%d", r), fmt.Sprintf("backflow-%d", r)
+		for _, res := range final {
+			if res.Name == wantHold && res.State != monitor.Holds {
+				t.Errorf("%s = %v, want holds", res.Name, res.State)
+			}
+			if res.Name == wantViol && res.State != monitor.Violated {
+				t.Errorf("%s = %v, want violated", res.Name, res.State)
+			}
+		}
+	}
+
+	// Exactly-once settlement events, one per condition.
+	settled := map[string]int{}
+	sc := bufio.NewScanner(bytes.NewReader(logBuf.Bytes()))
+	for sc.Scan() {
+		var line struct {
+			Event     string `json:"event"`
+			Condition string `json:"condition"`
+			State     string `json:"state"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("log line not valid JSON: %v\n%s", err, sc.Text())
+		}
+		if line.Event == "condition_settled" {
+			settled[line.Condition]++
+		}
+	}
+	if len(settled) != condCount {
+		t.Errorf("settlement events for %d conditions, want %d: %v", len(settled), condCount, settled)
+	}
+	for name, n := range settled {
+		if n != 1 {
+			t.Errorf("condition %s settled %d times in the log, want exactly 1", name, n)
+		}
+	}
+	if got := reg.Counter("online.settlements").Value(); got != int64(condCount) {
+		t.Errorf("online.settlements = %d, want %d", got, condCount)
+	}
+	if viol := reg.Window("online.violation_window", 256).Count(); viol != int64(rounds-1) {
+		t.Errorf("violation window count = %d, want %d", viol, rounds-1)
+	}
+}

@@ -49,6 +49,7 @@ type Stream struct {
 	snap *Snapshot // cached; nil when dirty
 
 	metEvents    *obs.Counter
+	metEventsWin *obs.Window
 	metSnapshots *obs.Counter
 	metReg       *obs.Registry
 	metTracer    *obs.Tracer
@@ -71,8 +72,9 @@ func NewStream(procs int) *Stream {
 func (s *Stream) NumProcs() int { return s.procs }
 
 // Instrument attaches a metrics registry and/or tracer; either may be nil.
-// The registry receives online.events (appended events, across all kinds)
-// and online.snapshots (snapshot rebuilds — each one pays the reverse-
+// The registry receives online.events (appended events, across all kinds),
+// the online.event_window sliding window (the live events/sec rate), and
+// online.snapshots (snapshot rebuilds — each one pays the reverse-
 // timestamp pass, so a high snapshots/events ratio flags a caller that
 // snapshots too eagerly). Both are also forwarded to each Snapshot's
 // Analysis, so cut builds and evaluator comparison counts of monitor
@@ -83,6 +85,7 @@ func (s *Stream) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	s.metReg = reg
 	s.metTracer = tr
 	s.metEvents = reg.Counter("online.events")
+	s.metEventsWin = reg.Window("online.event_window", 1024)
 	s.metSnapshots = reg.Counter("online.snapshots")
 }
 
@@ -141,6 +144,7 @@ func (s *Stream) append(proc int, mergeClock vclock.VC) (poset.EventID, error) {
 	t[proc] = e.Pos
 	s.fwd[proc] = append(s.fwd[proc], t)
 	s.metEvents.Add(1)
+	s.metEventsWin.Observe(1)
 	return e, nil
 }
 

@@ -14,8 +14,10 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"causet/internal/obs"
+	"causet/internal/obs/logx"
 	"causet/internal/poset"
 )
 
@@ -41,30 +43,42 @@ type System struct {
 
 	met systemObs
 	tr  *obs.Tracer
+	lg  *logx.Logger
 }
 
 // systemObs holds the system's pre-interned instruments; all nil when
 // Instrument was not called.
 type systemObs struct {
-	events   *obs.Counter
-	messages *obs.Counter
+	events    *obs.Counter
+	messages  *obs.Counter
+	eventsWin *obs.Window
+	recvWait  *obs.Window
 }
 
 // Instrument attaches a metrics registry and/or execution tracer to the
 // system; either may be nil. The registry receives runtime.events (every
-// recorded poset event) and runtime.messages (every delivered message). The
-// tracer gets one thread-scoped instant per labeled event and one
-// "recv-wait" span per blocking Recv, each on the node's own timeline (tid =
-// node ID), so a Perfetto view shows per-node lanes with their blocking
-// structure; protocol implementations add round spans via Node.Span. Call
-// Instrument before Run.
+// recorded poset event) and runtime.messages (every delivered message),
+// plus two sliding windows: runtime.event_window (the live events/sec
+// rate) and runtime.recv_wait_ns (recent blocking-receive latencies, the
+// per-node backpressure signal). The tracer gets one thread-scoped instant
+// per labeled event and one "recv-wait" span per blocking Recv, each on
+// the node's own timeline (tid = node ID), so a Perfetto view shows
+// per-node lanes with their blocking structure; protocol implementations
+// add round spans via Node.Span. Call Instrument before Run.
 func (s *System) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	s.tr = tr
 	if reg != nil {
 		s.met.events = reg.Counter("runtime.events")
 		s.met.messages = reg.Counter("runtime.messages")
+		s.met.eventsWin = reg.Window("runtime.event_window", 4096)
+		s.met.recvWait = reg.Window("runtime.recv_wait_ns", 1024)
 	}
 }
+
+// SetLogger attaches a structured event log (may be nil): one Debug event
+// per send, receive, internal event, and protocol-round span, each carrying
+// the node ID. Call SetLogger before Run.
+func (s *System) SetLogger(lg *logx.Logger) { s.lg = lg }
 
 // NewSystem creates a system of n nodes with buffered inboxes. The buffer
 // must be large enough that the application's sends never block on a node
@@ -131,6 +145,7 @@ func (s *System) record(id int, label string) poset.EventID {
 		s.tr.Instant("runtime", label, int64(id))
 	}
 	s.met.events.Add(1)
+	s.met.eventsWin.Observe(1)
 	return e
 }
 
@@ -145,6 +160,7 @@ func (s *System) recordEdge(from poset.EventID, toNode int, label string) poset.
 		s.tr.Instant("runtime", label, int64(toNode))
 	}
 	s.met.events.Add(1)
+	s.met.eventsWin.Observe(1)
 	s.met.messages.Add(1)
 	if err := s.b.Message(from, recv); err != nil {
 		// The builder only rejects structurally impossible edges; reaching
@@ -169,7 +185,9 @@ func (nd *Node) NumNodes() int { return nd.sys.n }
 
 // Internal records a local event with the given label and returns it.
 func (nd *Node) Internal(label string) poset.EventID {
-	return nd.sys.record(nd.id, label)
+	e := nd.sys.record(nd.id, label)
+	nd.sys.lg.Debug("internal", logx.F("node", nd.id), logx.F("label", label))
+	return e
 }
 
 // Send records a send event, then delivers the payload to the target node's
@@ -180,26 +198,41 @@ func (nd *Node) Send(to int, payload any) poset.EventID {
 		panic(fmt.Sprintf("runtime: node %d sending to %d", nd.id, to))
 	}
 	send := nd.sys.record(nd.id, fmt.Sprintf("send→%d", to))
+	nd.sys.lg.Debug("send", logx.F("node", nd.id), logx.F("to", to), logx.F("pos", send.Pos))
 	nd.sys.inboxes[to] <- Envelope{From: nd.id, To: to, Payload: payload, sendEvent: send}
 	return send
 }
 
 // Recv blocks for the next message, records the receive event (linked to
 // the sender's send event), and returns the envelope with the event. On an
-// instrumented system the blocking wait is recorded as a "recv-wait" span on
-// the node's timeline.
+// instrumented system the blocking wait is recorded as a "recv-wait" span
+// on the node's timeline and observed into the runtime.recv_wait_ns
+// sliding window.
 func (nd *Node) Recv() (Envelope, poset.EventID) {
-	sp := nd.sys.tr.BeginTID("runtime", "recv-wait", int64(nd.id))
-	env := <-nd.sys.inboxes[nd.id]
+	s := nd.sys
+	timed := s.met.recvWait != nil || s.lg.Enabled(logx.Debug)
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	sp := s.tr.BeginTID("runtime", "recv-wait", int64(nd.id))
+	env := <-s.inboxes[nd.id]
 	sp.End()
-	recv := nd.sys.recordEdge(env.sendEvent, nd.id, fmt.Sprintf("recv←%d", env.From))
+	recv := s.recordEdge(env.sendEvent, nd.id, fmt.Sprintf("recv←%d", env.From))
+	if timed {
+		waitNs := time.Since(start).Nanoseconds()
+		s.met.recvWait.Observe(waitNs)
+		s.lg.Debug("recv", logx.F("node", nd.id), logx.F("from", env.From), logx.F("wait_ns", waitNs))
+	}
 	return env, recv
 }
 
 // Span opens a tracer span on this node's timeline — protocol
 // implementations mark their rounds with it (e.g. one span per
-// critical-section entry). No-op on an uninstrumented system.
+// critical-section entry). On a logged system the round start is also
+// emitted as a Debug event. No-op on an uninstrumented system.
 func (nd *Node) Span(cat, name string) obs.Span {
+	nd.sys.lg.Debug("round", logx.F("node", nd.id), logx.F("cat", cat), logx.F("name", name))
 	return nd.sys.tr.BeginTID(cat, name, int64(nd.id))
 }
 
@@ -209,6 +242,7 @@ func (nd *Node) TryRecv() (Envelope, poset.EventID, bool) {
 	select {
 	case env := <-nd.sys.inboxes[nd.id]:
 		recv := nd.sys.recordEdge(env.sendEvent, nd.id, fmt.Sprintf("recv←%d", env.From))
+		nd.sys.lg.Debug("recv", logx.F("node", nd.id), logx.F("from", env.From))
 		return env, recv, true
 	default:
 		return Envelope{}, poset.EventID{}, false
