@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench tables metrics trace benchdiff fuzz examples coverage clean
+.PHONY: all build vet test race bench tables metrics trace benchdiff profile fuzz examples coverage clean
 
 all: build vet test
 
@@ -42,9 +42,16 @@ benchdiff:
 	$(GO) run ./cmd/benchtab -json benchtab_new.json -trials 100 -reps 3
 	$(GO) run ./cmd/benchdiff -threshold 25 BENCH_e1.json benchtab_new.json
 
+# Fused-kernel profiling workflow: run the e10 sweep under the CPU and heap
+# profilers, then inspect with `go tool pprof cpu.pprof` / `mem.pprof`.
+profile:
+	$(GO) run ./cmd/benchtab -table e10 -reps 3 -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "profiles written: cpu.pprof mem.pprof (inspect with 'go tool pprof <file>')"
+
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/monitor/
 	$(GO) test -fuzz FuzzEvaluatorAgreement -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz FuzzProfileKernelAgreement -fuzztime $(FUZZTIME) ./internal/core/
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -58,4 +65,4 @@ coverage:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt trace_ring.json trace_spans.json benchtab_new.json
+	rm -f cover.out test_output.txt bench_output.txt trace_ring.json trace_spans.json benchtab_new.json cpu.pprof mem.pprof

@@ -44,19 +44,35 @@ type report struct {
 		Speedup float64 `json:"speedup"`
 		Agree   bool    `json:"agree"`
 	} `json:"e7_parallel"`
+	// E10 is absent from reports written before the fused profile kernel;
+	// a nil slice simply skips the e10 comparison (tolerant decode).
+	E10 []struct {
+		N            int     `json:"n"`
+		FusedNsOp    float64 `json:"fused_ns_op"`
+		LegacyNsOp   float64 `json:"legacy_ns_op"`
+		FusedCmp     float64 `json:"fused_cmp"`
+		LegacyCmp    float64 `json:"legacy_cmp"`
+		FusedAllocs  float64 `json:"fused_allocs_op"`
+		LegacyAllocs float64 `json:"legacy_allocs_op"`
+		FusedBytes   float64 `json:"fused_bytes_op"`
+		LegacyBytes  float64 `json:"legacy_bytes_op"`
+		Speedup      float64 `json:"speedup"`
+		Agree        bool    `json:"agree"`
+	} `json:"e10_profile"`
 
 	Metrics obs.Snapshot `json:"metrics"`
 }
 
 // options are the gating knobs.
 type options struct {
-	Threshold   float64 // percent, comparison-count columns
-	NsThreshold float64 // percent, ns/op columns; 0 disables the gate
+	Threshold      float64 // percent, comparison-count columns
+	NsThreshold    float64 // percent, ns/op columns; 0 disables the gate
+	AllocThreshold float64 // percent, allocs/op and bytes/op columns; 0 disables the gate
 }
 
 // colDelta is one compared column of one matched row.
 type colDelta struct {
-	Table  string  `json:"table"`   // e1 | e4 | e5 | e7
+	Table  string  `json:"table"`   // e1 | e4 | e5 | e7 | e10
 	Row    string  `json:"row"`     // e.g. "R2", "n=256"
 	Column string  `json:"column"`  // e.g. "fast_cmp"
 	Old    float64 `json:"old"`
@@ -68,13 +84,14 @@ type colDelta struct {
 // reportDiff is the full comparison of two reports — the -json payload and
 // the data behind the printed summary.
 type reportDiff struct {
-	OldPath     string           `json:"old"`
-	NewPath     string           `json:"new"`
-	Threshold   float64          `json:"threshold_pct"`
-	NsThreshold float64          `json:"ns_threshold_pct"`
-	Deltas      []colDelta       `json:"deltas"`
-	Regressions []string         `json:"regressions"`
-	Metrics     obs.SnapshotDiff `json:"metrics_delta"`
+	OldPath        string           `json:"old"`
+	NewPath        string           `json:"new"`
+	Threshold      float64          `json:"threshold_pct"`
+	NsThreshold    float64          `json:"ns_threshold_pct"`
+	AllocThreshold float64          `json:"alloc_threshold_pct"`
+	Deltas         []colDelta       `json:"deltas"`
+	Regressions    []string         `json:"regressions"`
+	Metrics        obs.SnapshotDiff `json:"metrics_delta"`
 }
 
 // pctChange is the signed percent change from old to new; a fresh column
@@ -92,10 +109,11 @@ func pctChange(old, new float64) float64 {
 // diffReports compares two decoded reports under the gating options.
 func diffReports(oldPath, newPath string, oldRep, newRep report, opt options) reportDiff {
 	d := reportDiff{
-		OldPath:     oldPath,
-		NewPath:     newPath,
-		Threshold:   opt.Threshold,
-		NsThreshold: opt.NsThreshold,
+		OldPath:        oldPath,
+		NewPath:        newPath,
+		Threshold:      opt.Threshold,
+		NsThreshold:    opt.NsThreshold,
+		AllocThreshold: opt.AllocThreshold,
 	}
 	regress := func(format string, args ...any) {
 		d.Regressions = append(d.Regressions, fmt.Sprintf(format, args...))
@@ -231,6 +249,63 @@ func diffReports(oldPath, newPath string, oldRep, newRep report, opt options) re
 		}
 	}
 
+	// E10: fused/legacy mask agreement is correctness; the per-profile
+	// comparison counts are deterministic for a fixed seed and gate at
+	// -threshold; ns/op follows the ns gate and allocs/bytes per op follow
+	// the alloc gate (both report-only when their threshold is 0). Old
+	// reports that predate the fused kernel simply have no e10 rows, so
+	// nothing is compared (tolerant decode).
+	type e10row struct {
+		fusedNs, legacyNs, fusedCmp, legacyCmp         float64
+		fusedAllocs, legacyAllocs, fusedB, legacyB, sp float64
+	}
+	oldE10 := map[int]e10row{}
+	for _, r := range oldRep.E10 {
+		oldE10[r.N] = e10row{r.FusedNsOp, r.LegacyNsOp, r.FusedCmp, r.LegacyCmp,
+			r.FusedAllocs, r.LegacyAllocs, r.FusedBytes, r.LegacyBytes, r.Speedup}
+	}
+	for _, r := range newRep.E10 {
+		if !r.Agree {
+			regress("e10 n=%d: fused profiles disagree with legacy scan", r.N)
+		}
+		prev, ok := oldE10[r.N]
+		if !ok {
+			continue
+		}
+		row := fmt.Sprintf("n=%d", r.N)
+		for _, c := range []struct {
+			col      string
+			old, new float64
+			limit    float64
+			always   bool // deterministic column: gate even at limit 0
+		}{
+			{"fused_cmp", prev.fusedCmp, r.FusedCmp, opt.Threshold, true},
+			{"legacy_cmp", prev.legacyCmp, r.LegacyCmp, opt.Threshold, true},
+			{"fused_ns_op", prev.fusedNs, r.FusedNsOp, opt.NsThreshold, false},
+			{"legacy_ns_op", prev.legacyNs, r.LegacyNsOp, opt.NsThreshold, false},
+			{"fused_allocs_op", prev.fusedAllocs, r.FusedAllocs, opt.AllocThreshold, false},
+			{"legacy_allocs_op", prev.legacyAllocs, r.LegacyAllocs, opt.AllocThreshold, false},
+			{"fused_bytes_op", prev.fusedB, r.FusedBytes, opt.AllocThreshold, false},
+			{"legacy_bytes_op", prev.legacyB, r.LegacyBytes, opt.AllocThreshold, false},
+		} {
+			gated := c.always || c.limit > 0
+			addCol("e10", row, c.col, c.old, c.new, gated)
+			if gated {
+				if pct := pctChange(c.old, c.new); pct > c.limit {
+					regress("e10 %s: %s %.2f -> %.2f (%+.1f%% > %.1f%%)",
+						row, c.col, c.old, c.new, pct, c.limit)
+				}
+			}
+		}
+		addCol("e10", row, "speedup", prev.sp, r.Speedup, opt.NsThreshold > 0)
+		if opt.NsThreshold > 0 && prev.sp > 0 {
+			if pct := pctChange(prev.sp, r.Speedup); pct < -opt.NsThreshold {
+				regress("e10 %s: fused speedup %.2f -> %.2f (%.1f%% < -%.1f%%)",
+					row, prev.sp, r.Speedup, pct, opt.NsThreshold)
+			}
+		}
+	}
+
 	// Metrics: forensic counter deltas via obs.Snapshot.Diff — never gated
 	// (absolute counts scale with -trials/-reps, not with efficiency).
 	d.Metrics = newRep.Metrics.Diff(oldRep.Metrics)
@@ -240,8 +315,8 @@ func diffReports(oldPath, newPath string, oldRep, newRep report, opt options) re
 // print writes the human-readable summary: one header, every changed
 // column, then the verdict.
 func (d reportDiff) print(w io.Writer) {
-	fmt.Fprintf(w, "benchdiff %s -> %s  (threshold %.1f%%, ns-threshold %.1f%%)\n",
-		d.OldPath, d.NewPath, d.Threshold, d.NsThreshold)
+	fmt.Fprintf(w, "benchdiff %s -> %s  (threshold %.1f%%, ns-threshold %.1f%%, alloc-threshold %.1f%%)\n",
+		d.OldPath, d.NewPath, d.Threshold, d.NsThreshold, d.AllocThreshold)
 	changed := 0
 	for _, c := range d.Deltas {
 		if c.Old == c.New {

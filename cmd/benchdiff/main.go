@@ -20,10 +20,19 @@
 //   - E1 agreement and E4 bound-conformance RATES are correctness: any drop
 //     is a regression, threshold-independent (rates normalize out differing
 //     -trials between the two runs).
-//   - E5 comparison-count columns (naive/proxy/fast cmp per op) are
-//     deterministic for a fixed seed, so they gate at -threshold percent.
-//   - ns/op columns and E7 speedups are wall-clock noise across machines;
-//     they are reported but gate only when -ns-threshold is set (> 0).
+//   - E5 and E10 comparison-count columns (naive/proxy/fast cmp per op,
+//     fused/legacy cmp per profile) are deterministic for a fixed seed, so
+//     they gate at -threshold percent. E10 fused/legacy mask agreement is
+//     correctness, like E1/E4 rates.
+//   - ns/op columns and E7/E10 speedups are wall-clock noise across
+//     machines; they are reported but gate only when -ns-threshold is set
+//     (> 0).
+//   - E10 allocs/op and bytes/op columns are deterministic in steady state
+//     but sensitive to Go-version and GC accounting changes, so they follow
+//     their own opt-in -alloc-threshold gate (0 = report only).
+//   - Reports written before a table existed (e.g. e10_profile) simply omit
+//     it; the differ skips the missing table instead of failing, so old
+//     BENCH_*.json baselines keep working.
 //   - The embedded metrics snapshots are diffed (obs.Snapshot.Diff) and
 //     reported for forensics, never gated.
 package main
@@ -63,11 +72,12 @@ func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 10, "max allowed increase, in percent, for deterministic comparison-count columns")
 	nsThreshold := fs.Float64("ns-threshold", 0, "max allowed increase, in percent, for ns/op timing columns (0 = report only, never gate)")
+	allocThreshold := fs.Float64("alloc-threshold", 0, "max allowed increase, in percent, for allocs/op and bytes/op columns (0 = report only, never gate)")
 	jsonOut := fs.String("json", "", "also write the diff as machine-readable JSON to this file (- = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return exitError, err
 	}
-	opt := options{Threshold: *threshold, NsThreshold: *nsThreshold}
+	opt := options{Threshold: *threshold, NsThreshold: *nsThreshold, AllocThreshold: *allocThreshold}
 
 	var pairs [][2]string
 	switch fs.NArg() {

@@ -296,3 +296,117 @@ func TestAgainstCommittedBaseline(t *testing.T) {
 		t.Errorf("self-diff of the committed baseline: exit %d\n%s", code, buf.String())
 	}
 }
+
+// e10Rows is the e10_profile block the alloc-gate tests perturb.
+func e10Rows() []map[string]any {
+	return []map[string]any{
+		{"n": 8, "pairs": 56, "fused_ns_op": 800, "legacy_ns_op": 3000,
+			"fused_cmp": 90, "legacy_cmp": 144,
+			"fused_allocs_op": 34, "legacy_allocs_op": 174,
+			"fused_bytes_op": 26000, "legacy_bytes_op": 47000,
+			"speedup": 3.7, "agree": true},
+	}
+}
+
+// TestOldReportWithoutE10Tolerated: a baseline written before the fused
+// kernel existed has no e10_profile block; diffing it against a new report
+// that carries one must parse cleanly and not invent regressions — the e10
+// columns are simply skipped for lack of an old row.
+func TestOldReportWithoutE10Tolerated(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", baseReport()) // no e10_profile key
+	newer := baseReport()
+	newer["e10_profile"] = e10Rows()
+	new := writeReport(t, dir, "new.json", newer)
+
+	var buf bytes.Buffer
+	code, err := run([]string{"-alloc-threshold", "5", old, new}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Errorf("old report without e10 should diff cleanly: exit %d\n%s", code, buf.String())
+	}
+	if strings.Contains(buf.String(), "e10") {
+		t.Errorf("no e10 columns should be compared without an old row:\n%s", buf.String())
+	}
+
+	// The reverse direction (new report dropped the table) is tolerated too.
+	code, err = run([]string{new, old}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Errorf("new report without e10: exit %d", code)
+	}
+}
+
+// TestAllocGateOptIn: allocs/op growth is report-only by default and gates
+// only under -alloc-threshold, mirroring the ns gate; comparison columns in
+// e10 gate at -threshold like E5's.
+func TestAllocGateOptIn(t *testing.T) {
+	dir := t.TempDir()
+	base := baseReport()
+	base["e10_profile"] = e10Rows()
+	old := writeReport(t, dir, "old.json", base)
+
+	leaky := baseReport()
+	rows := e10Rows()
+	rows[0]["fused_allocs_op"] = 68 // 34 -> 68: +100%
+	leaky["e10_profile"] = rows
+	new := writeReport(t, dir, "new.json", leaky)
+
+	var buf bytes.Buffer
+	code, err := run([]string{old, new}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Errorf("alloc growth should not gate by default: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "fused_allocs_op") {
+		t.Errorf("alloc delta should still be reported:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	code, err = run([]string{"-alloc-threshold", "50", old, new}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitRegression {
+		t.Errorf("-alloc-threshold 50 should gate +100%% allocs/op: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION: e10 n=8: fused_allocs_op") {
+		t.Errorf("missing alloc regression line:\n%s", buf.String())
+	}
+
+	// Comparison-count growth in e10 gates at -threshold, like E5.
+	slower := baseReport()
+	rows = e10Rows()
+	rows[0]["fused_cmp"] = 200 // 90 -> 200: +122%
+	slower["e10_profile"] = rows
+	new2 := writeReport(t, dir, "new2.json", slower)
+	buf.Reset()
+	code, err = run([]string{"-threshold", "10", old, new2}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitRegression {
+		t.Errorf("+122%% fused_cmp at threshold 10: exit %d\n%s", code, buf.String())
+	}
+
+	// A fused/legacy mask disagreement is correctness: gates at any threshold.
+	broken := baseReport()
+	rows = e10Rows()
+	rows[0]["agree"] = false
+	broken["e10_profile"] = rows
+	new3 := writeReport(t, dir, "new3.json", broken)
+	buf.Reset()
+	code, err = run([]string{"-threshold", "10000", old, new3}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitRegression {
+		t.Errorf("fused/legacy disagreement should gate at any threshold: exit %d\n%s", code, buf.String())
+	}
+}

@@ -33,6 +33,11 @@ type jsonReport struct {
 	E5 []jsonSweepRow `json:"e5_sweep"`
 	// E7: serial vs parallel batch timing.
 	E7 []jsonParallelRow `json:"e7_parallel"`
+	// E10: fused profile kernel vs legacy 32-scan, with allocation columns.
+	// Absent from reports written before the fused kernel existed — decoders
+	// (cmd/benchdiff) must treat a missing or empty list as "not measured",
+	// which omitempty preserves on the write side too.
+	E10 []jsonProfileRow `json:"e10_profile,omitempty"`
 
 	// Metrics is the registry snapshot accumulated while the experiments
 	// above ran: core.<eval>.comparisons[.<rel>], core.cut_builds,
@@ -77,7 +82,22 @@ type jsonParallelRow struct {
 	Agree      bool    `json:"agree"`
 }
 
-// buildJSONReport runs E1, E4, E5, and E7 with the timing sweeps
+type jsonProfileRow struct {
+	N            int     `json:"n"`
+	Pairs        int     `json:"pairs"`
+	FusedNsOp    float64 `json:"fused_ns_op"`
+	LegacyNsOp   float64 `json:"legacy_ns_op"`
+	FusedCmp     float64 `json:"fused_cmp"`
+	LegacyCmp    float64 `json:"legacy_cmp"`
+	FusedAllocs  float64 `json:"fused_allocs_op"`
+	LegacyAllocs float64 `json:"legacy_allocs_op"`
+	FusedBytes   float64 `json:"fused_bytes_op"`
+	LegacyBytes  float64 `json:"legacy_bytes_op"`
+	Speedup      float64 `json:"speedup"`
+	Agree        bool    `json:"agree"`
+}
+
+// buildJSONReport runs E1, E4, E5, E7, and E10 with the timing sweeps
 // instrumented against reg (so the snapshot carries the comparison
 // counters behind the numbers) and assembles the report.
 func buildJSONReport(trials, reps, workers int, seed int64, reg *obs.Registry, tr *obs.Tracer) jsonReport {
@@ -128,6 +148,22 @@ func buildJSONReport(trials, reps, workers int, seed int64, reg *obs.Registry, t
 			ParallelNs: r.ParallelNs,
 			Speedup:    r.Speedup,
 			Agree:      r.Agree,
+		})
+	}
+	for _, r := range bench.ProfileSweepObs([]int{8, 32, 128}, reps, seed, reg, tr) {
+		rep.E10 = append(rep.E10, jsonProfileRow{
+			N:            r.N,
+			Pairs:        r.Pairs,
+			FusedNsOp:    r.FusedNs,
+			LegacyNsOp:   r.LegacyNs,
+			FusedCmp:     r.FusedCmp,
+			LegacyCmp:    r.LegacyCmp,
+			FusedAllocs:  r.FusedAllocs,
+			LegacyAllocs: r.LegacyAllocs,
+			FusedBytes:   r.FusedBytes,
+			LegacyBytes:  r.LegacyBytes,
+			Speedup:      r.Speedup,
+			Agree:        r.Agree,
 		})
 	}
 	rep.Metrics = reg.Snapshot()

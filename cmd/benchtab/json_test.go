@@ -48,6 +48,18 @@ func checkReport(t *testing.T, rep jsonReport) {
 			t.Errorf("E7 n=%d: parallel batch disagreed with serial", r.N)
 		}
 	}
+	if len(rep.E10) != 3 {
+		t.Errorf("E10 rows = %d, want 3", len(rep.E10))
+	}
+	for _, r := range rep.E10 {
+		if !r.Agree {
+			t.Errorf("E10 n=%d: fused profiles disagreed with legacy scan", r.N)
+		}
+		if r.FusedCmp >= r.LegacyCmp {
+			t.Errorf("E10 n=%d: fused %.1f cmp/profile, legacy %.1f — no fusion win",
+				r.N, r.FusedCmp, r.LegacyCmp)
+		}
+	}
 	if rep.Metrics.Counters["core.fast.comparisons"] <= 0 {
 		t.Errorf("metrics snapshot lacks comparison accounting: %v", rep.Metrics.Counters)
 	}

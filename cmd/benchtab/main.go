@@ -7,6 +7,7 @@
 //	benchtab -table e5      linear vs polynomial evaluation sweep
 //	benchtab -table e6      one-time setup amortization (Key Idea 1)
 //	benchtab -table e7      serial vs parallel batch evaluation sweep
+//	benchtab -table e10     fused 32-relation profile kernel vs legacy scan
 //	benchtab -table alg     relation algebra: hierarchy + composition table
 //	benchtab -table all     everything
 //
@@ -22,7 +23,9 @@
 // Observability: -metrics dumps a registry snapshot as JSON (file path, or
 // - for stderr); -trace-out writes a Chrome trace_event file covering the
 // E5/E7 sweeps; -debug-addr serves net/http/pprof, expvar, and
-// /debug/metrics while the tables run.
+// /debug/metrics while the tables run; -cpuprofile and -memprofile write
+// go tool pprof files covering the whole run — the profiling companions of
+// the E10 kernel work (see `make profile`).
 package main
 
 import (
@@ -30,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 
 	"causet/internal/bench"
@@ -50,7 +55,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	table := fs.String("table", "all", "which experiment to run: e1|e3|e4|e5|e6|e7|alg|all")
+	table := fs.String("table", "all", "which experiment to run: e1|e3|e4|e5|e6|e7|e10|alg|all")
 	trials := fs.Int("trials", 400, "randomized trials for e1/e3/e4")
 	reps := fs.Int("reps", 50, "repetitions per point for e5/e7")
 	seed := fs.Int64("seed", 1, "PRNG seed")
@@ -60,8 +65,22 @@ func run(args []string, out io.Writer) error {
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), and /metrics (Prometheus 0.0.4) on this address; the first registry served owns the process-global causet_metrics expvar slot — later servers keep their own /debug/metrics but not /debug/vars")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering the run to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file at exit (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var reg *obs.Registry
@@ -85,7 +104,24 @@ func run(args []string, out io.Writer) error {
 	if ferr := flushObs(reg, tr, *metricsOut, *traceOut); ferr != nil && err == nil {
 		err = ferr
 	}
+	if *memProfile != "" {
+		if merr := writeHeapProfile(*memProfile); merr != nil && err == nil {
+			err = merr
+		}
+	}
 	return err
+}
+
+// writeHeapProfile snapshots the live heap (after a final GC, so the profile
+// shows retained objects rather than garbage) into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func runTables(out io.Writer, table string, trials, reps, parallel int, seed int64, csv bool, jsonOut string, reg *obs.Registry, tr *obs.Tracer) error {
@@ -128,6 +164,10 @@ func runTables(out io.Writer, table string, trials, reps, parallel int, seed int
 	}
 	if runAll || table == "e7" {
 		e7(out, parallel, reps, seed, reg, tr)
+		ran = true
+	}
+	if runAll || table == "e10" {
+		e10(out, reps, seed, reg, tr)
 		ran = true
 	}
 	if runAll || table == "alg" {
@@ -301,6 +341,29 @@ func e7(out io.Writer, workers, reps int, seed int64, reg *obs.Registry, tr *obs
 	}
 	fmt.Fprintln(out, bench.FormatTable(
 		[]string{"N", "queries", "workers", "serial ns", "parallel ns", "speedup", "verdicts+counts"}, cells))
+}
+
+func e10(out io.Writer, reps int, seed int64, reg *obs.Registry, tr *obs.Tracer) {
+	fmt.Fprintln(out, "E10 — fused 32-relation profile kernel vs legacy per-relation scan (per profile = 1 pair × ℛ)")
+	fmt.Fprintln(out)
+	rows := bench.ProfileSweepObs([]int{8, 32, 128}, reps, seed, reg, tr)
+	var cells [][]string
+	for _, r := range rows {
+		agree := "identical"
+		if !r.Agree {
+			agree = "MISMATCH"
+		}
+		cells = append(cells, []string{
+			strconv.Itoa(r.N), strconv.Itoa(r.Pairs),
+			bench.F(r.FusedCmp), bench.F(r.LegacyCmp),
+			bench.F(r.FusedNs), bench.F(r.LegacyNs),
+			bench.F(r.FusedAllocs), bench.F(r.LegacyAllocs),
+			fmt.Sprintf("%.1fx", r.Speedup), agree,
+		})
+	}
+	fmt.Fprintln(out, bench.FormatTable(
+		[]string{"N", "pairs", "fused cmp", "legacy cmp", "fused ns", "legacy ns",
+			"fused allocs", "legacy allocs", "speedup", "masks"}, cells))
 }
 
 func e6(out io.Writer, seed int64) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -105,5 +107,51 @@ func TestRunE7ParallelSweep(t *testing.T) {
 		if got := strings.Count(out, "identical"); got != 3 {
 			t.Errorf("workers=%s: %d of 3 sweep sizes verified:\n%s", workers, got, out)
 		}
+	}
+}
+
+// TestRunE10FusedSweep: the fused-vs-legacy profile table verifies mask
+// agreement at every size and reports the kernel's comparison win.
+func TestRunE10FusedSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-table", "e10", "-reps", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fused 32-relation profile kernel") {
+		t.Errorf("missing e10 header:\n%s", out)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("fused profiles disagreed with the legacy scan:\n%s", out)
+	}
+	if got := strings.Count(out, "identical"); got != 3 {
+		t.Errorf("%d of 3 sweep sizes verified:\n%s", got, out)
+	}
+}
+
+// TestRunProfileFlags: -cpuprofile and -memprofile write non-empty pprof
+// files covering the run (the go tool pprof workflow behind `make profile`).
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	var buf bytes.Buffer
+	if err := run([]string{"-table", "e10", "-reps", "1",
+		"-cpuprofile", cpu, "-memprofile", mem}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	// A second CPU profile in the same process must not error either
+	// (StartCPUProfile fails if one is already active; run stops it).
+	if err := run([]string{"-table", "e1", "-trials", "10", "-cpuprofile", cpu}, &buf); err != nil {
+		t.Fatalf("second -cpuprofile run: %v", err)
 	}
 }

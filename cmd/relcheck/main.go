@@ -89,6 +89,7 @@ func run(args []string, out io.Writer) error {
 	yName := fs.String("y", "", "name of interval Y")
 	relName := fs.String("rel", "", "single relation to test (R1, R1', R2, R2', R3, R3', R4, R4')")
 	all32 := fs.Bool("all32", false, "evaluate all 32 relations of ℛ (proxy combinations)")
+	legacy32 := fs.Bool("legacy32", false, "force the per-relation 32-scan for -all32/-matrix instead of the fused profile kernel (differential debugging; fast evaluator only — naive/proxy always scan)")
 	evalName := fs.String("evaluator", "fast", "evaluator: fast|proxy|naive")
 	count := fs.Bool("count", false, "also print integer-comparison counts")
 	list := fs.Bool("list", false, "list the trace's interval names and exit")
@@ -171,14 +172,15 @@ func run(args []string, out io.Writer) error {
 	// any worker count.
 	var eng *batch.Engine
 	if *parallel != 0 {
-		eng = batch.New(a, batch.Options{Workers: workerCount(*parallel), NewEvaluator: newEval, Metrics: reg, Tracer: tr})
+		eng = batch.New(a, batch.Options{Workers: workerCount(*parallel), NewEvaluator: newEval,
+			LegacyScan: *legacy32, Metrics: reg, Tracer: tr})
 	}
 
 	lg.Info("eval_start", logx.F("evaluator", *evalName), logx.F("matrix", *matrix),
 		logx.F("workers", workerCount(*parallel)))
 	err = evalMain(out, f, ex, a, eval, eng, modeFlags{
 		xName: *xName, yName: *yName, relName: *relName,
-		all32: *all32, count: *count, strongest: *strongest, matrix: *matrix,
+		all32: *all32, legacy32: *legacy32, count: *count, strongest: *strongest, matrix: *matrix,
 		evalName: *evalName,
 	})
 	if err != nil {
@@ -194,8 +196,8 @@ func run(args []string, out io.Writer) error {
 
 // modeFlags carries the evaluation-mode flags into evalMain.
 type modeFlags struct {
-	xName, yName, relName, evalName string
-	all32, count, strongest, matrix bool
+	xName, yName, relName, evalName           string
+	all32, legacy32, count, strongest, matrix bool
 }
 
 // evalMain is the evaluation body of run, split out so the observability
@@ -231,6 +233,14 @@ func evalMain(out io.Writer, f *trace.File, ex *poset.Execution, a *core.Analysi
 				return profiles[0].Err
 			}
 			holding = profiles[0].Holding
+		} else if _, isFast := eval.(*core.FastEvaluator); isFast && !m.legacy32 {
+			// Serial fast path: the fused kernel decides all 32 relations in
+			// four shared passes; -legacy32 restores the per-relation scan.
+			if x.Overlaps(y) {
+				return &core.ErrOverlap{X: x, Y: y}
+			}
+			mask, _ := a.EvalProfile(x, y)
+			holding = core.MaskHolding(mask)
 		} else {
 			holding = a.HoldingRel32(eval, x, y)
 		}

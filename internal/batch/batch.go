@@ -55,6 +55,17 @@ type Options struct {
 	// span per worker goroutine (tid = worker index + 1), in Chrome
 	// trace_event form.
 	Tracer *obs.Tracer
+	// LegacyScan forces the per-relation scan paths: 32 independent
+	// EvalCount calls per Profiles pair and 8 per Matrix cell, instead of
+	// the fused profile kernel (core.EvalProfile / core.EvalTable1). The
+	// results are identical either way — this exists for differential
+	// testing and for measuring the fusion win (EXPERIMENTS.md E10).
+	//
+	// The fused kernel implements the fast evaluation conditions, so it is
+	// only substituted when the engine's evaluator is core.FastEvaluator;
+	// engines built over the naive or proxy evaluator always use the
+	// per-relation path with that evaluator's cost model.
+	LegacyScan bool
 }
 
 // engineObs holds the engine's pre-interned instruments; all nil when no
@@ -74,6 +85,7 @@ type Engine struct {
 	a       *core.Analysis
 	workers int
 	newEval func(*core.Analysis) core.Evaluator
+	fused   bool // Profiles/Matrix use the fused kernel (see Options.LegacyScan)
 	met     engineObs
 	tr      *obs.Tracer
 }
@@ -89,6 +101,10 @@ func New(a *core.Analysis, opts Options) *Engine {
 		ne = func(a *core.Analysis) core.Evaluator { return core.NewFast(a) }
 	}
 	e := &Engine{a: a, workers: w, newEval: ne, tr: opts.Tracer}
+	if !opts.LegacyScan {
+		_, isFast := ne(a).(*core.FastEvaluator)
+		e.fused = isFast
+	}
 	if reg := opts.Metrics; reg != nil {
 		e.met = engineObs{
 			batches:      reg.Counter("batch.batches"),
@@ -277,6 +293,12 @@ type Profile struct {
 
 // Profiles evaluates the full relation set ℛ for every pair. Profile order
 // matches pair order.
+//
+// By default (fast evaluator, no Options.LegacyScan) each pair runs through
+// the fused profile kernel: one shared pass per proxy pairing over cuts
+// cached once per interval (core.EvalProfile), instead of 32 independent
+// scans — same verdicts, a fraction of the comparisons, zero allocations
+// per pair beyond the Holding slice.
 func (e *Engine) Profiles(pairs []Pair) ([]Profile, Stats) {
 	out := make([]Profile, len(pairs))
 	all := core.AllRel32()
@@ -294,12 +316,21 @@ func (e *Engine) Profiles(pairs []Pair) ([]Profile, Stats) {
 			st.Errors++
 			return
 		}
+		if e.fused {
+			mask, checks := e.a.EvalProfile(p.X, p.Y)
+			out[i].Bits = mask
+			out[i].Holding = core.MaskHolding(mask)
+			st.Held += int64(len(out[i].Holding))
+			st.Comparisons += checks
+			return
+		}
 		for bit, r := range all {
-			held, err := e.a.EvalRel32(ev, r, p.X, p.Y, interval.DefPerNode)
+			held, checks, err := e.a.EvalRel32Count(ev, r, p.X, p.Y, interval.DefPerNode)
 			if err != nil {
 				// Per-node proxies of valid intervals are never empty.
 				panic(err)
 			}
+			st.Comparisons += checks
 			if held {
 				out[i].Holding = append(out[i].Holding, r)
 				out[i].Bits |= 1 << uint(bit)
@@ -313,7 +344,9 @@ func (e *Engine) Profiles(pairs []Pair) ([]Profile, Stats) {
 // Matrix computes the strongest-relation pair matrix over the named
 // intervals — the parallel counterpart of hierarchy.Summarize, cell-for-cell
 // identical to it. names and ivs run in parallel; all intervals must belong
-// to the engine's execution.
+// to the engine's execution. By default each cell is decided by one fused
+// Table 1 pass (core.EvalTable1) instead of six per-relation scans; see
+// Options.LegacyScan.
 func (e *Engine) Matrix(names []string, ivs []*interval.Interval) (*hierarchy.PairMatrix, Stats, error) {
 	if len(names) != len(ivs) {
 		return nil, Stats{}, fmt.Errorf("batch: %d names for %d intervals", len(names), len(ivs))
@@ -345,12 +378,23 @@ func (e *Engine) Matrix(names []string, ivs []*interval.Interval) (*hierarchy.Pa
 			return
 		}
 		var held []core.Relation
-		for _, rel := range canonical {
-			ok, cmp := ev.EvalCount(rel, x, y)
+		if e.fused {
+			verdicts, cmp := e.a.EvalTable1(x, y)
 			st.Comparisons += cmp
-			if ok {
-				held = append(held, rel)
-				st.Held++
+			for _, rel := range canonical {
+				if verdicts&(1<<uint(rel)) != 0 {
+					held = append(held, rel)
+					st.Held++
+				}
+			}
+		} else {
+			for _, rel := range canonical {
+				ok, cmp := ev.EvalCount(rel, x, y)
+				st.Comparisons += cmp
+				if ok {
+					held = append(held, rel)
+					st.Held++
+				}
 			}
 		}
 		pm.Cells[i][j] = hierarchy.Cell{Strongest: hierarchy.Strongest(held)}

@@ -346,3 +346,72 @@ func TestSharedAnalysisStress(t *testing.T) {
 		}
 	}
 }
+
+// TestFusedMatchesLegacyScan is the engine-level differential for the fused
+// profile kernel: Profiles and Matrix under the default fused path must be
+// result-identical to the forced per-relation scans (Options.LegacyScan) and
+// to scans under the naive evaluator, while spending strictly fewer
+// comparisons than the legacy fast scan.
+func TestFusedMatchesLegacyScan(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		a, ivs, _ := randomWorkload(r)
+		var pairs []Pair
+		for i, x := range ivs {
+			for j, y := range ivs {
+				if i != j {
+					pairs = append(pairs, Pair{X: x, Y: y})
+				}
+			}
+		}
+		fused := New(a, Options{Workers: 4})
+		legacy := New(a, Options{Workers: 4, LegacyScan: true})
+		naive := New(a, Options{Workers: 4, LegacyScan: true, NewEvaluator: evaluators["naive"]})
+
+		fp, fs := fused.Profiles(pairs)
+		lp, ls := legacy.Profiles(pairs)
+		np, _ := naive.Profiles(pairs)
+		for i := range pairs {
+			if fp[i].Bits != lp[i].Bits || fp[i].Bits != np[i].Bits {
+				t.Fatalf("trial %d pair %d: masks differ: fused=%032b legacy=%032b naive=%032b",
+					trial, i, fp[i].Bits, lp[i].Bits, np[i].Bits)
+			}
+			if !reflect.DeepEqual(fp[i].Holding, lp[i].Holding) {
+				t.Fatalf("trial %d pair %d: holding differs: fused=%v legacy=%v",
+					trial, i, fp[i].Holding, lp[i].Holding)
+			}
+		}
+		if fs.Held != ls.Held || fs.Queries != ls.Queries {
+			t.Fatalf("trial %d: stats differ: fused=%+v legacy=%+v", trial, fs, ls)
+		}
+		if fs.Comparisons >= ls.Comparisons {
+			t.Fatalf("trial %d: fused profiles spent %d comparisons, legacy %d — no win",
+				trial, fs.Comparisons, ls.Comparisons)
+		}
+
+		names := []string{"a", "b", "c", "d"}
+		fm, fms, err := fused.Matrix(names, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lm, lms, err := legacy.Matrix(names, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fm.String() != lm.String() {
+			t.Fatalf("trial %d: fused matrix differs from legacy:\n%s\nwant:\n%s",
+				trial, fm.String(), lm.String())
+		}
+		if fms.Held != lms.Held {
+			t.Fatalf("trial %d: matrix held tallies differ: fused=%d legacy=%d",
+				trial, fms.Held, lms.Held)
+		}
+		// The legacy matrix scans only the six canonical relations while the
+		// fused kernel decides all eight, so tiny workloads can tie; the
+		// fused path must simply never spend more.
+		if fms.Comparisons > lms.Comparisons {
+			t.Fatalf("trial %d: fused matrix spent %d comparisons, legacy %d — regression",
+				trial, fms.Comparisons, lms.Comparisons)
+		}
+	}
+}

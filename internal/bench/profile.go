@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"causet/internal/batch"
+	"causet/internal/core"
+	"causet/internal/interval"
+	"causet/internal/obs"
+	"causet/internal/sim"
+)
+
+// ProfileRow is one point of experiment E10: the fused 32-relation profile
+// kernel (core.EvalProfile via batch.Engine.Profiles) against the legacy
+// per-relation scan (batch.Options.LegacyScan) on the E7 ring workload at
+// |N_X| = |N_Y| = N. Costs are per profile, i.e. per ordered pair × all 32
+// relations of ℛ.
+type ProfileRow struct {
+	N            int
+	Pairs        int     // ordered round pairs per batch
+	FusedNs      float64 // ns per profile, fused kernel
+	LegacyNs     float64 // ns per profile, 32 independent scans
+	FusedCmp     float64 // comparisons per profile, fused
+	LegacyCmp    float64 // comparisons per profile, legacy
+	FusedAllocs  float64 // heap allocations per profile, fused
+	LegacyAllocs float64 // heap allocations per profile, legacy
+	FusedBytes   float64 // heap bytes per profile, fused
+	LegacyBytes  float64 // heap bytes per profile, legacy
+	Speedup      float64 // LegacyNs / FusedNs
+	Agree        bool    // identical masks and holding sets on every pair
+}
+
+// profilePairs builds the E10 workload at size n: the rounds of a ring
+// execution as intervals, paired over every ordered round pair.
+func profilePairs(n int, seed int64) (*sim.Result, []batch.Pair) {
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: n, Rounds: 8, Seed: seed})
+	ivs := make([]*interval.Interval, 0, len(res.Phases))
+	for _, ph := range res.Phases {
+		ivs = append(ivs, interval.MustNew(res.Exec, ph.Events))
+	}
+	var pairs []batch.Pair
+	for i, x := range ivs {
+		for j, y := range ivs {
+			if i != j {
+				pairs = append(pairs, batch.Pair{X: x, Y: y})
+			}
+		}
+	}
+	return res, pairs
+}
+
+// ProfileSweep runs E10: for each N it profiles every ordered round pair of
+// the ring workload through the fused kernel and through the forced legacy
+// 32-scan, on serial (Workers: 1) engines sharing one Analysis per size —
+// both paths hit the same warm proxy-cut cache, so the measured gap is the
+// kernel itself, not cache effects. Per-profile allocations and bytes come
+// from runtime.MemStats deltas around the timed loop (single-threaded, so
+// the deltas are exact).
+func ProfileSweep(ns []int, reps int, seed int64) []ProfileRow {
+	return ProfileSweepObs(ns, reps, seed, nil, nil)
+}
+
+// ProfileSweepObs is ProfileSweep with the per-size Analysis and both
+// engines instrumented against reg and tr (either may be nil): the registry
+// accumulates the core.fused.* kernel counters and the batch.* engine
+// counters across the sweep, which benchtab -json snapshots into its report.
+func ProfileSweepObs(ns []int, reps int, seed int64, reg *obs.Registry, tr *obs.Tracer) []ProfileRow {
+	if reps < 1 {
+		reps = 1
+	}
+	rows := make([]ProfileRow, 0, len(ns))
+	for _, n := range ns {
+		res, pairs := profilePairs(n, seed)
+		a := core.NewAnalysis(res.Exec)
+		a.Instrument(reg, tr)
+		fused := batch.New(a, batch.Options{Workers: 1, Metrics: reg, Tracer: tr})
+		legacy := batch.New(a, batch.Options{Workers: 1, LegacyScan: true, Metrics: reg, Tracer: tr})
+
+		// Warm the cut and proxy-cut caches out of the timed loops, and
+		// cross-check the two paths pair-for-pair while at it.
+		fp, _ := fused.Profiles(pairs)
+		lp, _ := legacy.Profiles(pairs)
+		agree := true
+		for i := range pairs {
+			if fp[i].Bits != lp[i].Bits {
+				agree = false
+				break
+			}
+		}
+
+		measure := func(e *batch.Engine) (nsOp, cmpOp, allocsOp, bytesOp float64) {
+			ops := float64(reps) * float64(len(pairs))
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			var cmp int64
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				_, st := e.Profiles(pairs)
+				cmp += st.Comparisons
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			nsOp = float64(elapsed.Nanoseconds()) / ops
+			cmpOp = float64(cmp) / ops
+			allocsOp = float64(m1.Mallocs-m0.Mallocs) / ops
+			bytesOp = float64(m1.TotalAlloc-m0.TotalAlloc) / ops
+			return
+		}
+
+		row := ProfileRow{N: n, Pairs: len(pairs), Agree: agree}
+		row.FusedNs, row.FusedCmp, row.FusedAllocs, row.FusedBytes = measure(fused)
+		row.LegacyNs, row.LegacyCmp, row.LegacyAllocs, row.LegacyBytes = measure(legacy)
+		if row.FusedNs > 0 {
+			row.Speedup = row.LegacyNs / row.FusedNs
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

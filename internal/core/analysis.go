@@ -22,9 +22,16 @@ const DefaultCacheShards = 32
 // cacheEntry is one slot of the cut cache. The sync.Once gives the
 // build-once guarantee: however many goroutines race on a cold interval,
 // exactly one executes buildCuts and the rest block until it is published.
+// The two proxy slots hold the interval's materialized per-node proxies
+// (L_X, U_X) and THEIR cuts, built lazily with the same guarantee — the
+// fused profile kernel reads them once per interval instead of once per
+// pair (see EvalProfile).
 type cacheEntry struct {
 	once sync.Once
 	ic   *IntervalCuts
+
+	proxyOnce [2]sync.Once // indexed by interval.ProxyKind
+	proxy     [2]*ProxyCuts
 }
 
 // cacheShard is one lock domain of the cut cache.
@@ -44,8 +51,9 @@ type Analysis struct {
 	ex  *poset.Execution
 	clk *vclock.Clocks
 
-	shards []cacheShard
-	builds atomic.Int64
+	shards      []cacheShard
+	builds      atomic.Int64
+	proxyBuilds atomic.Int64
 
 	met analysisObs
 }
@@ -85,6 +93,16 @@ type analysisObs struct {
 	cutBuilds  *obs.Counter
 	cutBuildNs *obs.Histogram
 	evals      [numEvalKinds]evalObs
+
+	// Fused-kernel instruments (see EvalProfile / EvalTable1): profile and
+	// Table-1 evaluations plus their total comparison spend. Shared
+	// comparisons make a per-relation split ill-defined for the fused path,
+	// so only the totals are tracked — the per-relation counters above stay
+	// exact for the per-relation evaluators.
+	fusedProfiles    *obs.Counter
+	fusedTable1      *obs.Counter
+	fusedComparisons *obs.Counter
+	proxyCutBuilds   *obs.Counter
 }
 
 // Instrument attaches a metrics registry and/or execution tracer to the
@@ -92,9 +110,13 @@ type analysisObs struct {
 //
 //	core.cut_builds                      distinct intervals whose cuts were built
 //	core.cut_build_ns                    histogram of cut-construction latency
+//	core.proxy_cut_builds                proxy intervals whose cuts were built (fused kernel)
 //	core.<eval>.evals                    EvalCount calls per evaluator
 //	core.<eval>.comparisons              integer comparisons per evaluator
 //	core.<eval>.comparisons.<relation>   the same, split by Table 1 relation
+//	core.fused.profiles                  fused 32-relation profile evaluations
+//	core.fused.table1_evals              fused 8-relation Table 1 evaluations
+//	core.fused.comparisons               total comparisons spent by the fused kernel
 //
 // for <eval> ∈ {naive, proxy, fast} — the paper's cost model (Theorems
 // 19–20) as live counters. The tracer records one "cut-build" span per cut
@@ -107,6 +129,10 @@ func (a *Analysis) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	}
 	a.met.cutBuilds = reg.Counter("core.cut_builds")
 	a.met.cutBuildNs = reg.Histogram("core.cut_build_ns", obs.DurationBuckets)
+	a.met.proxyCutBuilds = reg.Counter("core.proxy_cut_builds")
+	a.met.fusedProfiles = reg.Counter("core.fused.profiles")
+	a.met.fusedTable1 = reg.Counter("core.fused.table1_evals")
+	a.met.fusedComparisons = reg.Counter("core.fused.comparisons")
 	for k, name := range [numEvalKinds]string{"naive", "proxy", "fast"} {
 		eo := &a.met.evals[k]
 		eo.evals = reg.Counter("core." + name + ".evals")
@@ -220,8 +246,74 @@ func (a *Analysis) Cuts(iv *interval.Interval) *IntervalCuts {
 
 // CutBuilds reports how many IntervalCuts this Analysis has constructed —
 // with the build-once guarantee it equals the number of distinct intervals
-// queried, no matter how many goroutines raced on them.
+// queried, no matter how many goroutines raced on them. Proxy cuts are
+// counted separately by ProxyCutBuilds.
 func (a *Analysis) CutBuilds() int64 { return a.builds.Load() }
+
+// ProxyCutBuilds reports how many proxy-cut entries (ProxyCuts calls on a
+// cold (interval, kind) slot) this Analysis has constructed. With the
+// build-once guarantee it is at most two per distinct interval profiled,
+// regardless of how many pairs or goroutines touched the interval.
+func (a *Analysis) ProxyCutBuilds() int64 { return a.proxyBuilds.Load() }
+
+// ProxyCuts is the cached representation of one per-node proxy
+// (Definition 2) of an interval: the proxy materialized as an interval plus
+// its condensed cuts. Both fields are immutable after construction.
+type ProxyCuts struct {
+	IV   *interval.Interval
+	Cuts *IntervalCuts
+}
+
+// ProxyCuts returns the cached proxy interval and proxy cuts of iv for the
+// given kind (L_X or U_X, per-node Definition 2), building them on first
+// use with the same sharded build-once guarantee as Cuts. This is the
+// proxy-cut reuse behind the fused profile kernel: every relation of ℛ is
+// R(X̂, Ŷ) for proxies X̂, Ŷ, so caching the four proxy cut sets of a pair
+// turns 32 proxy materializations + cut builds per profile into at most
+// four per *interval*, amortized across all pairs that interval appears in.
+func (a *Analysis) ProxyCuts(iv *interval.Interval, kind interval.ProxyKind) *ProxyCuts {
+	if iv.Execution() != a.ex {
+		panic(fmt.Sprintf("core: interval %v belongs to a different execution", iv))
+	}
+	s := a.shard(iv)
+	s.mu.RLock()
+	e, ok := s.m[iv]
+	s.mu.RUnlock()
+	if !ok {
+		s.mu.Lock()
+		if e, ok = s.m[iv]; !ok {
+			e = &cacheEntry{}
+			s.m[iv] = e
+		}
+		s.mu.Unlock()
+	}
+	e.proxyOnce[kind].Do(func() {
+		sp := a.met.tracer.Begin("core", "proxy-cut-build")
+		piv, err := iv.ProxyInterval(kind, interval.DefPerNode, a.clk)
+		if err != nil {
+			// Per-node proxies of valid intervals are never empty.
+			panic(err)
+		}
+		pc := &ProxyCuts{IV: piv, Cuts: a.buildCuts(piv)}
+		// Seed the main cut cache for the proxy interval, so a later
+		// Cuts(piv) — e.g. a per-relation evaluator run on the cached
+		// proxies via EvalRel32 — reuses this build instead of repeating it.
+		ps := a.shard(piv)
+		ps.mu.Lock()
+		pe, ok := ps.m[piv]
+		if !ok {
+			pe = &cacheEntry{}
+			ps.m[piv] = pe
+		}
+		ps.mu.Unlock()
+		pe.once.Do(func() { pe.ic = pc.Cuts })
+		e.proxy[kind] = pc
+		sp.End()
+		a.proxyBuilds.Add(1)
+		a.met.proxyCutBuilds.Add(1)
+	})
+	return e.proxy[kind]
+}
 
 // buildCuts constructs the cuts from the per-node extrema only: as observed
 // at the end of Section 2.3, for C1/C3 it suffices to fold over the least

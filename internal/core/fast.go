@@ -58,6 +58,11 @@ func (f *FastEvaluator) Eval(rel Relation, x, y *interval.Interval) bool {
 // products ∏_x / ∏_y collapse to one comparison per node using only the
 // latest X event (earliest Y event) on each node, as in the proof of
 // Theorem 20.
+//
+// The body is deliberately straight-line — one counted loop per relation,
+// no closures or indirect calls — so a warm-cache evaluation performs zero
+// heap allocations (asserted by TestFastEvalCountZeroAllocs) and the
+// comparison loop is eligible for inlining and bounds-check elimination.
 func (f *FastEvaluator) EvalCount(rel Relation, x, y *interval.Interval) (bool, int64) {
 	cx := f.a.Cuts(x)
 	cy := f.a.Cuts(y)
@@ -65,61 +70,72 @@ func (f *FastEvaluator) EvalCount(rel Relation, x, y *interval.Interval) (bool, 
 	ny := y.NodeSet()
 	var checks int64
 
-	// forallNX: ∀i ∈ N_X: lhs[i] ≥ cx.LastPos[i] — used by R1/R2 with lhs a
-	// past cut of Y. One comparison per node inspected.
-	forallLastX := func(lhs []int) bool {
-		for _, i := range nx {
-			checks++
-			if lhs[i] < cx.LastPos[i] {
-				return false
-			}
-		}
-		return true
-	}
-	// forallFirstY: ∀j ∈ N_Y: rhs[j] ≤ cy.FirstPos[j] — used by R1'/R3'
-	// with rhs a future cut of X.
-	forallFirstY := func(rhs []int) bool {
-		for _, j := range ny {
-			checks++
-			if rhs[j] > cy.FirstPos[j] {
-				return false
-			}
-		}
-		return true
-	}
-	// existsViolation: ∃i ∈ nodes: up[i] ≤ down[i] — the restricted
-	// ⊀⊀(↓Y, X↑) test on the given node set.
-	existsViolation := func(down, up []int, nodes []int) bool {
-		for _, i := range nodes {
-			checks++
-			if up[i] <= down[i] {
-				return true
-			}
-		}
-		return false
-	}
-
 	var held bool
 	switch rel {
 	case R1, R1Prime:
+		held = true
 		if len(nx) <= len(ny) {
-			held = forallLastX(cy.InterDown)
+			for _, i := range nx {
+				checks++
+				if cy.InterDown[i] < cx.LastPos[i] {
+					held = false
+					break
+				}
+			}
 		} else {
-			held = forallFirstY(cx.UnionUp)
+			for _, j := range ny {
+				checks++
+				if cx.UnionUp[j] > cy.FirstPos[j] {
+					held = false
+					break
+				}
+			}
 		}
 	case R2:
-		held = forallLastX(cy.UnionDown)
+		held = true
+		for _, i := range nx {
+			checks++
+			if cy.UnionDown[i] < cx.LastPos[i] {
+				held = false
+				break
+			}
+		}
 	case R2Prime:
-		held = existsViolation(cy.UnionDown, cx.UnionUp, ny)
+		for _, j := range ny {
+			checks++
+			if cx.UnionUp[j] <= cy.UnionDown[j] {
+				held = true
+				break
+			}
+		}
 	case R3:
-		held = existsViolation(cy.InterDown, cx.InterUp, nx)
+		for _, i := range nx {
+			checks++
+			if cx.InterUp[i] <= cy.InterDown[i] {
+				held = true
+				break
+			}
+		}
 	case R3Prime:
-		held = forallFirstY(cx.InterUp)
+		held = true
+		for _, j := range ny {
+			checks++
+			if cx.InterUp[j] > cy.FirstPos[j] {
+				held = false
+				break
+			}
+		}
 	case R4, R4Prime:
-		if len(nx) <= len(ny) {
-			held = existsViolation(cy.UnionDown, cx.InterUp, nx)
-		} else {
-			held = existsViolation(cy.UnionDown, cx.InterUp, ny)
+		nodes := nx
+		if len(ny) < len(nx) {
+			nodes = ny
+		}
+		for _, i := range nodes {
+			checks++
+			if cx.InterUp[i] <= cy.UnionDown[i] {
+				held = true
+				break
+			}
 		}
 	default:
 		panic(fmt.Sprintf("core: unknown relation %d", int(rel)))

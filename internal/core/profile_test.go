@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"causet/internal/interval"
+	"causet/internal/obs"
+	"causet/internal/poset/posettest"
+)
+
+// legacyProfileMask evaluates all 32 relations with independent EvalCount
+// calls through eval — the 32-scan path the fused kernel replaces — and
+// returns the mask plus the total comparisons spent.
+func legacyProfileMask(t testing.TB, a *Analysis, eval Evaluator, x, y *interval.Interval) (uint32, int64) {
+	var mask uint32
+	var checks int64
+	for _, r := range AllRel32() {
+		held, n, err := a.EvalRel32Count(eval, r, x, y, interval.DefPerNode)
+		if err != nil {
+			t.Fatalf("%s: EvalRel32Count(%v): %v", eval.Name(), r, err)
+		}
+		checks += n
+		if held {
+			mask |= 1 << uint(Rel32Bit(r))
+		}
+	}
+	return mask, checks
+}
+
+// randomDisjointPair draws a random execution and disjoint interval pair
+// (retrying until the generator yields one).
+func randomDisjointPair(r *rand.Rand) (*Analysis, *interval.Interval, *interval.Interval) {
+	for {
+		ex := posettest.Random(r, 2+r.Intn(6), 6+r.Intn(40), 0.45)
+		xe, ye := posettest.DisjointIntervals(r, ex, 6)
+		if xe == nil {
+			continue
+		}
+		return NewAnalysis(ex), interval.MustNew(ex, xe), interval.MustNew(ex, ye)
+	}
+}
+
+// TestProfileKernelMatchesLegacy is the differential anchor: the fused
+// EvalProfile mask must equal 32 independent EvalCount calls through every
+// evaluator (naive, proxy, fast) on random executions, and the fused
+// comparison count must not exceed the fast evaluator's 32-scan spend.
+func TestProfileKernelMatchesLegacy(t *testing.T) {
+	r := rand.New(rand.NewSource(271))
+	for trial := 0; trial < 120; trial++ {
+		a, x, y := randomDisjointPair(r)
+		mask, checks := a.EvalProfile(x, y)
+		for _, ev := range []Evaluator{NewNaive(a), NewProxy(a), NewFast(a)} {
+			want, _ := legacyProfileMask(t, a, ev, x, y)
+			if mask != want {
+				t.Fatalf("trial %d: fused mask %032b != %s 32-scan mask %032b (X=%v Y=%v)",
+					trial, mask, ev.Name(), want, x, y)
+			}
+		}
+		_, fastChecks := legacyProfileMask(t, a, NewFast(a), x, y)
+		if checks > fastChecks {
+			t.Fatalf("trial %d: fused spent %d comparisons, legacy fast 32-scan spent %d",
+				trial, checks, fastChecks)
+		}
+		// MaskHolding must agree with HoldingRel32 (same bit layout).
+		holding := MaskHolding(mask)
+		want := a.HoldingRel32(NewFast(a), x, y)
+		if len(holding) != len(want) {
+			t.Fatalf("trial %d: MaskHolding %v != HoldingRel32 %v", trial, holding, want)
+		}
+		for i := range holding {
+			if holding[i] != want[i] {
+				t.Fatalf("trial %d: MaskHolding[%d] = %v, want %v", trial, i, holding[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEvalTable1MatchesEvalCount checks the direct (proxy-free) fused
+// Table 1 kernel against eight independent EvalCount calls on the three
+// evaluators.
+func TestEvalTable1MatchesEvalCount(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 120; trial++ {
+		a, x, y := randomDisjointPair(r)
+		verdicts, checks := a.EvalTable1(x, y)
+		fast := NewFast(a)
+		var fastChecks int64
+		for _, rel := range Relations() {
+			held, n := fast.EvalCount(rel, x, y)
+			fastChecks += n
+			if got := verdicts&(1<<uint(rel)) != 0; got != held {
+				t.Fatalf("trial %d: fused %v = %v, EvalCount = %v (X=%v Y=%v)",
+					trial, rel, got, held, x, y)
+			}
+			if naive := NewNaive(a).Eval(rel, x, y); naive != held {
+				t.Fatalf("trial %d: naive disagrees with fast on %v", trial, rel)
+			}
+		}
+		if checks > fastChecks {
+			t.Fatalf("trial %d: fused Table 1 spent %d comparisons, 8-scan spent %d",
+				trial, checks, fastChecks)
+		}
+	}
+}
+
+// TestProfileKernelWithinBoundSum asserts the headline accounting claim:
+// the fused kernel's total comparisons never exceed the sum of the 32
+// per-relation Theorem 19/20 bounds — and, since R1/R1' and R4/R4' are each
+// computed once, stay strictly below it whenever any comparison is spent.
+func TestProfileKernelWithinBoundSum(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 200; trial++ {
+		a, x, y := randomDisjointPair(r)
+		_, checks := a.EvalProfile(x, y)
+		var boundSum int64
+		for _, r32 := range AllRel32() {
+			// Per-node proxies preserve the node set, so the bound of
+			// R(X̂, Ŷ) is the bound of R at (|N_X|, |N_Y|).
+			boundSum += int64(r32.R.ComplexityBound(x.NodeCount(), y.NodeCount()))
+		}
+		if checks > boundSum {
+			t.Fatalf("trial %d: fused spent %d comparisons > bound sum %d (N_X=%d N_Y=%d)",
+				trial, checks, boundSum, x.NodeCount(), y.NodeCount())
+		}
+		if checks >= boundSum && checks > 0 {
+			t.Fatalf("trial %d: fused spend %d not strictly below bound sum %d",
+				trial, checks, boundSum)
+		}
+	}
+}
+
+// TestFastEvalCountZeroAllocs is the allocation-regression gate for the
+// straight-line EvalCount rewrite: on a warm cut cache, every relation must
+// evaluate with zero heap allocations — both uninstrumented and with a
+// metrics registry attached (counters are pre-interned).
+func TestFastEvalCountZeroAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a, x, y := randomDisjointPair(r)
+	reg := obs.New()
+	a.Instrument(reg, nil)
+	f := NewFast(a)
+	f.EvalCount(R1, x, y) // warm the cut cache
+	for _, rel := range Relations() {
+		rel := rel
+		if n := testing.AllocsPerRun(200, func() { f.EvalCount(rel, x, y) }); n != 0 {
+			t.Errorf("EvalCount(%v): %.1f allocs/op, want 0", rel, n)
+		}
+	}
+}
+
+// TestEvalProfileZeroAllocs asserts the fused kernel allocates nothing once
+// the proxy cuts are cached: the whole 32-relation profile, per pair, is
+// allocation-free on the hot path.
+func TestEvalProfileZeroAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	a, x, y := randomDisjointPair(r)
+	reg := obs.New()
+	a.Instrument(reg, nil)
+	a.EvalProfile(x, y) // warm the proxy-cut cache
+	if n := testing.AllocsPerRun(200, func() { a.EvalProfile(x, y) }); n != 0 {
+		t.Errorf("EvalProfile: %.1f allocs/op, want 0", n)
+	}
+	a.EvalTable1(x, y)
+	if n := testing.AllocsPerRun(200, func() { a.EvalTable1(x, y) }); n != 0 {
+		t.Errorf("EvalTable1: %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestProxyCutsBuildOnce stresses the proxy-cut cache: many goroutines
+// racing on the same cold intervals must coalesce into at most one build
+// per (interval, kind), and the seeded main-cache entry must make a later
+// Cuts call on the proxy interval free.
+func TestProxyCutsBuildOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	a, x, y := randomDisjointPair(r)
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]uint32, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				m, _ := a.EvalProfile(x, y)
+				results[w] = m
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatalf("worker %d mask %032b != worker 0 mask %032b", w, results[w], results[0])
+		}
+	}
+	if got := a.ProxyCutBuilds(); got != 4 {
+		t.Fatalf("ProxyCutBuilds = %d, want 4 (L/U for each of two intervals)", got)
+	}
+	// The seeded main-cache entries mean Cuts on a cached proxy interval
+	// must not build again.
+	builds := a.CutBuilds()
+	pc := a.ProxyCuts(x, interval.ProxyL)
+	if a.Cuts(pc.IV) != pc.Cuts {
+		t.Fatalf("Cuts(proxy interval) did not return the seeded proxy cuts")
+	}
+	if a.CutBuilds() != builds {
+		t.Fatalf("Cuts(proxy interval) rebuilt: CutBuilds %d -> %d", builds, a.CutBuilds())
+	}
+}
+
+// TestEvalProfileInstruments checks the fused kernel's registry accounting:
+// core.fused.profiles counts evaluations and core.fused.comparisons the
+// exact total spend returned by EvalProfile.
+func TestEvalProfileInstruments(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	a, x, y := randomDisjointPair(r)
+	reg := obs.New()
+	a.Instrument(reg, nil)
+	var total int64
+	for k := 0; k < 5; k++ {
+		_, n := a.EvalProfile(x, y)
+		total += n
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["core.fused.profiles"]; got != 5 {
+		t.Errorf("core.fused.profiles = %d, want 5", got)
+	}
+	if got := snap.Counters["core.fused.comparisons"]; got != total {
+		t.Errorf("core.fused.comparisons = %d, want %d", got, total)
+	}
+	if got := snap.Counters["core.proxy_cut_builds"]; got != 4 {
+		t.Errorf("core.proxy_cut_builds = %d, want 4", got)
+	}
+}
+
+// FuzzProfileKernelAgreement fuzzes the fused kernel against the legacy
+// 32-scan path across all three evaluators, plus the direct fused Table 1
+// kernel against per-relation EvalCount — the same harness shape as
+// FuzzEvaluatorAgreement.
+func FuzzProfileKernelAgreement(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(24), uint8(115), uint8(4))
+	f.Add(int64(42), uint8(0), uint8(2), uint8(0), uint8(0))
+	f.Add(int64(7), uint8(5), uint8(60), uint8(255), uint8(5))
+	f.Add(int64(-3), uint8(3), uint8(40), uint8(128), uint8(2))
+	f.Add(int64(271828), uint8(255), uint8(255), uint8(64), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, procsB, eventsB, msgProbB, sizeB uint8) {
+		procs := 2 + int(procsB%6)
+		events := 4 + int(eventsB%44)
+		msgProb := float64(msgProbB) / 255
+		maxSize := 1 + int(sizeB%6)
+		r := rand.New(rand.NewSource(seed))
+		ex := posettest.Random(r, procs, events, msgProb)
+		xe, ye := posettest.DisjointIntervals(r, ex, maxSize)
+		if xe == nil {
+			t.Skip("execution too small for a disjoint pair")
+		}
+		x, y := interval.MustNew(ex, xe), interval.MustNew(ex, ye)
+		a := NewAnalysis(ex)
+
+		mask, checks := a.EvalProfile(x, y)
+		for _, ev := range []Evaluator{NewNaive(a), NewProxy(a), NewFast(a)} {
+			want, _ := legacyProfileMask(t, a, ev, x, y)
+			if mask != want {
+				t.Fatalf("fused mask %032b != %s mask %032b (X=%v Y=%v)",
+					mask, ev.Name(), want, x, y)
+			}
+		}
+		var boundSum int64
+		for _, r32 := range AllRel32() {
+			boundSum += int64(r32.R.ComplexityBound(x.NodeCount(), y.NodeCount()))
+		}
+		if checks > boundSum {
+			t.Fatalf("fused spent %d comparisons > Theorem 19/20 bound sum %d", checks, boundSum)
+		}
+
+		verdicts, _ := a.EvalTable1(x, y)
+		fast := NewFast(a)
+		for _, rel := range Relations() {
+			held, _ := fast.EvalCount(rel, x, y)
+			if got := verdicts&(1<<uint(rel)) != 0; got != held {
+				t.Fatalf("fused Table 1 %v = %v, EvalCount = %v (X=%v Y=%v)", rel, got, held, x, y)
+			}
+		}
+	})
+}

@@ -97,15 +97,30 @@ func parseProxy(s string) (interval.ProxyKind, error) {
 // interval.DefGlobal a proxy may be empty, in which case an error is
 // returned (Definition 3 leaves the relation undefined there).
 func (a *Analysis) EvalRel32(eval Evaluator, r Rel32, x, y *interval.Interval, def interval.ProxyDef) (bool, error) {
-	px, err := x.ProxyInterval(r.PX, def, a.clk)
-	if err != nil {
-		return false, err
+	held, _, err := a.EvalRel32Count(eval, r, x, y, def)
+	return held, err
+}
+
+// EvalRel32Count is EvalRel32 plus the number of integer comparisons spent.
+// Under DefPerNode the proxies come from the Analysis proxy cache
+// (ProxyCuts), so repeated profile queries re-materialize nothing; DefGlobal
+// proxies depend on the causality structure and are built per call.
+func (a *Analysis) EvalRel32Count(eval Evaluator, r Rel32, x, y *interval.Interval, def interval.ProxyDef) (bool, int64, error) {
+	var px, py *interval.Interval
+	if def == interval.DefPerNode {
+		px = a.ProxyCuts(x, r.PX).IV
+		py = a.ProxyCuts(y, r.PY).IV
+	} else {
+		var err error
+		if px, err = x.ProxyInterval(r.PX, def, a.clk); err != nil {
+			return false, 0, err
+		}
+		if py, err = y.ProxyInterval(r.PY, def, a.clk); err != nil {
+			return false, 0, err
+		}
 	}
-	py, err := y.ProxyInterval(r.PY, def, a.clk)
-	if err != nil {
-		return false, err
-	}
-	return eval.Eval(r.R, px, py), nil
+	held, checks := eval.EvalCount(r.R, px, py)
+	return held, checks, nil
 }
 
 // HoldingRel32 evaluates all 32 relations of ℛ between x and y (per-node

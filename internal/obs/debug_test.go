@@ -48,4 +48,15 @@ func TestServeDebug(t *testing.T) {
 	if len(get("/debug/pprof/")) == 0 {
 		t.Error("/debug/pprof/ empty")
 	}
+	// The individual pprof profiles must be wired too, not just the index —
+	// `go tool pprof http://.../debug/pprof/heap` against a live process is
+	// the workflow the fused-kernel perf work relies on.
+	for _, profile := range []string{"heap", "goroutine", "allocs"} {
+		if len(get("/debug/pprof/"+profile+"?debug=1")) == 0 {
+			t.Errorf("/debug/pprof/%s empty", profile)
+		}
+	}
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("/debug/pprof/cmdline empty")
+	}
 }
