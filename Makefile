@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench tables metrics trace benchdiff profile fuzz examples coverage clean
+.PHONY: all build vet test race bench tables metrics trace benchdiff profile fuzz chaos examples coverage clean
 
 all: build vet test
 
@@ -50,8 +50,15 @@ profile:
 
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/monitor/
+	$(GO) test -fuzz FuzzConditionParser -fuzztime $(FUZZTIME) ./internal/monitor/
 	$(GO) test -fuzz FuzzEvaluatorAgreement -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz FuzzProfileKernelAgreement -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz FuzzTraceDecode -fuzztime $(FUZZTIME) ./internal/trace/
+
+# Chaos gate: explore 64 seeded (protocol, fault plan) cases under the race
+# detector — the same check CI's chaos job runs (see internal/faultsim).
+chaos:
+	$(GO) test -race ./internal/faultsim -seeds=64
 
 examples:
 	$(GO) run ./examples/quickstart

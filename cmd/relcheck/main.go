@@ -11,6 +11,12 @@
 //	relcheck -trace t.json -x a -y b -evaluator naive -count         # cost comparison
 //	relcheck -trace t.json -matrix -parallel 8                       # 8-worker batch engine
 //	relcheck -trace t.json -matrix -metrics - -trace-out prof.json   # observability
+//	relcheck -faults "mutex,nodes=3,rounds=2,seed=7,dup=0.2" -matrix # chaos trace
+//
+// -faults replaces -trace: instead of loading a recorded file, the named
+// protocol runs under the deterministic fault-injection simulator
+// (internal/faultsim) with the given chaos spec, and the resulting trace —
+// reproducible byte-for-byte from the spec — is analyzed like any other.
 //
 // -parallel N routes evaluation through the internal/batch worker pool;
 // output is byte-identical for every N (and to the serial path).
@@ -35,6 +41,7 @@ import (
 
 	"causet/internal/batch"
 	"causet/internal/core"
+	"causet/internal/faultsim"
 	"causet/internal/hierarchy"
 	"causet/internal/interval"
 	"causet/internal/obs"
@@ -85,6 +92,7 @@ func flushObs(reg *obs.Registry, tr *obs.Tracer, metricsOut, traceOut string) er
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("relcheck", flag.ContinueOnError)
 	path := fs.String("trace", "", "trace file (.json or .gob)")
+	faults := fs.String("faults", "", "generate the trace by running a protocol under a deterministic chaos spec instead of loading -trace (e.g. \"mutex,nodes=3,rounds=2,seed=7,drop=0.1,dup=0.1\"; see internal/faultsim)")
 	xName := fs.String("x", "", "name of interval X")
 	yName := fs.String("y", "", "name of interval Y")
 	relName := fs.String("rel", "", "single relation to test (R1, R1', R2, R2', R3, R3', R4, R4')")
@@ -104,8 +112,11 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *path == "" {
-		return fmt.Errorf("missing -trace")
+	if *path == "" && *faults == "" {
+		return fmt.Errorf("missing -trace (or -faults)")
+	}
+	if *path != "" && *faults != "" {
+		return fmt.Errorf("-trace and -faults are mutually exclusive")
 	}
 
 	var lg *logx.Logger
@@ -126,23 +137,8 @@ func run(args []string, out io.Writer) error {
 		lg = logx.New(w, lvl)
 	}
 
-	f, err := trace.Load(*path)
-	if err != nil {
-		return err
-	}
-	ex, err := f.Execution()
-	if err != nil {
-		return err
-	}
-	lg.Info("trace_loaded", logx.F("trace", *path), logx.F("procs", ex.NumProcs()),
-		logx.F("intervals", len(f.IntervalNames())))
-	if *list {
-		for _, name := range f.IntervalNames() {
-			fmt.Fprintln(out, name)
-		}
-		return nil
-	}
-
+	// The registry/tracer exist before the trace so a -faults run lands its
+	// faultsim.* counters and partition spans in the same outputs.
 	var reg *obs.Registry
 	if *metricsOut != "" || *debugAddr != "" {
 		reg = obs.New()
@@ -150,6 +146,31 @@ func run(args []string, out io.Writer) error {
 	var tr *obs.Tracer
 	if *traceOut != "" {
 		tr = obs.NewTracer()
+	}
+
+	var f *trace.File
+	var err error
+	src := *path
+	if *faults != "" {
+		src = "faultsim:" + *faults
+		f, err = faultsim.TraceFromSpec(*faults, reg, tr)
+	} else {
+		f, err = trace.Load(*path)
+	}
+	if err != nil {
+		return err
+	}
+	ex, err := f.Execution()
+	if err != nil {
+		return err
+	}
+	lg.Info("trace_loaded", logx.F("trace", src), logx.F("procs", ex.NumProcs()),
+		logx.F("intervals", len(f.IntervalNames())))
+	if *list {
+		for _, name := range f.IntervalNames() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
 	}
 	if *debugAddr != "" {
 		ln, err := obs.ServeDebug(*debugAddr, reg)

@@ -10,6 +10,13 @@
 // A conditions file holds one "name: expression" per line; blank lines and
 // lines starting with '#' are ignored.
 //
+// -faults replaces -trace: the named protocol runs under the deterministic
+// fault-injection simulator (internal/faultsim) with the given chaos spec
+// (e.g. "twophase,nodes=3,rounds=2,seed=7,dup=0.3,drop=0.1"), and the
+// conditions are checked against the adversarial trace. The exit-status
+// contract is unchanged: conditions that reference intervals the faults
+// erased (a vote that never happened) report SKIP and exit 2.
+//
 // Exit status contract (scripts and CI steps rely on it):
 //
 //	0  every condition evaluated and holds
@@ -38,6 +45,7 @@ import (
 	"os"
 	"strings"
 
+	"causet/internal/faultsim"
 	"causet/internal/monitor"
 	"causet/internal/obs"
 	"causet/internal/obs/logx"
@@ -80,6 +88,7 @@ func (c *condList) Set(s string) error { *c = append(*c, s); return nil }
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("syncmon", flag.ContinueOnError)
 	path := fs.String("trace", "", "trace file (.json or .gob)")
+	faults := fs.String("faults", "", "generate the trace by running a protocol under a deterministic chaos spec instead of loading -trace (e.g. \"twophase,nodes=3,rounds=2,seed=7,dup=0.3\"; see internal/faultsim)")
 	var conds condList
 	fs.Var(&conds, "cond", "condition \"name: expression\" (repeatable)")
 	condFile := fs.String("conds", "", "file with one \"name: expression\" per line")
@@ -91,8 +100,11 @@ func run(args []string, out io.Writer) (int, error) {
 	if err := fs.Parse(args); err != nil {
 		return exitError, err
 	}
-	if *path == "" {
-		return exitError, fmt.Errorf("missing -trace")
+	if *path == "" && *faults == "" {
+		return exitError, fmt.Errorf("missing -trace (or -faults)")
+	}
+	if *path != "" && *faults != "" {
+		return exitError, fmt.Errorf("-trace and -faults are mutually exclusive")
 	}
 
 	var lg *logx.Logger
@@ -113,16 +125,8 @@ func run(args []string, out io.Writer) (int, error) {
 		lg = logx.New(w, lvl)
 	}
 
-	f, err := trace.Load(*path)
-	if err != nil {
-		return exitError, err
-	}
-	ex, err := f.Execution()
-	if err != nil {
-		return exitError, err
-	}
-	lg.Info("trace_loaded", logx.F("trace", *path), logx.F("procs", ex.NumProcs()))
-
+	// The registry/tracer exist before the trace so a -faults run lands its
+	// faultsim.* counters and partition spans in the same outputs.
 	var reg *obs.Registry
 	if *metricsOut != "" || *debugAddr != "" {
 		reg = obs.New()
@@ -131,6 +135,24 @@ func run(args []string, out io.Writer) (int, error) {
 	if *traceOut != "" {
 		tr = obs.NewTracer()
 	}
+
+	var f *trace.File
+	var err error
+	src := *path
+	if *faults != "" {
+		src = "faultsim:" + *faults
+		f, err = faultsim.TraceFromSpec(*faults, reg, tr)
+	} else {
+		f, err = trace.Load(*path)
+	}
+	if err != nil {
+		return exitError, err
+	}
+	ex, err := f.Execution()
+	if err != nil {
+		return exitError, err
+	}
+	lg.Info("trace_loaded", logx.F("trace", src), logx.F("procs", ex.NumProcs()))
 
 	m := monitor.New(ex)
 	m.Analysis().Instrument(reg, tr)

@@ -1,0 +1,280 @@
+// Package faultsim is the deterministic fault-injection and simulation-test
+// layer of the repository. It wraps the live runtime (internal/runtime)
+// behind a cooperative scheduler and a fault-injecting transport, so that a
+// protocol run under a given (seed, FaultPlan) pair is fully deterministic —
+// byte-identical traces across runs — while exercising the adversarial
+// delivery behaviors a real network exhibits: per-message delay, drop,
+// duplication, reordering, N-way partitions with heal, and node
+// crash/restart with inbox loss.
+//
+// Determinism argument (DESIGN §S22 carries the full version): exactly one
+// goroutine — the scheduler or the single running node — is active at any
+// instant, with handoffs over unbuffered channels; every random draw
+// (schedule picks, fault draws, reorder picks) comes from one seeded PRNG
+// consumed only by the active goroutine; and node code itself is
+// deterministic given its message sequence. The recorded poset is therefore
+// a pure function of (protocol config, seed, plan).
+//
+// On top of the simulator, the package provides a property harness
+// (CheckRun/Explore) that asserts the repository's cross-evaluator
+// invariants on every adversarial execution — Naive ≡ Proxy ≡ Fast ≡ Fused
+// on sampled interval pairs, Theorem 19/20 comparison bounds, and online
+// monitor verdicts equal to offline replay verdicts — with greedy shrinking
+// of failing cases to a minimal (config, plan) printed as a reproducible
+// `go test -run` command.
+package faultsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Partition isolates node groups for a window of scheduler steps: from step
+// Start (inclusive) to step Heal (exclusive), messages between different
+// groups are dropped. Nodes not listed in any group form one implicit
+// "rest" group of their own, so a single listed group partitions it from
+// everyone else.
+type Partition struct {
+	Start, Heal int
+	Groups      [][]int
+}
+
+// groupOf returns the partition group index of a node; unlisted nodes share
+// the implicit group len(Groups).
+func (p Partition) groupOf(node int) int {
+	for g, nodes := range p.Groups {
+		for _, n := range nodes {
+			if n == node {
+				return g
+			}
+		}
+	}
+	return len(p.Groups)
+}
+
+// active reports whether the partition covers scheduler step s.
+func (p Partition) active(s int) bool { return s >= p.Start && s < p.Heal }
+
+// Crash schedules node Node to crash at scheduler step At: its queued
+// messages are discarded (inbox loss), its protocol body is unwound, and —
+// when RestartAfter is non-negative — the body restarts from scratch
+// RestartAfter steps later (volatile protocol state lost, process identity
+// and trace prefix kept). RestartAfter < 0 means the node stays down.
+type Crash struct {
+	Node, At     int
+	RestartAfter int
+}
+
+// FaultPlan is a deterministic schedule of adversity. The zero value is the
+// fault-free plan (the cooperative scheduler still controls interleavings).
+type FaultPlan struct {
+	DropProb    float64 // per message: silently discard
+	DupProb     float64 // per message: deliver twice (independent delays)
+	DelayProb   float64 // per delivery: hold for 1..MaxDelay steps
+	MaxDelay    int     // maximum hold in steps (only with DelayProb > 0)
+	ReorderProb float64 // per receive: pick a random deliverable message instead of the oldest
+
+	Partitions []Partition
+	Crashes    []Crash
+
+	// MaxSteps bounds the scheduler; past it every live node is killed and
+	// the run ends with whatever trace exists. 0 means the 20000 default.
+	MaxSteps int
+}
+
+// DefaultMaxSteps bounds runs whose plan leaves MaxSteps zero.
+const DefaultMaxSteps = 20000
+
+// maxSteps resolves the step budget.
+func (p FaultPlan) maxSteps() int {
+	if p.MaxSteps <= 0 {
+		return DefaultMaxSteps
+	}
+	return p.MaxSteps
+}
+
+// Validate checks the plan against a system of n nodes.
+func (p FaultPlan) Validate(n int) error {
+	for _, prob := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropProb", p.DropProb}, {"DupProb", p.DupProb},
+		{"DelayProb", p.DelayProb}, {"ReorderProb", p.ReorderProb},
+	} {
+		if prob.v < 0 || prob.v > 1 {
+			return fmt.Errorf("faultsim: %s = %v out of [0, 1]", prob.name, prob.v)
+		}
+	}
+	if p.MaxDelay < 0 {
+		return fmt.Errorf("faultsim: MaxDelay = %d is negative", p.MaxDelay)
+	}
+	if p.DelayProb > 0 && p.MaxDelay == 0 {
+		return fmt.Errorf("faultsim: DelayProb > 0 needs MaxDelay ≥ 1")
+	}
+	for i, part := range p.Partitions {
+		if part.Start < 0 || part.Heal <= part.Start {
+			return fmt.Errorf("faultsim: partition %d window [%d, %d) is empty or negative", i, part.Start, part.Heal)
+		}
+		for _, g := range part.Groups {
+			for _, nd := range g {
+				if nd < 0 || nd >= n {
+					return fmt.Errorf("faultsim: partition %d names node %d of %d", i, nd, n)
+				}
+			}
+		}
+	}
+	for i, c := range p.Crashes {
+		if c.Node < 0 || c.Node >= n {
+			return fmt.Errorf("faultsim: crash %d names node %d of %d", i, c.Node, n)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("faultsim: crash %d at negative step %d", i, c.At)
+		}
+	}
+	return nil
+}
+
+// DeriveCase expands a bare seed into a protocol configuration and a fault
+// plan — the generator behind Explore. The same seed always yields the same
+// case, so a failing seed is itself a complete reproduction key.
+func DeriveCase(seed int64) (Config, FaultPlan) {
+	r := rand.New(rand.NewSource(seed))
+	protos := []Protocol{Mutex, Election, TwoPhase}
+	cfg := Config{
+		Protocol:  protos[r.Intn(len(protos))],
+		Nodes:     2 + r.Intn(4),
+		Rounds:    1 + r.Intn(3),
+		ProtoSeed: int64(r.Intn(1 << 16)),
+	}
+	plan := FaultPlan{}
+	if r.Float64() < 0.6 {
+		plan.DropProb = 0.25 * r.Float64()
+	}
+	if r.Float64() < 0.6 {
+		plan.DupProb = 0.3 * r.Float64()
+	}
+	if r.Float64() < 0.6 {
+		plan.DelayProb = 0.5 * r.Float64()
+		plan.MaxDelay = 1 + r.Intn(8)
+	}
+	if r.Float64() < 0.6 {
+		plan.ReorderProb = r.Float64()
+	}
+	if r.Float64() < 0.3 {
+		start := r.Intn(40)
+		// Split the nodes into two halves; the second half is the implicit
+		// rest group.
+		var left []int
+		for nd := 0; nd < cfg.Nodes/2; nd++ {
+			left = append(left, nd)
+		}
+		plan.Partitions = append(plan.Partitions, Partition{
+			Start:  start,
+			Heal:   start + 10 + r.Intn(40),
+			Groups: [][]int{left},
+		})
+	}
+	for i, k := 0, r.Intn(3); i < k; i++ {
+		c := Crash{Node: r.Intn(cfg.Nodes), At: r.Intn(80), RestartAfter: -1}
+		if r.Float64() < 0.5 {
+			c.RestartAfter = 5 + r.Intn(20)
+		}
+		plan.Crashes = append(plan.Crashes, c)
+	}
+	return cfg, plan
+}
+
+// ParseSpec parses the CLI chaos specification used by relcheck/syncmon
+// -faults: a comma-separated list whose first item is the protocol name and
+// whose remaining items are key=value pairs:
+//
+//	mutex,nodes=4,rounds=3,seed=7,drop=0.1,dup=0.1,delay=0.2,maxdelay=4,reorder=0.3,crash=1@20+30,crash=2@50
+//
+// crash=N@S kills node N at step S; a +R suffix restarts it R steps later.
+func ParseSpec(spec string) (Config, int64, FaultPlan, error) {
+	var (
+		cfg  Config
+		seed int64
+		plan FaultPlan
+	)
+	parts := strings.Split(spec, ",")
+	if len(parts) == 0 || parts[0] == "" {
+		return cfg, 0, plan, fmt.Errorf("faultsim: empty spec")
+	}
+	cfg.Protocol = Protocol(strings.TrimSpace(parts[0]))
+	cfg.Nodes, cfg.Rounds = 3, 2
+	for _, kv := range parts[1:] {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return cfg, 0, plan, fmt.Errorf("faultsim: spec item %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "nodes":
+			cfg.Nodes, err = strconv.Atoi(val)
+		case "rounds":
+			cfg.Rounds, err = strconv.Atoi(val)
+		case "protoseed":
+			cfg.ProtoSeed, err = strconv.ParseInt(val, 10, 64)
+		case "seed":
+			seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			plan.DropProb, err = strconv.ParseFloat(val, 64)
+		case "dup":
+			plan.DupProb, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			plan.DelayProb, err = strconv.ParseFloat(val, 64)
+			if err == nil && plan.MaxDelay == 0 {
+				plan.MaxDelay = 4
+			}
+		case "maxdelay":
+			plan.MaxDelay, err = strconv.Atoi(val)
+		case "reorder":
+			plan.ReorderProb, err = strconv.ParseFloat(val, 64)
+		case "maxsteps":
+			plan.MaxSteps, err = strconv.Atoi(val)
+		case "crash":
+			var c Crash
+			c, err = parseCrash(val)
+			plan.Crashes = append(plan.Crashes, c)
+		default:
+			return cfg, 0, plan, fmt.Errorf("faultsim: unknown spec key %q", key)
+		}
+		if err != nil {
+			return cfg, 0, plan, fmt.Errorf("faultsim: spec %s=%s: %v", key, val, err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, 0, plan, err
+	}
+	if err := plan.Validate(cfg.Nodes); err != nil {
+		return cfg, 0, plan, err
+	}
+	return cfg, seed, plan, nil
+}
+
+// parseCrash parses "N@S" or "N@S+R".
+func parseCrash(val string) (Crash, error) {
+	c := Crash{RestartAfter: -1}
+	nodeS, rest, ok := strings.Cut(val, "@")
+	if !ok {
+		return c, fmt.Errorf("want N@S or N@S+R")
+	}
+	atS, restartS, hasRestart := strings.Cut(rest, "+")
+	var err error
+	if c.Node, err = strconv.Atoi(nodeS); err != nil {
+		return c, err
+	}
+	if c.At, err = strconv.Atoi(atS); err != nil {
+		return c, err
+	}
+	if hasRestart {
+		if c.RestartAfter, err = strconv.Atoi(restartS); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,220 @@
+package faultsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ExploreOptions tunes the property-exploration loop.
+type ExploreOptions struct {
+	// Seeds is the number of derived (config, plan) cases to run; each gets
+	// its own subtest named seed=N. 0 means 16.
+	Seeds int
+	// FirstSeed offsets the seed range (useful to sweep disjoint ranges
+	// across CI shards).
+	FirstSeed int64
+	// Check overrides the harness options (zero value = defaults).
+	Check CheckOptions
+	// ShrinkBudget caps how many candidate runs a failing case may spend
+	// shrinking. 0 means 120.
+	ShrinkBudget int
+}
+
+func (o ExploreOptions) seeds() int {
+	if o.Seeds <= 0 {
+		return 16
+	}
+	return o.Seeds
+}
+
+func (o ExploreOptions) shrinkBudget() int {
+	if o.ShrinkBudget <= 0 {
+		return 120
+	}
+	return o.ShrinkBudget
+}
+
+// Explore is the property-based simulation harness: for each seed it derives
+// a random protocol configuration and fault plan (DeriveCase), runs the
+// protocol under the deterministic simulator, and asserts the
+// cross-evaluator and online/offline invariants (CheckRun). A failing seed
+// is automatically shrunk to a minimal still-failing (config, plan) and
+// reported with a ready-to-paste reproduction command.
+func Explore(t *testing.T, opts ExploreOptions) {
+	t.Helper()
+	for i := 0; i < opts.seeds(); i++ {
+		seed := opts.FirstSeed + int64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg, plan := DeriveCase(seed)
+			err := opts.Check.CheckRun(cfg, seed, plan)
+			if err == nil {
+				return
+			}
+			minCfg, minPlan, minErr := Shrink(cfg, seed, plan, opts.Check, opts.shrinkBudget())
+			t.Fatalf("seed %d: %v\nshrunk to: %v\nshrunk failure: %v\nrepro: %s",
+				seed, err, describeCase(minCfg, minPlan), minErr, ReproCommand(seed, minCfg, minPlan))
+		})
+	}
+}
+
+// Shrink greedily reduces a failing (cfg, plan): each candidate reduction is
+// accepted only if the property still fails under it (re-verified by a full
+// CheckRun, so the shrunk case is itself a reproduction). Returns the
+// smallest case found and its failure.
+func Shrink(cfg Config, seed int64, plan FaultPlan, opts CheckOptions, budget int) (Config, FaultPlan, error) {
+	lastErr := opts.CheckRun(cfg, seed, plan)
+	if lastErr == nil {
+		return cfg, plan, nil // not failing; nothing to shrink
+	}
+	for improved := true; improved && budget > 0; {
+		improved = false
+		for _, cand := range shrinkCandidates(cfg, plan) {
+			if budget <= 0 {
+				break
+			}
+			budget--
+			if err := opts.CheckRun(cand.cfg, seed, cand.plan); err != nil {
+				cfg, plan, lastErr = cand.cfg, cand.plan, err
+				improved = true
+				break // restart from the new, smaller case
+			}
+		}
+	}
+	return cfg, plan, lastErr
+}
+
+type shrinkCand struct {
+	cfg  Config
+	plan FaultPlan
+}
+
+// shrinkCandidates proposes reductions, most aggressive first: remove whole
+// fault dimensions, then whole schedule entries, then halve magnitudes, then
+// shrink the protocol itself.
+func shrinkCandidates(cfg Config, plan FaultPlan) []shrinkCand {
+	var out []shrinkCand
+	add := func(c Config, p FaultPlan) { out = append(out, shrinkCand{cfg: c, plan: p}) }
+
+	if plan.DropProb > 0 {
+		p := plan
+		p.DropProb = 0
+		add(cfg, p)
+	}
+	if plan.DupProb > 0 {
+		p := plan
+		p.DupProb = 0
+		add(cfg, p)
+	}
+	if plan.DelayProb > 0 {
+		p := plan
+		p.DelayProb, p.MaxDelay = 0, 0
+		add(cfg, p)
+	}
+	if plan.ReorderProb > 0 {
+		p := plan
+		p.ReorderProb = 0
+		add(cfg, p)
+	}
+	if len(plan.Partitions) > 0 {
+		p := plan
+		p.Partitions = nil
+		add(cfg, p)
+	}
+	if len(plan.Crashes) > 0 {
+		p := plan
+		p.Crashes = nil
+		add(cfg, p)
+	}
+	for i := range plan.Crashes {
+		p := plan
+		p.Crashes = append(append([]Crash(nil), plan.Crashes[:i]...), plan.Crashes[i+1:]...)
+		add(cfg, p)
+	}
+	for _, half := range []func(*FaultPlan){
+		func(p *FaultPlan) { p.DropProb /= 2 },
+		func(p *FaultPlan) { p.DupProb /= 2 },
+		func(p *FaultPlan) { p.DelayProb /= 2 },
+		func(p *FaultPlan) { p.ReorderProb /= 2 },
+	} {
+		p := plan
+		half(&p)
+		if scalarsOf(p) != scalarsOf(plan) { // only if it actually changed
+			add(cfg, p)
+		}
+	}
+	if plan.MaxDelay > 1 {
+		p := plan
+		p.MaxDelay /= 2
+		add(cfg, p)
+	}
+	if cfg.Rounds > 1 {
+		c := cfg
+		c.Rounds--
+		add(c, plan)
+	}
+	if cfg.Nodes > 2 {
+		c := cfg
+		c.Nodes--
+		add(c, dropOutOfRange(plan, c.Nodes))
+	}
+	return out
+}
+
+// planScalars is the comparable projection of a plan's scalar fields, used
+// to detect whether a halving candidate actually changed anything.
+type planScalars struct {
+	drop, dup, delay, reorder float64
+	maxDelay                  int
+}
+
+func scalarsOf(p FaultPlan) planScalars {
+	return planScalars{p.DropProb, p.DupProb, p.DelayProb, p.ReorderProb, p.MaxDelay}
+}
+
+// dropOutOfRange removes schedule entries that name nodes a smaller system
+// no longer has, keeping the reduced plan valid.
+func dropOutOfRange(plan FaultPlan, n int) FaultPlan {
+	p := plan
+	p.Crashes = nil
+	for _, c := range plan.Crashes {
+		if c.Node < n {
+			p.Crashes = append(p.Crashes, c)
+		}
+	}
+	p.Partitions = nil
+	for _, part := range plan.Partitions {
+		kept := Partition{Start: part.Start, Heal: part.Heal}
+		for _, g := range part.Groups {
+			var nodes []int
+			for _, nd := range g {
+				if nd < n {
+					nodes = append(nodes, nd)
+				}
+			}
+			if len(nodes) > 0 {
+				kept.Groups = append(kept.Groups, nodes)
+			}
+		}
+		if len(kept.Groups) > 0 {
+			p.Partitions = append(p.Partitions, kept)
+		}
+	}
+	return p
+}
+
+// describeCase renders a case compactly for failure messages.
+func describeCase(cfg Config, plan FaultPlan) string {
+	return fmt.Sprintf("%s nodes=%d rounds=%d protoseed=%d plan=%+v",
+		cfg.Protocol, cfg.Nodes, cfg.Rounds, cfg.ProtoSeed, plan)
+}
+
+// ReproCommand renders a ready-to-paste command that reruns a failing case.
+// The seed subtest fully determines the derived case, so the command only
+// needs the seed; the shrunk plan is included as a Go literal for direct use
+// with CheckRun when the derived case is larger than the shrunk one.
+func ReproCommand(seed int64, cfg Config, plan FaultPlan) string {
+	return fmt.Sprintf(
+		"go test ./internal/faultsim -run 'TestFaultsimExplore/seed=%d$' -seeds=%d\n"+
+			"or directly: faultsim.CheckRun(%#v, %d, %#v)",
+		seed, seed+1, cfg, seed, plan)
+}

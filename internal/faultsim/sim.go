@@ -1,0 +1,576 @@
+package faultsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"causet/internal/obs"
+	"causet/internal/runtime"
+)
+
+// Sim is the deterministic cooperative scheduler plus fault-injecting
+// transport. It implements runtime.Transport (Send/Recv/TryRecv) and
+// provides the runtime.NodeWrapper that supports crash/restart.
+//
+// Concurrency model: the token. At any instant exactly one goroutine is
+// active — either the scheduler loop or the single node it last resumed.
+// Nodes hand the token back by sending on the parked channel and blocking on
+// their resume channel; the scheduler hands it out by sending a resumeMsg.
+// All Sim state (queues, statuses, the PRNG, counters) is owned by whichever
+// goroutine holds the token, so there are no data races and no locks: the
+// channel handoffs establish the happens-before edges. Because every random
+// draw comes from the single seeded PRNG and is made in token order, the
+// entire run — schedule picks, fault draws, reorder picks — is a pure
+// function of (seed, plan, protocol config).
+type Sim struct {
+	n    int
+	plan FaultPlan
+	rng  *rand.Rand
+
+	step int   // scheduler steps so far (one per dispatch or time advance)
+	seq  int64 // monotone envelope sequence, the queue tiebreaker
+
+	parked    chan parkMsg
+	resume    []chan resumeMsg
+	schedDone chan struct{}
+
+	status         []nodeStatus
+	queues         [][]pending
+	crashPending   []bool
+	restartAfterOf []int
+	restartAt      []int
+	incarnation    []int
+
+	crashes  []Crash // plan crashes sorted by At
+	crashIdx int     // next unfired crash
+
+	partSpans []obs.Span // span per plan partition, valid while partOpen
+	partOpen  []bool
+
+	stats Stats
+	met   simObs
+	tr    *obs.Tracer
+}
+
+// Stats counts what the fault layer actually did during one run. All values
+// are deterministic for a given (seed, plan, config).
+type Stats struct {
+	Steps          int64 // scheduler steps consumed
+	Drops          int64 // messages discarded by DropProb
+	Dups           int64 // messages duplicated by DupProb
+	Delays         int64 // deliveries held back by DelayProb
+	Reorders       int64 // receives that took a younger deliverable message
+	PartitionDrops int64 // messages discarded by an active partition
+	InboxLoss      int64 // messages lost to a crash (queued at crash time or sent to a down node)
+	Crashes        int64 // crash faults applied
+	Restarts       int64 // restarts performed
+	Kills          int64 // nodes killed by deadlock sweep or step budget
+	ProtoPanics    int64 // protocol bodies that panicked (treated as kills)
+}
+
+// simObs mirrors Stats into an obs.Registry; all fields may be nil.
+type simObs struct {
+	drops, dups, delays, reorders   *obs.Counter
+	partitionDrops, inboxLoss       *obs.Counter
+	crashes, restarts, kills, steps *obs.Counter
+}
+
+type nodeStatus int
+
+const (
+	stRunning   nodeStatus = iota // holds the token right now
+	stRunnable                    // parked at a yield point
+	stWantRecv                    // parked in blocking Recv
+	stWantTry                     // parked in TryRecv
+	stCrashWait                   // down, restarting at restartAt
+	stDone                        // finished, killed, or crashed for good
+)
+
+type parkReason int
+
+const (
+	parkStart parkReason = iota
+	parkYield
+	parkRecv
+	parkTry
+	parkCrashWait
+	parkDone
+)
+
+type resumeKind int
+
+const (
+	resumeRun     resumeKind = iota // keep running (also: restart approved)
+	resumeDeliver                   // here is your message
+	resumeEmpty                     // TryRecv: nothing deliverable
+	resumeCrash                     // unwind: you crashed
+	resumeKill                      // unwind: you are dead for good
+)
+
+type parkMsg struct {
+	node int
+	why  parkReason
+}
+
+type resumeMsg struct {
+	kind resumeKind
+	env  runtime.Envelope
+}
+
+// pending is one queued delivery.
+type pending struct {
+	env         runtime.Envelope
+	availableAt int // first step at which it may be delivered
+	seq         int64
+}
+
+// crashSignal and killSignal are the panic sentinels the transport throws to
+// unwind a node; the wrapper's recover distinguishes them from real panics.
+type crashSignal struct{}
+type killSignal struct{}
+
+// newSim builds a simulator for n nodes. Call Attach on the target system
+// and start the scheduler with go s.schedule() before sys.Run.
+func newSim(n int, seed int64, plan FaultPlan, reg *obs.Registry, tr *obs.Tracer) *Sim {
+	s := &Sim{
+		n:              n,
+		plan:           plan,
+		rng:            rand.New(rand.NewSource(seed)),
+		parked:         make(chan parkMsg),
+		resume:         make([]chan resumeMsg, n),
+		schedDone:      make(chan struct{}),
+		status:         make([]nodeStatus, n),
+		queues:         make([][]pending, n),
+		crashPending:   make([]bool, n),
+		restartAfterOf: make([]int, n),
+		restartAt:      make([]int, n),
+		incarnation:    make([]int, n),
+		partSpans:      make([]obs.Span, len(plan.Partitions)),
+		partOpen:       make([]bool, len(plan.Partitions)),
+		tr:             tr,
+	}
+	for i := range s.resume {
+		s.resume[i] = make(chan resumeMsg)
+		s.status[i] = stRunning // until the first parkStart arrives
+	}
+	s.crashes = append([]Crash(nil), plan.Crashes...)
+	sort.SliceStable(s.crashes, func(i, j int) bool { return s.crashes[i].At < s.crashes[j].At })
+	if reg != nil {
+		s.met = simObs{
+			drops:          reg.Counter("faultsim.drops"),
+			dups:           reg.Counter("faultsim.dups"),
+			delays:         reg.Counter("faultsim.delays"),
+			reorders:       reg.Counter("faultsim.reorders"),
+			partitionDrops: reg.Counter("faultsim.partition_drops"),
+			inboxLoss:      reg.Counter("faultsim.inbox_loss"),
+			crashes:        reg.Counter("faultsim.crashes"),
+			restarts:       reg.Counter("faultsim.restarts"),
+			kills:          reg.Counter("faultsim.kills"),
+			steps:          reg.Counter("faultsim.steps"),
+		}
+	}
+	return s
+}
+
+// Attach installs the simulator as the system's transport and node wrapper.
+func (s *Sim) Attach(sys *runtime.System) {
+	sys.SetTransport(s)
+	sys.SetNodeWrapper(s.WrapNode)
+}
+
+// park hands the token to the scheduler and blocks until resumed.
+func (s *Sim) park(node int, why parkReason) resumeMsg {
+	s.parked <- parkMsg{node: node, why: why}
+	return <-s.resume[node]
+}
+
+// Send implements runtime.Transport: apply send-side faults, enqueue
+// surviving deliveries, then yield so the scheduler can interleave. Yielding
+// at every communication point is enough for full poset-shape coverage:
+// internal events commute with remote ones, so only the relative order of
+// sends and receives shapes the recorded partial order.
+func (s *Sim) Send(env runtime.Envelope) {
+	s.deposit(env)
+	switch r := s.park(env.From, parkYield); r.kind {
+	case resumeRun:
+	case resumeCrash:
+		panic(crashSignal{})
+	default:
+		panic(killSignal{})
+	}
+}
+
+// deposit applies drop/duplicate/delay/partition faults and enqueues the
+// surviving copies. Runs on the sending node's goroutine, holding the token.
+func (s *Sim) deposit(env runtime.Envelope) {
+	to := env.To
+	if s.crossPartition(env.From, to) {
+		s.stats.PartitionDrops++
+		s.met.partitionDrops.Add(1)
+		return
+	}
+	if st := s.status[to]; st == stCrashWait || st == stDone {
+		s.stats.InboxLoss++
+		s.met.inboxLoss.Add(1)
+		return
+	}
+	if s.plan.DropProb > 0 && s.rng.Float64() < s.plan.DropProb {
+		s.stats.Drops++
+		s.met.drops.Add(1)
+		return
+	}
+	copies := 1
+	if s.plan.DupProb > 0 && s.rng.Float64() < s.plan.DupProb {
+		copies = 2
+		s.stats.Dups++
+		s.met.dups.Add(1)
+	}
+	for c := 0; c < copies; c++ {
+		delay := 0
+		if s.plan.DelayProb > 0 && s.rng.Float64() < s.plan.DelayProb {
+			delay = 1 + s.rng.Intn(s.plan.MaxDelay)
+			s.stats.Delays++
+			s.met.delays.Add(1)
+		}
+		s.seq++
+		s.queues[to] = append(s.queues[to], pending{env: env, availableAt: s.step + delay, seq: s.seq})
+	}
+}
+
+// crossPartition reports whether an active partition separates from and to.
+func (s *Sim) crossPartition(from, to int) bool {
+	for _, p := range s.plan.Partitions {
+		if p.active(s.step) && p.groupOf(from) != p.groupOf(to) {
+			return true
+		}
+	}
+	return false
+}
+
+// Recv implements runtime.Transport: block until the scheduler delivers.
+func (s *Sim) Recv(node int) runtime.Envelope {
+	switch r := s.park(node, parkRecv); r.kind {
+	case resumeDeliver:
+		return r.env
+	case resumeCrash:
+		panic(crashSignal{})
+	default:
+		panic(killSignal{})
+	}
+}
+
+// TryRecv implements runtime.Transport: one scheduling point that either
+// delivers or reports emptiness (advisory only — see runtime.Node.TryRecv).
+func (s *Sim) TryRecv(node int) (runtime.Envelope, bool) {
+	switch r := s.park(node, parkTry); r.kind {
+	case resumeDeliver:
+		return r.env, true
+	case resumeEmpty:
+		return runtime.Envelope{}, false
+	case resumeCrash:
+		panic(crashSignal{})
+	default:
+		panic(killSignal{})
+	}
+}
+
+type outcome int
+
+const (
+	ocFinished outcome = iota
+	ocCrashed
+	ocKilled
+	ocPanicked
+)
+
+// runBody executes the protocol body, converting sentinel unwinds into
+// outcomes. A non-sentinel panic is a protocol bug surfaced by the fault
+// schedule: it is counted and the node treated as killed so the run still
+// terminates with an analyzable trace.
+func (s *Sim) runBody(nd *runtime.Node, body func(*runtime.Node)) (oc outcome) {
+	defer func() {
+		switch recover().(type) {
+		case nil:
+		case crashSignal:
+			oc = ocCrashed
+		case killSignal:
+			oc = ocKilled
+		default:
+			oc = ocPanicked
+		}
+	}()
+	body(nd)
+	return ocFinished
+}
+
+// WrapNode is the runtime.NodeWrapper: run the body, catch crash unwinds,
+// record crash/restart internal events on the node's own process line, and
+// rerun the body for each restarted incarnation. A crash that arrives before
+// the body's first instruction still records its crash event and may restart.
+func (s *Sim) WrapNode(nd *runtime.Node, body func(*runtime.Node)) {
+	id := nd.ID()
+	defer func() { s.parked <- parkMsg{node: id, why: parkDone} }()
+	r := s.park(id, parkStart)
+	for {
+		if r.kind == resumeKill {
+			return
+		}
+		if r.kind == resumeRun {
+			switch s.runBody(nd, body) {
+			case ocFinished, ocKilled:
+				return
+			case ocPanicked:
+				s.stats.ProtoPanics++
+				return
+			case ocCrashed:
+				// handled below
+			}
+		}
+		nd.Internal(fmt.Sprintf("crash#%d", s.incarnation[id]))
+		if s.restartAfterOf[id] < 0 {
+			return
+		}
+		if rw := s.park(id, parkCrashWait); rw.kind != resumeRun {
+			return // killed while down
+		}
+		s.incarnation[id]++
+		nd.Internal(fmt.Sprintf("restart#%d", s.incarnation[id]))
+		r = resumeMsg{kind: resumeRun}
+	}
+}
+
+// schedule is the scheduler loop. Run it as a goroutine before sys.Run; it
+// exits once every node is done, closing schedDone.
+func (s *Sim) schedule() {
+	defer close(s.schedDone)
+	defer s.closePartitionSpans()
+	for live := 0; live < s.n; live++ {
+		s.handlePark(<-s.parked)
+	}
+	maxSteps := s.plan.maxSteps()
+	for {
+		if s.allDone() {
+			s.stats.Steps = int64(s.step)
+			s.met.steps.Add(s.stats.Steps)
+			return
+		}
+		if s.step > maxSteps {
+			s.killAll()
+			continue
+		}
+		s.tickPartitionSpans()
+		s.fireCrashes()
+		cands := s.candidates()
+		if len(cands) == 0 {
+			if s.hasFuture() {
+				s.step++ // advance time toward the next delivery/restart/crash
+				continue
+			}
+			s.killAll() // genuine deadlock: unwind everyone, keep the trace
+			continue
+		}
+		s.dispatch(cands[s.rng.Intn(len(cands))])
+		s.step++
+	}
+}
+
+// handlePark records a node's park state; runs on the scheduler goroutine.
+func (s *Sim) handlePark(m parkMsg) {
+	switch m.why {
+	case parkStart, parkYield:
+		s.status[m.node] = stRunnable
+	case parkRecv:
+		s.status[m.node] = stWantRecv
+	case parkTry:
+		s.status[m.node] = stWantTry
+	case parkCrashWait:
+		s.status[m.node] = stCrashWait
+		s.restartAt[m.node] = s.step + s.restartAfterOf[m.node]
+	case parkDone:
+		s.status[m.node] = stDone
+	}
+}
+
+// fireCrashes consumes every plan crash due at or before the current step.
+// A crash aimed at a node that is already down or done is lost (the process
+// cannot crash twice concurrently); consuming it regardless keeps hasFuture
+// finite.
+func (s *Sim) fireCrashes() {
+	for s.crashIdx < len(s.crashes) && s.crashes[s.crashIdx].At <= s.step {
+		c := s.crashes[s.crashIdx]
+		s.crashIdx++
+		if st := s.status[c.Node]; st == stDone || st == stCrashWait || s.crashPending[c.Node] {
+			continue
+		}
+		s.crashPending[c.Node] = true
+		s.restartAfterOf[c.Node] = c.RestartAfter
+	}
+}
+
+// candidates lists dispatchable nodes in id order (determinism requires a
+// fixed enumeration order before the PRNG pick).
+func (s *Sim) candidates() []int {
+	var cands []int
+	for id := 0; id < s.n; id++ {
+		switch s.status[id] {
+		case stRunnable, stWantTry:
+			cands = append(cands, id)
+		case stWantRecv:
+			if s.crashPending[id] || s.hasDeliverable(id) {
+				cands = append(cands, id)
+			}
+		case stCrashWait:
+			if s.restartAt[id] <= s.step {
+				cands = append(cands, id)
+			}
+		}
+	}
+	return cands
+}
+
+// hasDeliverable reports whether node id has a message past its delay.
+func (s *Sim) hasDeliverable(id int) bool {
+	for _, p := range s.queues[id] {
+		if p.availableAt <= s.step {
+			return true
+		}
+	}
+	return false
+}
+
+// hasFuture reports whether advancing the step counter could unblock
+// anything: a delayed delivery, a scheduled restart, or an unfired crash
+// aimed at a live node.
+func (s *Sim) hasFuture() bool {
+	for id := 0; id < s.n; id++ {
+		if s.status[id] == stCrashWait {
+			return true
+		}
+		if len(s.queues[id]) > 0 && s.status[id] != stDone {
+			return true
+		}
+	}
+	for _, c := range s.crashes[s.crashIdx:] {
+		if s.status[c.Node] != stDone {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch resumes node id appropriately, then waits for its next park.
+func (s *Sim) dispatch(id int) {
+	switch {
+	case s.crashPending[id] && s.status[id] != stCrashWait:
+		s.crashPending[id] = false
+		s.stats.InboxLoss += int64(len(s.queues[id]))
+		s.met.inboxLoss.Add(int64(len(s.queues[id])))
+		s.queues[id] = nil
+		s.stats.Crashes++
+		s.met.crashes.Add(1)
+		s.status[id] = stRunning
+		s.resume[id] <- resumeMsg{kind: resumeCrash}
+	case s.status[id] == stCrashWait:
+		s.stats.Restarts++
+		s.met.restarts.Add(1)
+		s.status[id] = stRunning
+		s.resume[id] <- resumeMsg{kind: resumeRun}
+	case s.status[id] == stRunnable:
+		s.status[id] = stRunning
+		s.resume[id] <- resumeMsg{kind: resumeRun}
+	default: // stWantRecv or stWantTry
+		idxs := s.deliverableIdxs(id)
+		if len(idxs) == 0 { // only reachable for stWantTry
+			s.status[id] = stRunning
+			s.resume[id] <- resumeMsg{kind: resumeEmpty}
+			break
+		}
+		pick := idxs[0] // oldest deliverable
+		if len(idxs) > 1 && s.plan.ReorderProb > 0 && s.rng.Float64() < s.plan.ReorderProb {
+			alt := idxs[s.rng.Intn(len(idxs))]
+			if alt != pick {
+				s.stats.Reorders++
+				s.met.reorders.Add(1)
+				pick = alt
+			}
+		}
+		env := s.queues[id][pick].env
+		s.queues[id] = append(s.queues[id][:pick], s.queues[id][pick+1:]...)
+		s.status[id] = stRunning
+		s.resume[id] <- resumeMsg{kind: resumeDeliver, env: env}
+	}
+	s.handlePark(<-s.parked)
+}
+
+// deliverableIdxs lists queue indexes whose delay has elapsed, in queue
+// (i.e. sequence) order.
+func (s *Sim) deliverableIdxs(id int) []int {
+	var idxs []int
+	for i, p := range s.queues[id] {
+		if p.availableAt <= s.step {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+// killAll unwinds every live node in id order; used on deadlock (every live
+// node blocked with nothing in flight) and on step-budget exhaustion. The
+// trace up to this point remains valid and analyzable.
+func (s *Sim) killAll() {
+	for id := 0; id < s.n; id++ {
+		if s.status[id] == stDone {
+			continue
+		}
+		s.stats.Kills++
+		s.met.kills.Add(1)
+		s.status[id] = stRunning
+		s.resume[id] <- resumeMsg{kind: resumeKill}
+		for {
+			m := <-s.parked
+			s.handlePark(m)
+			if m.node == id && m.why == parkDone {
+				break
+			}
+		}
+	}
+}
+
+// allDone reports whether every node has finished.
+func (s *Sim) allDone() bool {
+	for _, st := range s.status {
+		if st != stDone {
+			return false
+		}
+	}
+	return true
+}
+
+// tickPartitionSpans opens/closes one tracer span per partition window so
+// the chaos schedule shows up on the trace timeline.
+func (s *Sim) tickPartitionSpans() {
+	if s.tr == nil {
+		return
+	}
+	for i, p := range s.plan.Partitions {
+		switch {
+		case !s.partOpen[i] && p.active(s.step):
+			s.partSpans[i] = s.tr.Begin("faultsim", fmt.Sprintf("partition-%d", i))
+			s.partOpen[i] = true
+		case s.partOpen[i] && !p.active(s.step):
+			s.partSpans[i].End()
+			s.partOpen[i] = false
+		}
+	}
+}
+
+// closePartitionSpans ends any partition span still open at run end.
+func (s *Sim) closePartitionSpans() {
+	for i := range s.partSpans {
+		if s.partOpen[i] {
+			s.partSpans[i].End()
+			s.partOpen[i] = false
+		}
+	}
+}

@@ -212,6 +212,18 @@ func (s *Stream) Snapshot() *Snapshot {
 // replayed with their original send attribution, so the streamed execution
 // is structurally identical (same counts, same message edges).
 func Replay(ex *poset.Execution) (*Stream, error) {
+	return ReplaySteps(ex, nil)
+}
+
+// ReplaySteps is Replay with an observation hook: after each event is
+// appended to the stream, step (when non-nil) is called with the stream and
+// the event's ID. Replay preserves per-process positions, so the ID passed
+// to step is simultaneously the original execution's event and the
+// just-appended stream event — callers use it to drive an online Monitor
+// (Observe/Complete/Check) in lockstep with the growing prefix, which is how
+// the fault-injection harness checks online verdicts against offline replay.
+// A step error aborts the replay.
+func ReplaySteps(ex *poset.Execution, step func(s *Stream, e poset.EventID) error) (*Stream, error) {
 	s := NewStream(ex.NumProcs())
 	// Which sends feed which receives, per original edge. The stream API
 	// records one incoming edge per receive, so executions where a single
@@ -228,10 +240,13 @@ func Replay(ex *poset.Execution) (*Stream, error) {
 			if _, err := s.Recv(e.Proc, from); err != nil {
 				return nil, err
 			}
-			continue
-		}
-		if _, err := s.Local(e.Proc); err != nil {
+		} else if _, err := s.Local(e.Proc); err != nil {
 			return nil, err
+		}
+		if step != nil {
+			if err := step(s, e); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return s, nil

@@ -53,8 +53,20 @@ func RunElection(n int, seed int64) (*ElectionResult, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("runtime: RunElection(%d): need ≥ 2 nodes", n)
 	}
+	return RunElectionOn(NewSystem(n, n*n+16), seed)
+}
+
+// RunElectionOn runs Chang–Roberts on a prepared system (transport, wrapper,
+// instrumentation already attached) — the entry point fault injection uses.
+// Under message loss the announcement may never complete the ring; killed
+// nodes leave their Learns entry zero, which callers must treat as "no learn
+// event" (EventID{} is never a real event).
+func RunElectionOn(sys *System, seed int64) (*ElectionResult, error) {
+	n := sys.NumNodes()
+	if n < 2 {
+		return nil, fmt.Errorf("runtime: RunElectionOn(%d nodes): need ≥ 2 nodes", n)
+	}
 	ids := rand.New(rand.NewSource(seed)).Perm(n)
-	sys := NewSystem(n, n*n+16)
 
 	res := &ElectionResult{
 		Candidacies: make([]poset.EventID, n),

@@ -65,7 +65,19 @@ func RunMutexObs(nodes, entries int, reg *obs.Registry, tr *obs.Tracer) (*MutexR
 	}
 	sys := NewSystem(nodes, nodes*entries*8+16)
 	sys.Instrument(reg, tr)
-	sections := make([][]Section, nodes)
+	return RunMutexOn(sys, entries)
+}
+
+// RunMutexOn runs Ricart–Agrawala on a prepared system (its transport,
+// wrapper, instrumentation, and logger already attached) — the entry point
+// fault injection uses. Under a fault-injecting transport nodes may be
+// crashed or killed mid-protocol; the sections captured up to that point are
+// still returned, and the trace stays structurally valid.
+func RunMutexOn(sys *System, entries int) (*MutexResult, error) {
+	if sys.NumNodes() < 2 || entries < 1 {
+		return nil, fmt.Errorf("runtime: RunMutexOn(%d nodes, %d entries): need ≥ 2 nodes and ≥ 1 entry", sys.NumNodes(), entries)
+	}
+	sections := make([][]Section, sys.NumNodes())
 
 	sys.Run(func(nd *Node) {
 		ra := &raNode{nd: nd, clock: 0}

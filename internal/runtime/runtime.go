@@ -31,10 +31,47 @@ type Envelope struct {
 	sendEvent poset.EventID
 }
 
+// SendEvent returns the recorded send event carried by the envelope. A
+// Transport may use it to correlate deliveries with the trace; the receive
+// edge itself is always recorded by the runtime, never by the transport.
+func (e Envelope) SendEvent() poset.EventID { return e.sendEvent }
+
+// Transport reroutes message delivery. When one is attached (SetTransport),
+// Node.Send hands each recorded envelope to Send instead of pushing it into
+// the destination inbox, and Node.Recv/TryRecv draw envelopes from
+// Recv/TryRecv instead of the inbox channels. A transport may drop,
+// duplicate, delay, or reorder envelopes — the send event is already in the
+// trace when Send is called, and the runtime records one receive event
+// (linked to the envelope's send event) per envelope the transport hands
+// back, so every transport behavior yields a structurally valid poset.
+//
+// Recv blocks until an envelope is available for the node; it may panic to
+// unwind a node the transport has decided to crash or kill (internal/faultsim
+// relies on this to implement deterministic crash/restart — the unwind is
+// caught by the node wrapper installed with SetNodeWrapper).
+type Transport interface {
+	Send(env Envelope)
+	Recv(node int) Envelope
+	TryRecv(node int) (Envelope, bool)
+}
+
+// NodeWrapper intercepts each node's body: sys.Run calls it (instead of the
+// body directly) with the node handle and the body function. A wrapper can
+// run the body multiple times — the restart support used by fault injection:
+// catch a crash unwind, record crash/restart events via nd.Internal, and
+// invoke body again as the restarted incarnation. The poset keeps one local
+// execution per node across incarnations (a restart appears as more events
+// on the same process, which is exactly the paper's model of a process that
+// loses volatile state but keeps its identity).
+type NodeWrapper func(nd *Node, body func(*Node))
+
 // System owns the nodes, their channels, and the shared trace recorder.
 type System struct {
 	n       int
 	inboxes []chan Envelope
+
+	transport Transport
+	wrapper   NodeWrapper
 
 	mu     sync.Mutex
 	b      *poset.Builder
@@ -45,6 +82,13 @@ type System struct {
 	tr  *obs.Tracer
 	lg  *logx.Logger
 }
+
+// SetTransport attaches a delivery transport. Call before Run; a nil
+// transport restores direct inbox delivery.
+func (s *System) SetTransport(t Transport) { s.transport = t }
+
+// SetNodeWrapper attaches a node-body wrapper. Call before Run.
+func (s *System) SetNodeWrapper(w NodeWrapper) { s.wrapper = w }
 
 // systemObs holds the system's pre-interned instruments; all nil when
 // Instrument was not called.
@@ -112,7 +156,12 @@ func (s *System) Run(fn func(nd *Node)) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			fn(&Node{id: id, sys: s})
+			nd := &Node{id: id, sys: s}
+			if s.wrapper != nil {
+				s.wrapper(nd, fn)
+				return
+			}
+			fn(nd)
 		}(i)
 	}
 	wg.Wait()
@@ -199,7 +248,12 @@ func (nd *Node) Send(to int, payload any) poset.EventID {
 	}
 	send := nd.sys.record(nd.id, fmt.Sprintf("send→%d", to))
 	nd.sys.lg.Debug("send", logx.F("node", nd.id), logx.F("to", to), logx.F("pos", send.Pos))
-	nd.sys.inboxes[to] <- Envelope{From: nd.id, To: to, Payload: payload, sendEvent: send}
+	env := Envelope{From: nd.id, To: to, Payload: payload, sendEvent: send}
+	if t := nd.sys.transport; t != nil {
+		t.Send(env)
+	} else {
+		nd.sys.inboxes[to] <- env
+	}
 	return send
 }
 
@@ -208,6 +262,15 @@ func (nd *Node) Send(to int, payload any) poset.EventID {
 // instrumented system the blocking wait is recorded as a "recv-wait" span
 // on the node's timeline and observed into the runtime.recv_wait_ns
 // sliding window.
+//
+// Ordering guarantees (without a Transport): each node's inbox is a single
+// buffered channel, so (1) messages from one sender to one receiver are
+// received in send order (per-edge FIFO), and (2) messages from different
+// senders interleave in an arbitrary but channel-consistent order — there is
+// no global or causal delivery order beyond per-edge FIFO. An attached
+// Transport (fault injection) may break per-edge FIFO by dropping,
+// duplicating, delaying, or reordering envelopes; the recorded poset stays
+// valid because every receive event still links to its own send event.
 func (nd *Node) Recv() (Envelope, poset.EventID) {
 	s := nd.sys
 	timed := s.met.recvWait != nil || s.lg.Enabled(logx.Debug)
@@ -216,7 +279,12 @@ func (nd *Node) Recv() (Envelope, poset.EventID) {
 		start = time.Now()
 	}
 	sp := s.tr.BeginTID("runtime", "recv-wait", int64(nd.id))
-	env := <-s.inboxes[nd.id]
+	var env Envelope
+	if t := s.transport; t != nil {
+		env = t.Recv(nd.id)
+	} else {
+		env = <-s.inboxes[nd.id]
+	}
 	sp.End()
 	recv := s.recordEdge(env.sendEvent, nd.id, fmt.Sprintf("recv←%d", env.From))
 	if timed {
@@ -237,8 +305,24 @@ func (nd *Node) Span(cat, name string) obs.Span {
 }
 
 // TryRecv is Recv without blocking; ok is false when the inbox is empty (no
-// event is recorded in that case).
+// event is recorded in that case). Emptiness is advisory, not a quiescence
+// test: a message may be in flight (a sender between its send event and the
+// channel push, or an envelope a Transport is still holding) when TryRecv
+// reports false, and under a fault-injecting Transport a false result says
+// nothing about messages that were dropped or are still delayed. Protocol
+// drain loops must therefore establish "no more messages can arrive" by
+// protocol logic (e.g. counting DONE announcements) before trusting an empty
+// poll — TestTryRecvNotQuiescence pins this.
 func (nd *Node) TryRecv() (Envelope, poset.EventID, bool) {
+	if t := nd.sys.transport; t != nil {
+		env, ok := t.TryRecv(nd.id)
+		if !ok {
+			return Envelope{}, poset.EventID{}, false
+		}
+		recv := nd.sys.recordEdge(env.sendEvent, nd.id, fmt.Sprintf("recv←%d", env.From))
+		nd.sys.lg.Debug("recv", logx.F("node", nd.id), logx.F("from", env.From))
+		return env, recv, true
+	}
 	select {
 	case env := <-nd.sys.inboxes[nd.id]:
 		recv := nd.sys.recordEdge(env.sendEvent, nd.id, fmt.Sprintf("recv←%d", env.From))

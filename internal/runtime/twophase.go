@@ -63,13 +63,28 @@ func RunTwoPhaseCommit(participants, txns int, voteYesProb float64, seed int64) 
 	if participants < 1 || txns < 1 {
 		return nil, fmt.Errorf("runtime: RunTwoPhaseCommit(%d, %d): need ≥ 1 participant and ≥ 1 txn", participants, txns)
 	}
-	nodes := participants + 1
-	sys := NewSystem(nodes, nodes*txns*4+16)
+	return RunTwoPhaseCommitOn(NewSystem(participants+1, (participants+1)*txns*4+16), txns, voteYesProb, seed)
+}
 
+// RunTwoPhaseCommitOn runs 2PC on a prepared system with NumNodes()-1
+// participants (node 0 coordinates) — the entry point fault injection uses.
+// Votes are captured directly at their send events (not reconstructed from
+// positions), so the outcome survives traces where crash/restart events
+// shift local positions. Under faults a transaction's Decide or individual
+// Votes/Applies entries may be the zero EventID (never reached); callers
+// must filter those.
+func RunTwoPhaseCommitOn(sys *System, txns int, voteYesProb float64, seed int64) (*TwoPhaseResult, error) {
+	participants := sys.NumNodes() - 1
+	if participants < 1 || txns < 1 {
+		return nil, fmt.Errorf("runtime: RunTwoPhaseCommitOn(%d nodes, %d txns): need ≥ 2 nodes and ≥ 1 txn", sys.NumNodes(), txns)
+	}
+
+	votes := make([][]poset.EventID, txns)   // per txn, per participant
 	applies := make([][]poset.EventID, txns) // per txn, per participant
 	decides := make([]poset.EventID, txns)   // per txn
 	committed := make([]bool, txns)          // per txn
 	for k := range applies {
+		votes[k] = make([]poset.EventID, participants)
 		applies[k] = make([]poset.EventID, participants)
 	}
 
@@ -78,7 +93,7 @@ func RunTwoPhaseCommit(participants, txns int, voteYesProb float64, seed int64) 
 			coordinator(nd, participants, txns, decides, committed)
 			return
 		}
-		participant(nd, txns, voteYesProb, seed, applies)
+		participant(nd, txns, voteYesProb, seed, votes, applies)
 	})
 
 	ex, labels, err := sys.Trace()
@@ -90,13 +105,19 @@ func RunTwoPhaseCommit(participants, txns int, voteYesProb float64, seed int64) 
 		res.Txns = append(res.Txns, TxnOutcome{
 			Txn:       k,
 			Committed: committed[k],
-			Votes:     res.VoteEvents(k),
+			Votes:     votes[k],
 			Decide:    decides[k],
 			Applies:   applies[k],
 		})
 	}
 	return res, nil
 }
+
+// coordinator and participant tolerate unexpected messages by skipping them:
+// in a fault-free run none occur (the old behavior is unchanged), while under
+// a fault-injecting transport duplicated or reordered envelopes must not
+// crash the protocol — they degrade it, and the trace records the
+// degradation for the harness to analyze.
 
 func coordinator(nd *Node, participants, txns int, decides []poset.EventID, committed []bool) {
 	for k := 0; k < txns; k++ {
@@ -106,7 +127,8 @@ func coordinator(nd *Node, participants, txns int, decides []poset.EventID, comm
 			env, _ := nd.Recv() // the receive puts the vote in the decision's causal past
 			msg := env.Payload.(tpcMsg)
 			if msg.Kind != tpcVote || msg.Txn != k {
-				panic(fmt.Sprintf("2pc: unexpected %v in txn %d", msg, k))
+				got-- // stray (duplicated/reordered) message: skip it
+				continue
 			}
 			if !msg.Commit {
 				allYes = false
@@ -118,19 +140,24 @@ func coordinator(nd *Node, participants, txns int, decides []poset.EventID, comm
 	}
 }
 
-func participant(nd *Node, txns int, voteYesProb float64, seed int64, applies [][]poset.EventID) {
+func participant(nd *Node, txns int, voteYesProb float64, seed int64, votes, applies [][]poset.EventID) {
 	r := rand.New(rand.NewSource(seed + int64(nd.ID())))
 	for k := 0; k < txns; k++ {
-		env, _ := nd.Recv()
-		if m := env.Payload.(tpcMsg); m.Kind != tpcPrepare || m.Txn != k {
-			panic(fmt.Sprintf("2pc: participant %d expected prepare %d, got %v", nd.ID(), k, m))
+		for {
+			env, _ := nd.Recv()
+			if m := env.Payload.(tpcMsg); m.Kind == tpcPrepare && m.Txn == k {
+				break
+			}
 		}
 		yes := r.Float64() < voteYesProb
-		nd.Send(0, tpcMsg{Kind: tpcVote, Txn: k, Commit: yes})
-		env, _ = nd.Recv()
-		dec := env.Payload.(tpcMsg)
-		if dec.Kind != tpcDecision || dec.Txn != k {
-			panic(fmt.Sprintf("2pc: participant %d expected decision %d, got %v", nd.ID(), k, dec))
+		votes[k][nd.ID()-1] = nd.Send(0, tpcMsg{Kind: tpcVote, Txn: k, Commit: yes})
+		var dec tpcMsg
+		for {
+			env, _ := nd.Recv()
+			if m := env.Payload.(tpcMsg); m.Kind == tpcDecision && m.Txn == k {
+				dec = m
+				break
+			}
 		}
 		verb := "abort"
 		if dec.Commit {

@@ -61,7 +61,16 @@ var (
 	ErrVersion     = errors.New("trace: unsupported format version")
 	ErrNoInterval  = errors.New("trace: no such named interval")
 	ErrDupInterval = errors.New("trace: duplicate interval name")
+	ErrTooLarge    = errors.New("trace: event count exceeds MaxEvents")
 )
+
+// MaxEvents bounds the total event count a decoded file may claim. The poset
+// builder materializes O(procs × events) vector-clock state, so a corrupt
+// (or hostile) file whose counts claim billions of events would stall the
+// loading tools for minutes before failing; ~16.7M events is far beyond any
+// real trace. The bound applies only to decoded claims — it is checked
+// against the Counts header, before any per-event allocation.
+const MaxEvents = 1 << 24
 
 // New converts an execution and an optional set of named nonatomic events to
 // the serializable form. Interval names are emitted sorted for deterministic
@@ -99,11 +108,18 @@ func (f *File) Execution() (*poset.Execution, error) {
 	if f.Version != FormatVersion {
 		return nil, fmt.Errorf("%w: %d (want %d)", ErrVersion, f.Version, FormatVersion)
 	}
-	b := poset.NewBuilder(len(f.Counts))
+	total := 0
 	for p, c := range f.Counts {
 		if c < 0 {
 			return nil, fmt.Errorf("trace: negative event count %d on process %d", c, p)
 		}
+		if c > MaxEvents || total+c > MaxEvents {
+			return nil, fmt.Errorf("%w: %d processes claim more than %d events", ErrTooLarge, len(f.Counts), MaxEvents)
+		}
+		total += c
+	}
+	b := poset.NewBuilder(len(f.Counts))
+	for p, c := range f.Counts {
 		if c > 0 {
 			b.AppendN(p, c)
 		}
