@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench tables metrics trace benchdiff profile fuzz chaos examples coverage clean
+.PHONY: all build vet test race bench tables metrics trace explain benchdiff profile fuzz chaos examples coverage clean
 
 all: build vet test
 
@@ -34,6 +34,15 @@ trace:
 	$(GO) run ./cmd/tracegen -pattern ring -procs 8 -rounds 5 -o trace_ring.json
 	$(GO) run ./cmd/relcheck -trace trace_ring.json -matrix -parallel 4 -trace-out trace_spans.json -metrics -
 	@echo "spans written to trace_spans.json"
+
+# Verdict-explanation demo: generate a ring trace, then explain every
+# relation between two rounds — witness cuts, decisive node checks, and the
+# message-hop critical path — with the evidence also emitted as Chrome
+# trace_event flow arrows in explain_flows.json.
+explain:
+	$(GO) run ./cmd/tracegen -pattern ring -procs 4 -rounds 3 -o trace_ring.json
+	$(GO) run ./cmd/relcheck -trace trace_ring.json -x ring-round-0 -y ring-round-1 -explain -trace-out explain_flows.json
+	@echo "flow events written to explain_flows.json (open in Perfetto)"
 
 # Perf-regression gate: run a fresh small benchtab sweep and diff it against
 # the committed BENCH_e1.json baseline (exit 1 past the threshold — the same
@@ -72,4 +81,4 @@ coverage:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt trace_ring.json trace_spans.json benchtab_new.json cpu.pprof mem.pprof
+	rm -f cover.out test_output.txt bench_output.txt trace_ring.json trace_spans.json explain_flows.json benchtab_new.json cpu.pprof mem.pprof

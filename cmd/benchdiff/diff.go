@@ -72,9 +72,9 @@ type options struct {
 
 // colDelta is one compared column of one matched row.
 type colDelta struct {
-	Table  string  `json:"table"`   // e1 | e4 | e5 | e7 | e10
-	Row    string  `json:"row"`     // e.g. "R2", "n=256"
-	Column string  `json:"column"`  // e.g. "fast_cmp"
+	Table  string  `json:"table"`  // e1 | e4 | e5 | e7 | e10
+	Row    string  `json:"row"`    // e.g. "R2", "n=256"
+	Column string  `json:"column"` // e.g. "fast_cmp"
 	Old    float64 `json:"old"`
 	New    float64 `json:"new"`
 	Pct    float64 `json:"pct"` // signed percent change; +Inf encoded as 0 with Old==0

@@ -45,6 +45,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"causet/internal/buildinfo"
 )
 
 // Exit codes of the benchdiff contract (see the command comment).
@@ -74,8 +76,13 @@ func run(args []string, out io.Writer) (int, error) {
 	nsThreshold := fs.Float64("ns-threshold", 0, "max allowed increase, in percent, for ns/op timing columns (0 = report only, never gate)")
 	allocThreshold := fs.Float64("alloc-threshold", 0, "max allowed increase, in percent, for allocs/op and bytes/op columns (0 = report only, never gate)")
 	jsonOut := fs.String("json", "", "also write the diff as machine-readable JSON to this file (- = stdout)")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return exitError, err
+	}
+	if *version {
+		buildinfo.Current().Print(out, "benchdiff")
+		return exitOK, nil
 	}
 	opt := options{Threshold: *threshold, NsThreshold: *nsThreshold, AllocThreshold: *allocThreshold}
 

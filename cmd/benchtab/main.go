@@ -38,6 +38,7 @@ import (
 	"strconv"
 
 	"causet/internal/bench"
+	"causet/internal/buildinfo"
 	"causet/internal/hierarchy"
 	"causet/internal/obs"
 )
@@ -64,11 +65,16 @@ func run(args []string, out io.Writer) error {
 	jsonOut := fs.String("json", "", "write a machine-readable benchmark report to this file (- = stdout) instead of text tables")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
-	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), and /metrics (Prometheus 0.0.4) on this address; the first registry served owns the process-global causet_metrics expvar slot — later servers keep their own /debug/metrics but not /debug/vars")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), and /metrics (Prometheus 0.0.4) on this address; every server in the process appears in the causet_metrics expvar map under /debug/vars, keyed by its bound address (this used to be first-registry-wins)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering the run to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file at exit (go tool pprof)")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.Current().Print(out, "benchtab")
+		return nil
 	}
 
 	if *cpuProfile != "" {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExplainListing checks the -explain output of the default
+// all-relations listing: every holding relation is followed by a witness
+// line and (forward pairs) a critical path.
+func TestRunExplainListing(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-1", "-explain"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "witness:") == 0 {
+		t.Errorf("-explain printed no witness lines:\n%s", out)
+	}
+	if !strings.Contains(out, "critical path:") {
+		t.Errorf("forward pair should have a critical path:\n%s", out)
+	}
+	// Stacked rounds hold all 8 relations; each gets a witness.
+	if w := strings.Count(out, "witness:"); w != 8 {
+		t.Errorf("want 8 witness lines, got %d:\n%s", w, out)
+	}
+}
+
+// TestRunExplainSingleRelation: a violated relation explains itself with a
+// causal gap instead of a critical path.
+func TestRunExplainSingleRelation(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-x", "ring-round-1", "-y", "ring-round-0", "-rel", "R4", "-explain"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "= false") || !strings.Contains(out, "witness:") {
+		t.Errorf("violated R4 should still carry a witness:\n%s", out)
+	}
+	if !strings.Contains(out, "gap:") {
+		t.Errorf("violation should name the causal gap:\n%s", out)
+	}
+}
+
+func TestRunExplainAll32(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-2", "-all32", "-explain"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "32 of 32 relations hold") {
+		t.Fatalf("all32 verdicts changed under -explain:\n%s", out)
+	}
+	if w := strings.Count(out, "witness:"); w != 32 {
+		t.Errorf("want a witness per holding profile relation (32), got %d:\n%s", w, out)
+	}
+}
+
+// TestRunExplainRejections pins the flag-combination errors: -explain
+// needs a witness-capturing evaluator and a per-relation output mode.
+func TestRunExplainRejections(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-1", "-evaluator", "naive", "-explain"},
+		{"-trace", path, "-matrix", "-explain"},
+		{"-trace", path, "-x", "ring-round-0", "-y", "ring-round-1", "-strongest", "-explain"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "relcheck ") {
+		t.Errorf("-version banner = %q", buf.String())
+	}
+}

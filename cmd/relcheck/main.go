@@ -8,6 +8,7 @@
 //	relcheck -trace t.json -x a -y b -all32                          # the full set ℛ
 //	relcheck -trace t.json -x a -y b -strongest                      # maximal relations only
 //	relcheck -trace t.json -matrix                                   # all interval pairs
+//	relcheck -trace t.json -x a -y b -explain                        # witness + critical path
 //	relcheck -trace t.json -x a -y b -evaluator naive -count         # cost comparison
 //	relcheck -trace t.json -matrix -parallel 8                       # 8-worker batch engine
 //	relcheck -trace t.json -matrix -metrics - -trace-out prof.json   # observability
@@ -29,6 +30,11 @@
 // -log writes a structured JSONL event log (gated by -log-level);
 // -debug-addr serves net/http/pprof, expvar, /debug/metrics (JSON), and
 // /metrics (Prometheus text 0.0.4) for the duration of the run.
+//
+// -explain prints, under each verdict, the witness cuts whose ≪ test decided
+// it and the critical path through the poset connecting the witness pair
+// (internal/explain); with -trace-out, the same evidence lands in the trace
+// as flow arrows. -version prints build metadata and exits.
 package main
 
 import (
@@ -40,7 +46,9 @@ import (
 	"sort"
 
 	"causet/internal/batch"
+	"causet/internal/buildinfo"
 	"causet/internal/core"
+	"causet/internal/explain"
 	"causet/internal/faultsim"
 	"causet/internal/hierarchy"
 	"causet/internal/interval"
@@ -97,6 +105,8 @@ func run(args []string, out io.Writer) error {
 	yName := fs.String("y", "", "name of interval Y")
 	relName := fs.String("rel", "", "single relation to test (R1, R1', R2, R2', R3, R3', R4, R4')")
 	all32 := fs.Bool("all32", false, "evaluate all 32 relations of ℛ (proxy combinations)")
+	explainFlag := fs.Bool("explain", false, "print the witness cuts and critical path behind each verdict (pair modes: -rel, the 8-relation listing, -all32; needs -evaluator fast or proxy)")
+	version := fs.Bool("version", false, "print build information and exit")
 	legacy32 := fs.Bool("legacy32", false, "force the per-relation 32-scan for -all32/-matrix instead of the fused profile kernel (differential debugging; fast evaluator only — naive/proxy always scan)")
 	evalName := fs.String("evaluator", "fast", "evaluator: fast|proxy|naive")
 	count := fs.Bool("count", false, "also print integer-comparison counts")
@@ -108,9 +118,13 @@ func run(args []string, out io.Writer) error {
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
 	logOut := fs.String("log", "", "write a structured JSONL event log to this file (- = stderr)")
 	logLevel := fs.String("log-level", "info", "minimum -log level: debug, info, warn, or error")
-	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), and /metrics (Prometheus 0.0.4) on this address; the first registry served owns the process-global causet_metrics expvar slot — later servers keep their own /debug/metrics but not /debug/vars")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), and /metrics (Prometheus 0.0.4) on this address; every server in the process appears in the causet_metrics expvar map under /debug/vars, keyed by its bound address (this used to be first-registry-wins)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.Current().Print(out, "relcheck")
+		return nil
 	}
 	if *path == "" && *faults == "" {
 		return fmt.Errorf("missing -trace (or -faults)")
@@ -142,6 +156,7 @@ func run(args []string, out io.Writer) error {
 	var reg *obs.Registry
 	if *metricsOut != "" || *debugAddr != "" {
 		reg = obs.New()
+		buildinfo.Current().Register(reg)
 	}
 	var tr *obs.Tracer
 	if *traceOut != "" {
@@ -197,9 +212,24 @@ func run(args []string, out io.Writer) error {
 			LegacyScan: *legacy32, Metrics: reg, Tracer: tr})
 	}
 
+	// -explain derives witness/critical-path evidence through the cold
+	// WitnessEvaluator methods — the hot EvalCount paths are untouched.
+	var expl *explain.Explainer
+	if *explainFlag {
+		we, ok := eval.(core.WitnessEvaluator)
+		if !ok {
+			return fmt.Errorf("-explain needs a witness-capturing evaluator (fast or proxy), not %q", *evalName)
+		}
+		expl = explain.New(a).WithEvaluator(we)
+		expl.Instrument(reg)
+		if tm, terr := f.Timing(ex); terr == nil {
+			expl.WithTiming(tm)
+		}
+	}
+
 	lg.Info("eval_start", logx.F("evaluator", *evalName), logx.F("matrix", *matrix),
 		logx.F("workers", workerCount(*parallel)))
-	err = evalMain(out, f, ex, a, eval, eng, modeFlags{
+	err = evalMain(out, f, ex, a, eval, eng, expl, tr, modeFlags{
 		xName: *xName, yName: *yName, relName: *relName,
 		all32: *all32, legacy32: *legacy32, count: *count, strongest: *strongest, matrix: *matrix,
 		evalName: *evalName,
@@ -223,7 +253,10 @@ type modeFlags struct {
 
 // evalMain is the evaluation body of run, split out so the observability
 // flush happens on every exit path.
-func evalMain(out io.Writer, f *trace.File, ex *poset.Execution, a *core.Analysis, eval core.Evaluator, eng *batch.Engine, m modeFlags) error {
+func evalMain(out io.Writer, f *trace.File, ex *poset.Execution, a *core.Analysis, eval core.Evaluator, eng *batch.Engine, expl *explain.Explainer, tr *obs.Tracer, m modeFlags) error {
+	if expl != nil && (m.matrix || m.strongest) {
+		return fmt.Errorf("-explain applies to pair verdict modes (-rel, the 8-relation listing, -all32), not -matrix/-strongest")
+	}
 	if m.matrix {
 		return printMatrix(out, f, ex, a, eval, eng)
 	}
@@ -268,6 +301,14 @@ func evalMain(out io.Writer, f *trace.File, ex *poset.Execution, a *core.Analysi
 		fmt.Fprintf(out, "%d of 32 relations hold:\n", len(holding))
 		for _, r := range holding {
 			fmt.Fprintf(out, "  %v\n", r)
+			if expl != nil {
+				xp, err := expl.Rel32(r, x, y, m.xName, m.yName)
+				if err != nil {
+					return err
+				}
+				xp.WriteText(out, "    ")
+				explain.EmitFlows(tr, xp)
+			}
 		}
 		return nil
 	}
@@ -316,6 +357,14 @@ func evalMain(out io.Writer, f *trace.File, ex *poset.Execution, a *core.Analysi
 				rel, rel.Quantifier(), verdicts[i].held, verdicts[i].comparisons, eval.Name())
 		} else {
 			fmt.Fprintf(out, "%-4v %-22s = %v\n", rel, rel.Quantifier(), verdicts[i].held)
+		}
+		if expl != nil {
+			xp, err := expl.Relation(rel, x, y, m.xName, m.yName)
+			if err != nil {
+				return err
+			}
+			xp.WriteText(out, "     ")
+			explain.EmitFlows(tr, xp)
 		}
 	}
 	return nil

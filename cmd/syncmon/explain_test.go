@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"causet/internal/obs/flight"
+)
+
+// TestRunExplainPass: settled conditions under -explain carry witness
+// lines right under their PASS verdicts.
+func TestRunExplainPass(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	code, err := run([]string{"-trace", path, "-explain",
+		"-cond", "ordered: R1(ring-round-0, ring-round-1)",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if code != exitOK || !strings.Contains(out, "PASS") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "atom R1(ring-round-0, ring-round-1) = true") {
+		t.Errorf("-explain should print the atom verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "witness:") {
+		t.Errorf("-explain should print a witness under PASS:\n%s", out)
+	}
+}
+
+// TestRunExplainViolationWithFlight: a violated condition explains its
+// causal gap and -flight-out dumps a parseable bundle whose reason names
+// the violated condition.
+func TestRunExplainViolationWithFlight(t *testing.T) {
+	path := writeTrace(t)
+	bundlePath := filepath.Join(t.TempDir(), "flight.json")
+	var buf bytes.Buffer
+	code, err := run([]string{"-trace", path, "-explain", "-flight-out", bundlePath,
+		"-cond", "backwards: R1(ring-round-1, ring-round-0)",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if code != exitViolation || !strings.Contains(out, "FAIL  backwards") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "witness:") {
+		t.Errorf("violation should still carry a witness:\n%s", out)
+	}
+
+	f, err := os.Open(bundlePath)
+	if err != nil {
+		t.Fatalf("flight bundle not written: %v", err)
+	}
+	defer f.Close()
+	b, err := flight.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.Reason, "violation") || !strings.Contains(b.Reason, "backwards") {
+		t.Errorf("bundle reason = %q, want violation naming the condition", b.Reason)
+	}
+	if len(b.Events) == 0 {
+		t.Error("bundle recorded no events")
+	}
+	// The replayed trace events must carry full (non-approximate) clocks.
+	for _, ev := range b.Events {
+		if len(ev.Clock) != b.Procs {
+			t.Fatalf("event %+v has short clock", ev)
+		}
+	}
+}
+
+// TestRunNoFlightWithoutViolation: all-PASS runs leave no bundle behind.
+func TestRunNoFlightWithoutViolation(t *testing.T) {
+	path := writeTrace(t)
+	bundlePath := filepath.Join(t.TempDir(), "flight.json")
+	var buf bytes.Buffer
+	code, err := run([]string{"-trace", path, "-flight-out", bundlePath,
+		"-cond", "ordered: R1(ring-round-0, ring-round-1)",
+	}, &buf)
+	if err != nil || code != exitOK {
+		t.Fatalf("exit %d, err %v:\n%s", code, err, buf.String())
+	}
+	if _, err := os.Stat(bundlePath); !os.IsNotExist(err) {
+		t.Errorf("bundle written on a clean run (stat err = %v)", err)
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"-version"}, &buf)
+	if err != nil || code != exitOK {
+		t.Fatalf("exit %d, err %v", code, err)
+	}
+	if !strings.HasPrefix(buf.String(), "syncmon ") {
+		t.Errorf("-version banner = %q", buf.String())
+	}
+}

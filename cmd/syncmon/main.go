@@ -34,6 +34,15 @@
 // dashboard with per-process vector clocks, interval status, condition
 // verdicts, and recent violations, as auto-refreshing HTML or JSON
 // (?format=json) — intended for long-running monitor sessions.
+//
+// -explain prints, under each settled condition, the witness cuts and
+// critical path behind every atom (internal/explain) and adds an
+// explanations panel to the dashboard; with -trace-out the evidence also
+// lands in the trace as flow arrows. -flight-out arms the violation flight
+// recorder (internal/obs/flight): when any condition is violated — or the
+// run panics — the last-K events with their live vector clocks, the final
+// per-process clocks, and a metrics snapshot are dumped as one JSON bundle.
+// -version prints build metadata and exits.
 package main
 
 import (
@@ -45,10 +54,14 @@ import (
 	"os"
 	"strings"
 
+	"causet/internal/buildinfo"
+	"causet/internal/explain"
 	"causet/internal/faultsim"
 	"causet/internal/monitor"
 	"causet/internal/obs"
+	"causet/internal/obs/flight"
 	"causet/internal/obs/logx"
+	"causet/internal/poset"
 	"causet/internal/trace"
 )
 
@@ -92,13 +105,20 @@ func run(args []string, out io.Writer) (int, error) {
 	var conds condList
 	fs.Var(&conds, "cond", "condition \"name: expression\" (repeatable)")
 	condFile := fs.String("conds", "", "file with one \"name: expression\" per line")
+	explainFlag := fs.Bool("explain", false, "print, under each settled condition, the witness cuts and critical path behind every atom (internal/explain); the /debug/monitor dashboard gains an explanations panel")
+	flightOut := fs.String("flight-out", "", "write a flight-recorder bundle (last-K events with live vector clocks, final clocks, metrics snapshot) as JSON to this file when a condition is violated or the run panics")
+	version := fs.Bool("version", false, "print build information and exit")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
 	logOut := fs.String("log", "", "write a structured JSONL event log to this file (- = stderr)")
 	logLevel := fs.String("log-level", "info", "minimum -log level: debug, info, warn, or error")
-	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), /metrics (Prometheus 0.0.4), and /debug/monitor (live HTML/JSON dashboard) on this address; the first registry served owns the process-global causet_metrics expvar slot — later servers keep their own /debug/metrics but not /debug/vars")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), /metrics (Prometheus 0.0.4), and /debug/monitor (live HTML/JSON dashboard) on this address; every server in the process appears in the causet_metrics expvar map under /debug/vars, keyed by its bound address (this used to be first-registry-wins)")
 	if err := fs.Parse(args); err != nil {
 		return exitError, err
+	}
+	if *version {
+		buildinfo.Current().Print(out, "syncmon")
+		return exitOK, nil
 	}
 	if *path == "" && *faults == "" {
 		return exitError, fmt.Errorf("missing -trace (or -faults)")
@@ -130,10 +150,23 @@ func run(args []string, out io.Writer) (int, error) {
 	var reg *obs.Registry
 	if *metricsOut != "" || *debugAddr != "" {
 		reg = obs.New()
+		buildinfo.Current().Register(reg)
 	}
 	var tr *obs.Tracer
 	if *traceOut != "" {
 		tr = obs.NewTracer()
+	}
+
+	// The flight recorder rides along from here so a panic anywhere below
+	// still dumps the causal black box before the process dies.
+	var fr *flight.Recorder
+	if *flightOut != "" {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = fr.Dump(*flightOut, fmt.Sprintf("panic: %v", r), reg)
+				panic(r)
+			}
+		}()
 	}
 
 	var f *trace.File
@@ -141,7 +174,14 @@ func run(args []string, out io.Writer) (int, error) {
 	src := *path
 	if *faults != "" {
 		src = "faultsim:" + *faults
-		f, err = faultsim.TraceFromSpec(*faults, reg, tr)
+		if *flightOut != "" {
+			cfg, _, _, perr := faultsim.ParseSpec(*faults)
+			if perr != nil {
+				return exitError, perr
+			}
+			fr = flight.New(cfg.Nodes, 0)
+		}
+		f, err = faultsim.TraceFromSpecFlight(*faults, reg, tr, fr)
 	} else {
 		f, err = trace.Load(*path)
 	}
@@ -151,6 +191,11 @@ func run(args []string, out io.Writer) (int, error) {
 	ex, err := f.Execution()
 	if err != nil {
 		return exitError, err
+	}
+	if *flightOut != "" && fr == nil {
+		// Recorded traces have no live runtime to hook, so replay the poset's
+		// linear extension through the recorder — same ring, same clocks.
+		fr = replayFlight(ex)
 	}
 	lg.Info("trace_loaded", logx.F("trace", src), logx.F("procs", ex.NumProcs()))
 
@@ -214,17 +259,52 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 	}
 
+	// -explain derives witness/critical-path evidence for every settled
+	// condition through the cold WitnessEvaluator path.
+	var expl *explain.Explainer
+	if *explainFlag {
+		expl = explain.New(m.Analysis())
+		expl.Instrument(reg)
+		if tm, terr := f.Timing(ex); terr == nil {
+			expl.WithTiming(tm)
+		}
+	}
+	condByName := make(map[string]*monitor.Condition)
+	for _, c := range m.Conditions() {
+		condByName[c.Name] = c
+	}
+	var explanations []*explain.ConditionExplanation
+	explainSettled := func(res monitor.Result) {
+		if expl == nil {
+			return
+		}
+		// Best-effort: a condition that evaluated cleanly explains cleanly
+		// too; losing the evidence must not change the verdict or exit code.
+		ce, cerr := expl.Condition(condByName[res.Name], ivs)
+		if cerr != nil {
+			return
+		}
+		ce.State = res.State.String()
+		ce.WriteText(out, "      ")
+		explain.EmitConditionFlows(tr, ce)
+		explanations = append(explanations, ce)
+	}
+
 	violWin := reg.Window("syncmon.violations", 256)
 	code := exitOK
+	var violated []string
 	results := m.Check()
 	for _, res := range results {
 		fields := []logx.Field{logx.F("condition", res.Name), logx.F("state", res.State.String())}
 		switch res.State {
 		case monitor.Holds:
 			fmt.Fprintf(out, "PASS  %s\n", res.Name)
+			explainSettled(res)
 			lg.Info("condition_settled", fields...)
 		case monitor.Violated:
 			fmt.Fprintf(out, "FAIL  %s\n", res.Name)
+			explainSettled(res)
+			violated = append(violated, res.Name)
 			violWin.Observe(1)
 			lg.Warn("condition_settled", fields...)
 			code = max(code, exitViolation)
@@ -240,12 +320,42 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 	if view != nil {
 		view.setResults(results)
+		view.setExplanations(explanations)
+	}
+	if fr != nil && len(violated) > 0 {
+		reason := "violation: " + strings.Join(violated, ", ")
+		if derr := fr.Dump(*flightOut, reason, reg); derr != nil {
+			return exitError, derr
+		}
+		fmt.Fprintf(stderrW, "syncmon: flight bundle (%s) written to %s\n", reason, *flightOut)
 	}
 	lg.Info("run_complete", logx.F("conditions", len(results)), logx.F("exit_code", code))
 	if err := flushObs(reg, tr, *metricsOut, *traceOut); err != nil {
 		return exitError, err
 	}
 	return code, nil
+}
+
+// replayFlight reconstructs a flight-recorder view of a recorded trace by
+// replaying a linear extension of its poset through the recorder: receives
+// are events with message predecessors (the first one is the consumed
+// send), sends are events with message successors, everything else is
+// internal. The resulting ring and clocks match what a live runtime with
+// the recorder attached would have produced.
+func replayFlight(ex *poset.Execution) *flight.Recorder {
+	fr := flight.New(ex.NumProcs(), 0)
+	for _, id := range ex.LinearExtension() {
+		kind := "internal"
+		var from *flight.EventRef
+		if preds := ex.MsgPredecessors(id); len(preds) > 0 {
+			kind = "recv"
+			from = &flight.EventRef{Proc: preds[0].Proc, Pos: preds[0].Pos}
+		} else if len(ex.MsgSuccessors(id)) > 0 {
+			kind = "send"
+		}
+		fr.Record(id.Proc, id.Pos, kind, "", from)
+	}
+	return fr
 }
 
 // flushObs writes the -metrics snapshot and -trace-out file at the end of a

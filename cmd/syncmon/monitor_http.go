@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"html/template"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
+	"causet/internal/explain"
 	"causet/internal/monitor"
 	"causet/internal/obs"
 	"causet/internal/poset"
@@ -23,10 +25,11 @@ type monitorView struct {
 	ex  *poset.Execution
 	reg *obs.Registry
 
-	mu         sync.Mutex
-	results    []monitor.Result
-	violations []string      // most recent last, capped
-	prev       *obs.Snapshot // snapshot served by the previous request
+	mu           sync.Mutex
+	results      []monitor.Result
+	violations   []string // most recent last, capped
+	explanations []explanationState
+	prev         *obs.Snapshot // snapshot served by the previous request
 }
 
 // maxRecentViolations caps the dashboard's violation timeline.
@@ -58,6 +61,22 @@ func (v *monitorView) setResults(results []monitor.Result) {
 	v.results = append([]monitor.Result(nil), results...)
 }
 
+// setExplanations publishes the -explain evidence: the dashboard shows each
+// settled condition's witness/critical-path text and the JSON view carries
+// the full machine-readable explanations.
+func (v *monitorView) setExplanations(ces []*explain.ConditionExplanation) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.explanations = v.explanations[:0]
+	for _, ce := range ces {
+		var sb strings.Builder
+		ce.WriteText(&sb, "")
+		v.explanations = append(v.explanations, explanationState{
+			Name: ce.Name, State: ce.State, Text: sb.String(), Explanation: ce,
+		})
+	}
+}
+
 // procClockState is one process's current vector clock (the forward clock
 // of its latest event; all-zero when the process has no events).
 type procClockState struct {
@@ -81,15 +100,26 @@ type conditionState struct {
 	Err   string `json:"err,omitempty"`
 }
 
+// explanationState is one settled condition's causal evidence: the rendered
+// text for the HTML view plus the machine-readable explanation for JSON
+// consumers.
+type explanationState struct {
+	Name        string                        `json:"name"`
+	State       string                        `json:"state"`
+	Text        string                        `json:"text"`
+	Explanation *explain.ConditionExplanation `json:"explanation"`
+}
+
 // monitorState is the JSON document served at /debug/monitor?format=json
 // and the data behind the HTML view.
 type monitorState struct {
-	Procs        int              `json:"procs"`
-	Clocks       []procClockState `json:"clocks"`
-	Intervals    []intervalState  `json:"intervals"`
-	Conditions   []conditionState `json:"conditions"`
-	Violations   []string         `json:"recent_violations"`
-	MetricsDelta obs.SnapshotDiff `json:"metrics_delta"`
+	Procs        int                `json:"procs"`
+	Clocks       []procClockState   `json:"clocks"`
+	Intervals    []intervalState    `json:"intervals"`
+	Conditions   []conditionState   `json:"conditions"`
+	Violations   []string           `json:"recent_violations"`
+	Explanations []explanationState `json:"explanations,omitempty"`
+	MetricsDelta obs.SnapshotDiff   `json:"metrics_delta"`
 }
 
 // state assembles the current monitor state, computing the metrics delta
@@ -129,6 +159,7 @@ func (v *monitorView) state() monitorState {
 		st.Conditions = append(st.Conditions, cs)
 	}
 	st.Violations = append([]string(nil), v.violations...)
+	st.Explanations = append([]explanationState(nil), v.explanations...)
 
 	cur := v.reg.Snapshot()
 	if v.prev != nil {
@@ -145,7 +176,7 @@ func (v *monitorView) state() monitorState {
 func (v *monitorView) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	st := v.state()
 	if r.URL.Query().Get("format") == "json" {
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(st)
@@ -194,6 +225,11 @@ th { background: #1c1c1c; }
 <table><tr><th>name</th><th>expression</th><th>verdict</th></tr>
 {{range .Conditions}}<tr><td>{{.Name}}</td><td>{{.Src}}</td><td class="{{.State}}">{{.State}}{{if .Err}} — {{.Err}}{{end}}</td></tr>
 {{end}}</table>
+
+{{if .Explanations}}<h2>Explanations</h2>
+{{range .Explanations}}<h3 class="{{.State}}">{{.Name}} — {{.State}}</h3>
+<pre>{{.Text}}</pre>
+{{end}}{{end}}
 
 <h2>Recent violations</h2>
 {{if .Violations}}<table><tr><th>condition</th></tr>

@@ -62,8 +62,8 @@ func TestMonitorViewJSONAndHTML(t *testing.T) {
 
 	rec := httptest.NewRecorder()
 	view.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/monitor?format=json", nil))
-	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
-		t.Errorf("JSON Content-Type = %q", ct)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("JSON Content-Type = %q, want application/json; charset=utf-8", ct)
 	}
 	var st monitorState
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
@@ -169,8 +169,10 @@ func TestRunDebugServer(t *testing.T) {
 		t.Errorf("/debug/monitor did not serve the HTML view:\n%s", fetched["/debug/monitor"])
 	}
 	jsonBody, _, _ := strings.Cut(fetched["/debug/monitor?format=json"], "\n")
-	if jsonBody != "application/json" {
-		t.Errorf("/debug/monitor?format=json Content-Type = %q", jsonBody)
+	// Regression: the JSON view must declare its charset (it serializes
+	// UTF-8 relation names like R1'), matching the HTML view.
+	if jsonBody != "application/json; charset=utf-8" {
+		t.Errorf("/debug/monitor?format=json Content-Type = %q, want application/json; charset=utf-8", jsonBody)
 	}
 	if !strings.Contains(fetched["/metrics"], "version=0.0.4") {
 		t.Errorf("/metrics Content-Type missing exposition version:\n%s", fetched["/metrics"])

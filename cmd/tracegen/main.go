@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"causet/internal/buildinfo"
 	"causet/internal/obs"
 	"causet/internal/poset"
 	"causet/internal/rt"
@@ -54,8 +55,13 @@ func run(args []string, out io.Writer) error {
 	maxLatency := fs.Duration("maxlatency", 20*time.Millisecond, "max message latency for -timing")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.Current().Print(out, "tracegen")
+		return nil
 	}
 
 	var reg *obs.Registry

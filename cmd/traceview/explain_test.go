@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExplainOverlay: -explain prints the verdict + witness and marks
+// the decisive pair ('W') on the diagram.
+func TestRunExplainOverlay(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-explain", "R2(ring-round-0, ring-round-1)"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "= true") {
+		t.Errorf("verdict line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "witness:") {
+		t.Errorf("witness line missing:\n%s", out)
+	}
+	if strings.Count(out, "W") < 2 {
+		t.Errorf("witness pair not marked on the diagram:\n%s", out)
+	}
+}
+
+// TestRunExplainTimeline: the overlay also lands on the -timeline renderer,
+// with '+' marking critical-path events.
+func TestRunExplainTimeline(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-timeline", "-explain", "R1(ring-round-0, ring-round-1)"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "witness:") || !strings.Contains(out, "W") {
+		t.Errorf("timeline overlay missing witness marks:\n%s", out)
+	}
+	if !strings.Contains(out, "critical path:") || !strings.Contains(out, "+") {
+		t.Errorf("timeline overlay missing critical-path marks:\n%s", out)
+	}
+}
+
+// TestRunExplainErrors: the spec must be exactly one relation atom over
+// intervals the trace defines.
+func TestRunExplainErrors(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	for _, spec := range []string{
+		"R1(a, b) && R2(c, d)",   // two atoms
+		"R1(nope, ring-round-0)", // undefined interval
+		"R1(ring-round",          // parse error
+	} {
+		if err := run([]string{"-trace", path, "-explain", spec}, &buf); err == nil {
+			t.Errorf("-explain %q succeeded, want error", spec)
+		}
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "traceview ") {
+		t.Errorf("-version banner = %q", buf.String())
+	}
+}

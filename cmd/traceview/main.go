@@ -11,6 +11,11 @@
 // Observability: -metrics dumps an internal/obs registry snapshot as JSON
 // (file path, or - for stderr) with the cut-build and comparison counters
 // behind the overlays; -trace-out writes a Chrome trace_event file.
+//
+// -explain takes one condition-DSL atom (e.g. "R2(x, y)" or "R1(L(x), y)"),
+// prints its witness and critical path (internal/explain), and overlays the
+// evidence on the diagram: 'W' marks the decisive witness pair and '+' the
+// critical-path events. -version prints build metadata and exits.
 package main
 
 import (
@@ -19,8 +24,12 @@ import (
 	"io"
 	"os"
 
+	"causet/internal/buildinfo"
 	"causet/internal/core"
+	"causet/internal/explain"
+	"causet/internal/monitor"
 	"causet/internal/obs"
+	"causet/internal/poset"
 	"causet/internal/render"
 	"causet/internal/trace"
 )
@@ -43,10 +52,16 @@ func run(args []string, out io.Writer) error {
 	cutsOn := fs.Bool("cuts", true, "overlay the interval's condensed cuts")
 	timeline := fs.Bool("timeline", false, "render globally ordered lanes with message arrows instead of per-node positions")
 	svgPath := fs.String("svg", "", "write a figure-style SVG rendering to this path")
+	explainSpec := fs.String("explain", "", "explain a relation verdict given as one condition-DSL atom (e.g. \"R2(x, y)\"): print its witness + critical path and overlay the evidence ('W' = witness pair, '+' = critical-path events)")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.Current().Print(out, "traceview")
+		return nil
 	}
 	if *path == "" {
 		return fmt.Errorf("missing -trace")
@@ -55,6 +70,7 @@ func run(args []string, out io.Writer) error {
 	var reg *obs.Registry
 	if *metricsOut != "" {
 		reg = obs.New()
+		buildinfo.Current().Register(reg)
 	}
 	var tr *obs.Tracer
 	if *traceOut != "" {
@@ -79,6 +95,53 @@ func run(args []string, out io.Writer) error {
 		a := core.NewAnalysis(ex)
 		a.Instrument(reg, tr)
 		return a
+	}
+
+	// -explain resolves its atom exactly as the monitor DSL would, derives
+	// the witness + critical path, and leaves marks for the renderers below.
+	var explWitness, explPath []poset.EventID
+	if *explainSpec != "" {
+		expr, err := monitor.Parse(*explainSpec)
+		if err != nil {
+			return err
+		}
+		atoms := monitor.Atoms(expr)
+		if len(atoms) != 1 {
+			return fmt.Errorf("-explain wants exactly one relation atom, got %d in %q", len(atoms), *explainSpec)
+		}
+		at := atoms[0]
+		a := newAnalysis()
+		ivs, err := f.AllIntervals(ex)
+		if err != nil {
+			return err
+		}
+		x, err := at.X.Resolve(a, ivs)
+		if err != nil {
+			return err
+		}
+		y, err := at.Y.Resolve(a, ivs)
+		if err != nil {
+			return err
+		}
+		expl := explain.New(a)
+		expl.Instrument(reg)
+		if tm, terr := f.Timing(ex); terr == nil {
+			expl.WithTiming(tm)
+		}
+		xp, err := expl.Relation(at.Rel, x, y, at.X.String(), at.Y.String())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%v = %t\n", at, xp.Held)
+		xp.WriteText(out, "  ")
+		explain.EmitFlows(tr, xp)
+		explWitness = []poset.EventID{xp.Witness.XEvent.ID(), xp.Witness.YEvent.ID()}
+		if cp := xp.CriticalPath; cp != nil {
+			for _, h := range cp.Hops {
+				explPath = append(explPath, h.From.ID())
+			}
+			explPath = append(explPath, cp.To.ID())
+		}
 	}
 	if *svgPath != "" {
 		svg := render.NewSVG(ex)
@@ -122,6 +185,9 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "interval %s: |X|=%d, N_X=%v ('@' marks members)\n", *ivName, iv.Size(), iv.NodeSet())
 		}
+		// Witness marks win over path marks on shared events.
+		tl.Mark(explPath, '+')
+		tl.Mark(explWitness, 'W')
 		fmt.Fprint(out, tl.Render())
 		return nil
 	}
@@ -147,6 +213,8 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "interval %s: |X|=%d, N_X=%v\n", *ivName, iv.Size(), iv.NodeSet())
 	}
+	d.Mark(explPath, '+')
+	d.Mark(explWitness, 'W')
 	fmt.Fprint(out, d.Render())
 	return nil
 }

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"causet/internal/core"
+	"causet/internal/explain"
+	"causet/internal/interval"
+)
+
+// E12 — witness-capture overhead. The fused/count kernels are the hot path
+// and must stay allocation-free; EvalWitness is a deliberately separate
+// cold path that re-runs the same cut comparisons while recording which
+// node check decided the verdict. These benchmarks measure what that
+// recording costs per verdict, over the E10 ring workload (every ordered
+// round pair × all 8 relations), so EXPERIMENTS.md E12 can state the
+// overhead with numbers instead of adjectives.
+
+// witnessBench runs fn for every (pair, relation) combination per
+// iteration and reports per-verdict timing.
+func witnessBench(b *testing.B, n int, fn func(f *core.FastEvaluator, rel core.Relation, p pairIx) int) {
+	res, pairs := profilePairs(n, 1)
+	a := core.NewAnalysis(res.Exec)
+	f := core.NewFast(a)
+	rels := core.Relations()
+	// Warm the cut caches so the measured loop sees the steady state.
+	for _, p := range pairs {
+		for _, rel := range rels {
+			f.EvalCount(rel, p.X, p.Y)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		for pi, p := range pairs {
+			for _, rel := range rels {
+				sink += fn(f, rel, pairIx{p.X, p.Y, pi})
+			}
+		}
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("no verdicts computed")
+	}
+	ops := float64(b.N) * float64(len(pairs)*len(rels))
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/ops, "ns/verdict")
+}
+
+// pairIx carries one workload pair plus its index (for labeling).
+type pairIx struct {
+	X, Y *interval.Interval
+	I    int
+}
+
+// BenchmarkEvalCount is the E12 baseline: the allocation-free counting
+// kernel without witness capture.
+func BenchmarkEvalCount(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			witnessBench(b, n, func(f *core.FastEvaluator, rel core.Relation, p pairIx) int {
+				held, cmp := f.EvalCount(rel, p.X, p.Y)
+				if held {
+					return int(cmp) + 1
+				}
+				return int(cmp)
+			})
+		})
+	}
+}
+
+// BenchmarkEvalWitness measures the same verdicts through the
+// witness-capturing cold path: identical cut comparisons plus the recorded
+// per-node checks (one allocation per verdict for the Witness).
+func BenchmarkEvalWitness(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			witnessBench(b, n, func(f *core.FastEvaluator, rel core.Relation, p pairIx) int {
+				wt := f.EvalWitness(rel, p.X, p.Y)
+				return len(wt.Checks) + 1
+			})
+		})
+	}
+}
+
+// BenchmarkExplainRelation measures a full explanation — witness, replay
+// intervals, and the backward critical-path walk — the cost of answering
+// "why" once, off the hot path.
+func BenchmarkExplainRelation(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			res, pairs := profilePairs(n, 1)
+			a := core.NewAnalysis(res.Exec)
+			ex := explain.New(a)
+			rels := core.Relations()
+			b.ReportAllocs()
+			b.ResetTimer()
+			verdicts := 0
+			for i := 0; i < b.N; i++ {
+				for _, p := range pairs {
+					for _, rel := range rels {
+						xp, err := ex.Relation(rel, p.X, p.Y, "x", "y")
+						if err != nil {
+							b.Fatal(err)
+						}
+						verdicts++
+						_ = xp
+					}
+				}
+			}
+			b.StopTimer()
+			ops := float64(verdicts)
+			b.ReportMetric(b.Elapsed().Seconds()*1e9/ops, "ns/explanation")
+		})
+	}
+}

@@ -1,0 +1,106 @@
+// Package buildinfo surfaces the build metadata the Go toolchain embeds in
+// every binary (runtime/debug.ReadBuildInfo): module version, VCS revision,
+// commit time, and dirty flag. The CLIs print it behind -version, and
+// long-running processes register it as the causet_build_info instrument so
+// a Prometheus scrape identifies exactly which build produced its series —
+// the standard build_info convention.
+//
+// Nothing here requires linker flags: builds from a git checkout get the
+// revision stamped automatically, `go install`ed module builds get the
+// module version, and bare `go build` in tests degrades to "(devel)" with
+// empty VCS fields.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+
+	"causet/internal/obs"
+)
+
+// Info is the build metadata of the running binary. Zero fields mean the
+// toolchain did not embed that datum (e.g. no VCS stamping outside a
+// repository).
+type Info struct {
+	Version   string `json:"version"`            // module version, "(devel)" for local builds
+	GoVersion string `json:"go_version"`         // toolchain that built the binary
+	Revision  string `json:"revision,omitempty"` // VCS commit hash
+	Time      string `json:"time,omitempty"`     // VCS commit time, RFC 3339
+	Dirty     bool   `json:"dirty,omitempty"`    // uncommitted changes at build time
+}
+
+// Current reads the running binary's embedded metadata. It never fails:
+// fields the build did not stamp are left zero, and GoVersion falls back to
+// runtime.Version().
+func Current() Info {
+	info := Info{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Version = bi.Main.Version
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// Short compresses the metadata to one token: the module version, plus an
+// abbreviated revision (and "-dirty" marker) when the VCS stamped one.
+func (i Info) Short() string {
+	v := i.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if i.Dirty {
+			rev += "-dirty"
+		}
+		v += "+" + rev
+	}
+	return v
+}
+
+// Print writes the banner the CLIs emit for -version:
+//
+//	relcheck (devel)+1a2b3c4d5e6f (go1.24.2, commit 2026-08-01T12:00:00Z)
+func (i Info) Print(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s (%s", name, i.Short(), i.GoVersion)
+	if i.Time != "" {
+		fmt.Fprintf(w, ", commit %s", i.Time)
+	}
+	fmt.Fprintln(w, ")")
+}
+
+// Register publishes the metadata as the causet_build_info instrument: a
+// constant gauge fixed at 1 whose labels carry the strings, following the
+// Prometheus build_info convention. No-op on a nil registry.
+func (i Info) Register(reg *obs.Registry) {
+	labels := map[string]string{
+		"version":    i.Short(),
+		"go_version": i.GoVersion,
+	}
+	if i.Revision != "" {
+		labels["revision"] = i.Revision
+	}
+	if i.Time != "" {
+		labels["commit_time"] = i.Time
+	}
+	reg.Info("causet_build_info", labels)
+}

@@ -1,0 +1,59 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+
+	"causet/internal/obs"
+)
+
+func TestCurrentNeverEmpty(t *testing.T) {
+	info := Current()
+	if info.GoVersion == "" {
+		t.Error("GoVersion must always be populated")
+	}
+	if info.Short() == "" {
+		t.Error("Short() must never be empty")
+	}
+}
+
+func TestShort(t *testing.T) {
+	cases := []struct {
+		in   Info
+		want string
+	}{
+		{Info{}, "(devel)"},
+		{Info{Version: "v1.2.3"}, "v1.2.3"},
+		{Info{Version: "(devel)", Revision: "0123456789abcdef"}, "(devel)+0123456789ab"},
+		{Info{Version: "(devel)", Revision: "abc123", Dirty: true}, "(devel)+abc123-dirty"},
+	}
+	for _, c := range cases {
+		if got := c.in.Short(); got != c.want {
+			t.Errorf("Short(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrint(t *testing.T) {
+	var sb strings.Builder
+	Info{Version: "v0.1.0", GoVersion: "go1.24", Time: "2026-08-01T00:00:00Z"}.Print(&sb, "relcheck")
+	want := "relcheck v0.1.0 (go1.24, commit 2026-08-01T00:00:00Z)\n"
+	if sb.String() != want {
+		t.Errorf("Print = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	reg := obs.New()
+	Info{Version: "v0.1.0", GoVersion: "go1.24", Revision: "abc", Dirty: true}.Register(reg)
+	snap := reg.Snapshot()
+	labels, ok := snap.Infos["causet_build_info"]
+	if !ok {
+		t.Fatalf("causet_build_info not registered; infos = %v", snap.Infos)
+	}
+	if labels["version"] != "v0.1.0+abc-dirty" || labels["go_version"] != "go1.24" {
+		t.Errorf("labels = %v", labels)
+	}
+	// Nil registry must be a no-op, not a panic.
+	Info{}.Register(nil)
+}

@@ -103,6 +103,9 @@ type analysisObs struct {
 	fusedTable1      *obs.Counter
 	fusedComparisons *obs.Counter
 	proxyCutBuilds   *obs.Counter
+
+	// Witness extractions (the cold explanation path; see witness.go).
+	witnessExtractions *obs.Counter
 }
 
 // Instrument attaches a metrics registry and/or execution tracer to the
@@ -117,6 +120,7 @@ type analysisObs struct {
 //	core.fused.profiles                  fused 32-relation profile evaluations
 //	core.fused.table1_evals              fused 8-relation Table 1 evaluations
 //	core.fused.comparisons               total comparisons spent by the fused kernel
+//	core.witness_extractions             EvalWitness calls (the explanation path)
 //
 // for <eval> ∈ {naive, proxy, fast} — the paper's cost model (Theorems
 // 19–20) as live counters. The tracer records one "cut-build" span per cut
@@ -133,6 +137,7 @@ func (a *Analysis) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	a.met.fusedProfiles = reg.Counter("core.fused.profiles")
 	a.met.fusedTable1 = reg.Counter("core.fused.table1_evals")
 	a.met.fusedComparisons = reg.Counter("core.fused.comparisons")
+	a.met.witnessExtractions = reg.Counter("core.witness_extractions")
 	for k, name := range [numEvalKinds]string{"naive", "proxy", "fast"} {
 		eo := &a.met.evals[k]
 		eo.evals = reg.Counter("core." + name + ".evals")

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"fmt"
+
+	"causet/internal/interval"
+	"causet/internal/poset"
+)
+
+// This file is the witness-capture layer behind `relcheck -explain` and the
+// monitor explanations (internal/explain): a Witness records the specific
+// cut components / proxy representatives whose ≪ test decided a verdict
+// (Defns 13–15, Lemma 16; Theorems 19/20), plus a realizing event pair that
+// carries the verdict's causal meaning. Capture is opt-in by construction —
+// EvalWitness is a separate cold path that mirrors the EvalCount loops
+// without touching them, so the straight-line 0-allocs/op kernel
+// (TestFastEvalCountZeroAllocs, TestEvalProfileZeroAllocs) is unaffected.
+
+// NodeCheck is one recorded ≪-test comparison. Every check is normalized to
+// the shape XVal ≤ YVal ⇔ Pass: for the fast evaluator XVal/YVal are the
+// compared frontier components (e.g. last(X)[i] vs ∩⇓Y[i]); for the proxy
+// evaluator they are the O(1) vector-clock test a.Pos ≤ T(b)[a.Proc] behind
+// clk.Precedes(a, b). XEvent/YEvent are the events realizing the two sides:
+// for cut components, the interval event whose ↓/↑ frontier attains the
+// folded value on this node.
+type NodeCheck struct {
+	Node   int // node of the X-side operand (the compared component)
+	YNode  int // node of the Y-side operand (== Node for cut checks)
+	XVal   int
+	YVal   int
+	Pass   bool // XVal <= YVal
+	XEvent poset.EventID
+	YEvent poset.EventID
+}
+
+// Witness is the evidence behind one relation verdict r(X, Y): which cut
+// pair was compared, every comparison performed (in evaluation order, with
+// the same early exits as EvalCount), which check decided the verdict, and
+// a realizing event pair (XEvent, YEvent) such that
+//
+//	held:     XEvent ≺ YEvent, and the pair witnesses the decisive check
+//	violated: XEvent ⊀ YEvent, a counterexample to the failed quantifier
+//
+// For exhaustive outcomes (a universal scan that passed everywhere, or an
+// existential scan that failed everywhere) Decisive is -1 and the headline
+// pair comes from the tightest check — the one closest to flipping the
+// verdict — which is the right event pair to show an operator.
+type Witness struct {
+	Rel       Relation
+	Evaluator string
+	Held      bool
+	// Universal reports the node-loop quantifier: true for relations whose
+	// scan early-exits on a failing check (R1, R1', R2, R3'), false for the
+	// existential scans (R2', R3, R4, R4').
+	Universal bool
+	// XCut/YCut name the compared operands, e.g. "last(X)" vs "∩⇓Y".
+	XCut, YCut string
+	Checks     []NodeCheck
+	// Decisive indexes the check that decided the verdict (early exit), or
+	// is -1 when the verdict required the full scan.
+	Decisive     int
+	XEvent       poset.EventID
+	YEvent       poset.EventID
+	PairPrecedes bool // clk.Precedes(XEvent, YEvent)
+}
+
+// WitnessEvaluator is implemented by evaluators that can explain their
+// verdicts. NaiveEvaluator deliberately does not implement it — it is the
+// independent oracle the differential replay test checks witnesses against.
+type WitnessEvaluator interface {
+	Evaluator
+	EvalWitness(rel Relation, x, y *interval.Interval) *Witness
+}
+
+// tightest finalizes the headline pair: decisive check if one exists,
+// otherwise the passing check with least slack (exhaustive universal pass)
+// or the failing check with least violation margin (exhaustive existential
+// fail) — the comparison nearest to flipping the verdict.
+func (w *Witness) tightest(a *Analysis) {
+	k := w.Decisive
+	if k < 0 {
+		best := -1
+		for i, c := range w.Checks {
+			if c.Pass != w.Held {
+				continue
+			}
+			margin := c.YVal - c.XVal
+			if !w.Held {
+				margin = c.XVal - c.YVal
+			}
+			if best < 0 || margin < best {
+				best, k = margin, i
+			}
+		}
+	}
+	if k < 0 { // defensive: no checks recorded
+		return
+	}
+	c := w.Checks[k]
+	w.XEvent, w.YEvent = c.XEvent, c.YEvent
+	w.PairPrecedes = a.clk.Precedes(w.XEvent, w.YEvent)
+}
+
+// upAt returns ⇑e[node] = NumReal(node)+1 − TR(e)[node]: the position of
+// the earliest event on node that follows (or equals) e.
+func (a *Analysis) upAt(e poset.EventID, node int) int {
+	return a.ex.NumReal(node) + 1 - a.clk.TR(e)[node]
+}
+
+// The four cut-component realizers: which interval event attains the folded
+// frontier value on a node. ↓/⇑ frontiers are monotone along program order,
+// so ∩ folds are attained on the per-node least elements and ∪ folds on the
+// per-node greatest (the same observation buildCuts exploits). Ties break
+// to the first representative in node order, deterministically.
+
+func (a *Analysis) interDownRealizer(iv *interval.Interval, node int) poset.EventID {
+	var best poset.EventID
+	bestVal := 0
+	for k, e := range iv.PerNodeLeast() {
+		if v := a.clk.T(e)[node]; k == 0 || v < bestVal {
+			best, bestVal = e, v
+		}
+	}
+	return best
+}
+
+func (a *Analysis) unionDownRealizer(iv *interval.Interval, node int) poset.EventID {
+	var best poset.EventID
+	bestVal := 0
+	for k, e := range iv.PerNodeGreatest() {
+		if v := a.clk.T(e)[node]; k == 0 || v > bestVal {
+			best, bestVal = e, v
+		}
+	}
+	return best
+}
+
+func (a *Analysis) interUpRealizer(iv *interval.Interval, node int) poset.EventID {
+	var best poset.EventID
+	bestVal := 0
+	for k, e := range iv.PerNodeLeast() {
+		if v := a.upAt(e, node); k == 0 || v < bestVal {
+			best, bestVal = e, v
+		}
+	}
+	return best
+}
+
+func (a *Analysis) unionUpRealizer(iv *interval.Interval, node int) poset.EventID {
+	var best poset.EventID
+	bestVal := 0
+	for k, e := range iv.PerNodeGreatest() {
+		if v := a.upAt(e, node); k == 0 || v > bestVal {
+			best, bestVal = e, v
+		}
+	}
+	return best
+}
+
+func mustGreatestOn(iv *interval.Interval, node int) poset.EventID {
+	e, ok := iv.GreatestOn(node)
+	if !ok {
+		panic(fmt.Sprintf("core: witness realizer: no event on node %d", node))
+	}
+	return e
+}
+
+func mustLeastOn(iv *interval.Interval, node int) poset.EventID {
+	e, ok := iv.LeastOn(node)
+	if !ok {
+		panic(fmt.Sprintf("core: witness realizer: no event on node %d", node))
+	}
+	return e
+}
+
+// EvalWitness evaluates rel(x, y) exactly as EvalCount does — same cut
+// comparisons, same loop order, same early exits — while recording each
+// comparison together with the events realizing its two sides. It is a
+// separate cold path: the instrumented EvalCount kernel stays straight-line
+// and allocation-free.
+func (f *FastEvaluator) EvalWitness(rel Relation, x, y *interval.Interval) *Witness {
+	a := f.a
+	cx, cy := a.Cuts(x), a.Cuts(y)
+	nx, ny := x.NodeSet(), y.NodeSet()
+	w := &Witness{Rel: rel, Evaluator: f.Name(), Decisive: -1}
+
+	// check appends one normalized comparison and reports whether the
+	// relation's scan should stop at it.
+	check := func(c NodeCheck) bool {
+		c.YNode = c.Node
+		c.Pass = c.XVal <= c.YVal
+		w.Checks = append(w.Checks, c)
+		if c.Pass != w.Universal { // universal: stop on fail; existential: stop on pass
+			w.Held = !w.Universal
+			w.Decisive = len(w.Checks) - 1
+			return true
+		}
+		return false
+	}
+
+	switch rel {
+	case R1, R1Prime:
+		w.Universal, w.Held = true, true
+		if len(nx) <= len(ny) {
+			w.XCut, w.YCut = "last(X)", "∩⇓Y"
+			for _, i := range nx {
+				if check(NodeCheck{Node: i, XVal: cx.LastPos[i], YVal: cy.InterDown[i],
+					XEvent: mustGreatestOn(x, i), YEvent: a.interDownRealizer(y, i)}) {
+					break
+				}
+			}
+		} else {
+			w.XCut, w.YCut = "∪⇑X", "first(Y)"
+			for _, j := range ny {
+				if check(NodeCheck{Node: j, XVal: cx.UnionUp[j], YVal: cy.FirstPos[j],
+					XEvent: a.unionUpRealizer(x, j), YEvent: mustLeastOn(y, j)}) {
+					break
+				}
+			}
+		}
+	case R2:
+		w.Universal, w.Held = true, true
+		w.XCut, w.YCut = "last(X)", "∪⇓Y"
+		for _, i := range nx {
+			if check(NodeCheck{Node: i, XVal: cx.LastPos[i], YVal: cy.UnionDown[i],
+				XEvent: mustGreatestOn(x, i), YEvent: a.unionDownRealizer(y, i)}) {
+				break
+			}
+		}
+	case R2Prime:
+		w.XCut, w.YCut = "∪⇑X", "∪⇓Y"
+		for _, j := range ny {
+			if check(NodeCheck{Node: j, XVal: cx.UnionUp[j], YVal: cy.UnionDown[j],
+				XEvent: a.unionUpRealizer(x, j), YEvent: a.unionDownRealizer(y, j)}) {
+				break
+			}
+		}
+	case R3:
+		w.XCut, w.YCut = "∩⇑X", "∩⇓Y"
+		for _, i := range nx {
+			if check(NodeCheck{Node: i, XVal: cx.InterUp[i], YVal: cy.InterDown[i],
+				XEvent: a.interUpRealizer(x, i), YEvent: a.interDownRealizer(y, i)}) {
+				break
+			}
+		}
+	case R3Prime:
+		w.Universal, w.Held = true, true
+		w.XCut, w.YCut = "∩⇑X", "first(Y)"
+		for _, j := range ny {
+			if check(NodeCheck{Node: j, XVal: cx.InterUp[j], YVal: cy.FirstPos[j],
+				XEvent: a.interUpRealizer(x, j), YEvent: mustLeastOn(y, j)}) {
+				break
+			}
+		}
+	case R4, R4Prime:
+		w.XCut, w.YCut = "∩⇑X", "∪⇓Y"
+		nodes := nx
+		if len(ny) < len(nx) {
+			nodes = ny
+		}
+		for _, i := range nodes {
+			if check(NodeCheck{Node: i, XVal: cx.InterUp[i], YVal: cy.UnionDown[i],
+				XEvent: a.interUpRealizer(x, i), YEvent: a.unionDownRealizer(y, i)}) {
+				break
+			}
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown relation %d", int(rel)))
+	}
+	w.tightest(a)
+	a.met.witnessExtractions.Add(1)
+	return w
+}
+
+// EvalWitness evaluates rel(x, y) exactly as the proxy EvalCount does —
+// the same nested representative-pair loops with the same early exits —
+// recording every clk.Precedes test as its O(1) vector-clock comparison
+// a.Pos ≤ T(b)[a.Proc].
+func (p *ProxyEvaluator) EvalWitness(rel Relation, x, y *interval.Interval) *Witness {
+	a := p.a
+	clk := a.clk
+	nx, ny := x.NodeSet(), y.NodeSet()
+	w := &Witness{Rel: rel, Evaluator: p.Name(), Decisive: -1}
+
+	prec := func(xe, ye poset.EventID) bool {
+		c := NodeCheck{Node: xe.Proc, YNode: ye.Proc,
+			XVal: xe.Pos, YVal: clk.T(ye)[xe.Proc],
+			XEvent: xe, YEvent: ye}
+		c.Pass = c.XVal <= c.YVal
+		w.Checks = append(w.Checks, c)
+		return c.Pass
+	}
+	decide := func(held bool) {
+		w.Held = held
+		w.Decisive = len(w.Checks) - 1
+	}
+
+	switch rel {
+	case R1, R1Prime:
+		w.Universal, w.Held = true, true
+		w.XCut, w.YCut = "last(X)", "first(Y)"
+	outerR1:
+		for _, i := range nx {
+			for _, j := range ny {
+				if !prec(lastRep(x, i), firstRep(y, j)) {
+					decide(false)
+					break outerR1
+				}
+			}
+		}
+	case R2:
+		w.Universal, w.Held = true, true
+		w.XCut, w.YCut = "last(X)", "last(Y)"
+	outerR2:
+		for _, i := range nx {
+			found := false
+			for _, j := range ny {
+				if prec(lastRep(x, i), lastRep(y, j)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				decide(false)
+				break outerR2
+			}
+		}
+	case R2Prime:
+		w.XCut, w.YCut = "last(X)", "last(Y)"
+	outerR2p:
+		for _, j := range ny {
+			all := true
+			for _, i := range nx {
+				if !prec(lastRep(x, i), lastRep(y, j)) {
+					all = false
+					break
+				}
+			}
+			if all {
+				decide(true)
+				break outerR2p
+			}
+		}
+	case R3:
+		w.XCut, w.YCut = "first(X)", "first(Y)"
+	outerR3:
+		for _, i := range nx {
+			all := true
+			for _, j := range ny {
+				if !prec(firstRep(x, i), firstRep(y, j)) {
+					all = false
+					break
+				}
+			}
+			if all {
+				decide(true)
+				break outerR3
+			}
+		}
+	case R3Prime:
+		w.Universal, w.Held = true, true
+		w.XCut, w.YCut = "first(X)", "first(Y)"
+	outerR3p:
+		for _, j := range ny {
+			found := false
+			for _, i := range nx {
+				if prec(firstRep(x, i), firstRep(y, j)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				decide(false)
+				break outerR3p
+			}
+		}
+	case R4, R4Prime:
+		w.XCut, w.YCut = "first(X)", "last(Y)"
+	outerR4:
+		for _, i := range nx {
+			for _, j := range ny {
+				if prec(firstRep(x, i), lastRep(y, j)) {
+					decide(true)
+					break outerR4
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown relation %d", int(rel)))
+	}
+	w.tightest(a)
+	a.met.witnessExtractions.Add(1)
+	return w
+}
+
+// ReplayIntervals reduces (x, y) to the witness events so the verdict can be
+// re-derived by an independent evaluator over the witness alone. The
+// reduction preserves the verdict by quantifier monotonicity:
+//
+//	held: the passing checks' event pairs — a subset pair (Xw ⊆ X, Yw ⊆ Y)
+//	      that still satisfies the relation (each ∀-side event keeps its
+//	      paired ∃-side witness; shrinking a ∀ domain and keeping an ∃
+//	      witness both preserve truth);
+//	violated universal: the counterexample — a singleton on the failed
+//	      ∀ side, the full interval on any inner ∃ side (R1: both
+//	      singletons; R2: ({x*}, Y); R3': (X, {y*}));
+//	violated existential: the full pair — no sub-witness certifies the
+//	      failure of an ∃∃/∃∀ scan short of the whole scan itself.
+//
+// The differential test asserts NaiveEvaluator agrees with Held on the
+// replayed pair for every relation of ℛ.
+func (w *Witness) ReplayIntervals(x, y *interval.Interval) (*interval.Interval, *interval.Interval, error) {
+	ex := x.Execution()
+	single := func(e poset.EventID) (*interval.Interval, error) {
+		return interval.New(ex, []poset.EventID{e})
+	}
+	if w.Held {
+		var xs, ys []poset.EventID
+		seenX := map[poset.EventID]bool{}
+		seenY := map[poset.EventID]bool{}
+		for _, c := range w.Checks {
+			if !c.Pass {
+				continue
+			}
+			if !seenX[c.XEvent] {
+				seenX[c.XEvent] = true
+				xs = append(xs, c.XEvent)
+			}
+			if !seenY[c.YEvent] {
+				seenY[c.YEvent] = true
+				ys = append(ys, c.YEvent)
+			}
+		}
+		rx, err := interval.New(ex, xs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: witness replay X: %w", err)
+		}
+		ry, err := interval.New(ex, ys)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: witness replay Y: %w", err)
+		}
+		return rx, ry, nil
+	}
+	switch w.Rel {
+	case R1, R1Prime:
+		rx, err := single(w.XEvent)
+		if err != nil {
+			return nil, nil, err
+		}
+		ry, err := single(w.YEvent)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rx, ry, nil
+	case R2:
+		rx, err := single(w.XEvent)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rx, y, nil
+	case R3Prime:
+		ry, err := single(w.YEvent)
+		if err != nil {
+			return nil, nil, err
+		}
+		return x, ry, nil
+	default: // R2', R3, R4, R4': existential failure needs the full pair
+		return x, y, nil
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"causet/internal/obs"
+)
+
+// witnessEvaluators returns the evaluators under witness test, fresh per
+// analysis.
+func witnessEvaluators(a *Analysis) []WitnessEvaluator {
+	return []WitnessEvaluator{NewFast(a), NewProxy(a)}
+}
+
+// TestWitnessMatchesEvalCount asserts EvalWitness is a faithful mirror:
+// same verdict and same number of recorded comparisons as EvalCount, for
+// both capturing evaluators, on random executions.
+func TestWitnessMatchesEvalCount(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 80; trial++ {
+		a, x, y := randomDisjointPair(r)
+		for _, ev := range witnessEvaluators(a) {
+			for _, rel := range Relations() {
+				held, checks := ev.EvalCount(rel, x, y)
+				w := ev.EvalWitness(rel, x, y)
+				if w.Held != held {
+					t.Fatalf("trial %d %s %v: witness verdict %v != EvalCount %v",
+						trial, ev.Name(), rel, w.Held, held)
+				}
+				if int64(len(w.Checks)) != checks {
+					t.Fatalf("trial %d %s %v: witness recorded %d checks, EvalCount spent %d",
+						trial, ev.Name(), rel, len(w.Checks), checks)
+				}
+				if w.Rel != rel || w.Evaluator != ev.Name() {
+					t.Fatalf("trial %d: witness metadata %v/%s, want %v/%s",
+						trial, w.Rel, w.Evaluator, rel, ev.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestWitnessDecisivePairOrdering asserts the semantic contract of the
+// headline pair: a held verdict's pair is causally ordered (XEvent ≺
+// YEvent), a violated universal verdict's pair is a genuine counterexample
+// (XEvent ⊀ YEvent), and both events belong to their intervals.
+func TestWitnessDecisivePairOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 80; trial++ {
+		a, x, y := randomDisjointPair(r)
+		for _, ev := range witnessEvaluators(a) {
+			for _, rel := range Relations() {
+				w := ev.EvalWitness(rel, x, y)
+				if len(w.Checks) == 0 {
+					t.Fatalf("trial %d %s %v: no checks recorded", trial, ev.Name(), rel)
+				}
+				if !x.Contains(w.XEvent) {
+					t.Fatalf("trial %d %s %v: XEvent %v not in X", trial, ev.Name(), rel, w.XEvent)
+				}
+				if !y.Contains(w.YEvent) {
+					t.Fatalf("trial %d %s %v: YEvent %v not in Y", trial, ev.Name(), rel, w.YEvent)
+				}
+				ordered := a.Clocks().Precedes(w.XEvent, w.YEvent)
+				if ordered != w.PairPrecedes {
+					t.Fatalf("trial %d %s %v: PairPrecedes=%v but Precedes=%v",
+						trial, ev.Name(), rel, w.PairPrecedes, ordered)
+				}
+				if w.Held && !ordered {
+					t.Fatalf("trial %d %s %v held: witness pair %v ⊀ %v",
+						trial, ev.Name(), rel, w.XEvent, w.YEvent)
+				}
+				if !w.Held && w.Universal && ordered {
+					t.Fatalf("trial %d %s %v violated (universal): counterexample pair %v ≺ %v",
+						trial, ev.Name(), rel, w.XEvent, w.YEvent)
+				}
+			}
+		}
+	}
+}
+
+// TestWitnessReplayAllRel32 is the differential acceptance test: for every
+// relation of ℛ (all 32 (r, proxy, proxy) combinations), extract the
+// witness on the per-node proxy intervals, reduce the pair to the witness
+// events with ReplayIntervals, and re-derive the verdict through the
+// independent NaiveEvaluator — it must agree.
+func TestWitnessReplayAllRel32(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 40; trial++ {
+		a, x, y := randomDisjointPair(r)
+		naive := NewNaive(a)
+		for _, ev := range witnessEvaluators(a) {
+			for _, r32 := range AllRel32() {
+				px := a.ProxyCuts(x, r32.PX).IV
+				py := a.ProxyCuts(y, r32.PY).IV
+				w := ev.EvalWitness(r32.R, px, py)
+				rx, ry, err := w.ReplayIntervals(px, py)
+				if err != nil {
+					t.Fatalf("trial %d %s %v: replay: %v", trial, ev.Name(), r32, err)
+				}
+				if got := naive.Eval(r32.R, rx, ry); got != w.Held {
+					t.Fatalf("trial %d %s %v: naive replay verdict %v != witness %v (X=%v Y=%v rx=%v ry=%v)",
+						trial, ev.Name(), r32, got, w.Held, px, py, rx, ry)
+				}
+				// The replayed pair must really be a reduction: subsets of
+				// the proxy intervals.
+				for _, e := range rx.Events() {
+					if !px.Contains(e) {
+						t.Fatalf("trial %d %v: replay X event %v outside proxy X", trial, r32, e)
+					}
+				}
+				for _, e := range ry.Events() {
+					if !py.Contains(e) {
+						t.Fatalf("trial %d %v: replay Y event %v outside proxy Y", trial, r32, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWitnessCounter asserts the opt-in capture path is accounted under
+// core.witness_extractions while the kernel counters stay untouched by it.
+func TestWitnessCounter(t *testing.T) {
+	r := rand.New(rand.NewSource(94))
+	a, x, y := randomDisjointPair(r)
+	reg := obs.New()
+	a.Instrument(reg, nil)
+	f := NewFast(a)
+	for _, rel := range Relations() {
+		f.EvalWitness(rel, x, y)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["core.witness_extractions"]; got != int64(len(Relations())) {
+		t.Fatalf("core.witness_extractions = %d, want %d", got, len(Relations()))
+	}
+	if got := snap.Counters["core.fast.evals"]; got != 0 {
+		t.Fatalf("core.fast.evals = %d, want 0 (witness path must not count as an evaluation)", got)
+	}
+}
+
+// TestWitnessReplayBaseRelations covers the non-proxied Table 1 relations
+// on the raw interval pair as well (the relcheck -explain path).
+func TestWitnessReplayBaseRelations(t *testing.T) {
+	r := rand.New(rand.NewSource(95))
+	for trial := 0; trial < 60; trial++ {
+		a, x, y := randomDisjointPair(r)
+		naive := NewNaive(a)
+		for _, ev := range witnessEvaluators(a) {
+			for _, rel := range Relations() {
+				w := ev.EvalWitness(rel, x, y)
+				rx, ry, err := w.ReplayIntervals(x, y)
+				if err != nil {
+					t.Fatalf("trial %d %s %v: replay: %v", trial, ev.Name(), rel, err)
+				}
+				if got := naive.Eval(rel, rx, ry); got != w.Held {
+					t.Fatalf("trial %d %s %v: naive replay verdict %v != witness %v",
+						trial, ev.Name(), rel, got, w.Held)
+				}
+			}
+		}
+	}
+}

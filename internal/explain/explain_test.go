@@ -1,0 +1,403 @@
+package explain
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"causet/internal/core"
+	"causet/internal/interval"
+	"causet/internal/monitor"
+	"causet/internal/obs"
+	"causet/internal/poset"
+	"causet/internal/poset/posettest"
+	"causet/internal/rt"
+)
+
+// randomPair builds a random execution with a disjoint interval pair, or
+// retries until the generator yields one.
+func randomPair(r *rand.Rand) (*core.Analysis, *interval.Interval, *interval.Interval) {
+	for {
+		ex := posettest.Random(r, 2+r.Intn(5), 8+r.Intn(40), 0.45)
+		xe, ye := posettest.DisjointIntervals(r, ex, 6)
+		if xe == nil || ye == nil {
+			continue
+		}
+		x, err := interval.New(ex, xe)
+		if err != nil {
+			continue
+		}
+		y, err := interval.New(ex, ye)
+		if err != nil {
+			continue
+		}
+		return core.NewAnalysis(ex), x, y
+	}
+}
+
+func TestExplanationJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		a, x, y := randomPair(r)
+		e := New(a)
+		for _, rel := range core.Relations() {
+			xp, err := e.Relation(rel, x, y, "x", "y")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := xp.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ReadJSON(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a1, _ := json.Marshal(xp)
+			a2, _ := json.Marshal(back)
+			if !bytes.Equal(a1, a2) {
+				t.Fatalf("%v round-trip mismatch:\n%s\n%s", rel, a1, a2)
+			}
+			if back.Version != FormatVersion || back.Rel != rel.String() {
+				t.Fatalf("round-trip lost identity: %+v", back)
+			}
+		}
+	}
+}
+
+// TestCriticalPathProperties checks the structural invariants of every
+// critical path over random pairs: consecutive hops chain, every hop is a
+// real causal step (program order or a recorded message), the path starts
+// and ends at the declared endpoints, and the message count matches.
+func TestCriticalPathProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	paths := 0
+	for trial := 0; trial < 60; trial++ {
+		a, x, y := randomPair(r)
+		ex := a.Execution()
+		e := New(a)
+		for _, rel := range core.Relations() {
+			xp, err := e.Relation(rel, x, y, "", "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp := xp.CriticalPath
+			if cp == nil {
+				continue
+			}
+			paths++
+			if len(cp.Hops) == 0 {
+				t.Fatalf("%v: path with endpoints %v→%v but no hops", rel, cp.From, cp.To)
+			}
+			if cp.Hops[0].From != cp.From || cp.Hops[len(cp.Hops)-1].To != cp.To {
+				t.Fatalf("%v: path endpoints %v→%v do not match hops %+v", rel, cp.From, cp.To, cp.Hops)
+			}
+			messages := 0
+			for i, h := range cp.Hops {
+				if i > 0 && cp.Hops[i-1].To != h.From {
+					t.Fatalf("%v: hop %d does not chain: %+v", rel, i, cp.Hops)
+				}
+				from, to := h.From.ID(), h.To.ID()
+				switch h.Kind {
+				case "local":
+					if from.Proc != to.Proc || from.Pos+1 != to.Pos {
+						t.Fatalf("%v: local hop %v→%v is not a program-order step", rel, from, to)
+					}
+				case "message":
+					messages++
+					found := false
+					for _, p := range ex.MsgPredecessors(to) {
+						if p == from {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("%v: message hop %v→%v has no recorded message", rel, from, to)
+					}
+				default:
+					t.Fatalf("%v: unknown hop kind %q", rel, h.Kind)
+				}
+				if !ex.Precedes(from, to) {
+					t.Fatalf("%v: hop %v→%v not causally ordered", rel, from, to)
+				}
+			}
+			if messages != cp.Messages {
+				t.Fatalf("%v: Messages = %d, counted %d", rel, cp.Messages, messages)
+			}
+		}
+	}
+	if paths == 0 {
+		t.Fatal("no critical paths derived over 60 trials; generator broken")
+	}
+}
+
+// TestViolationGap checks the violation diagnostic: Gap reports exactly how
+// far the deciding Y event's vector clock reached on the witness X node.
+func TestViolationGap(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	gaps := 0
+	for trial := 0; trial < 60; trial++ {
+		a, x, y := randomPair(r)
+		e := New(a)
+		for _, rel := range core.Relations() {
+			xp, err := e.Relation(rel, x, y, "", "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if xp.Held || xp.Witness.PairPrecedes {
+				if xp.Gap != nil {
+					t.Fatalf("%v: held/ordered verdict carries a gap: %+v", rel, xp)
+				}
+				continue
+			}
+			if xp.Gap == nil {
+				t.Fatalf("%v: violated verdict with unordered pair lacks a gap", rel)
+			}
+			gaps++
+			g := xp.Gap
+			want := a.Clocks().T(xp.Witness.YEvent.ID())[g.Node]
+			if g.KnownPos != want {
+				t.Fatalf("%v: KnownPos = %d, clock says %d", rel, g.KnownPos, want)
+			}
+			if g.Node != xp.Witness.XEvent.Proc || g.NeededPos != xp.Witness.XEvent.Pos {
+				t.Fatalf("%v: gap %+v does not describe witness X event %v", rel, g, xp.Witness.XEvent)
+			}
+			if g.KnownPos >= g.NeededPos {
+				t.Fatalf("%v: gap closed (%d ≥ %d) yet pair unordered", rel, g.KnownPos, g.NeededPos)
+			}
+		}
+	}
+	if gaps == 0 {
+		t.Fatal("no gaps derived over 60 trials")
+	}
+}
+
+// TestTimedCriticalPath checks latency attribution: hop latencies are
+// non-negative and sum to the endpoint-to-endpoint total.
+func TestTimedCriticalPath(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	timed := 0
+	for trial := 0; trial < 40; trial++ {
+		a, x, y := randomPair(r)
+		tm := rt.Synthesize(a.Execution(), rt.SynthesizeConfig{Seed: int64(trial)})
+		e := New(a).WithTiming(tm)
+		for _, rel := range core.Relations() {
+			xp, err := e.Relation(rel, x, y, "", "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !xp.Timed {
+				t.Fatal("explanation not marked timed")
+			}
+			cp := xp.CriticalPath
+			if cp == nil {
+				continue
+			}
+			timed++
+			var sum int64
+			for _, h := range cp.Hops {
+				if h.LatencyNS < 0 {
+					t.Fatalf("%v: negative hop latency %+v", rel, h)
+				}
+				sum += h.LatencyNS
+			}
+			if sum != cp.TotalNS {
+				t.Fatalf("%v: hop latencies sum to %d, TotalNS = %d", rel, sum, cp.TotalNS)
+			}
+		}
+	}
+	if timed == 0 {
+		t.Fatal("no timed paths derived")
+	}
+}
+
+// TestConditionExplanation drives the monitor-DSL entry point: every atom
+// of a parsed condition gets an explanation whose verdict matches direct
+// evaluation, and the document round-trips JSON.
+func TestConditionExplanation(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	a, x, y := randomPair(r)
+	expr, err := monitor.Parse("R2(x, y) && !R3(L(y), x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &monitor.Condition{Name: "demo", Src: "R2(x, y) && !R3(L(y), x)", Expr: expr}
+	ivs := map[string]*interval.Interval{"x": x, "y": y}
+	e := New(a)
+	reg := obs.New()
+	e.Instrument(reg)
+	ce, err := e.Condition(c, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ce.Atoms) != 2 {
+		t.Fatalf("atoms = %d, want 2", len(ce.Atoms))
+	}
+	if ce.Atoms[0].Expr != "R2(x, y)" || ce.Atoms[1].Expr != "R3(L(y), x)" {
+		t.Errorf("atom exprs = %q, %q", ce.Atoms[0].Expr, ce.Atoms[1].Expr)
+	}
+	fast := core.NewFast(a)
+	if got := fast.Eval(core.R2, x, y); ce.Atoms[0].Held != got {
+		t.Errorf("atom 0 held = %t, direct eval %t", ce.Atoms[0].Held, got)
+	}
+	var buf bytes.Buffer
+	if err := ce.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadConditionJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(ce)
+	b2, _ := json.Marshal(back)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("condition round-trip mismatch:\n%s\n%s", b1, b2)
+	}
+	if got := reg.Snapshot().Counters["explain.explanations"]; got != 2 {
+		t.Errorf("explain.explanations = %d, want 2", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := rand.New(rand.NewSource(46))
+	a, x, y := randomPair(r)
+	e := New(a)
+	xp, err := e.Relation(core.R2, x, y, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	xp.WriteText(&sb, "  ")
+	text := sb.String()
+	if !strings.Contains(text, "witness:") {
+		t.Errorf("text lacks witness line:\n%s", text)
+	}
+	if !strings.Contains(text, xp.Witness.XCut) || !strings.Contains(text, xp.Witness.YCut) {
+		t.Errorf("text lacks the deciding cuts %q/%q:\n%s", xp.Witness.XCut, xp.Witness.YCut, text)
+	}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !strings.HasPrefix(line, "  ") {
+			t.Errorf("line %q not indented", line)
+		}
+	}
+}
+
+// TestEmitFlows pins the Chrome trace_event flow grammar: every "s" event
+// has a matching "f" with the same binding id, the "f" carries bp:"e", and
+// arrows never run backwards in time.
+func TestEmitFlows(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	tr := obs.NewTracer()
+	emitted := 0
+	for trial := 0; trial < 20; trial++ {
+		a, x, y := randomPair(r)
+		e := New(a)
+		for _, rel := range core.Relations() {
+			xp, err := e.Relation(rel, x, y, "x", "y")
+			if err != nil {
+				t.Fatal(err)
+			}
+			EmitFlows(tr, xp)
+			if xp.Witness.PairPrecedes {
+				emitted++
+			}
+		}
+	}
+	if emitted == 0 {
+		t.Fatal("no verdict arrows emitted")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			ID   int64   `json:"id"`
+			BP   string  `json:"bp"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	starts := map[int64]float64{}
+	finishes := map[int64]float64{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			if ev.ID == 0 {
+				t.Fatalf("flow start without binding id: %+v", ev)
+			}
+			starts[ev.ID] = ev.TS
+		case "f":
+			if ev.BP != "e" {
+				t.Fatalf("flow finish without bp:e: %+v", ev)
+			}
+			finishes[ev.ID] = ev.TS
+		case "i":
+			if !strings.HasPrefix(ev.Cat, "explain.") {
+				t.Fatalf("unexpected instant category %q", ev.Cat)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if len(starts) == 0 || len(starts) != len(finishes) {
+		t.Fatalf("flow events unpaired: %d starts, %d finishes", len(starts), len(finishes))
+	}
+	for id, sts := range starts {
+		fts, ok := finishes[id]
+		if !ok {
+			t.Fatalf("flow %d has no finish", id)
+		}
+		if fts < sts {
+			t.Fatalf("flow %d runs backwards: %f → %f", id, sts, fts)
+		}
+	}
+}
+
+// TestWitnessPairInIntervals pins the headline witness pair to the verdict
+// intervals: the X event is an X member (or bottom for degenerate cuts) and
+// likewise for Y.
+func TestWitnessPairInIntervals(t *testing.T) {
+	r := rand.New(rand.NewSource(48))
+	for trial := 0; trial < 40; trial++ {
+		a, x, y := randomPair(r)
+		e := New(a)
+		for _, rel := range core.Relations() {
+			xp, err := e.Relation(rel, x, y, "", "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if xe := xp.Witness.XEvent.ID(); a.Execution().IsReal(xe) && !x.Contains(xe) {
+				t.Fatalf("%v: witness X event %v not in X", rel, xe)
+			}
+			if ye := xp.Witness.YEvent.ID(); a.Execution().IsReal(ye) && !y.Contains(ye) {
+				t.Fatalf("%v: witness Y event %v not in Y", rel, ye)
+			}
+		}
+	}
+}
+
+// TestLabels checks label attachment on references.
+func TestLabels(t *testing.T) {
+	r := rand.New(rand.NewSource(49))
+	a, x, y := randomPair(r)
+	labels := map[poset.EventID]string{}
+	for _, id := range a.Execution().RealEvents() {
+		labels[id] = "ev"
+	}
+	e := New(a).WithLabels(labels)
+	xp, err := e.Relation(core.R1, x, y, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Execution().IsReal(xp.Witness.XEvent.ID()) && xp.Witness.XEvent.Label != "ev" {
+		t.Errorf("witness X reference lacks label: %+v", xp.Witness.XEvent)
+	}
+}

@@ -1,0 +1,77 @@
+package monitor
+
+import (
+	"fmt"
+
+	"causet/internal/core"
+	"causet/internal/interval"
+)
+
+// Atom is one relation application r(x, y) of a parsed condition, exposed
+// for the explanation engine (internal/explain): walking a condition's
+// atoms lets a caller re-derive each leaf verdict with witness capture and
+// attribute the condition's outcome to specific causal evidence.
+type Atom struct {
+	Rel  core.Relation
+	X, Y AtomOperand
+}
+
+// String renders the atom in condition syntax, e.g. "R2'(L(track), launch)".
+func (a Atom) String() string {
+	return fmt.Sprintf("%v(%v, %v)", a.Rel, a.X, a.Y)
+}
+
+// AtomOperand is an interval reference, optionally behind a proxy
+// application (L/U under the per-node definition, matching evaluation).
+type AtomOperand struct {
+	Name     string
+	UseProxy bool
+	Proxy    interval.ProxyKind
+}
+
+// String renders the operand in condition syntax.
+func (o AtomOperand) String() string {
+	if o.UseProxy {
+		return fmt.Sprintf("%v(%s)", o.Proxy, o.Name)
+	}
+	return o.Name
+}
+
+// Resolve materializes the operand against the named intervals exactly as
+// condition evaluation does (proxies under interval.DefPerNode). It returns
+// an *UndefinedError when the interval is unknown.
+func (o AtomOperand) Resolve(a *core.Analysis, intervals map[string]*interval.Interval) (*interval.Interval, error) {
+	iv, ok := intervals[o.Name]
+	if !ok {
+		return nil, &UndefinedError{Name: o.Name}
+	}
+	if !o.UseProxy {
+		return iv, nil
+	}
+	return iv.ProxyInterval(o.Proxy, interval.DefPerNode, a.Clocks())
+}
+
+// Atoms returns the relation atoms of e in left-to-right syntactic order.
+func Atoms(e Expr) []Atom {
+	var out []Atom
+	collectAtoms(e, &out)
+	return out
+}
+
+func collectAtoms(e Expr, out *[]Atom) {
+	switch v := e.(type) {
+	case *atomExpr:
+		*out = append(*out, Atom{
+			Rel: v.rel,
+			X:   AtomOperand{Name: v.x.name, UseProxy: v.x.useProxy, Proxy: v.x.proxy},
+			Y:   AtomOperand{Name: v.y.name, UseProxy: v.y.useProxy, Proxy: v.y.proxy},
+		})
+	case *notExpr:
+		collectAtoms(v.e, out)
+	case *binExpr:
+		collectAtoms(v.l, out)
+		collectAtoms(v.r, out)
+	default:
+		panic(fmt.Sprintf("monitor: unknown expression node %T", e))
+	}
+}

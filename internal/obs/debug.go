@@ -8,11 +8,17 @@ import (
 	"sync"
 )
 
-// publishOnce guards the process-global expvar publication: expvar.Publish
-// panics on duplicate names, and the CLIs may construct several registries
-// in tests. The first registry served wins the expvar slot; later ones are
-// still fully served on their own /debug/metrics endpoint.
-var publishOnce sync.Once
+// The process-global expvar publication: one expvar.Map keyed by each debug
+// server's bound address, each value the live snapshot of that server's
+// registry. expvar.Publish panics on duplicate names, so the map itself is
+// published exactly once; per-server Set calls are idempotent, which is how
+// every registry ever served stays visible under /debug/vars (the old
+// first-registry-wins behavior published a single Func and silently dropped
+// later registries).
+var (
+	expvarOnce    sync.Once
+	expvarMetrics = new(expvar.Map)
+)
 
 // ServeDebug starts an HTTP server on addr for long-running sessions (the
 // CLIs' -debug-addr flag), exposing
@@ -27,12 +33,12 @@ var publishOnce sync.Once
 // ln.Addr() instead of sleeping and polling a guessed port. reg may be
 // nil, in which case /debug/metrics and /metrics serve an empty snapshot.
 //
-// The expvar publication is process-global and expvar.Publish panics on
-// duplicate names, so the FIRST registry ever served owns the
-// "causet_metrics" expvar slot for the life of the process; later
-// registries are still fully served on their own /debug/metrics and
-// /metrics endpoints. Call sites that surface -debug-addr should carry
-// this caveat in the flag help.
+// The expvar publication is process-global: "causet_metrics" is an
+// expvar.Map keyed by each server's bound address, so when a process runs
+// several debug servers every registry appears under /debug/vars (the slot
+// used to be first-registry-wins; the per-address keying removed that
+// caveat). The key for a server stays live for the life of the process even
+// after its listener closes.
 func ServeDebug(addr string, reg *Registry) (net.Listener, error) {
 	return ServeDebugWith(addr, reg, nil)
 }
@@ -46,9 +52,8 @@ func ServeDebugWith(addr string, reg *Registry, extra map[string]http.Handler) (
 		return nil, err
 	}
 	if reg != nil {
-		publishOnce.Do(func() {
-			expvar.Publish("causet_metrics", expvar.Func(func() any { return reg.Snapshot() }))
-		})
+		expvarOnce.Do(func() { expvar.Publish("causet_metrics", expvarMetrics) })
+		expvarMetrics.Set(ln.Addr().String(), expvar.Func(func() any { return reg.Snapshot() }))
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -60,3 +60,51 @@ func TestServeDebug(t *testing.T) {
 		t.Error("/debug/pprof/cmdline empty")
 	}
 }
+
+// TestServeDebugTwoServers pins the per-server expvar publication: when one
+// process runs several debug servers, every registry must appear in the
+// causet_metrics expvar map keyed by its bound address (the old behavior
+// published only the first registry).
+func TestServeDebugTwoServers(t *testing.T) {
+	regA, regB := New(), New()
+	regA.Counter("expvar.a").Add(11)
+	regB.Counter("expvar.b").Add(22)
+	lnA, err := ServeDebug("127.0.0.1:0", regA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnA.Close()
+	lnB, err := ServeDebug("127.0.0.1:0", regB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnB.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", lnB.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Metrics map[string]Snapshot `json:"causet_metrics"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not valid JSON: %v", err)
+	}
+	snapA, okA := vars.Metrics[lnA.Addr().String()]
+	snapB, okB := vars.Metrics[lnB.Addr().String()]
+	if !okA || !okB {
+		t.Fatalf("causet_metrics keys = %v, want both %s and %s",
+			sortedKeys(vars.Metrics), lnA.Addr(), lnB.Addr())
+	}
+	if snapA.Counters["expvar.a"] != 11 {
+		t.Errorf("server A snapshot = %v", snapA.Counters)
+	}
+	if snapB.Counters["expvar.b"] != 22 {
+		t.Errorf("server B snapshot = %v", snapB.Counters)
+	}
+}

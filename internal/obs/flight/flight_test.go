@@ -1,0 +1,197 @@
+package flight
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"causet/internal/obs"
+)
+
+func TestRingBounds(t *testing.T) {
+	r := New(2, 4)
+	for i := 1; i <= 10; i++ {
+		r.Record(0, i, "internal", "", nil)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("ring holds %d events, capacity 4", r.Len())
+	}
+	b := r.Snapshot("test", nil)
+	if b.Dropped != 6 {
+		t.Errorf("Dropped = %d, want 6", b.Dropped)
+	}
+	if len(b.Events) != 4 {
+		t.Fatalf("bundle holds %d events", len(b.Events))
+	}
+	// Oldest first, and exactly the last 4 positions.
+	for i, ev := range b.Events {
+		if ev.Pos != 7+i {
+			t.Errorf("event %d has pos %d, want %d", i, ev.Pos, 7+i)
+		}
+		if i > 0 && b.Events[i].Seq != b.Events[i-1].Seq+1 {
+			t.Errorf("seq not monotone at %d: %+v", i, b.Events)
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := New(1, 0)
+	if r.cap != DefaultCapacity {
+		t.Errorf("cap = %d, want DefaultCapacity", r.cap)
+	}
+}
+
+// TestClockCorrectness replays a known message pattern and checks the
+// recorded vector clocks against the hand-computed values.
+func TestClockCorrectness(t *testing.T) {
+	r := New(3, 16)
+	// p0: e1 (send), p1: e1 (recv from p0:1), p1: e2 (send), p2: e1 (recv from p1:2)
+	r.Record(0, 1, "send", "m1", nil)
+	r.Record(1, 1, "recv", "m1", &EventRef{Proc: 0, Pos: 1})
+	r.Record(1, 2, "send", "m2", nil)
+	r.Record(2, 1, "recv", "m2", &EventRef{Proc: 1, Pos: 2})
+	b := r.Snapshot("test", nil)
+	want := [][]int{
+		{1, 0, 0}, // p0:1
+		{1, 1, 0}, // p1:1 after merge
+		{1, 2, 0}, // p1:2
+		{1, 2, 1}, // p2:1 knows everything upstream
+	}
+	for i, ev := range b.Events {
+		if ev.Approx {
+			t.Errorf("event %d marked approx with live send window", i)
+		}
+		if len(ev.Clock) != 3 {
+			t.Fatalf("event %d clock %v", i, ev.Clock)
+		}
+		for p, v := range want[i] {
+			if ev.Clock[p] != v {
+				t.Errorf("event %d clock = %v, want %v", i, ev.Clock, want[i])
+			}
+		}
+	}
+	if b.Clocks[2][0] != 1 || b.Clocks[2][1] != 2 || b.Clocks[2][2] != 1 {
+		t.Errorf("final clock p2 = %v", b.Clocks[2])
+	}
+}
+
+// TestApproxEviction forces the bounded send window to evict a send clock
+// and checks the dependent recv is marked approximate with a lower-bound
+// clock that still covers the send's own component.
+func TestApproxEviction(t *testing.T) {
+	capacity := 4
+	r := New(2, capacity)
+	r.Record(0, 1, "send", "old", nil)
+	// Flood the send window (factor 4 × capacity) until "old" is evicted.
+	for i := 2; i <= sendWindowFactor*capacity+2; i++ {
+		r.Record(0, i, "send", "", nil)
+	}
+	r.Record(1, 1, "recv", "old", &EventRef{Proc: 0, Pos: 1})
+	b := r.Snapshot("test", nil)
+	last := b.Events[len(b.Events)-1]
+	if last.Kind != "recv" || !last.Approx {
+		t.Fatalf("evicted-send recv not marked approx: %+v", last)
+	}
+	if last.Clock[0] < 1 {
+		t.Errorf("approx clock %v does not cover the send's own component", last.Clock)
+	}
+	if last.Clock[1] != 1 {
+		t.Errorf("approx clock %v has wrong local component", last.Clock)
+	}
+}
+
+func TestBundleJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := New(3, 8)
+	sent := []EventRef{}
+	pos := [3]int{}
+	for i := 0; i < 40; i++ {
+		p := rng.Intn(3)
+		pos[p]++
+		switch rng.Intn(3) {
+		case 0:
+			r.Record(p, pos[p], "send", "s", nil)
+			sent = append(sent, EventRef{Proc: p, Pos: pos[p]})
+		case 1:
+			if len(sent) > 0 {
+				from := sent[rng.Intn(len(sent))]
+				if from.Proc != p {
+					r.Record(p, pos[p], "recv", "r", &from)
+					continue
+				}
+			}
+			r.Record(p, pos[p], "internal", "i", nil)
+		default:
+			r.Record(p, pos[p], "internal", "i", nil)
+		}
+	}
+	reg := obs.New()
+	reg.Counter("flight.test").Add(5)
+	b := r.Snapshot("violation: demo", reg)
+	if b.Metrics == nil || b.Metrics.Counters["flight.test"] != 5 {
+		t.Fatalf("metrics snapshot missing: %+v", b.Metrics)
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != FormatVersion || back.Reason != b.Reason ||
+		back.Procs != b.Procs || back.Dropped != b.Dropped || len(back.Events) != len(b.Events) {
+		t.Fatalf("round-trip lost header: %+v vs %+v", back, b)
+	}
+	for i := range b.Events {
+		a, z := b.Events[i], back.Events[i]
+		if a.Seq != z.Seq || a.Proc != z.Proc || a.Pos != z.Pos || a.Kind != z.Kind {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, a, z)
+		}
+		for j := range a.Clock {
+			if a.Clock[j] != z.Clock[j] {
+				t.Fatalf("event %d clock mismatch", i)
+			}
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := New(2, 4)
+	r.Record(0, 1, "internal", "x", nil)
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	if err := r.Dump(path, "panic: test", nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b, err := ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != "panic: test" || len(b.Events) != 1 {
+		t.Errorf("dumped bundle = %+v", b)
+	}
+	if b.CapturedAt == "" {
+		t.Error("bundle lacks capture timestamp")
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Record(0, 1, "internal", "", nil) // must not panic
+	if r.Len() != 0 {
+		t.Error("nil recorder Len != 0")
+	}
+	if r.Snapshot("x", nil) != nil {
+		t.Error("nil recorder Snapshot != nil")
+	}
+	if err := r.Dump("/nonexistent/x.json", "x", nil); err == nil {
+		t.Error("nil recorder Dump must error")
+	}
+}

@@ -122,6 +122,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	windows    map[string]*Window
+	infos      map[string]map[string]string
 }
 
 // New returns an empty registry.
@@ -131,6 +132,7 @@ func New() *Registry {
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 		windows:    make(map[string]*Window),
+		infos:      make(map[string]map[string]string),
 	}
 }
 
@@ -203,6 +205,26 @@ func (r *Registry) Window(name string, capacity int) *Window {
 	return w
 }
 
+// Info registers a constant labeled fact under the given name — the
+// Prometheus build_info convention: the exposition renders it as a gauge
+// fixed at 1 whose labels carry the strings (`name{k="v",...} 1`). The
+// label map is copied; registering the same name again replaces the
+// previous label set. No-op on a nil registry. Names share the flat
+// instrument namespace, so do not reuse a counter/gauge/histogram/window
+// name.
+func (r *Registry) Info(name string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.infos[name] = cp
+}
+
 // Snapshot is a point-in-time JSON-serializable view of a registry. Taken
 // concurrently with writers it is internally consistent per instrument but
 // not across instruments (each value is read once, atomically).
@@ -211,6 +233,7 @@ type Snapshot struct {
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Windows    map[string]WindowSnapshot    `json:"windows,omitempty"`
+	Infos      map[string]map[string]string `json:"infos,omitempty"`
 }
 
 // Snapshot captures every instrument's current value. On a nil registry it
@@ -239,6 +262,16 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Windows = make(map[string]WindowSnapshot, len(r.windows))
 		for name, w := range r.windows {
 			s.Windows[name] = w.Snapshot()
+		}
+	}
+	if len(r.infos) > 0 {
+		s.Infos = make(map[string]map[string]string, len(r.infos))
+		for name, labels := range r.infos {
+			cp := make(map[string]string, len(labels))
+			for k, v := range labels {
+				cp[k] = v
+			}
+			s.Infos[name] = cp
 		}
 	}
 	return s

@@ -13,6 +13,10 @@ import (
 // pointed at a CLI's -debug-addr picks the instruments up directly:
 //
 //   - Counters become counter metrics, gauges become gauge metrics.
+//   - Infos become gauge metrics fixed at 1 whose labels carry the
+//     registered strings (`name{k="v",...} 1`, the build_info convention).
+//     Label values are escaped per the exposition format (backslash, double
+//     quote, newline).
 //   - Histograms become histogram metrics with the required cumulative
 //     _bucket{le="..."} series (our per-bucket counts are summed up to
 //     each bound), the implicit le="+Inf" bucket, and _sum/_count.
@@ -58,6 +62,14 @@ func promEscapeHelp(s string) string {
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
+// promEscapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func promEscapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 // promFloat formats a float the way Prometheus parsers expect.
 func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
@@ -93,6 +105,23 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		bw.WriteByte(' ')
 		bw.WriteString(strconv.FormatInt(s.Gauges[name], 10))
 		bw.WriteByte('\n')
+	}
+	for _, name := range sortedKeys(s.Infos) {
+		labels := s.Infos[name]
+		m := promSanitize(name)
+		writePromHeader(bw, m, name, "gauge")
+		bw.WriteString(m)
+		bw.WriteByte('{')
+		for i, k := range sortedKeys(labels) {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(promSanitize(k))
+			bw.WriteString(`="`)
+			bw.WriteString(promEscapeLabel(labels[k]))
+			bw.WriteByte('"')
+		}
+		bw.WriteString("} 1\n")
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]

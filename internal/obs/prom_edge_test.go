@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPromInfoEscaping pins the label-value escaping of Info metrics: the
+// three characters the exposition format escapes (backslash, double quote,
+// newline) must come out as \\, \", and \n, and label keys go through the
+// metric-name sanitizer.
+func TestPromInfoEscaping(t *testing.T) {
+	reg := New()
+	reg.Info("weird_info", map[string]string{
+		"path":      `C:\temp\x`,
+		"quote":     `say "hi"`,
+		"multiline": "a\nb",
+		"bad key":   "v",
+	})
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `weird_info{bad_key="v",multiline="a\nb",path="C:\\temp\\x",quote="say \"hi\""} 1` + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaped info line missing.\nwant: %s got:\n%s", want, buf.String())
+	}
+	if strings.Count(buf.String(), "\n\"") != 0 || strings.Contains(buf.String(), "a\nb") {
+		t.Error("raw newline leaked into a label value")
+	}
+}
+
+// TestPromEmptyWindowQuantiles: a window that has never observed anything
+// must still serialize as a complete, grammatical summary — all quantiles
+// and _sum/_count 0, rate 0 — rather than NaN or missing series.
+func TestPromEmptyWindowQuantiles(t *testing.T) {
+	reg := New()
+	reg.Window("runtime.idle_ns", 16) // zero observations
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`runtime_idle_ns{quantile="0.5"} 0`,
+		`runtime_idle_ns{quantile="0.9"} 0`,
+		`runtime_idle_ns{quantile="0.99"} 0`,
+		"runtime_idle_ns_sum 0",
+		"runtime_idle_ns_count 0",
+		"runtime_idle_ns_rate 0",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("empty-window exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("empty window produced NaN:\n%s", out)
+	}
+}
+
+// promEdgeLine extends the grammar of prom_test.go's promLine with the
+// escape sequences legal inside label values (\\, \", \n).
+var promEdgeLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="([^"\\]|\\\\|\\"|\\n)*"(,[a-zA-Z_][a-zA-Z0-9_]*="([^"\\]|\\\\|\\"|\\n)*")*\})? [-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$`)
+
+// TestPromBuildInfoAndExplainGrammar exercises the new instruments the
+// explanation engine registers — the causet_build_info Info and the
+// explanation/witness counters — and validates every exposition line
+// against the 0.0.4 grammar.
+func TestPromBuildInfoAndExplainGrammar(t *testing.T) {
+	reg := New()
+	reg.Info("causet_build_info", map[string]string{
+		"version":    "(devel)",
+		"go_version": "go1.24",
+		"revision":   "0123456789abcdef",
+	})
+	reg.Counter("explain.explanations").Add(3)
+	reg.Counter("core.witness_extractions").Add(17)
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	var sample, infoSeen bool
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sample = true
+		if !promEdgeLine.MatchString(line) {
+			t.Errorf("unparseable sample line: %q", line)
+		}
+		if strings.HasPrefix(line, "causet_build_info{") {
+			infoSeen = true
+			if !strings.HasSuffix(line, "} 1") {
+				t.Errorf("build_info value must be fixed at 1: %q", line)
+			}
+		}
+	}
+	if !sample || !infoSeen {
+		t.Fatalf("exposition missing samples (sample=%v, build_info=%v):\n%s", sample, infoSeen, out)
+	}
+
+	// Counters registered by the explanation engine keep the exact names
+	// the docs promise, so dashboards can rely on them.
+	for _, want := range []string{"explain_explanations 3", "core_witness_extractions 17"} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestPromInfoDeterminism: label maps are unordered, but the exposition
+// sorts keys, so two serializations are byte-identical.
+func TestPromInfoDeterminism(t *testing.T) {
+	mk := func() Snapshot {
+		reg := New()
+		reg.Info("causet_build_info", map[string]string{
+			"z": "1", "a": "2", "m": "3", "b": "4", "q": "5",
+		})
+		return reg.Snapshot()
+	}
+	var first bytes.Buffer
+	if err := mk().WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		var again bytes.Buffer
+		if err := mk().WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("serialization %d differs:\n%s\nvs\n%s", i, first.String(), again.String())
+		}
+	}
+}

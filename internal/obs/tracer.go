@@ -8,10 +8,10 @@ import (
 )
 
 // Tracer records span-style execution traces in the Chrome trace_event JSON
-// format (the "JSON Array Format" with complete "X" events and thread-scoped
-// "i" instants), which about://tracing and https://ui.perfetto.dev load
-// directly. Spans are buffered in memory and serialized by WriteJSON at the
-// end of a run — the CLIs' -trace-out flag.
+// format (the "JSON Array Format" with complete "X" events, thread-scoped
+// "i" instants, and "s"/"f" flow arrows), which about://tracing and
+// https://ui.perfetto.dev load directly. Spans are buffered in memory and
+// serialized by WriteJSON at the end of a run — the CLIs' -trace-out flag.
 //
 // Timestamps are microseconds since the tracer's construction. The tid field
 // names a logical timeline: batch workers use their worker index, runtime
@@ -24,6 +24,7 @@ type Tracer struct {
 
 	mu     sync.Mutex
 	events []traceEvent
+	nextID int64 // flow-event binding IDs (see Flow)
 }
 
 // traceEvent is one entry of the traceEvents array. Field names follow the
@@ -36,7 +37,9 @@ type traceEvent struct {
 	Dur   float64 `json:"dur,omitempty"`
 	PID   int     `json:"pid"`
 	TID   int64   `json:"tid"`
-	Scope string  `json:"s,omitempty"` // "t" for thread-scoped instants
+	Scope string  `json:"s,omitempty"`  // "t" for thread-scoped instants
+	ID    int64   `json:"id,omitempty"` // binds a flow "s" event to its "f"
+	BP    string  `json:"bp,omitempty"` // "e" on flow finish: bind to enclosing slice
 }
 
 // NewTracer returns an empty tracer with its time origin at now.
@@ -88,6 +91,40 @@ func (t *Tracer) Instant(cat, name string, tid int64) {
 		TS:  float64(time.Since(t.origin).Nanoseconds()) / 1e3,
 		PID: 1, TID: tid,
 	})
+}
+
+// InstantAt records a thread-scoped instant at an explicit timestamp
+// (microseconds on the tracer's timeline) — the explanation renderer places
+// witness events at trace positions rather than wall-clock times.
+func (t *Tracer) InstantAt(cat, name string, tsMicros float64, tid int64) {
+	if t == nil {
+		return
+	}
+	t.add(traceEvent{
+		Name: name, Cat: cat, Ph: "i", Scope: "t",
+		TS: tsMicros, PID: 1, TID: tid,
+	})
+}
+
+// Flow records one flow arrow between two explicit (timestamp, timeline)
+// points: a "s" (flow start) event at the source and a "f" (flow finish,
+// bound to the enclosing slice) at the destination, sharing a fresh binding
+// ID. Chrome and Perfetto draw the pair as an arrow across timelines — the
+// explanation renderer uses it for critical-path hops and verdict edges.
+// Timestamps are microseconds on the tracer's timeline and fromTS must not
+// exceed toTS (the viewer drops backwards arrows).
+func (t *Tracer) Flow(cat, name string, fromTS float64, fromTID int64, toTS float64, toTID int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.events = append(t.events,
+		traceEvent{Name: name, Cat: cat, Ph: "s", TS: fromTS, PID: 1, TID: fromTID, ID: id},
+		traceEvent{Name: name, Cat: cat, Ph: "f", TS: toTS, PID: 1, TID: toTID, ID: id, BP: "e"},
+	)
+	t.mu.Unlock()
 }
 
 func (t *Tracer) add(e traceEvent) {

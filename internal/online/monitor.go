@@ -6,7 +6,9 @@ import (
 	"sync"
 
 	"causet/internal/core"
+	"causet/internal/explain"
 	"causet/internal/hierarchy"
+	"causet/internal/interval"
 	"causet/internal/monitor"
 	"causet/internal/obs"
 	"causet/internal/obs/logx"
@@ -28,7 +30,14 @@ type Monitor struct {
 	conditions []*monitor.Condition
 	settled    map[string]monitor.Result
 
+	// Explanation capture (EnableExplanations): settled holds/violated
+	// conditions retain a witness + critical-path explanation derived over
+	// the settling snapshot.
+	explainOn    bool
+	explanations map[string]*explain.ConditionExplanation
+
 	lg             *logx.Logger
+	reg            *obs.Registry
 	metSettlements *obs.Counter
 	violWin        *obs.Window
 }
@@ -40,7 +49,30 @@ func NewMonitor(s *Stream) *Monitor {
 		growing:  make(map[string][]poset.EventID),
 		complete: make(map[string][]poset.EventID),
 		settled:  make(map[string]monitor.Result),
+
+		explanations: make(map[string]*explain.ConditionExplanation),
 	}
+}
+
+// EnableExplanations switches causal explanation capture on or off: when
+// on, every condition that settles as holds or violated also gets a
+// witness/critical-path explanation (see internal/explain) retained for
+// Explanation. Off by default — capture costs one witness extraction per
+// condition atom at settlement, nothing on the evaluation hot path.
+func (m *Monitor) EnableExplanations(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.explainOn = on
+}
+
+// Explanation returns the retained explanation of a settled condition
+// (holds/violated only; pending, failed, and unexplained conditions report
+// false).
+func (m *Monitor) Explanation(name string) (*explain.ConditionExplanation, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ce, ok := m.explanations[name]
+	return ce, ok
 }
 
 // SetLogger attaches a structured event log (may be nil). The monitor
@@ -61,6 +93,7 @@ func (m *Monitor) SetLogger(lg *logx.Logger) {
 func (m *Monitor) Instrument(reg *obs.Registry) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.reg = reg
 	m.metSettlements = reg.Counter("online.settlements")
 	m.violWin = reg.Window("online.violation_window", 256)
 }
@@ -69,8 +102,12 @@ func (m *Monitor) Instrument(reg *obs.Registry) {
 // and guarantees the name is not yet settled. This is the single point
 // every verdict passes through, so the settlement log event fires exactly
 // once per condition.
-func (m *Monitor) settle(c *monitor.Condition, res monitor.Result) {
+func (m *Monitor) settle(c *monitor.Condition, res monitor.Result, ce *explain.ConditionExplanation) {
 	m.settled[c.Name] = res
+	if ce != nil {
+		ce.State = res.State.String()
+		m.explanations[c.Name] = ce
+	}
 	m.metSettlements.Inc()
 	if res.State == monitor.Violated {
 		m.violWin.Observe(1)
@@ -85,6 +122,9 @@ func (m *Monitor) settle(c *monitor.Condition, res monitor.Result) {
 	}
 	if res.Err != nil {
 		fields = append(fields, logx.F("err", res.Err))
+	}
+	if ce != nil {
+		fields = append(fields, logx.F("witness", witnessSummary(ce)))
 	}
 	switch res.State {
 	case monitor.Violated:
@@ -196,7 +236,7 @@ func (m *Monitor) Check() []monitor.Result {
 				// that references it.
 				for _, c := range todo {
 					if _, done := m.settled[c.Name]; !done && refers(c, n) {
-						m.settle(c, monitor.Result{Name: c.Name, State: monitor.Failed, Err: err})
+						m.settle(c, monitor.Result{Name: c.Name, State: monitor.Failed, Err: err}, nil)
 					}
 				}
 				continue
@@ -207,17 +247,38 @@ func (m *Monitor) Check() []monitor.Result {
 				continue
 			}
 			if err := inner.AddCondition(c.Name, c.Src); err != nil {
-				m.settle(c, monitor.Result{Name: c.Name, State: monitor.Failed, Err: err})
+				m.settle(c, monitor.Result{Name: c.Name, State: monitor.Failed, Err: err}, nil)
 			}
 		}
 		byName := make(map[string]*monitor.Condition, len(todo))
 		for _, c := range todo {
 			byName[c.Name] = c
 		}
-		for _, res := range inner.Check() {
-			if _, done := m.settled[res.Name]; !done {
-				m.settle(byName[res.Name], res)
+		var expl *explain.Explainer
+		var ivs map[string]*interval.Interval
+		if m.explainOn {
+			expl = explain.New(inner.Analysis())
+			expl.Instrument(m.reg)
+			ivs = make(map[string]*interval.Interval, len(names))
+			for _, n := range names {
+				if iv, ok := inner.Interval(n); ok {
+					ivs[n] = iv
+				}
 			}
+		}
+		for _, res := range inner.Check() {
+			if _, done := m.settled[res.Name]; done {
+				continue
+			}
+			c := byName[res.Name]
+			var ce *explain.ConditionExplanation
+			if expl != nil && (res.State == monitor.Holds || res.State == monitor.Violated) {
+				// Best-effort: a condition that evaluated cleanly explains
+				// cleanly too; if not, settle without evidence rather than
+				// failing the verdict.
+				ce, _ = expl.Condition(c, ivs)
+			}
+			m.settle(c, res, ce)
 		}
 	}
 
@@ -228,6 +289,23 @@ func (m *Monitor) Check() []monitor.Result {
 		} else {
 			out = append(out, monitor.Result{Name: c.Name, State: monitor.Pending})
 		}
+	}
+	return out
+}
+
+// witnessSummary compresses a condition explanation into one log field:
+// each atom's verdict with its decisive event pair.
+func witnessSummary(ce *explain.ConditionExplanation) string {
+	out := ""
+	for i, at := range ce.Atoms {
+		if i > 0 {
+			out += "; "
+		}
+		rel := "≺"
+		if !at.Witness.PairPrecedes {
+			rel = "⊀"
+		}
+		out += fmt.Sprintf("%s=%t [%v %s %v]", at.Expr, at.Held, at.Witness.XEvent, rel, at.Witness.YEvent)
 	}
 	return out
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"causet/internal/obs"
+	"causet/internal/obs/flight"
 	"causet/internal/obs/logx"
 	"causet/internal/poset"
 )
@@ -81,6 +82,7 @@ type System struct {
 	met systemObs
 	tr  *obs.Tracer
 	lg  *logx.Logger
+	fr  *flight.Recorder
 }
 
 // SetTransport attaches a delivery transport. Call before Run; a nil
@@ -89,6 +91,12 @@ func (s *System) SetTransport(t Transport) { s.transport = t }
 
 // SetNodeWrapper attaches a node-body wrapper. Call before Run.
 func (s *System) SetNodeWrapper(w NodeWrapper) { s.wrapper = w }
+
+// SetFlightRecorder attaches a violation flight recorder: every recorded
+// poset event is mirrored into its ring buffer with a live vector clock, so
+// a bundle dumped on violation or crash carries the last-K causal history.
+// Call before Run; a nil recorder (the default) costs nothing.
+func (s *System) SetFlightRecorder(fr *flight.Recorder) { s.fr = fr }
 
 // systemObs holds the system's pre-interned instruments; all nil when
 // Instrument was not called.
@@ -183,8 +191,9 @@ func (s *System) Trace() (*poset.Execution, map[poset.EventID]string, error) {
 	return ex, labels, nil
 }
 
-// record appends one event for node id under the recorder lock.
-func (s *System) record(id int, label string) poset.EventID {
+// record appends one event for node id under the recorder lock. kind
+// classifies the event for the flight recorder ("internal" or "send").
+func (s *System) record(id int, label, kind string) poset.EventID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.b.Append(id)
@@ -195,6 +204,7 @@ func (s *System) record(id int, label string) poset.EventID {
 	}
 	s.met.events.Add(1)
 	s.met.eventsWin.Observe(1)
+	s.fr.Record(id, e.Pos, kind, label, nil)
 	return e
 }
 
@@ -216,6 +226,7 @@ func (s *System) recordEdge(from poset.EventID, toNode int, label string) poset.
 		// here indicates recorder corruption, not an application error.
 		panic(err)
 	}
+	s.fr.Record(toNode, recv.Pos, "recv", label, &flight.EventRef{Proc: from.Proc, Pos: from.Pos})
 	return recv
 }
 
@@ -234,7 +245,7 @@ func (nd *Node) NumNodes() int { return nd.sys.n }
 
 // Internal records a local event with the given label and returns it.
 func (nd *Node) Internal(label string) poset.EventID {
-	e := nd.sys.record(nd.id, label)
+	e := nd.sys.record(nd.id, label, "internal")
 	nd.sys.lg.Debug("internal", logx.F("node", nd.id), logx.F("label", label))
 	return e
 }
@@ -246,7 +257,7 @@ func (nd *Node) Send(to int, payload any) poset.EventID {
 	if to == nd.id || to < 0 || to >= nd.sys.n {
 		panic(fmt.Sprintf("runtime: node %d sending to %d", nd.id, to))
 	}
-	send := nd.sys.record(nd.id, fmt.Sprintf("send→%d", to))
+	send := nd.sys.record(nd.id, fmt.Sprintf("send→%d", to), "send")
 	nd.sys.lg.Debug("send", logx.F("node", nd.id), logx.F("to", to), logx.F("pos", send.Pos))
 	env := Envelope{From: nd.id, To: to, Payload: payload, sendEvent: send}
 	if t := nd.sys.transport; t != nil {
