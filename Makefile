@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench tables metrics trace explain benchdiff profile fuzz chaos examples coverage clean
+.PHONY: all build vet test race bench tables metrics trace explain benchdiff profile fuzz chaos alerts examples coverage clean
 
 all: build vet test
 
@@ -69,6 +69,18 @@ fuzz:
 chaos:
 	$(GO) test -race ./internal/faultsim -seeds=64
 
+# Alerting demo: replay the seeded dup=1 chaos scenario with an alert rule
+# over the sampled violation counter (internal/obs/alert). The firing
+# transition prints as an ALERT line, the run still exits 1 — alerts never
+# change the syncmon exit contract — and the sampled time-series store is
+# dumped to tsdb_dump.json (the same scenario CI's alert-rule replay gates).
+alerts:
+	printf 'violations[critical]: syncmon.violations.count > 0\n' > alerts.rules
+	-$(GO) run ./cmd/syncmon -faults "twophase,nodes=3,rounds=2,seed=5,dup=1" \
+		-cond 'c: R1(vote-0, apply-0)' -cond 'negc: !R1(vote-0, apply-0)' \
+		-alert-rules alerts.rules -tsdb-out tsdb_dump.json
+	@echo "alert rules in alerts.rules; time-series dump written to tsdb_dump.json"
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/mutex
@@ -81,4 +93,4 @@ coverage:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt trace_ring.json trace_spans.json explain_flows.json benchtab_new.json cpu.pprof mem.pprof
+	rm -f cover.out test_output.txt bench_output.txt trace_ring.json trace_spans.json explain_flows.json benchtab_new.json cpu.pprof mem.pprof alerts.rules tsdb_dump.json

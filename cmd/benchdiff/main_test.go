@@ -410,3 +410,42 @@ func TestAllocGateOptIn(t *testing.T) {
 		t.Errorf("fused/legacy disagreement should gate at any threshold: exit %d\n%s", code, buf.String())
 	}
 }
+
+// TestReportWithTsdbSectionTolerated: reports written after the telemetry
+// sampler exist carry a "tsdb" section (the time-series dump sampled while
+// the sweeps ran). benchdiff compares the benchmark tables, not the
+// telemetry, so the section must be ignored in every pairing — new-vs-old,
+// old-vs-new, and both-with-tsdb — without changing any verdict.
+func TestReportWithTsdbSectionTolerated(t *testing.T) {
+	tsdbSection := map[string]any{
+		"taken_at_ns": 1700000000000000000,
+		"series": []map[string]any{
+			{"name": "tsdb.samples", "kind": "counter", "points": []map[string]any{
+				{"t": 1700000000000000000, "v": 3},
+			}},
+			{"name": "online.detect_latency_ns.p99", "kind": "gauge", "points": []map[string]any{
+				{"t": 1700000000000000000, "v": 125000},
+			}},
+		},
+	}
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", baseReport()) // pre-telemetry report
+	newer := baseReport()
+	newer["tsdb"] = tsdbSection
+	new := writeReport(t, dir, "new.json", newer)
+
+	var buf bytes.Buffer
+	for _, pair := range [][]string{{old, new}, {new, old}, {new, new}} {
+		buf.Reset()
+		code, err := run(pair, &buf)
+		if err != nil {
+			t.Fatalf("run(%v): %v", pair, err)
+		}
+		if code != exitOK {
+			t.Errorf("run(%v): exit %d, want clean diff\n%s", pair, code, buf.String())
+		}
+		if strings.Contains(buf.String(), "tsdb") {
+			t.Errorf("run(%v): telemetry leaked into the diff:\n%s", pair, buf.String())
+		}
+	}
+}

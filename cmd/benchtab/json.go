@@ -7,6 +7,7 @@ import (
 
 	"causet/internal/bench"
 	"causet/internal/obs"
+	"causet/internal/obs/tsdb"
 )
 
 // jsonSchema identifies the report layout; bump the suffix on breaking
@@ -43,6 +44,12 @@ type jsonReport struct {
 	// above ran: core.<eval>.comparisons[.<rel>], core.cut_builds,
 	// batch.* counters, and the associated histograms.
 	Metrics obs.Snapshot `json:"metrics"`
+
+	// Tsdb is the detection-latency time-series dump sampled while the
+	// report ran (-sample-interval cadence). Absent from reports written
+	// before the telemetry store existed; decoders (cmd/benchdiff) must
+	// tolerate both a missing and a present section.
+	Tsdb *tsdb.Dump `json:"tsdb,omitempty"`
 }
 
 type jsonAgreementRow struct {

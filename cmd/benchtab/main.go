@@ -18,7 +18,9 @@
 // timing sweeps, plus the metrics-registry snapshot (comparison counters,
 // cut builds, batch histograms) accumulated while they ran. Committed
 // BENCH_*.json files at the repo root use this format to track performance
-// across PRs.
+// across PRs. A JSON report also embeds a "tsdb" section: the time-series
+// dump sampled at -sample-interval cadence while the sweeps ran; -tsdb-out
+// writes the same dump to a standalone file for runs without -json.
 //
 // Observability: -metrics dumps a registry snapshot as JSON (file path, or
 // - for stderr); -trace-out writes a Chrome trace_event file covering the
@@ -36,9 +38,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"time"
 
 	"causet/internal/bench"
 	"causet/internal/buildinfo"
+	"causet/internal/cliutil"
 	"causet/internal/hierarchy"
 	"causet/internal/obs"
 )
@@ -65,6 +69,7 @@ func run(args []string, out io.Writer) error {
 	jsonOut := fs.String("json", "", "write a machine-readable benchmark report to this file (- = stdout) instead of text tables")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
+	sf := cliutil.AddSampleFlags(fs)
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), and /metrics (Prometheus 0.0.4) on this address; every server in the process appears in the causet_metrics expvar map under /debug/vars, keyed by its bound address (this used to be first-registry-wins)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering the run to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file at exit (go tool pprof)")
@@ -90,12 +95,20 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var reg *obs.Registry
-	if *metricsOut != "" || *debugAddr != "" || *jsonOut != "" {
+	if *metricsOut != "" || *debugAddr != "" || *jsonOut != "" || sf.Out() != "" {
 		reg = obs.New()
 	}
 	var tr *obs.Tracer
 	if *traceOut != "" {
 		tr = obs.NewTracer()
+	}
+	// The sampler runs for JSON reports (the report embeds the dump) and
+	// whenever -tsdb-out asks for a standalone dump file.
+	var tel *cliutil.Telemetry
+	if reg != nil && (*jsonOut != "" || sf.Out() != "") {
+		tel = cliutil.NewTelemetry(reg, sf.Interval())
+		tel.Start()
+		defer tel.Stop()
 	}
 	if *debugAddr != "" {
 		ln, err := obs.ServeDebug(*debugAddr, reg)
@@ -106,8 +119,15 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(stderrW, "benchtab: debug server on http://%s/debug/metrics\n", ln.Addr())
 	}
 
-	err := runTables(out, *table, *trials, *reps, *parallel, *seed, *csv, *jsonOut, reg, tr)
-	if ferr := flushObs(reg, tr, *metricsOut, *traceOut); ferr != nil && err == nil {
+	err := runTables(out, *table, *trials, *reps, *parallel, *seed, *csv, *jsonOut, reg, tr, tel)
+	if tel != nil && sf.Out() != "" {
+		now := time.Now()
+		tel.Close(now)
+		if derr := tel.WriteDump(sf.Out(), now, stderrW); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	if ferr := cliutil.FlushObs(reg, tr, *metricsOut, *traceOut, stderrW); ferr != nil && err == nil {
 		err = ferr
 	}
 	if *memProfile != "" {
@@ -130,7 +150,7 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func runTables(out io.Writer, table string, trials, reps, parallel int, seed int64, csv bool, jsonOut string, reg *obs.Registry, tr *obs.Tracer) error {
+func runTables(out io.Writer, table string, trials, reps, parallel int, seed int64, csv bool, jsonOut string, reg *obs.Registry, tr *obs.Tracer, tel *cliutil.Telemetry) error {
 	if jsonOut != "" {
 		w := out
 		if jsonOut != "-" {
@@ -141,7 +161,15 @@ func runTables(out io.Writer, table string, trials, reps, parallel int, seed int
 			defer f.Close()
 			w = f
 		}
-		return writeJSONReport(w, buildJSONReport(trials, reps, parallel, seed, reg, tr))
+		rep := buildJSONReport(trials, reps, parallel, seed, reg, tr)
+		if tel != nil {
+			// Final sample so sub-interval sweeps still land their end
+			// state, then embed the full dump in the report.
+			now := time.Now()
+			tel.Close(now)
+			rep.Tsdb = tel.Store.Dump(0, now)
+		}
+		return writeJSONReport(w, rep)
 	}
 	if csv {
 		return e5CSV(out, reps, seed)
@@ -182,34 +210,6 @@ func runTables(out io.Writer, table string, trials, reps, parallel int, seed int
 	}
 	if !ran {
 		return fmt.Errorf("unknown table %q", table)
-	}
-	return nil
-}
-
-// flushObs writes the -metrics snapshot and -trace-out file at the end of a
-// run. metricsOut of "-" selects stderr.
-func flushObs(reg *obs.Registry, tr *obs.Tracer, metricsOut, traceOut string) error {
-	if reg != nil && metricsOut != "" {
-		w := stderrW
-		if metricsOut != "-" {
-			f, err := os.Create(metricsOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
-		}
-		if err := reg.Snapshot().WriteJSON(w); err != nil {
-			return err
-		}
-	}
-	if tr != nil && traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		return tr.WriteJSON(f)
 	}
 	return nil
 }

@@ -29,7 +29,11 @@
 // trace_event file loadable in about://tracing or https://ui.perfetto.dev;
 // -log writes a structured JSONL event log (gated by -log-level);
 // -debug-addr serves net/http/pprof, expvar, /debug/metrics (JSON), and
-// /metrics (Prometheus text 0.0.4) for the duration of the run.
+// /metrics (Prometheus text 0.0.4) for the duration of the run; -tsdb-out
+// samples the registry into the in-process time-series store every
+// -sample-interval (plus a final sample at exit) and writes its dump as
+// JSON, so a long -matrix run leaves a queryable history of how the
+// comparison counters grew.
 //
 // -explain prints, under each verdict, the witness cuts whose ≪ test decided
 // it and the critical path through the poset connecting the witness pair
@@ -44,9 +48,11 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
 	"causet/internal/batch"
 	"causet/internal/buildinfo"
+	"causet/internal/cliutil"
 	"causet/internal/core"
 	"causet/internal/explain"
 	"causet/internal/faultsim"
@@ -69,34 +75,6 @@ func main() {
 	}
 }
 
-// flushObs writes the -metrics snapshot and -trace-out file at the end of a
-// run. metricsOut of "-" selects stderr.
-func flushObs(reg *obs.Registry, tr *obs.Tracer, metricsOut, traceOut string) error {
-	if reg != nil && metricsOut != "" {
-		w := stderrW
-		if metricsOut != "-" {
-			f, err := os.Create(metricsOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
-		}
-		if err := reg.Snapshot().WriteJSON(w); err != nil {
-			return err
-		}
-	}
-	if tr != nil && traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		return tr.WriteJSON(f)
-	}
-	return nil
-}
-
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("relcheck", flag.ContinueOnError)
 	path := fs.String("trace", "", "trace file (.json or .gob)")
@@ -116,8 +94,8 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 0, "evaluate with an N-worker batch engine (0 = serial, -1 = GOMAXPROCS)")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
-	logOut := fs.String("log", "", "write a structured JSONL event log to this file (- = stderr)")
-	logLevel := fs.String("log-level", "info", "minimum -log level: debug, info, warn, or error")
+	lf := cliutil.AddLogFlags(fs)
+	sf := cliutil.AddSampleFlags(fs)
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), and /metrics (Prometheus 0.0.4) on this address; every server in the process appears in the causet_metrics expvar map under /debug/vars, keyed by its bound address (this used to be first-registry-wins)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -133,28 +111,16 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-trace and -faults are mutually exclusive")
 	}
 
-	var lg *logx.Logger
-	if *logOut != "" {
-		lvl, err := logx.ParseLevel(*logLevel)
-		if err != nil {
-			return err
-		}
-		w := stderrW
-		if *logOut != "-" {
-			f, err := os.Create(*logOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
-		}
-		lg = logx.New(w, lvl)
+	lg, logClose, err := lf.Build(stderrW)
+	if err != nil {
+		return err
 	}
+	defer logClose()
 
 	// The registry/tracer exist before the trace so a -faults run lands its
 	// faultsim.* counters and partition spans in the same outputs.
 	var reg *obs.Registry
-	if *metricsOut != "" || *debugAddr != "" {
+	if *metricsOut != "" || *debugAddr != "" || sf.Out() != "" {
 		reg = obs.New()
 		buildinfo.Current().Register(reg)
 	}
@@ -163,8 +129,16 @@ func run(args []string, out io.Writer) error {
 		tr = obs.NewTracer()
 	}
 
+	// -tsdb-out samples the registry while the evaluation runs; the final
+	// sample at exit covers runs shorter than the interval.
+	var tel *cliutil.Telemetry
+	if sf.Out() != "" {
+		tel = cliutil.NewTelemetry(reg, sf.Interval())
+		tel.Start()
+		defer tel.Stop()
+	}
+
 	var f *trace.File
-	var err error
 	src := *path
 	if *faults != "" {
 		src = "faultsim:" + *faults
@@ -239,7 +213,14 @@ func run(args []string, out io.Writer) error {
 	} else {
 		lg.Info("run_complete")
 	}
-	if ferr := flushObs(reg, tr, *metricsOut, *traceOut); ferr != nil && err == nil {
+	if tel != nil {
+		now := time.Now()
+		tel.Close(now)
+		if derr := tel.WriteDump(sf.Out(), now, stderrW); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	if ferr := cliutil.FlushObs(reg, tr, *metricsOut, *traceOut, stderrW); ferr != nil && err == nil {
 		err = ferr
 	}
 	return err

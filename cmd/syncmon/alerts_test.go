@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"causet/internal/obs/tsdb"
+)
+
+// writeRules drops an alert-rule file into a temp dir.
+func writeRules(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "alerts.rules")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunAlertFiresExactlyOnce replays the seeded fault scenario CI uses: a
+// violated condition under dup=1 chaos must fire the violations rule exactly
+// once (one firing transition per episode, however many samples see the
+// breach), leave the exit code at the violation value — alerts never change
+// the contract — and write a tsdb dump whose series carry the breach.
+func TestRunAlertFiresExactlyOnce(t *testing.T) {
+	rules := writeRules(t, "violations[critical]: syncmon.violations.count > 0\n")
+	dump := filepath.Join(t.TempDir(), "tsdb.json")
+	var buf bytes.Buffer
+	code, err := run([]string{
+		"-faults", "twophase,nodes=3,rounds=2,seed=5,dup=1",
+		"-cond", "c: R1(vote-0, apply-0)",
+		"-cond", "negc: !R1(vote-0, apply-0)",
+		"-alert-rules", rules,
+		"-tsdb-out", dump,
+		"-sample-interval", "50ms",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if code != exitViolation {
+		t.Errorf("exit = %d, want %d (alerts must not change the contract):\n%s", code, exitViolation, out)
+	}
+	if got := strings.Count(out, "ALERT firing violations [critical]"); got != 1 {
+		t.Errorf("firing transitions = %d, want exactly 1:\n%s", got, out)
+	}
+	if strings.Contains(out, "ALERT resolved") {
+		t.Errorf("violation never clears, so nothing should resolve:\n%s", out)
+	}
+
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatalf("-tsdb-out dump missing: %v", err)
+	}
+	var d tsdb.Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatalf("dump not valid JSON: %v\n%s", err, data)
+	}
+	series := map[string][]tsdb.Point{}
+	for _, s := range d.Series {
+		series[s.Name] = s.Points
+	}
+	for _, name := range []string{"syncmon.violations.count", "tsdb.samples", "alert.firing", "alert.fired"} {
+		if len(series[name]) == 0 {
+			t.Errorf("dump missing series %s (have %d series)", name, len(d.Series))
+		}
+	}
+	if pts := series["syncmon.violations.count"]; len(pts) > 0 && pts[len(pts)-1].V < 1 {
+		t.Errorf("final violations count = %d, want >= 1", pts[len(pts)-1].V)
+	}
+	// alert.fired is appended before the evaluation hook runs, so its stored
+	// value lags one tick; the series existing (checked above) plus the single
+	// ALERT line is the firing evidence, not its final stored value.
+}
+
+// TestRunAlertQuietOnCleanRun: the same rule over a holding run samples but
+// never fires, and the exit code stays 0.
+func TestRunAlertQuietOnCleanRun(t *testing.T) {
+	rules := writeRules(t, "violations[critical]: syncmon.violations.count > 0\n")
+	dump := filepath.Join(t.TempDir(), "tsdb.json")
+	var buf bytes.Buffer
+	code, err := run([]string{
+		"-faults", "twophase,nodes=3,rounds=2,seed=5",
+		"-cond", "causal: R1(vote-0, apply-0)",
+		"-alert-rules", rules,
+		"-tsdb-out", dump,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Errorf("exit = %d, want %d:\n%s", code, exitOK, buf.String())
+	}
+	if strings.Contains(buf.String(), "ALERT") {
+		t.Errorf("clean run fired an alert:\n%s", buf.String())
+	}
+	var d tsdb.Dump
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range d.Series {
+		if s.Name == "alert.fired" && len(s.Points) > 0 && s.Points[len(s.Points)-1].V != 0 {
+			t.Errorf("alert.fired = %d on a clean run", s.Points[len(s.Points)-1].V)
+		}
+	}
+}
+
+// TestRunAlertRuleErrors: an unreadable or unparsable rule file is an
+// internal error before any checking starts.
+func TestRunAlertRuleErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run([]string{
+		"-faults", "twophase,nodes=3,rounds=2,seed=5",
+		"-cond", "causal: R1(vote-0, apply-0)",
+		"-alert-rules", filepath.Join(t.TempDir(), "nope.rules"),
+	}, &buf); err == nil {
+		t.Error("missing rule file accepted")
+	}
+	bad := writeRules(t, "broken rule without colon\n")
+	if _, err := run([]string{
+		"-faults", "twophase,nodes=3,rounds=2,seed=5",
+		"-cond", "causal: R1(vote-0, apply-0)",
+		"-alert-rules", bad,
+	}, &buf); err == nil {
+		t.Error("unparsable rule file accepted")
+	}
+}

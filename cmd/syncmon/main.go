@@ -35,14 +35,27 @@
 // verdicts, and recent violations, as auto-refreshing HTML or JSON
 // (?format=json) — intended for long-running monitor sessions.
 //
+// Detection-latency telemetry: whenever a registry exists, an in-process
+// time-series store (internal/obs/tsdb) samples it every -sample-interval
+// (default 1s, plus one final sample at exit so short runs still land their
+// end state). -tsdb-out writes the store's full dump as JSON at exit;
+// -debug-addr additionally serves the store's query API at /debug/tsdb and
+// sparkline panels on /debug/monitor. -alert-rules loads an alert-rule file
+// ("name[severity]: expr" per line; see internal/obs/alert) evaluated after
+// every sample: firing/resolved transitions print as "ALERT <state> <rule>
+// [<severity>] <expr>" lines on stdout (CI greps them), land in -log and
+// under /debug/vars, and show on the dashboard. Alerts never change the
+// exit code — the contract above stays exactly as documented.
+//
 // -explain prints, under each settled condition, the witness cuts and
 // critical path behind every atom (internal/explain) and adds an
 // explanations panel to the dashboard; with -trace-out the evidence also
 // lands in the trace as flow arrows. -flight-out arms the violation flight
 // recorder (internal/obs/flight): when any condition is violated — or the
 // run panics — the last-K events with their live vector clocks, the final
-// per-process clocks, and a metrics snapshot are dumped as one JSON bundle.
-// -version prints build metadata and exits.
+// per-process clocks, a metrics snapshot, and (when sampling is on) the
+// tsdb tail plus the alert transition history are dumped as one JSON
+// bundle. -version prints build metadata and exits.
 package main
 
 import (
@@ -53,14 +66,19 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"causet/internal/buildinfo"
+	"causet/internal/cliutil"
 	"causet/internal/explain"
 	"causet/internal/faultsim"
 	"causet/internal/monitor"
 	"causet/internal/obs"
+	"causet/internal/obs/alert"
 	"causet/internal/obs/flight"
 	"causet/internal/obs/logx"
+	"causet/internal/obs/tsdb"
 	"causet/internal/poset"
 	"causet/internal/trace"
 )
@@ -96,6 +114,20 @@ type condList []string
 func (c *condList) String() string     { return strings.Join(*c, "; ") }
 func (c *condList) Set(s string) error { *c = append(*c, s); return nil }
 
+// syncWriter serializes writes: the alert sink prints ALERT lines from the
+// sampler goroutine while the main goroutine prints verdicts, so stdout (or
+// the test buffer standing in for it) needs a lock.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
 // run returns the process exit code per the contract above; a non-nil error
 // is itself an internal error (the caller maps it to exitError).
 func run(args []string, out io.Writer) (int, error) {
@@ -110,9 +142,10 @@ func run(args []string, out io.Writer) (int, error) {
 	version := fs.Bool("version", false, "print build information and exit")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
-	logOut := fs.String("log", "", "write a structured JSONL event log to this file (- = stderr)")
-	logLevel := fs.String("log-level", "info", "minimum -log level: debug, info, warn, or error")
-	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), /metrics (Prometheus 0.0.4), and /debug/monitor (live HTML/JSON dashboard) on this address; every server in the process appears in the causet_metrics expvar map under /debug/vars, keyed by its bound address (this used to be first-registry-wins)")
+	lf := cliutil.AddLogFlags(fs)
+	sf := cliutil.AddSampleFlags(fs)
+	alertRules := fs.String("alert-rules", "", "alert-rule file (\"name[severity]: expr\" per line; see internal/obs/alert) evaluated against the sampled time-series store after every -sample-interval tick; transitions print as ALERT lines, land in -log, /debug/vars, and the dashboard")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/metrics (JSON), /metrics (Prometheus 0.0.4), /debug/tsdb (time-series queries), and /debug/monitor (live HTML/JSON dashboard) on this address; every server in the process appears in the causet_metrics expvar map under /debug/vars, keyed by its bound address (this used to be first-registry-wins)")
 	if err := fs.Parse(args); err != nil {
 		return exitError, err
 	}
@@ -126,35 +159,55 @@ func run(args []string, out io.Writer) (int, error) {
 	if *path != "" && *faults != "" {
 		return exitError, fmt.Errorf("-trace and -faults are mutually exclusive")
 	}
+	// The alert sink prints from the sampler goroutine; serialize out.
+	out = &syncWriter{w: out}
 
-	var lg *logx.Logger
-	if *logOut != "" {
-		lvl, err := logx.ParseLevel(*logLevel)
-		if err != nil {
-			return exitError, err
-		}
-		w := stderrW
-		if *logOut != "-" {
-			f, err := os.Create(*logOut)
-			if err != nil {
-				return exitError, err
-			}
-			defer f.Close()
-			w = f
-		}
-		lg = logx.New(w, lvl)
+	lg, logClose, err := lf.Build(stderrW)
+	if err != nil {
+		return exitError, err
 	}
+	defer logClose()
 
 	// The registry/tracer exist before the trace so a -faults run lands its
 	// faultsim.* counters and partition spans in the same outputs.
 	var reg *obs.Registry
-	if *metricsOut != "" || *debugAddr != "" {
+	if *metricsOut != "" || *debugAddr != "" || *alertRules != "" || sf.Out() != "" {
 		reg = obs.New()
 		buildinfo.Current().Register(reg)
 	}
 	var tr *obs.Tracer
 	if *traceOut != "" {
 		tr = obs.NewTracer()
+	}
+
+	// Telemetry stack: store + sampler over the registry, and the alert
+	// engine evaluating after every sample. Started before the trace loads so
+	// a slow -faults generation is already being sampled.
+	var tel *cliutil.Telemetry
+	var eng *alert.Engine
+	if reg != nil {
+		tel = cliutil.NewTelemetry(reg, sf.Interval())
+		if *alertRules != "" {
+			src, rerr := os.ReadFile(*alertRules)
+			if rerr != nil {
+				return exitError, rerr
+			}
+			rules, perr := alert.ParseRules(string(src))
+			if perr != nil {
+				return exitError, fmt.Errorf("%s: %w", *alertRules, perr)
+			}
+			eng = alert.NewEngine(tel.Store, rules)
+			eng.Instrument(reg)
+			eng.AddSink(&alert.LogSink{Log: lg})
+			eng.AddSink(alert.NewExpvarSink("causet_alerts"))
+			alertOut := out
+			eng.AddSink(alert.FuncSink(func(ev alert.Event) {
+				fmt.Fprintf(alertOut, "ALERT %s %s [%s] %s\n", ev.State, ev.Rule, ev.Severity, ev.Expr)
+			}))
+			tel.Sampler.AfterSample = eng.Evaluate
+		}
+		tel.Start()
+		defer tel.Stop()
 	}
 
 	// The flight recorder rides along from here so a panic anywhere below
@@ -170,7 +223,6 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 
 	var f *trace.File
-	var err error
 	src := *path
 	if *faults != "" {
 		src = "faultsim:" + *faults
@@ -197,6 +249,8 @@ func run(args []string, out io.Writer) (int, error) {
 		// linear extension through the recorder — same ring, same clocks.
 		fr = replayFlight(ex)
 	}
+	// Violation bundles carry the telemetry tail and alert history too.
+	fr.Attach(tel.TSDB(), eng)
 	lg.Info("trace_loaded", logx.F("trace", src), logx.F("procs", ex.NumProcs()))
 
 	m := monitor.New(ex)
@@ -214,10 +268,12 @@ func run(args []string, out io.Writer) (int, error) {
 
 	var view *monitorView
 	if *debugAddr != "" {
-		view = newMonitorView(m, ex, reg)
-		ln, err := obs.ServeDebugWith(*debugAddr, reg, map[string]http.Handler{
-			"/debug/monitor": view,
-		})
+		view = newMonitorView(m, ex, reg, tel.TSDB(), eng)
+		extra := map[string]http.Handler{"/debug/monitor": view}
+		if tel != nil {
+			extra["/debug/tsdb"] = tsdb.Handler(tel.Store)
+		}
+		ln, err := obs.ServeDebugWith(*debugAddr, reg, extra)
 		if err != nil {
 			return exitError, err
 		}
@@ -329,8 +385,18 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 		fmt.Fprintf(stderrW, "syncmon: flight bundle (%s) written to %s\n", reason, *flightOut)
 	}
+	// Final telemetry beat: stop the sampler, take one last sample (which
+	// also gives the alert engine its final evaluation), then write the
+	// -tsdb-out dump. Alerts never alter the exit code.
+	if tel != nil {
+		now := time.Now()
+		tel.Close(now)
+		if derr := tel.WriteDump(sf.Out(), now, stderrW); derr != nil {
+			return exitError, derr
+		}
+	}
 	lg.Info("run_complete", logx.F("conditions", len(results)), logx.F("exit_code", code))
-	if err := flushObs(reg, tr, *metricsOut, *traceOut); err != nil {
+	if err := cliutil.FlushObs(reg, tr, *metricsOut, *traceOut, stderrW); err != nil {
 		return exitError, err
 	}
 	return code, nil
@@ -356,32 +422,4 @@ func replayFlight(ex *poset.Execution) *flight.Recorder {
 		fr.Record(id.Proc, id.Pos, kind, "", from)
 	}
 	return fr
-}
-
-// flushObs writes the -metrics snapshot and -trace-out file at the end of a
-// run. metricsOut of "-" selects stderr.
-func flushObs(reg *obs.Registry, tr *obs.Tracer, metricsOut, traceOut string) error {
-	if reg != nil && metricsOut != "" {
-		w := stderrW
-		if metricsOut != "-" {
-			f, err := os.Create(metricsOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
-		}
-		if err := reg.Snapshot().WriteJSON(w); err != nil {
-			return err
-		}
-	}
-	if tr != nil && traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		return tr.WriteJSON(f)
-	}
-	return nil
 }

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"html/template"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -11,6 +13,8 @@ import (
 	"causet/internal/explain"
 	"causet/internal/monitor"
 	"causet/internal/obs"
+	"causet/internal/obs/alert"
+	"causet/internal/obs/tsdb"
 	"causet/internal/poset"
 )
 
@@ -18,12 +22,16 @@ import (
 // monitor state as JSON (?format=json) and, by default, a self-contained
 // auto-refreshing HTML dashboard rendered with the stdlib template engine
 // — per-process vector clocks, interval status, settled/pending
-// conditions, the recent-violation list, and the per-refresh metrics
-// delta (obs.Snapshot.Diff against the previously served snapshot).
+// conditions, alert-rule state, telemetry sparklines from the sampled
+// time-series store, the recent-violation list, and the per-refresh
+// metrics delta (obs.Snapshot.Diff against the previously served
+// snapshot).
 type monitorView struct {
 	m   *monitor.Monitor
 	ex  *poset.Execution
 	reg *obs.Registry
+	st  *tsdb.Store   // may be nil: no sparkline panel
+	eng *alert.Engine // may be nil: no alerts panel
 
 	mu           sync.Mutex
 	results      []monitor.Result
@@ -35,10 +43,16 @@ type monitorView struct {
 // maxRecentViolations caps the dashboard's violation timeline.
 const maxRecentViolations = 32
 
-// newMonitorView builds the view over a monitor and its execution; reg may
-// be nil (the metrics delta is then empty).
-func newMonitorView(m *monitor.Monitor, ex *poset.Execution, reg *obs.Registry) *monitorView {
-	return &monitorView{m: m, ex: ex, reg: reg}
+// sparkWindow is how far back the dashboard sparklines look.
+const sparkWindow = 2 * time.Minute
+
+// maxSparks caps the sparkline panel.
+const maxSparks = 8
+
+// newMonitorView builds the view over a monitor and its execution; reg, st,
+// and eng may each be nil (the corresponding panel is then empty).
+func newMonitorView(m *monitor.Monitor, ex *poset.Execution, reg *obs.Registry, st *tsdb.Store, eng *alert.Engine) *monitorView {
+	return &monitorView{m: m, ex: ex, reg: reg, st: st, eng: eng}
 }
 
 // setResults publishes check results to the dashboard, appending newly
@@ -110,6 +124,14 @@ type explanationState struct {
 	Explanation *explain.ConditionExplanation `json:"explanation"`
 }
 
+// sparkState is one sampled series rendered as an inline SVG sparkline.
+type sparkState struct {
+	Name   string `json:"name"`
+	Latest int64  `json:"latest"`
+	// Points is the 120×24-viewBox polyline points attribute (HTML only).
+	Points string `json:"-"`
+}
+
 // monitorState is the JSON document served at /debug/monitor?format=json
 // and the data behind the HTML view.
 type monitorState struct {
@@ -119,7 +141,86 @@ type monitorState struct {
 	Conditions   []conditionState   `json:"conditions"`
 	Violations   []string           `json:"recent_violations"`
 	Explanations []explanationState `json:"explanations,omitempty"`
+	Alerts       []alert.Status     `json:"alerts,omitempty"`
+	Tsdb         *tsdb.Stats        `json:"tsdb,omitempty"`
+	Sparks       []sparkState       `json:"sparks,omitempty"`
 	MetricsDelta obs.SnapshotDiff   `json:"metrics_delta"`
+}
+
+// sparkPrefixes orders series for the sparkline panel: detection-latency
+// and violation telemetry first, then the engines' own meters.
+var sparkPrefixes = []string{"online.detect_latency", "syncmon.", "alert.", "runtime.", "tsdb."}
+
+// sparks selects up to maxSparks series (preferred prefixes first, then
+// alphabetical) and renders their last sparkWindow of samples as polyline
+// point lists.
+func (v *monitorView) sparks(now time.Time) []sparkState {
+	if v.st == nil {
+		return nil
+	}
+	names := v.st.Names()
+	rank := func(name string) int {
+		for i, p := range sparkPrefixes {
+			if strings.HasPrefix(name, p) {
+				return i
+			}
+		}
+		return len(sparkPrefixes)
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		ri, rj := rank(names[i]), rank(names[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return names[i] < names[j]
+	})
+	var out []sparkState
+	for _, name := range names {
+		if len(out) == maxSparks {
+			break
+		}
+		pts := v.st.Query(name, now.Add(-sparkWindow), now)
+		if len(pts) == 0 {
+			continue
+		}
+		out = append(out, sparkState{
+			Name:   name,
+			Latest: pts[len(pts)-1].V,
+			Points: sparkPoints(pts),
+		})
+	}
+	return out
+}
+
+// sparkPoints maps samples onto a 120×24 viewBox, newest at the right.
+func sparkPoints(pts []tsdb.Point) string {
+	minT, maxT := pts[0].T, pts[len(pts)-1].T
+	minV, maxV := pts[0].V, pts[0].V
+	for _, p := range pts {
+		if p.V < minV {
+			minV = p.V
+		}
+		if p.V > maxV {
+			maxV = p.V
+		}
+	}
+	spanT, spanV := maxT-minT, maxV-minV
+	if spanT == 0 {
+		spanT = 1
+	}
+	if spanV == 0 {
+		spanV = 1
+	}
+	var sb strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		x := float64(p.T-minT)/float64(spanT)*118 + 1
+		y := 23 - float64(p.V-minV)/float64(spanV)*22
+		fmt.Fprintf(&sb, "%.1f,%.1f", x, y)
+	}
+	return sb.String()
 }
 
 // state assembles the current monitor state, computing the metrics delta
@@ -160,6 +261,15 @@ func (v *monitorView) state() monitorState {
 	}
 	st.Violations = append([]string(nil), v.violations...)
 	st.Explanations = append([]explanationState(nil), v.explanations...)
+
+	if v.eng != nil {
+		st.Alerts = v.eng.Statuses()
+	}
+	if v.st != nil {
+		stats := v.st.Stats()
+		st.Tsdb = &stats
+		st.Sparks = v.sparks(time.Now())
+	}
 
 	cur := v.reg.Snapshot()
 	if v.prev != nil {
@@ -204,7 +314,9 @@ table { border-collapse: collapse; margin-top: .4rem; }
 th, td { border: 1px solid #333; padding: .25rem .6rem; text-align: left; }
 th { background: #1c1c1c; }
 .holds { color: #7c7; } .violated { color: #f77; } .failed { color: #fa5; } .pending { color: #888; }
+.firing { color: #f77; } .inactive { color: #888; }
 .muted { color: #777; font-size: .85rem; }
+svg.spark { background: #181818; display: block; }
 </style>
 </head>
 <body>
@@ -225,6 +337,16 @@ th { background: #1c1c1c; }
 <table><tr><th>name</th><th>expression</th><th>verdict</th></tr>
 {{range .Conditions}}<tr><td>{{.Name}}</td><td>{{.Src}}</td><td class="{{.State}}">{{.State}}{{if .Err}} — {{.Err}}{{end}}</td></tr>
 {{end}}</table>
+
+{{if .Alerts}}<h2>Alerts</h2>
+<table><tr><th>rule</th><th>severity</th><th>state</th><th>expression</th><th>fired</th></tr>
+{{range .Alerts}}<tr><td>{{.Rule}}</td><td>{{.Severity}}</td><td class="{{.State}}">{{.State}}</td><td>{{.Expr}}</td><td>{{.Fired}}</td></tr>
+{{end}}</table>{{end}}
+
+{{if .Sparks}}<h2>Telemetry <span class="muted">(last 2m · <a href="/debug/tsdb">tsdb</a>)</span></h2>
+<table><tr><th>series</th><th>trend</th><th>latest</th></tr>
+{{range .Sparks}}<tr><td>{{.Name}}</td><td><svg class="spark" width="120" height="24" viewBox="0 0 120 24"><polyline points="{{.Points}}" fill="none" stroke="#9cf" stroke-width="1"/></svg></td><td>{{.Latest}}</td></tr>
+{{end}}</table>{{end}}
 
 {{if .Explanations}}<h2>Explanations</h2>
 {{range .Explanations}}<h3 class="{{.State}}">{{.Name}} — {{.State}}</h3>

@@ -57,7 +57,7 @@ func TestMonitorViewJSONAndHTML(t *testing.T) {
 	}
 	reg := obs.New()
 	m.Analysis().Instrument(reg, nil)
-	view := newMonitorView(m, m.Analysis().Execution(), reg)
+	view := newMonitorView(m, m.Analysis().Execution(), reg, nil, nil)
 	view.setResults(m.Check())
 
 	rec := httptest.NewRecorder()
@@ -119,7 +119,7 @@ func TestMonitorViewRepeatDelta(t *testing.T) {
 	}
 	reg := obs.New()
 	m.Analysis().Instrument(reg, nil)
-	view := newMonitorView(m, m.Analysis().Execution(), reg)
+	view := newMonitorView(m, m.Analysis().Execution(), reg, nil, nil)
 	view.setResults(m.Check())
 
 	first := view.state()
@@ -142,7 +142,7 @@ func TestRunDebugServer(t *testing.T) {
 	prevHook, prevStderr := debugStarted, stderrW
 	stderrW = io.Discard
 	debugStarted = func(addr string) {
-		for _, ep := range []string{"/debug/monitor", "/debug/monitor?format=json", "/metrics"} {
+		for _, ep := range []string{"/debug/monitor", "/debug/monitor?format=json", "/metrics", "/debug/tsdb?dump=1"} {
 			resp, err := http.Get("http://" + addr + ep)
 			if err != nil {
 				t.Errorf("GET %s: %v", ep, err)
@@ -176,6 +176,13 @@ func TestRunDebugServer(t *testing.T) {
 	}
 	if !strings.Contains(fetched["/metrics"], "version=0.0.4") {
 		t.Errorf("/metrics Content-Type missing exposition version:\n%s", fetched["/metrics"])
+	}
+	// The telemetry store's query API rides on the same server. The sampler
+	// may not have ticked yet while the run is live, so assert the route and
+	// the dump envelope, not its contents.
+	if !strings.Contains(fetched["/debug/tsdb?dump=1"], "application/json") ||
+		!strings.Contains(fetched["/debug/tsdb?dump=1"], "taken_at_ns") {
+		t.Errorf("/debug/tsdb?dump=1 did not serve a JSON dump:\n%s", fetched["/debug/tsdb?dump=1"])
 	}
 }
 

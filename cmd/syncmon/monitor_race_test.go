@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"causet/internal/obs"
+	"causet/internal/obs/alert"
+	"causet/internal/obs/tsdb"
+)
+
+// TestMonitorViewConcurrent hammers the dashboard from several goroutines —
+// HTML and JSON fetches racing against repeated settlement publications,
+// live sampler ticks into the store behind the sparklines, and alert-engine
+// evaluations behind the alerts panel. Run under -race this pins the
+// view/store/engine locking; functionally it asserts every response stays
+// well-formed mid-churn.
+func TestMonitorViewConcurrent(t *testing.T) {
+	m := loadMonitor(t)
+	for _, c := range [][2]string{
+		{"ordered", "R1(ring-round-0, ring-round-1)"},
+		{"backwards", "R1(ring-round-1, ring-round-0)"},
+	} {
+		if err := m.AddCondition(c[0], c[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := obs.New()
+	m.Analysis().Instrument(reg, nil)
+
+	st := tsdb.NewStore(tsdb.Options{})
+	smp := tsdb.NewSampler(reg, st, time.Second)
+	rules, err := alert.ParseRules("breach[warn]: syncmon.violations.count > 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := alert.NewEngine(st, rules)
+	eng.Instrument(reg)
+	smp.AfterSample = eng.Evaluate
+
+	view := newMonitorView(m, m.Analysis().Execution(), reg, st, eng)
+	view.setResults(m.Check())
+
+	// Stamp samples near the wall clock: the sparkline panel only plots the
+	// last sparkWindow of real time.
+	base := time.Now().Add(-time.Second)
+	violWin := reg.Window("syncmon.violations", 256)
+
+	const rounds = 50
+	var wg sync.WaitGroup
+	wg.Add(3)
+	// Writer: settlements, violation observations, and sampler ticks.
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			violWin.Observe(1)
+			smp.SampleOnce(base.Add(time.Duration(i) * time.Millisecond))
+			view.setResults(m.Check())
+		}
+	}()
+	// Reader: the JSON document must decode on every fetch.
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			rec := httptest.NewRecorder()
+			view.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/monitor?format=json", nil))
+			var state monitorState
+			if err := json.Unmarshal(rec.Body.Bytes(), &state); err != nil {
+				t.Errorf("fetch %d: dashboard JSON invalid: %v", i, err)
+				return
+			}
+		}
+	}()
+	// Reader: the HTML view must render on every fetch.
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			rec := httptest.NewRecorder()
+			view.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/monitor", nil))
+			if !strings.Contains(rec.Body.String(), "syncmon live monitor") {
+				t.Errorf("fetch %d: HTML view did not render", i)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// After the churn: the alerts panel reports the (long since fired) rule
+	// and the sparkline panel reflects the sampled store.
+	rec := httptest.NewRecorder()
+	view.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/monitor?format=json", nil))
+	var state monitorState
+	if err := json.Unmarshal(rec.Body.Bytes(), &state); err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Alerts) != 1 || state.Alerts[0].State != "firing" {
+		t.Errorf("alerts panel = %+v, want the breach rule firing", state.Alerts)
+	}
+	if state.Tsdb == nil || state.Tsdb.Series == 0 {
+		t.Errorf("tsdb stats panel empty: %+v", state.Tsdb)
+	}
+	if len(state.Sparks) == 0 {
+		t.Error("sparkline panel empty after sampling")
+	}
+	for _, s := range state.Sparks {
+		if s.Name == "" {
+			t.Errorf("spark with empty name: %+v", s)
+		}
+	}
+}

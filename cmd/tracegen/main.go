@@ -12,7 +12,8 @@
 // Observability: -metrics dumps an internal/obs registry snapshot as JSON
 // (file path, or - for stderr) with the generated event/message/interval
 // counts; -trace-out writes a Chrome trace_event file spanning the
-// generate/save/stats phases.
+// generate/save/stats phases; -log writes a structured JSONL event log
+// (gated by -log-level) covering the generate/save phases.
 package main
 
 import (
@@ -23,7 +24,9 @@ import (
 	"time"
 
 	"causet/internal/buildinfo"
+	"causet/internal/cliutil"
 	"causet/internal/obs"
+	"causet/internal/obs/logx"
 	"causet/internal/poset"
 	"causet/internal/rt"
 	"causet/internal/sim"
@@ -55,6 +58,7 @@ func run(args []string, out io.Writer) error {
 	maxLatency := fs.Duration("maxlatency", 20*time.Millisecond, "max message latency for -timing")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
+	lf := cliutil.AddLogFlags(fs)
 	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +67,12 @@ func run(args []string, out io.Writer) error {
 		buildinfo.Current().Print(out, "tracegen")
 		return nil
 	}
+
+	lg, logClose, err := lf.Build(stderrW)
+	if err != nil {
+		return err
+	}
+	defer logClose()
 
 	var reg *obs.Registry
 	if *metricsOut != "" {
@@ -84,8 +94,11 @@ func run(args []string, out io.Writer) error {
 	})
 	genSpan.End()
 	if err != nil {
+		lg.Error("generate_failed", logx.F("pattern", p.String()), logx.F("err", err))
 		return err
 	}
+	lg.Info("trace_generated", logx.F("pattern", p.String()), logx.F("procs", *procs),
+		logx.F("seed", *seed))
 
 	named := make(map[string][]poset.EventID, len(res.Phases))
 	for _, ph := range res.Phases {
@@ -105,6 +118,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	lg.Info("trace_saved", logx.F("path", *output))
 
 	st := res.Exec.Stats()
 	reg.Counter("tracegen.events").Add(int64(st.Events))
@@ -118,33 +132,5 @@ func run(args []string, out io.Writer) error {
 		statsSpan.End()
 		fmt.Fprintf(out, "causal density: %.3f (%d ordered pairs)\n", full.Density, full.OrderedPairs)
 	}
-	return flushObs(reg, tr, *metricsOut, *traceOut)
-}
-
-// flushObs writes the -metrics snapshot and -trace-out file at the end of a
-// run. metricsOut of "-" selects stderr.
-func flushObs(reg *obs.Registry, tr *obs.Tracer, metricsOut, traceOut string) error {
-	if reg != nil && metricsOut != "" {
-		w := stderrW
-		if metricsOut != "-" {
-			f, err := os.Create(metricsOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
-		}
-		if err := reg.Snapshot().WriteJSON(w); err != nil {
-			return err
-		}
-	}
-	if tr != nil && traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		return tr.WriteJSON(f)
-	}
-	return nil
+	return cliutil.FlushObs(reg, tr, *metricsOut, *traceOut, stderrW)
 }

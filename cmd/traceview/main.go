@@ -10,7 +10,8 @@
 //
 // Observability: -metrics dumps an internal/obs registry snapshot as JSON
 // (file path, or - for stderr) with the cut-build and comparison counters
-// behind the overlays; -trace-out writes a Chrome trace_event file.
+// behind the overlays; -trace-out writes a Chrome trace_event file; -log
+// writes a structured JSONL event log (gated by -log-level).
 //
 // -explain takes one condition-DSL atom (e.g. "R2(x, y)" or "R1(L(x), y)"),
 // prints its witness and critical path (internal/explain), and overlays the
@@ -25,10 +26,12 @@ import (
 	"os"
 
 	"causet/internal/buildinfo"
+	"causet/internal/cliutil"
 	"causet/internal/core"
 	"causet/internal/explain"
 	"causet/internal/monitor"
 	"causet/internal/obs"
+	"causet/internal/obs/logx"
 	"causet/internal/poset"
 	"causet/internal/render"
 	"causet/internal/trace"
@@ -55,6 +58,7 @@ func run(args []string, out io.Writer) error {
 	explainSpec := fs.String("explain", "", "explain a relation verdict given as one condition-DSL atom (e.g. \"R2(x, y)\"): print its witness + critical path and overlay the evidence ('W' = witness pair, '+' = critical-path events)")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto/about://tracing)")
+	lf := cliutil.AddLogFlags(fs)
 	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +71,12 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("missing -trace")
 	}
 
+	lg, logClose, err := lf.Build(stderrW)
+	if err != nil {
+		return err
+	}
+	defer logClose()
+
 	var reg *obs.Registry
 	if *metricsOut != "" {
 		reg = obs.New()
@@ -77,7 +87,7 @@ func run(args []string, out io.Writer) error {
 		tr = obs.NewTracer()
 	}
 	defer func() {
-		if err := flushObs(reg, tr, *metricsOut, *traceOut); err != nil {
+		if err := cliutil.FlushObs(reg, tr, *metricsOut, *traceOut, stderrW); err != nil {
 			fmt.Fprintln(stderrW, "traceview: flush:", err)
 		}
 	}()
@@ -89,6 +99,8 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	lg.Info("trace_loaded", logx.F("trace", *path), logx.F("procs", ex.NumProcs()),
+		logx.F("intervals", len(f.IntervalNames())))
 	// newAnalysis is shared by the three rendering paths so each cut build
 	// lands in the same registry and tracer.
 	newAnalysis := func() *core.Analysis {
@@ -216,33 +228,5 @@ func run(args []string, out io.Writer) error {
 	d.Mark(explPath, '+')
 	d.Mark(explWitness, 'W')
 	fmt.Fprint(out, d.Render())
-	return nil
-}
-
-// flushObs writes the -metrics snapshot and -trace-out file at the end of a
-// run. metricsOut of "-" selects stderr.
-func flushObs(reg *obs.Registry, tr *obs.Tracer, metricsOut, traceOut string) error {
-	if reg != nil && metricsOut != "" {
-		w := stderrW
-		if metricsOut != "-" {
-			f, err := os.Create(metricsOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
-		}
-		if err := reg.Snapshot().WriteJSON(w); err != nil {
-			return err
-		}
-	}
-	if tr != nil && traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		return tr.WriteJSON(f)
-	}
 	return nil
 }

@@ -1,0 +1,268 @@
+package alert
+
+import (
+	"sync"
+	"time"
+
+	"causet/internal/obs"
+	"causet/internal/obs/tsdb"
+)
+
+// Querier is the read surface the rule engine needs from a telemetry store.
+// *tsdb.Store satisfies it; tests substitute fixed tables.
+type Querier interface {
+	Latest(name string) (tsdb.Point, bool)
+	Rate(name string, lookback time.Duration, now time.Time) (float64, bool)
+	Increase(name string, lookback time.Duration, now time.Time) (int64, bool)
+	MinMax(name string, lookback time.Duration, now time.Time) (min, max int64, ok bool)
+	Avg(name string, lookback time.Duration, now time.Time) (float64, bool)
+	Quantile(name string, q float64, lookback time.Duration, now time.Time) (int64, bool)
+}
+
+// State is a rule's position in the firing state machine.
+type State int
+
+// The states: Inactive (condition false), Pending (condition true, waiting
+// out the "for" damper), Firing (condition held long enough).
+const (
+	StateInactive State = iota
+	StatePending
+	StateFiring
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateFiring:
+		return "firing"
+	}
+	return "inactive"
+}
+
+// Event is one state-machine transition, as emitted to sinks and retained
+// in the engine's history ring.
+type Event struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	State    string `json:"state"` // "firing" or "resolved"
+	Expr     string `json:"expr"`
+	AtNS     int64  `json:"at_ns"`
+}
+
+// Sink receives state-transition events. Emit is called under the engine's
+// lock, in Evaluate's caller goroutine — sinks that block (webhooks) should
+// hand off internally.
+type Sink interface {
+	Emit(ev Event)
+}
+
+// Status is one rule's current state, for dashboards.
+type Status struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	State    string `json:"state"`
+	Expr     string `json:"expr"`
+	// SinceNS is when the rule entered its current non-inactive state
+	// (pending start or firing start); 0 when inactive.
+	SinceNS int64 `json:"since_ns,omitempty"`
+	// Fired counts firing transitions over the engine's lifetime.
+	Fired int64 `json:"fired"`
+}
+
+// historyCap bounds the engine's transition ring.
+const historyCap = 256
+
+// ruleState is the per-rule half of the state machine.
+type ruleState struct {
+	state        State
+	pendingSince time.Time
+	firingSince  time.Time
+	fired        int64
+}
+
+// Engine evaluates rules against a querier and emits transitions. Evaluate
+// is typically installed as the sampler's AfterSample hook, so rules see
+// the store the instant it refreshes.
+type Engine struct {
+	q     Querier
+	rules []*Rule
+
+	mu      sync.Mutex
+	states  map[string]*ruleState
+	sinks   []Sink
+	history []Event
+
+	metEvals  *obs.Counter
+	metFired  *obs.Counter
+	gttFiring *obs.Gauge
+}
+
+// NewEngine builds an engine over the querier with a fixed rule set.
+func NewEngine(q Querier, rules []*Rule) *Engine {
+	e := &Engine{q: q, rules: rules, states: make(map[string]*ruleState, len(rules))}
+	for _, r := range rules {
+		e.states[r.Name] = &ruleState{}
+	}
+	return e
+}
+
+// AddSink registers a transition sink. Not safe concurrently with Evaluate;
+// wire sinks before starting the sampler.
+func (e *Engine) AddSink(s Sink) {
+	if s == nil {
+		return
+	}
+	e.mu.Lock()
+	e.sinks = append(e.sinks, s)
+	e.mu.Unlock()
+}
+
+// Instrument registers the engine's own meters: alert.evals and alert.fired
+// counters and the alert.firing gauge (currently-firing rule count) — which
+// the sampler then feeds back into the tsdb, so "how often do we page" is
+// itself a queryable series.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.metEvals = reg.Counter("alert.evals")
+	e.metFired = reg.Counter("alert.fired")
+	e.gttFiring = reg.Gauge("alert.firing")
+}
+
+// Rules returns the engine's rule set (shared slice; do not mutate).
+func (e *Engine) Rules() []*Rule { return e.rules }
+
+// Evaluate runs every rule against the querier at now and advances the
+// state machine:
+//
+//	condition true:  Inactive → Pending (with "for") or straight to Firing;
+//	                 Pending → Firing once held for the rule's For window
+//	condition false: Pending → Inactive silently; Firing → Inactive with a
+//	                 "resolved" event
+//
+// Firing transitions emit exactly one "firing" event — a rule that stays
+// true keeps firing silently, which is what makes "alert fires exactly
+// once" testable in CI. Nil-safe.
+func (e *Engine) Evaluate(now time.Time) {
+	if e == nil {
+		return
+	}
+	e.metEvals.Inc()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	firing := int64(0)
+	for _, r := range e.rules {
+		st := e.states[r.Name]
+		ok := r.Expr.Eval(e.q, now)
+		switch {
+		case ok && st.state == StateInactive:
+			if r.For > 0 {
+				st.state = StatePending
+				st.pendingSince = now
+			} else {
+				e.fireLocked(r, st, now)
+			}
+		case ok && st.state == StatePending:
+			if now.Sub(st.pendingSince) >= r.For {
+				e.fireLocked(r, st, now)
+			}
+		case !ok && st.state == StatePending:
+			st.state = StateInactive
+		case !ok && st.state == StateFiring:
+			st.state = StateInactive
+			e.emitLocked(Event{
+				Rule: r.Name, Severity: r.Severity.String(), State: "resolved",
+				Expr: r.Src, AtNS: now.UnixNano(),
+			})
+		}
+		if st.state == StateFiring {
+			firing++
+		}
+	}
+	e.gttFiring.Set(firing)
+}
+
+func (e *Engine) fireLocked(r *Rule, st *ruleState, now time.Time) {
+	st.state = StateFiring
+	st.firingSince = now
+	st.fired++
+	e.metFired.Inc()
+	e.emitLocked(Event{
+		Rule: r.Name, Severity: r.Severity.String(), State: "firing",
+		Expr: r.Src, AtNS: now.UnixNano(),
+	})
+}
+
+func (e *Engine) emitLocked(ev Event) {
+	if len(e.history) >= historyCap {
+		e.history = e.history[1:]
+	}
+	e.history = append(e.history, ev)
+	for _, s := range e.sinks {
+		s.Emit(ev)
+	}
+}
+
+// Statuses reports every rule's current state, rule order preserved.
+// Nil-safe (returns nil).
+func (e *Engine) Statuses() []Status {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Status, 0, len(e.rules))
+	for _, r := range e.rules {
+		st := e.states[r.Name]
+		s := Status{
+			Rule: r.Name, Severity: r.Severity.String(),
+			State: st.state.String(), Expr: r.Src, Fired: st.fired,
+		}
+		switch st.state {
+		case StatePending:
+			s.SinceNS = st.pendingSince.UnixNano()
+		case StateFiring:
+			s.SinceNS = st.firingSince.UnixNano()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Firing reports the currently firing rules, rule order preserved.
+func (e *Engine) Firing() []Status {
+	var out []Status
+	for _, s := range e.Statuses() {
+		if s.State == "firing" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// History returns a copy of the retained transition events, oldest first.
+// Nil-safe (returns nil).
+func (e *Engine) History() []Event {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Event, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+// FiredCount reports how many times the named rule has fired; 0 for
+// unknown rules.
+func (e *Engine) FiredCount(rule string) int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.states[rule]; ok {
+		return st.fired
+	}
+	return 0
+}

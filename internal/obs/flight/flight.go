@@ -20,6 +20,8 @@ import (
 	"time"
 
 	"causet/internal/obs"
+	"causet/internal/obs/alert"
+	"causet/internal/obs/tsdb"
 )
 
 // DefaultCapacity is the ring size used when New is given a non-positive
@@ -66,7 +68,18 @@ type Bundle struct {
 	Events  []Event       `json:"events"`
 	Clocks  [][]int       `json:"clocks"` // final vector clock per process
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Tsdb is the attached time-series store's tail (TsdbTail points per
+	// series) and Alerts the attached rule engine's transition history —
+	// both present only when Attach wired them, so the black box also says
+	// how the telemetry trended into the incident and what was already
+	// paging.
+	Tsdb   *tsdb.Dump    `json:"tsdb,omitempty"`
+	Alerts []alert.Event `json:"alerts,omitempty"`
 }
+
+// TsdbTail is how many trailing samples per series a bundle retains from an
+// attached store.
+const TsdbTail = 60
 
 // sendWindowFactor bounds the retained send clocks to factor × capacity;
 // older sends are evicted FIFO and any recv that later references one is
@@ -83,6 +96,22 @@ type Recorder struct {
 
 	sent     map[EventRef][]int
 	sentFIFO []EventRef
+
+	tsdbStore *tsdb.Store
+	alerts    *alert.Engine
+}
+
+// Attach wires a time-series store and/or alert engine into future bundles
+// (either may be nil); Dump's signature is unchanged, existing call sites
+// simply gain the telemetry sections. Nil-safe.
+func (r *Recorder) Attach(st *tsdb.Store, eng *alert.Engine) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tsdbStore = st
+	r.alerts = eng
+	r.mu.Unlock()
 }
 
 // New returns a recorder for procs processes keeping the last capacity
@@ -203,10 +232,17 @@ func (r *Recorder) Snapshot(reason string, reg *obs.Registry) *Bundle {
 	for _, head := range r.heads {
 		b.Clocks = append(b.Clocks, append([]int(nil), head...))
 	}
+	st, eng := r.tsdbStore, r.alerts
 	r.mu.Unlock()
 	if reg != nil {
 		snap := reg.Snapshot()
 		b.Metrics = &snap
+	}
+	if st != nil {
+		b.Tsdb = st.Dump(TsdbTail, time.Now())
+	}
+	if eng != nil {
+		b.Alerts = eng.History()
 	}
 	return b
 }

@@ -6,8 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"causet/internal/obs"
+	"causet/internal/obs/alert"
+	"causet/internal/obs/tsdb"
 )
 
 func TestRingBounds(t *testing.T) {
@@ -194,4 +197,54 @@ func TestNilRecorder(t *testing.T) {
 	if err := r.Dump("/nonexistent/x.json", "x", nil); err == nil {
 		t.Error("nil recorder Dump must error")
 	}
+}
+
+func TestAttachTelemetry(t *testing.T) {
+	r := New(2, 8)
+	r.Record(0, 1, "internal", "boot", nil)
+
+	st := tsdb.NewStore(tsdb.Options{})
+	base := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 2*TsdbTail; i++ {
+		st.Append("violations", tsdb.KindCounter, base.Add(time.Duration(i)*time.Second), int64(i))
+	}
+	rules, err := alert.ParseRules("hot[critical]: rate(violations, 60s) > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := alert.NewEngine(st, rules)
+	eng.Evaluate(base.Add(time.Duration(2*TsdbTail) * time.Second))
+	r.Attach(st, eng)
+
+	b := r.Snapshot("violation: test", nil)
+	if b.Tsdb == nil || len(b.Tsdb.Series) != 1 {
+		t.Fatalf("bundle tsdb = %+v", b.Tsdb)
+	}
+	if n := len(b.Tsdb.Series[0].Points); n != TsdbTail {
+		t.Fatalf("bundle tsdb tail %d points, want %d", n, TsdbTail)
+	}
+	if len(b.Alerts) != 1 || b.Alerts[0].Rule != "hot" || b.Alerts[0].State != "firing" {
+		t.Fatalf("bundle alerts = %+v", b.Alerts)
+	}
+
+	// Round-trips through JSON with the sections intact.
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tsdb == nil || len(back.Tsdb.Series[0].Points) != TsdbTail || len(back.Alerts) != 1 {
+		t.Fatalf("round trip lost telemetry: %+v", back)
+	}
+
+	// Nil attachments and nil recorder stay no-ops.
+	r.Attach(nil, nil)
+	if b := r.Snapshot("x", nil); b.Tsdb != nil || b.Alerts != nil {
+		t.Fatal("detached recorder still bundles telemetry")
+	}
+	var nilR *Recorder
+	nilR.Attach(st, eng)
 }

@@ -1,0 +1,187 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler serves the store as a JSON query endpoint (syncmon mounts it at
+// /debug/tsdb):
+//
+//	GET /debug/tsdb                          → {"series": [summaries...]}
+//	GET /debug/tsdb?dump=1[&tail=N]          → full Dump (last N points per series)
+//	GET /debug/tsdb?series=NAME[&window=30s] → {"name", "kind", "points": [...]}
+//	GET /debug/tsdb?series=NAME&agg=rate[&window=30s]
+//	                                         → {"name", "agg", "window", "value"}
+//
+// agg is one of rate, increase, min, max, avg, p50, p90, p99, value;
+// window defaults to 60s (ignored by value). Unknown series answer 404,
+// malformed parameters 400.
+func Handler(st *Store) http.Handler {
+	return &handler{st: st, nowFn: time.Now}
+}
+
+type handler struct {
+	st    *Store
+	nowFn func() time.Time
+}
+
+// seriesSummary is one row of the index response.
+type seriesSummary struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Points  int    `json:"points"`
+	FirstNS int64  `json:"first_ns,omitempty"`
+	LastNS  int64  `json:"last_ns,omitempty"`
+	Dropped int64  `json:"dropped,omitempty"`
+}
+
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	now := h.nowFn()
+	writeJSON := func(v any) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	fail := func(code int, format string, args ...any) {
+		http.Error(w, fmt.Sprintf(format, args...), code)
+	}
+
+	if q.Get("dump") != "" {
+		tail := 0
+		if ts := q.Get("tail"); ts != "" {
+			n, err := strconv.Atoi(ts)
+			if err != nil || n < 0 {
+				fail(http.StatusBadRequest, "tsdb: bad tail %q", ts)
+				return
+			}
+			tail = n
+		}
+		writeJSON(h.st.Dump(tail, now))
+		return
+	}
+
+	name := q.Get("series")
+	if name == "" {
+		var out struct {
+			Stats  Stats           `json:"stats"`
+			Series []seriesSummary `json:"series"`
+		}
+		out.Stats = h.st.Stats()
+		out.Series = []seriesSummary{}
+		for _, n := range h.st.Names() {
+			pts, kind := h.st.queryPoints(n)
+			s := seriesSummary{Name: n, Kind: kind.String(), Points: len(pts)}
+			if len(pts) > 0 {
+				s.FirstNS, s.LastNS = pts[0].T, pts[len(pts)-1].T
+			}
+			out.Series = append(out.Series, s)
+		}
+		writeJSON(out)
+		return
+	}
+
+	kind, ok := h.st.Kind(name)
+	if !ok {
+		fail(http.StatusNotFound, "tsdb: unknown series %q", name)
+		return
+	}
+	window := 60 * time.Second
+	if ws := q.Get("window"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d <= 0 {
+			fail(http.StatusBadRequest, "tsdb: bad window %q", ws)
+			return
+		}
+		window = d
+	}
+
+	agg := q.Get("agg")
+	if agg == "" {
+		var pts []Point
+		if q.Get("window") != "" {
+			pts = h.st.Query(name, now.Add(-window), now)
+		} else {
+			pts = h.st.Query(name, time.Time{}, time.Time{})
+		}
+		writeJSON(struct {
+			Name   string  `json:"name"`
+			Kind   string  `json:"kind"`
+			Points []Point `json:"points"`
+		}{name, kind.String(), pts})
+		return
+	}
+
+	var value float64
+	switch agg {
+	case "value":
+		p, ok := h.st.Latest(name)
+		if !ok {
+			fail(http.StatusNotFound, "tsdb: series %q is empty", name)
+			return
+		}
+		value = float64(p.V)
+	case "rate":
+		v, ok := h.st.Rate(name, window, now)
+		if !ok {
+			fail(http.StatusNotFound, "tsdb: series %q has <2 samples in window", name)
+			return
+		}
+		value = v
+	case "increase":
+		v, ok := h.st.Increase(name, window, now)
+		if !ok {
+			fail(http.StatusNotFound, "tsdb: series %q has <2 samples in window", name)
+			return
+		}
+		value = float64(v)
+	case "min", "max":
+		lo, hi, ok := h.st.MinMax(name, window, now)
+		if !ok {
+			fail(http.StatusNotFound, "tsdb: series %q has no samples in window", name)
+			return
+		}
+		if agg == "min" {
+			value = float64(lo)
+		} else {
+			value = float64(hi)
+		}
+	case "avg":
+		v, ok := h.st.Avg(name, window, now)
+		if !ok {
+			fail(http.StatusNotFound, "tsdb: series %q has no samples in window", name)
+			return
+		}
+		value = v
+	case "p50", "p90", "p99":
+		var qv float64
+		switch agg {
+		case "p50":
+			qv = 0.50
+		case "p90":
+			qv = 0.90
+		default:
+			qv = 0.99
+		}
+		v, ok := h.st.Quantile(name, qv, window, now)
+		if !ok {
+			fail(http.StatusNotFound, "tsdb: series %q has no samples in window", name)
+			return
+		}
+		value = float64(v)
+	default:
+		fail(http.StatusBadRequest, "tsdb: unknown agg %q (want rate|increase|min|max|avg|p50|p90|p99|value)", agg)
+		return
+	}
+	writeJSON(struct {
+		Name   string  `json:"name"`
+		Agg    string  `json:"agg"`
+		Window string  `json:"window"`
+		Value  float64 `json:"value"`
+	}{name, agg, window.String(), value})
+}

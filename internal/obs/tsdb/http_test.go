@@ -1,0 +1,157 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// httpStore builds a store with a 10-sample counter (5/tick) and one gauge,
+// plus a handler whose clock is pinned to the last sample.
+func httpStore(t *testing.T) (*Store, *handler, time.Time) {
+	t.Helper()
+	st := NewStore(Options{})
+	for i := 0; i < 10; i++ {
+		st.Append("c", KindCounter, at.Add(time.Duration(i)*time.Second), int64(i*5))
+	}
+	st.Append("g", KindGauge, at, 42)
+	now := at.Add(9 * time.Second)
+	return st, &handler{st: st, nowFn: func() time.Time { return now }}, now
+}
+
+func httpGet(t *testing.T, h *handler, target string) (int, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+	return rec.Code, rec.Body.Bytes()
+}
+
+func TestHandlerIndex(t *testing.T) {
+	_, h, _ := httpStore(t)
+	code, body := httpGet(t, h, "/debug/tsdb")
+	if code != 200 {
+		t.Fatalf("index status %d: %s", code, body)
+	}
+	var out struct {
+		Stats  Stats           `json:"stats"`
+		Series []seriesSummary `json:"series"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("index decode: %v", err)
+	}
+	if out.Stats.Series != 2 || len(out.Series) != 2 {
+		t.Fatalf("index: %+v", out)
+	}
+	if out.Series[0].Name != "c" || out.Series[0].Kind != "counter" || out.Series[0].Points != 10 {
+		t.Fatalf("series[0] = %+v", out.Series[0])
+	}
+	if out.Series[1].Name != "g" || out.Series[1].Kind != "gauge" {
+		t.Fatalf("series[1] = %+v", out.Series[1])
+	}
+}
+
+func TestHandlerDump(t *testing.T) {
+	_, h, now := httpStore(t)
+	code, body := httpGet(t, h, "/debug/tsdb?dump=1&tail=3")
+	if code != 200 {
+		t.Fatalf("dump status %d: %s", code, body)
+	}
+	var d Dump
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatalf("dump decode: %v", err)
+	}
+	if d.TakenAtNS != now.UnixNano() {
+		t.Fatalf("TakenAtNS = %d, want %d", d.TakenAtNS, now.UnixNano())
+	}
+	if len(d.Series) != 2 || len(d.Series[0].Points) != 3 || d.Series[0].Points[2].V != 45 {
+		t.Fatalf("dump = %+v", d)
+	}
+	if code, _ := httpGet(t, h, "/debug/tsdb?dump=1&tail=x"); code != 400 {
+		t.Fatalf("bad tail status %d, want 400", code)
+	}
+}
+
+func TestHandlerSeriesPoints(t *testing.T) {
+	_, h, _ := httpStore(t)
+	code, body := httpGet(t, h, "/debug/tsdb?series=c")
+	if code != 200 {
+		t.Fatalf("series status %d: %s", code, body)
+	}
+	var out struct {
+		Name   string  `json:"name"`
+		Kind   string  `json:"kind"`
+		Points []Point `json:"points"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("series decode: %v", err)
+	}
+	if out.Name != "c" || out.Kind != "counter" || len(out.Points) != 10 {
+		t.Fatalf("series = %+v", out)
+	}
+	// Windowed points query: last 2s → samples at t=7,8,9.
+	code, body = httpGet(t, h, "/debug/tsdb?series=c&window=2s")
+	if code != 200 {
+		t.Fatalf("windowed status %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("windowed decode: %v", err)
+	}
+	if len(out.Points) != 3 {
+		t.Fatalf("windowed points = %d, want 3", len(out.Points))
+	}
+}
+
+func TestHandlerAggs(t *testing.T) {
+	_, h, _ := httpStore(t)
+	for _, tc := range []struct {
+		target string
+		want   float64
+	}{
+		{"/debug/tsdb?series=c&agg=increase", 45},
+		{"/debug/tsdb?series=c&agg=rate", 5},
+		{"/debug/tsdb?series=c&agg=value", 45},
+		{"/debug/tsdb?series=c&agg=min", 0},
+		{"/debug/tsdb?series=c&agg=max", 45},
+		{"/debug/tsdb?series=c&agg=avg", 22.5},
+		{"/debug/tsdb?series=c&agg=p50", 20},
+		{"/debug/tsdb?series=c&agg=p90", 40},
+		{"/debug/tsdb?series=c&agg=p99", 45},
+		{"/debug/tsdb?series=c&agg=increase&window=2s", 10},
+		{"/debug/tsdb?series=g&agg=value", 42},
+	} {
+		code, body := httpGet(t, h, tc.target)
+		if code != 200 {
+			t.Errorf("%s: status %d: %s", tc.target, code, body)
+			continue
+		}
+		var out struct {
+			Value float64 `json:"value"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Errorf("%s: decode: %v", tc.target, err)
+			continue
+		}
+		if out.Value != tc.want {
+			t.Errorf("%s: value %v, want %v", tc.target, out.Value, tc.want)
+		}
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	_, h, _ := httpStore(t)
+	for _, tc := range []struct {
+		target string
+		code   int
+	}{
+		{"/debug/tsdb?series=nope", 404},
+		{"/debug/tsdb?series=c&agg=bogus", 400},
+		{"/debug/tsdb?series=c&window=potato", 400},
+		{"/debug/tsdb?series=c&window=-1s", 400},
+		{"/debug/tsdb?series=g&agg=rate", 404}, // single sample → <2 in window
+	} {
+		if code, body := httpGet(t, h, tc.target); code != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.target, code, tc.code, body)
+		}
+	}
+}

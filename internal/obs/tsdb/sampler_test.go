@@ -1,0 +1,109 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"causet/internal/obs"
+)
+
+func TestSampleOnceMapping(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("checks.total").Add(7)
+	reg.Gauge("queue.depth").Set(3)
+	reg.Histogram("lat.hist", obs.DurationBuckets).Observe(1000)
+	w := reg.Window("lat.win", 16)
+	for _, v := range []int64{10, 20, 30} {
+		w.Observe(v)
+	}
+
+	st := NewStore(Options{})
+	s := NewSampler(reg, st, time.Second)
+	s.SampleOnce(at)
+
+	wantCounter := map[string]int64{
+		"checks.total":   7,
+		"lat.hist.count": 1,
+		"lat.hist.sum":   1000,
+		"lat.win.count":  3,
+		"lat.win.sum":    60,
+	}
+	for name, want := range wantCounter {
+		p, ok := st.Latest(name)
+		if !ok || p.V != want {
+			t.Errorf("series %q = %v ok=%v, want %d", name, p, ok, want)
+		}
+		if k, _ := st.Kind(name); k != KindCounter {
+			t.Errorf("series %q kind = %v, want counter", name, k)
+		}
+	}
+	wantGauge := map[string]int64{
+		"queue.depth": 3,
+		"lat.win.p50": 20,
+		"lat.win.p90": 30,
+		"lat.win.p99": 30,
+	}
+	for name, want := range wantGauge {
+		p, ok := st.Latest(name)
+		if !ok || p.V != want {
+			t.Errorf("series %q = %v ok=%v, want %d", name, p, ok, want)
+		}
+		if k, _ := st.Kind(name); k != KindGauge {
+			t.Errorf("series %q kind = %v, want gauge", name, k)
+		}
+	}
+	if _, ok := st.Latest("lat.win.rate_milli"); !ok {
+		t.Error("lat.win.rate_milli series missing")
+	}
+	// The sampler counts itself; the tick it just took snapshots the counter
+	// after Inc, so the first sample already reads 1.
+	if p, ok := st.Latest("tsdb.samples"); !ok || p.V != 1 {
+		t.Errorf("tsdb.samples = %v ok=%v, want 1", p, ok)
+	}
+	if p, _ := st.Latest("checks.total"); p.T != at.UnixNano() {
+		t.Errorf("sample stamped %d, want %d", p.T, at.UnixNano())
+	}
+}
+
+func TestSamplerAfterSampleHook(t *testing.T) {
+	reg := obs.New()
+	st := NewStore(Options{})
+	s := NewSampler(reg, st, 0)
+	if s.Interval() != DefaultInterval {
+		t.Fatalf("Interval = %v, want %v", s.Interval(), DefaultInterval)
+	}
+	var got []time.Time
+	s.AfterSample = func(now time.Time) { got = append(got, now) }
+	s.SampleOnce(at)
+	s.SampleOnce(at.Add(time.Second))
+	if len(got) != 2 || !got[0].Equal(at) || !got[1].Equal(at.Add(time.Second)) {
+		t.Fatalf("AfterSample saw %v", got)
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	reg := obs.New()
+	c := reg.Counter("x")
+	st := NewStore(Options{})
+	s := NewSampler(reg, st, time.Millisecond)
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.Inc()
+		if p, ok := st.Latest("x"); ok && p.V > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler never sampled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	snap := st.Stats()
+	time.Sleep(5 * time.Millisecond)
+	if st.Stats().Points != snap.Points {
+		t.Fatal("sampler kept sampling after Stop")
+	}
+}

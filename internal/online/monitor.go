@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"causet/internal/core"
 	"causet/internal/explain"
@@ -36,10 +37,21 @@ type Monitor struct {
 	explainOn    bool
 	explanations map[string]*explain.ConditionExplanation
 
+	// Detection latency: Complete stamps each interval with nowFn; settle
+	// reports now − max(stamp of referenced intervals) — the lag from the
+	// decisive event (the completion that made the condition evaluable) to
+	// the verdict. nowFn is injectable, so timed-trace replays measure in
+	// trace time; the default time.Now carries Go's monotonic reading, the
+	// wall-clock fallback.
+	nowFn       func() time.Time
+	completedAt map[string]time.Time
+
 	lg             *logx.Logger
 	reg            *obs.Registry
 	metSettlements *obs.Counter
 	violWin        *obs.Window
+	detectWin      *obs.Window
+	detectHist     *obs.Histogram
 }
 
 // NewMonitor creates an online monitor over the stream.
@@ -51,6 +63,9 @@ func NewMonitor(s *Stream) *Monitor {
 		settled:  make(map[string]monitor.Result),
 
 		explanations: make(map[string]*explain.ConditionExplanation),
+
+		nowFn:       time.Now,
+		completedAt: make(map[string]time.Time),
 	}
 }
 
@@ -87,15 +102,32 @@ func (m *Monitor) SetLogger(lg *logx.Logger) {
 }
 
 // Instrument attaches a metrics registry (may be nil): the
-// online.settlements counter counts final verdicts, and the
+// online.settlements counter counts final verdicts, the
 // online.violation_window sliding window observes one sample per violated
-// condition, giving the dashboard a recent-violation rate.
+// condition (giving the dashboard a recent-violation rate), and detection
+// latency lands in the online.detect_latency_ns window (recent quantiles),
+// the online.detect_latency_hist_ns histogram (full distribution), and a
+// per-condition online.detect_latency.cond.<name> gauge.
 func (m *Monitor) Instrument(reg *obs.Registry) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.reg = reg
 	m.metSettlements = reg.Counter("online.settlements")
 	m.violWin = reg.Window("online.violation_window", 256)
+	m.detectWin = reg.Window("online.detect_latency_ns", 256)
+	m.detectHist = reg.Histogram("online.detect_latency_hist_ns", obs.DurationBuckets)
+}
+
+// SetNow injects the monitor's clock (nil restores time.Now). Timed-trace
+// replay drivers point this at the trace's virtual clock so detection
+// latency is measured in trace time rather than replay wall time.
+func (m *Monitor) SetNow(now func() time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	m.nowFn = now
 }
 
 // settle records the final verdict of a condition; the caller holds m.mu
@@ -112,6 +144,12 @@ func (m *Monitor) settle(c *monitor.Condition, res monitor.Result, ce *explain.C
 	if res.State == monitor.Violated {
 		m.violWin.Observe(1)
 	}
+	latency, haveLatency := m.detectLatency(c)
+	if haveLatency {
+		m.detectWin.Observe(int64(latency))
+		m.detectHist.Observe(int64(latency))
+		m.reg.Gauge("online.detect_latency.cond." + c.Name).Set(int64(latency))
+	}
 	if m.lg == nil {
 		return
 	}
@@ -119,6 +157,9 @@ func (m *Monitor) settle(c *monitor.Condition, res monitor.Result, ce *explain.C
 		logx.F("condition", c.Name),
 		logx.F("src", c.Src),
 		logx.F("state", res.State.String()),
+	}
+	if haveLatency {
+		fields = append(fields, logx.F("detect_latency_ns", int64(latency)))
 	}
 	if res.Err != nil {
 		fields = append(fields, logx.F("err", res.Err))
@@ -167,8 +208,33 @@ func (m *Monitor) Complete(name string) error {
 	}
 	delete(m.growing, name)
 	m.complete[name] = events
+	m.completedAt[name] = m.nowFn()
 	m.lg.Info("interval_complete", logx.F("interval", name), logx.F("size", len(events)))
 	return nil
+}
+
+// detectLatency computes a condition's detection latency at settlement: the
+// monitor clock's now minus the latest completion stamp among the intervals
+// the condition references (that completion is the decisive event — the
+// moment the verdict became computable). ok is false when no referenced
+// interval carries a stamp (e.g. a parse failure settled the condition
+// before anything completed). Caller holds m.mu. Negative lags (a virtual
+// clock stepping backwards) clamp to zero.
+func (m *Monitor) detectLatency(c *monitor.Condition) (time.Duration, bool) {
+	var decisive time.Time
+	for _, ref := range monitor.Referenced(c.Expr) {
+		if t, ok := m.completedAt[ref]; ok && t.After(decisive) {
+			decisive = t
+		}
+	}
+	if decisive.IsZero() {
+		return 0, false
+	}
+	lat := m.nowFn().Sub(decisive)
+	if lat < 0 {
+		lat = 0
+	}
+	return lat, true
 }
 
 // AddCondition parses and registers a condition in the monitor DSL.

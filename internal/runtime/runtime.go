@@ -105,6 +105,12 @@ type systemObs struct {
 	messages  *obs.Counter
 	eventsWin *obs.Window
 	recvWait  *obs.Window
+	// Per-node gauges (nil slices when uninstrumented): queueDepth tracks
+	// each inbox's buffered envelope count after every direct-path push and
+	// pop, recvWaitNode the node's last blocking-receive wait — the live
+	// backpressure pair the tsdb sampler turns into series.
+	queueDepth   []*obs.Gauge
+	recvWaitNode []*obs.Gauge
 }
 
 // Instrument attaches a metrics registry and/or execution tracer to the
@@ -124,7 +130,23 @@ func (s *System) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 		s.met.messages = reg.Counter("runtime.messages")
 		s.met.eventsWin = reg.Window("runtime.event_window", 4096)
 		s.met.recvWait = reg.Window("runtime.recv_wait_ns", 1024)
+		s.met.queueDepth = make([]*obs.Gauge, s.n)
+		s.met.recvWaitNode = make([]*obs.Gauge, s.n)
+		for i := 0; i < s.n; i++ {
+			s.met.queueDepth[i] = reg.Gauge(fmt.Sprintf("runtime.queue_depth.node%d", i))
+			s.met.recvWaitNode[i] = reg.Gauge(fmt.Sprintf("runtime.recv_wait_ns.node%d", i))
+		}
 	}
+}
+
+// noteQueueDepth refreshes a node's inbox-depth gauge after a direct-path
+// push or pop. Envelopes held by an attached Transport are invisible here —
+// the gauge tracks the runtime's own channels only.
+func (s *System) noteQueueDepth(node int) {
+	if s.met.queueDepth == nil {
+		return
+	}
+	s.met.queueDepth[node].Set(int64(len(s.inboxes[node])))
 }
 
 // SetLogger attaches a structured event log (may be nil): one Debug event
@@ -264,6 +286,7 @@ func (nd *Node) Send(to int, payload any) poset.EventID {
 		t.Send(env)
 	} else {
 		nd.sys.inboxes[to] <- env
+		nd.sys.noteQueueDepth(to)
 	}
 	return send
 }
@@ -295,12 +318,16 @@ func (nd *Node) Recv() (Envelope, poset.EventID) {
 		env = t.Recv(nd.id)
 	} else {
 		env = <-s.inboxes[nd.id]
+		s.noteQueueDepth(nd.id)
 	}
 	sp.End()
 	recv := s.recordEdge(env.sendEvent, nd.id, fmt.Sprintf("recv←%d", env.From))
 	if timed {
 		waitNs := time.Since(start).Nanoseconds()
 		s.met.recvWait.Observe(waitNs)
+		if s.met.recvWaitNode != nil {
+			s.met.recvWaitNode[nd.id].Set(waitNs)
+		}
 		s.lg.Debug("recv", logx.F("node", nd.id), logx.F("from", env.From), logx.F("wait_ns", waitNs))
 	}
 	return env, recv
@@ -336,6 +363,7 @@ func (nd *Node) TryRecv() (Envelope, poset.EventID, bool) {
 	}
 	select {
 	case env := <-nd.sys.inboxes[nd.id]:
+		nd.sys.noteQueueDepth(nd.id)
 		recv := nd.sys.recordEdge(env.sendEvent, nd.id, fmt.Sprintf("recv←%d", env.From))
 		nd.sys.lg.Debug("recv", logx.F("node", nd.id), logx.F("from", env.From))
 		return env, recv, true

@@ -6,6 +6,7 @@ import (
 
 	"causet/internal/core"
 	"causet/internal/interval"
+	"causet/internal/obs"
 	"causet/internal/poset"
 )
 
@@ -196,4 +197,42 @@ func TestMutexLabels(t *testing.T) {
 	if enters != 2 || exits != 2 {
 		t.Errorf("labels: enters=%d exits=%d, want 2,2", enters, exits)
 	}
+}
+
+func TestQueueDepthAndRecvWaitGauges(t *testing.T) {
+	sys := NewSystem(2, 8)
+	reg := obs.New()
+	sys.Instrument(reg, nil)
+	sys.Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(1, "a")
+			nd.Send(1, "b")
+		} else {
+			nd.Recv()
+			nd.Recv()
+		}
+	})
+	snap := reg.Snapshot()
+	for _, name := range []string{"runtime.queue_depth.node0", "runtime.queue_depth.node1"} {
+		v, ok := snap.Gauges[name]
+		if !ok {
+			t.Fatalf("gauge %q not registered", name)
+		}
+		// Both inboxes are drained by the end of the run.
+		if v != 0 {
+			t.Errorf("%s = %d, want 0 after drain", name, v)
+		}
+	}
+	if v, ok := snap.Gauges["runtime.recv_wait_ns.node1"]; !ok || v < 0 {
+		t.Errorf("runtime.recv_wait_ns.node1 = %d ok=%v, want non-negative", v, ok)
+	}
+	// Uninstrumented systems skip the gauges without panicking.
+	bare := NewSystem(2, 8)
+	bare.Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(1, "x")
+		} else {
+			nd.Recv()
+		}
+	})
 }
