@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench tables metrics trace explain benchdiff profile fuzz chaos alerts examples coverage clean
+.PHONY: all build vet test race bench tables metrics trace explain benchdiff profile stream fuzz chaos alerts examples coverage clean
 
 all: build vet test
 
@@ -57,12 +57,20 @@ profile:
 	$(GO) run ./cmd/benchtab -table e10 -reps 3 -cpuprofile cpu.pprof -memprofile mem.pprof
 	@echo "profiles written: cpu.pprof mem.pprof (inspect with 'go tool pprof <file>')"
 
+# Streaming-throughput sweep (E14): the online monitor loop on the
+# incremental snapshot path vs the legacy full-rebuild path, plus the
+# differential agreement suite that proves the verdicts identical.
+stream:
+	$(GO) test -run 'TestIncrementalSnapshotAgreement|TestStreamAllocsPerEvent' ./internal/online
+	$(GO) run ./cmd/benchtab -table e14 -reps 5
+
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/monitor/
 	$(GO) test -fuzz FuzzConditionParser -fuzztime $(FUZZTIME) ./internal/monitor/
 	$(GO) test -fuzz FuzzEvaluatorAgreement -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz FuzzProfileKernelAgreement -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz FuzzTraceDecode -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -fuzz FuzzIncrementalSnapshotAgreement -fuzztime $(FUZZTIME) ./internal/online/
 
 # Chaos gate: explore 64 seeded (protocol, fault plan) cases under the race
 # detector — the same check CI's chaos job runs (see internal/faultsim).

@@ -59,6 +59,22 @@ type report struct {
 		Speedup      float64 `json:"speedup"`
 		Agree        bool    `json:"agree"`
 	} `json:"e10_profile"`
+	// E14 is absent from reports written before the incremental online hot
+	// path; a nil slice simply skips the e14 comparison (tolerant decode).
+	E14 []struct {
+		Procs     int     `json:"procs"`
+		Rounds    int     `json:"rounds"`
+		IncNsEv   float64 `json:"inc_ns_event"`
+		LegNsEv   float64 `json:"leg_ns_event"`
+		IncEvSec  float64 `json:"inc_events_sec"`
+		LegEvSec  float64 `json:"leg_events_sec"`
+		IncAllocs float64 `json:"inc_allocs_event"`
+		LegAllocs float64 `json:"leg_allocs_event"`
+		IncCheck  float64 `json:"inc_check_ns_event"`
+		LegCheck  float64 `json:"leg_check_ns_event"`
+		Speedup   float64 `json:"speedup"`
+		Agree     bool    `json:"agree"`
+	} `json:"e14_stream"`
 
 	Metrics obs.Snapshot `json:"metrics"`
 }
@@ -72,7 +88,7 @@ type options struct {
 
 // colDelta is one compared column of one matched row.
 type colDelta struct {
-	Table  string  `json:"table"`  // e1 | e4 | e5 | e7 | e10
+	Table  string  `json:"table"`  // e1 | e4 | e5 | e7 | e10 | e14
 	Row    string  `json:"row"`    // e.g. "R2", "n=256"
 	Column string  `json:"column"` // e.g. "fast_cmp"
 	Old    float64 `json:"old"`
@@ -301,6 +317,59 @@ func diffReports(oldPath, newPath string, oldRep, newRep report, opt options) re
 		if opt.NsThreshold > 0 && prev.sp > 0 {
 			if pct := pctChange(prev.sp, r.Speedup); pct < -opt.NsThreshold {
 				regress("e10 %s: fused speedup %.2f -> %.2f (%.1f%% < -%.1f%%)",
+					row, prev.sp, r.Speedup, pct, opt.NsThreshold)
+			}
+		}
+	}
+
+	// E14: incremental/legacy verdict agreement is correctness; ns/event and
+	// check ns/event follow the ns gate, allocs/event the alloc gate, and the
+	// incremental speedup drops at -ns-threshold — all timing, no
+	// deterministic columns. Rows match on (procs, rounds); old reports
+	// without the streaming sweep compare nothing (tolerant decode).
+	type e14key struct{ procs, rounds int }
+	type e14row struct {
+		incNs, legNs, incAllocs, legAllocs, incCheck, legCheck, sp float64
+	}
+	oldE14 := map[e14key]e14row{}
+	for _, r := range oldRep.E14 {
+		oldE14[e14key{r.Procs, r.Rounds}] = e14row{r.IncNsEv, r.LegNsEv,
+			r.IncAllocs, r.LegAllocs, r.IncCheck, r.LegCheck, r.Speedup}
+	}
+	for _, r := range newRep.E14 {
+		if !r.Agree {
+			regress("e14 procs=%d/rounds=%d: incremental verdicts disagree with legacy", r.Procs, r.Rounds)
+		}
+		prev, ok := oldE14[e14key{r.Procs, r.Rounds}]
+		if !ok {
+			continue
+		}
+		row := fmt.Sprintf("p=%d/r=%d", r.Procs, r.Rounds)
+		for _, c := range []struct {
+			col      string
+			old, new float64
+			limit    float64
+		}{
+			{"inc_ns_event", prev.incNs, r.IncNsEv, opt.NsThreshold},
+			{"leg_ns_event", prev.legNs, r.LegNsEv, opt.NsThreshold},
+			{"inc_check_ns_event", prev.incCheck, r.IncCheck, opt.NsThreshold},
+			{"leg_check_ns_event", prev.legCheck, r.LegCheck, opt.NsThreshold},
+			{"inc_allocs_event", prev.incAllocs, r.IncAllocs, opt.AllocThreshold},
+			{"leg_allocs_event", prev.legAllocs, r.LegAllocs, opt.AllocThreshold},
+		} {
+			gated := c.limit > 0
+			addCol("e14", row, c.col, c.old, c.new, gated)
+			if gated {
+				if pct := pctChange(c.old, c.new); pct > c.limit {
+					regress("e14 %s: %s %.2f -> %.2f (%+.1f%% > %.1f%%)",
+						row, c.col, c.old, c.new, pct, c.limit)
+				}
+			}
+		}
+		addCol("e14", row, "speedup", prev.sp, r.Speedup, opt.NsThreshold > 0)
+		if opt.NsThreshold > 0 && prev.sp > 0 {
+			if pct := pctChange(prev.sp, r.Speedup); pct < -opt.NsThreshold {
+				regress("e14 %s: incremental speedup %.2f -> %.2f (%.1f%% < -%.1f%%)",
 					row, prev.sp, r.Speedup, pct, opt.NsThreshold)
 			}
 		}

@@ -24,12 +24,15 @@
 //     fused/legacy cmp per profile) are deterministic for a fixed seed, so
 //     they gate at -threshold percent. E10 fused/legacy mask agreement is
 //     correctness, like E1/E4 rates.
-//   - ns/op columns and E7/E10 speedups are wall-clock noise across
+//   - ns/op columns and E7/E10/E14 speedups are wall-clock noise across
 //     machines; they are reported but gate only when -ns-threshold is set
-//     (> 0).
-//   - E10 allocs/op and bytes/op columns are deterministic in steady state
-//     but sensitive to Go-version and GC accounting changes, so they follow
-//     their own opt-in -alloc-threshold gate (0 = report only).
+//     (> 0). The same applies to the E14 ns/event and check-ns/event
+//     columns. E14 incremental/legacy verdict agreement is correctness,
+//     like E1/E4 rates.
+//   - E10 allocs/op and bytes/op columns and E14 allocs/event are
+//     deterministic in steady state but sensitive to Go-version and GC
+//     accounting changes, so they follow their own opt-in -alloc-threshold
+//     gate (0 = report only).
 //   - Reports written before a table existed (e.g. e10_profile) simply omit
 //     it; the differ skips the missing table instead of failing, so old
 //     BENCH_*.json baselines keep working.

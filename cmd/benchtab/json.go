@@ -39,6 +39,10 @@ type jsonReport struct {
 	// (cmd/benchdiff) must treat a missing or empty list as "not measured",
 	// which omitempty preserves on the write side too.
 	E10 []jsonProfileRow `json:"e10_profile,omitempty"`
+	// E14: online streaming throughput, incremental vs legacy snapshot path.
+	// Absent from reports written before the incremental hot path existed —
+	// like E10, decoders must treat a missing or empty list as "not measured".
+	E14 []jsonStreamRow `json:"e14_stream,omitempty"`
 
 	// Metrics is the registry snapshot accumulated while the experiments
 	// above ran: core.<eval>.comparisons[.<rel>], core.cut_builds,
@@ -104,10 +108,26 @@ type jsonProfileRow struct {
 	Agree        bool    `json:"agree"`
 }
 
-// buildJSONReport runs E1, E4, E5, E7, and E10 with the timing sweeps
+type jsonStreamRow struct {
+	Procs     int     `json:"procs"`
+	Rounds    int     `json:"rounds"`
+	Events    int     `json:"events"`
+	IncNsEv   float64 `json:"inc_ns_event"`
+	LegNsEv   float64 `json:"leg_ns_event"`
+	IncEvSec  float64 `json:"inc_events_sec"`
+	LegEvSec  float64 `json:"leg_events_sec"`
+	IncAllocs float64 `json:"inc_allocs_event"`
+	LegAllocs float64 `json:"leg_allocs_event"`
+	IncCheck  float64 `json:"inc_check_ns_event"`
+	LegCheck  float64 `json:"leg_check_ns_event"`
+	Speedup   float64 `json:"speedup"`
+	Agree     bool    `json:"agree"`
+}
+
+// buildJSONReport runs E1, E4, E5, E7, E10, and E14 with the timing sweeps
 // instrumented against reg (so the snapshot carries the comparison
 // counters behind the numbers) and assembles the report.
-func buildJSONReport(trials, reps, workers int, seed int64, reg *obs.Registry, tr *obs.Tracer) jsonReport {
+func buildJSONReport(trials, reps, workers int, seed int64, reg *obs.Registry, tr *obs.Tracer) (jsonReport, error) {
 	rep := jsonReport{
 		Schema:     jsonSchema,
 		GoVersion:  runtime.Version(),
@@ -173,8 +193,29 @@ func buildJSONReport(trials, reps, workers int, seed int64, reg *obs.Registry, t
 			Agree:        r.Agree,
 		})
 	}
+	rows, err := bench.StreamSweepObs(bench.DefaultStreamConfigs(), reps, seed, reg, tr)
+	if err != nil {
+		return jsonReport{}, err
+	}
+	for _, r := range rows {
+		rep.E14 = append(rep.E14, jsonStreamRow{
+			Procs:     r.Procs,
+			Rounds:    r.Rounds,
+			Events:    r.Events,
+			IncNsEv:   r.IncNs,
+			LegNsEv:   r.LegNs,
+			IncEvSec:  r.IncEvSec,
+			LegEvSec:  r.LegEvSec,
+			IncAllocs: r.IncAllocs,
+			LegAllocs: r.LegAllocs,
+			IncCheck:  r.IncCheck,
+			LegCheck:  r.LegCheck,
+			Speedup:   r.Speedup,
+			Agree:     r.Agree,
+		})
+	}
 	rep.Metrics = reg.Snapshot()
-	return rep
+	return rep, nil
 }
 
 // writeJSONReport marshals the report, indented, with a trailing newline.

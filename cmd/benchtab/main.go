@@ -8,6 +8,7 @@
 //	benchtab -table e6      one-time setup amortization (Key Idea 1)
 //	benchtab -table e7      serial vs parallel batch evaluation sweep
 //	benchtab -table e10     fused 32-relation profile kernel vs legacy scan
+//	benchtab -table e14     streaming-throughput sweep: incremental vs legacy snapshots
 //	benchtab -table alg     relation algebra: hierarchy + composition table
 //	benchtab -table all     everything
 //
@@ -60,7 +61,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	table := fs.String("table", "all", "which experiment to run: e1|e3|e4|e5|e6|e7|e10|alg|all")
+	table := fs.String("table", "all", "which experiment to run: e1|e3|e4|e5|e6|e7|e10|e14|alg|all")
 	trials := fs.Int("trials", 400, "randomized trials for e1/e3/e4")
 	reps := fs.Int("reps", 50, "repetitions per point for e5/e7")
 	seed := fs.Int64("seed", 1, "PRNG seed")
@@ -161,7 +162,10 @@ func runTables(out io.Writer, table string, trials, reps, parallel int, seed int
 			defer f.Close()
 			w = f
 		}
-		rep := buildJSONReport(trials, reps, parallel, seed, reg, tr)
+		rep, err := buildJSONReport(trials, reps, parallel, seed, reg, tr)
+		if err != nil {
+			return err
+		}
 		if tel != nil {
 			// Final sample so sub-interval sweeps still land their end
 			// state, then embed the full dump in the report.
@@ -202,6 +206,12 @@ func runTables(out io.Writer, table string, trials, reps, parallel int, seed int
 	}
 	if runAll || table == "e10" {
 		e10(out, reps, seed, reg, tr)
+		ran = true
+	}
+	if runAll || table == "e14" {
+		if err := e14(out, reps, seed, reg, tr); err != nil {
+			return err
+		}
 		ran = true
 	}
 	if runAll || table == "alg" {
@@ -370,6 +380,35 @@ func e10(out io.Writer, reps int, seed int64, reg *obs.Registry, tr *obs.Tracer)
 	fmt.Fprintln(out, bench.FormatTable(
 		[]string{"N", "pairs", "fused cmp", "legacy cmp", "fused ns", "legacy ns",
 			"fused allocs", "legacy allocs", "speedup", "masks"}, cells))
+}
+
+func e14(out io.Writer, reps int, seed int64, reg *obs.Registry, tr *obs.Tracer) error {
+	fmt.Fprintln(out, "E14 — streaming throughput: incremental vs legacy online snapshots (ring workload, Check per event)")
+	fmt.Fprintln(out)
+	rows, err := bench.StreamSweepObs(bench.DefaultStreamConfigs(), reps, seed, reg, tr)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, r := range rows {
+		agree := "identical"
+		if !r.Agree {
+			agree = "MISMATCH"
+		}
+		cells = append(cells, []string{
+			strconv.Itoa(r.Procs), strconv.Itoa(r.Rounds), strconv.Itoa(r.Events),
+			bench.F(r.IncNs), bench.F(r.LegNs),
+			bench.F(r.IncEvSec), bench.F(r.LegEvSec),
+			bench.F(r.IncAllocs), bench.F(r.LegAllocs),
+			bench.F(r.IncCheck), bench.F(r.LegCheck),
+			fmt.Sprintf("%.1fx", r.Speedup), agree,
+		})
+	}
+	fmt.Fprintln(out, bench.FormatTable(
+		[]string{"procs", "rounds", "events", "inc ns/ev", "leg ns/ev",
+			"inc ev/s", "leg ev/s", "inc allocs/ev", "leg allocs/ev",
+			"inc check ns", "leg check ns", "speedup", "verdicts"}, cells))
+	return nil
 }
 
 func e6(out io.Writer, seed int64) {

@@ -148,8 +148,10 @@ type monitorState struct {
 }
 
 // sparkPrefixes orders series for the sparkline panel: detection-latency
-// and violation telemetry first, then the engines' own meters.
-var sparkPrefixes = []string{"online.detect_latency", "syncmon.", "alert.", "runtime.", "tsdb."}
+// and violation telemetry first, then the incremental hot-path meters
+// (monitor.check_ns window, online.snapshot_reuses/_rebuilds counters),
+// then the engines' own meters.
+var sparkPrefixes = []string{"online.detect_latency", "monitor.", "online.", "syncmon.", "alert.", "runtime.", "tsdb."}
 
 // sparks selects up to maxSparks series (preferred prefixes first, then
 // alphabetical) and renders their last sparkWindow of samples as polyline

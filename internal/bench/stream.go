@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"causet/internal/monitor"
+	"causet/internal/obs"
+	"causet/internal/online"
+	"causet/internal/poset"
+	"causet/internal/sim"
+)
+
+// StreamConfig is one point of the E14 sweep: a ring workload of Rounds
+// rounds over Procs processes, with one R1 condition per consecutive round
+// pair, driven through the online monitor loop (append + Observe/Complete +
+// Check after every event).
+type StreamConfig struct {
+	Procs  int
+	Rounds int
+}
+
+// DefaultStreamConfigs is the E14 sweep grid. Rounds is the axis that
+// separates the paths: every round completion settles a condition, and the
+// legacy path pays a full snapshot rebuild (deep-copied execution + two
+// O(|E|·|P|) clock passes, twice over) for each one, so its total cost grows
+// quadratically in rounds while the incremental path stays linear.
+func DefaultStreamConfigs() []StreamConfig {
+	return []StreamConfig{{Procs: 8, Rounds: 4}, {Procs: 8, Rounds: 16}, {Procs: 8, Rounds: 64}}
+}
+
+// StreamRow is one measured point of experiment E14: the steady-state online
+// monitor loop on the incremental snapshot path versus the legacy
+// full-rebuild path. Per-event costs cover the whole loop (append +
+// interval bookkeeping + Check); CheckNs isolates the amortized Check cost.
+type StreamRow struct {
+	Procs     int
+	Rounds    int
+	Events    int     // appended events per run
+	IncNs     float64 // ns per event, incremental path
+	LegNs     float64 // ns per event, legacy path
+	IncEvSec  float64 // events per second, incremental path
+	LegEvSec  float64 // events per second, legacy path
+	IncAllocs float64 // heap allocations per event, incremental
+	LegAllocs float64 // heap allocations per event, legacy
+	IncCheck  float64 // amortized Check ns per event, incremental
+	LegCheck  float64 // amortized Check ns per event, legacy
+	Speedup   float64 // LegNs / IncNs
+	Agree     bool    // identical final verdict vectors, none pending
+}
+
+// streamWorkload prepares the generated execution and the per-round
+// condition set of one sweep point.
+func streamWorkload(cfg StreamConfig, seed int64) (*sim.Result, [][2]string) {
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: cfg.Procs, Rounds: cfg.Rounds, Seed: seed})
+	var conds [][2]string
+	for i := 0; i+1 < len(res.Phases); i++ {
+		conds = append(conds, [2]string{
+			fmt.Sprintf("ordered-%d", i),
+			fmt.Sprintf("R1(%s, %s)", res.Phases[i].Name, res.Phases[i+1].Name),
+		})
+	}
+	return res, conds
+}
+
+// runStream drives one full monitored replay and reports its wall-clock
+// time, the total time spent inside Check, the heap allocations of the run,
+// and the rendered final verdicts.
+func runStream(res *sim.Result, conds [][2]string, legacy bool, reg *obs.Registry, tr *obs.Tracer) (elapsed time.Duration, checkNs int64, allocs uint64, verdicts string, err error) {
+	s := online.NewStream(res.Exec.NumProcs())
+	s.Instrument(reg, tr)
+	m := online.NewMonitor(s)
+	m.Instrument(reg)
+	if legacy {
+		m.SetLegacy(true)
+	}
+	for _, c := range conds {
+		if err := m.AddCondition(c[0], c[1]); err != nil {
+			return 0, 0, 0, "", err
+		}
+	}
+	phaseOf := make(map[poset.EventID]int, res.Exec.NumEvents())
+	remaining := make([]int, len(res.Phases))
+	for i, ph := range res.Phases {
+		remaining[i] = len(ph.Events)
+		for _, e := range ph.Events {
+			phaseOf[e] = i
+		}
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	_, err = online.ReplayStepsOn(s, res.Exec, func(_ *online.Stream, e poset.EventID) error {
+		pi := phaseOf[e]
+		if err := m.Observe(res.Phases[pi].Name, e); err != nil {
+			return err
+		}
+		remaining[pi]--
+		if remaining[pi] == 0 {
+			if err := m.Complete(res.Phases[pi].Name); err != nil {
+				return err
+			}
+		}
+		c0 := time.Now()
+		m.Check()
+		checkNs += time.Since(c0).Nanoseconds()
+		return nil
+	})
+	elapsed = time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return 0, 0, 0, "", err
+	}
+	allocs = m1.Mallocs - m0.Mallocs
+	var v strings.Builder
+	for _, r := range m.Check() {
+		fmt.Fprintf(&v, "%s=%s;", r.Name, r.State)
+	}
+	return elapsed, checkNs, allocs, v.String(), nil
+}
+
+// StreamSweep runs E14: for each config it replays the same ring workload
+// through the incremental and the legacy online monitor loop, reps times
+// each (keeping the fastest run, averaging allocations), and cross-checks
+// that both paths settle every condition with identical verdicts.
+func StreamSweep(cfgs []StreamConfig, reps int, seed int64) ([]StreamRow, error) {
+	return StreamSweepObs(cfgs, reps, seed, nil, nil)
+}
+
+// StreamSweepObs is StreamSweep with the streams and monitors instrumented
+// against reg and tr (either may be nil), so the online.* and monitor.*
+// instruments accumulate across the sweep and land in benchtab's JSON
+// report.
+func StreamSweepObs(cfgs []StreamConfig, reps int, seed int64, reg *obs.Registry, tr *obs.Tracer) ([]StreamRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	rows := make([]StreamRow, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		res, conds := streamWorkload(cfg, seed)
+		events := res.Exec.NumEvents()
+		measure := func(legacy bool) (ns, evSec, allocsEv, checkEv float64, verdicts string, err error) {
+			var bestElapsed time.Duration
+			var bestCheck, allocSum int64
+			for r := 0; r < reps; r++ {
+				elapsed, checkNs, allocs, v, err := runStream(res, conds, legacy, reg, tr)
+				if err != nil {
+					return 0, 0, 0, 0, "", err
+				}
+				if r == 0 || elapsed < bestElapsed {
+					bestElapsed = elapsed
+				}
+				if r == 0 || checkNs < bestCheck {
+					bestCheck = checkNs
+				}
+				allocSum += int64(allocs)
+				verdicts = v
+			}
+			ns = float64(bestElapsed.Nanoseconds()) / float64(events)
+			if bestElapsed > 0 {
+				evSec = float64(events) / bestElapsed.Seconds()
+			}
+			allocsEv = float64(allocSum) / float64(reps) / float64(events)
+			checkEv = float64(bestCheck) / float64(events)
+			return ns, evSec, allocsEv, checkEv, verdicts, nil
+		}
+		row := StreamRow{Procs: cfg.Procs, Rounds: cfg.Rounds, Events: events}
+		var incV, legV string
+		var err error
+		if row.IncNs, row.IncEvSec, row.IncAllocs, row.IncCheck, incV, err = measure(false); err != nil {
+			return nil, fmt.Errorf("bench: stream sweep %dx%d incremental: %w", cfg.Procs, cfg.Rounds, err)
+		}
+		if row.LegNs, row.LegEvSec, row.LegAllocs, row.LegCheck, legV, err = measure(true); err != nil {
+			return nil, fmt.Errorf("bench: stream sweep %dx%d legacy: %w", cfg.Procs, cfg.Rounds, err)
+		}
+		row.Agree = incV == legV && !strings.Contains(incV, monitor.Pending.String())
+		if row.IncNs > 0 {
+			row.Speedup = row.LegNs / row.IncNs
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestStreamSweepAgreesAndSpeedsUp runs a small E14 grid and asserts the
+// correctness half of the experiment: both paths settle every condition
+// with identical verdicts, and the measured quantities are sane.
+func TestStreamSweepAgreesAndSpeedsUp(t *testing.T) {
+	rows, err := StreamSweep([]StreamConfig{{Procs: 4, Rounds: 2}, {Procs: 4, Rounds: 8}}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows; want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Agree {
+			t.Errorf("procs=%d rounds=%d: verdict vectors diverge between incremental and legacy", r.Procs, r.Rounds)
+		}
+		if r.Events != r.Procs*r.Rounds*2 {
+			t.Errorf("procs=%d rounds=%d: %d events; want %d", r.Procs, r.Rounds, r.Events, r.Procs*r.Rounds*2)
+		}
+		if r.IncNs <= 0 || r.LegNs <= 0 || r.IncEvSec <= 0 || r.LegEvSec <= 0 {
+			t.Errorf("procs=%d rounds=%d: non-positive timings: %+v", r.Procs, r.Rounds, r)
+		}
+	}
+}
+
+// BenchmarkStreamIncremental measures the full online monitor loop (append
+// + Observe/Complete + Check per event) on the incremental snapshot path;
+// one op is one monitored replay of the 4×8 ring workload.
+func BenchmarkStreamIncremental(b *testing.B) {
+	benchmarkStream(b, false)
+}
+
+// BenchmarkStreamLegacy is the same loop on the legacy full-rebuild path —
+// the E14 baseline.
+func BenchmarkStreamLegacy(b *testing.B) {
+	benchmarkStream(b, true)
+}
+
+func benchmarkStream(b *testing.B, legacy bool) {
+	res, conds := streamWorkload(StreamConfig{Procs: 4, Rounds: 8}, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, _, err := runStream(res, conds, legacy, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

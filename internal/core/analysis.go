@@ -32,6 +32,13 @@ type cacheEntry struct {
 
 	proxyOnce [2]sync.Once // indexed by interval.ProxyKind
 	proxy     [2]*ProxyCuts
+
+	// done / proxyDone are store-released after the corresponding once.Do
+	// body publishes its result, so NewAnalysisCarry can read completed
+	// entries from a still-live Analysis without touching the sync.Once
+	// internals (a bare read of e.ic would race with an in-flight build).
+	done      atomic.Bool
+	proxyDone [2]atomic.Bool
 }
 
 // cacheShard is one lock domain of the cut cache.
@@ -172,6 +179,58 @@ func NewAnalysisShards(ex *poset.Execution, shards int) *Analysis {
 	return a
 }
 
+// NewAnalysisCarry builds an Analysis over ex with caller-supplied clocks,
+// seeding its cut cache from a previous epoch's Analysis. Cache entries are
+// carried only when provably identical to what a cold rebuild at the new
+// epoch would produce: the entry's build is complete (done flag, published
+// with release semantics by the builder) and its up-cuts never consulted the
+// epoch-dependent TopPos fallback (upStable; see IntervalCuts). Down-cuts,
+// being functions of the past alone, are always safe. prev may be nil, which
+// degenerates to a cold cache. The pre-interned instruments of prev are
+// copied so a carried Analysis keeps reporting to the same registry without
+// re-interning ~100 counters per snapshot.
+//
+// This is the online hot path's constructor: paired with vclock.NewLazy it
+// makes Stream.Snapshot amortized O(|P|) per appended event (DESIGN.md S25).
+func NewAnalysisCarry(ex *poset.Execution, clk *vclock.Clocks, prev *Analysis) *Analysis {
+	a := &Analysis{
+		ex:     ex,
+		clk:    clk,
+		shards: make([]cacheShard, DefaultCacheShards),
+	}
+	for i := range a.shards {
+		a.shards[i].m = make(map[*interval.Interval]*cacheEntry)
+	}
+	if prev == nil {
+		return a
+	}
+	a.met = prev.met
+	for si := range prev.shards {
+		ps := &prev.shards[si]
+		ps.mu.RLock()
+		for iv, e := range ps.m {
+			if !e.done.Load() || !e.ic.upStable {
+				continue
+			}
+			ne := &cacheEntry{}
+			ne.once.Do(func() { ne.ic = e.ic })
+			ne.done.Store(true)
+			for k := range e.proxy {
+				if e.proxyDone[k].Load() && e.proxy[k].Cuts.upStable {
+					pc := e.proxy[k]
+					ne.proxyOnce[k].Do(func() { ne.proxy[k] = pc })
+					ne.proxyDone[k].Store(true)
+				}
+			}
+			// a is not yet published, so the shard map can be written
+			// without its lock.
+			a.shard(iv).m[iv] = ne
+		}
+		ps.mu.RUnlock()
+	}
+	return a
+}
+
 // Execution returns the analyzed execution.
 func (a *Analysis) Execution() *poset.Execution { return a.ex }
 
@@ -196,6 +255,15 @@ type IntervalCuts struct {
 	// the event's own node, which is all the per-event tests of Theorem 20
 	// consult.
 	FirstPos, LastPos []int
+
+	// upStable records whether every component of the two up-cuts was
+	// derived from a known reverse-timestamp entry (TR > 0) rather than the
+	// TopPos fallback for "no follower yet". Down-cuts and the extremal
+	// positions are functions of the past and never change as an execution
+	// grows; an up-cut component with TR(e)[i] = 0 evaluates to TopPos(i),
+	// which grows with the epoch. Only entries with upStable set may be
+	// carried across snapshot epochs by NewAnalysisCarry.
+	upStable bool
 }
 
 // shard maps an interval to its lock domain. The hash mixes the interval's
@@ -217,7 +285,7 @@ func (a *Analysis) shard(iv *interval.Interval) *cacheShard {
 // exactly once (CutBuilds counts), and builds of different intervals in the
 // same shard never serialize on each other.
 func (a *Analysis) Cuts(iv *interval.Interval) *IntervalCuts {
-	if iv.Execution() != a.ex {
+	if !poset.Prefix(iv.Execution(), a.ex) {
 		panic(fmt.Sprintf("core: interval %v belongs to a different execution", iv))
 	}
 	s := a.shard(iv)
@@ -245,6 +313,7 @@ func (a *Analysis) Cuts(iv *interval.Interval) *IntervalCuts {
 		sp.End()
 		a.builds.Add(1)
 		a.met.cutBuilds.Add(1)
+		e.done.Store(true)
 	})
 	return e.ic
 }
@@ -277,7 +346,7 @@ type ProxyCuts struct {
 // turns 32 proxy materializations + cut builds per profile into at most
 // four per *interval*, amortized across all pairs that interval appears in.
 func (a *Analysis) ProxyCuts(iv *interval.Interval, kind interval.ProxyKind) *ProxyCuts {
-	if iv.Execution() != a.ex {
+	if !poset.Prefix(iv.Execution(), a.ex) {
 		panic(fmt.Sprintf("core: interval %v belongs to a different execution", iv))
 	}
 	s := a.shard(iv)
@@ -312,10 +381,12 @@ func (a *Analysis) ProxyCuts(iv *interval.Interval, kind interval.ProxyKind) *Pr
 		}
 		ps.mu.Unlock()
 		pe.once.Do(func() { pe.ic = pc.Cuts })
+		pe.done.Store(true)
 		e.proxy[kind] = pc
 		sp.End()
 		a.proxyBuilds.Add(1)
 		a.met.proxyCutBuilds.Add(1)
+		e.proxyDone[kind].Store(true)
 	})
 	return e.proxy[kind]
 }
@@ -346,7 +417,46 @@ func (a *Analysis) buildCuts(iv *interval.Interval) *IntervalCuts {
 	for _, e := range greatest {
 		ic.LastPos[e.Proc] = e.Pos
 	}
+	ic.upStable = a.upCutsStable(least, greatest)
 	return ic
+}
+
+// upCutsStable decides whether the up-cuts built from these extrema are
+// epoch-independent (see IntervalCuts.upStable). cuts.Up maps TR(e)[i] > 0 to
+// the position of e's first causal follower on node i — a fact about the past
+// that never changes — and TR(e)[i] = 0 to TopPos(i), which grows with every
+// append on node i. InterUp[i] folds Up values with min, and a known follower
+// position is always strictly below TopPos, so the component is stable as
+// soon as ANY least event knows a follower on i. UnionUp[i] folds with max,
+// where the TopPos fallback wins, so it is stable only when EVERY greatest
+// event knows a follower on every node.
+func (a *Analysis) upCutsStable(least, greatest []poset.EventID) bool {
+	n := a.ex.NumProcs()
+	for _, e := range greatest {
+		tr := a.clk.TR(e)
+		for i := 0; i < n; i++ {
+			if tr[i] == 0 {
+				return false
+			}
+		}
+	}
+	trs := make([]vclock.VC, len(least))
+	for k, e := range least {
+		trs[k] = a.clk.TR(e)
+	}
+	for i := 0; i < n; i++ {
+		known := false
+		for _, tr := range trs {
+			if tr[i] > 0 {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return false
+		}
+	}
+	return true
 }
 
 // ErrOverlap is returned by EvalChecked for overlapping interval pairs.
@@ -360,7 +470,7 @@ func (e *ErrOverlap) Error() string {
 // EvalChecked evaluates rel(X, Y) with eval after verifying that the
 // intervals are disjoint and belong to this analysis's execution.
 func (a *Analysis) EvalChecked(eval Evaluator, rel Relation, x, y *interval.Interval) (bool, error) {
-	if x.Execution() != a.ex || y.Execution() != a.ex {
+	if !poset.Prefix(x.Execution(), a.ex) || !poset.Prefix(y.Execution(), a.ex) {
 		return false, fmt.Errorf("core: interval from a different execution")
 	}
 	if x.Overlaps(y) {

@@ -70,12 +70,37 @@ type Monitor struct {
 
 // New creates a monitor over ex using the paper's linear-time evaluator.
 func New(ex *poset.Execution) *Monitor {
-	a := core.NewAnalysis(ex)
+	return NewWithAnalysis(core.NewAnalysis(ex))
+}
+
+// NewWithAnalysis creates a monitor over an existing Analysis, sharing its
+// cut caches instead of recomputing the timestamp structure. This is how the
+// online monitor keeps one persistent inner monitor across snapshot epochs.
+func NewWithAnalysis(a *core.Analysis) *Monitor {
 	return &Monitor{
 		a:         a,
 		eval:      core.NewFast(a),
 		intervals: make(map[string]*interval.Interval),
 	}
+}
+
+// Rebase swaps the monitor onto a new Analysis whose execution must extend
+// the current one (poset.Prefix). Registered intervals and conditions are
+// kept: every interval's home execution is validated to be a prefix of the
+// new one, so all previously-computed verdicts remain valid (appends never
+// change causality among recorded events). On error the monitor is
+// unchanged.
+func (m *Monitor) Rebase(a *core.Analysis) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, iv := range m.intervals {
+		if !poset.Prefix(iv.Execution(), a.Execution()) {
+			return fmt.Errorf("monitor: rebase: interval %q does not belong to a prefix of the new execution", name)
+		}
+	}
+	m.a = a
+	m.eval = core.NewFast(a)
+	return nil
 }
 
 // Analysis exposes the underlying analysis (timestamps, cut caches).
@@ -97,7 +122,7 @@ func (m *Monitor) DefineInterval(name string, iv *interval.Interval) error {
 	if name == "" {
 		return errors.New("monitor: interval name must be non-empty")
 	}
-	if iv.Execution() != m.a.Execution() {
+	if !poset.Prefix(iv.Execution(), m.a.Execution()) {
 		return fmt.Errorf("monitor: interval %q belongs to a different execution", name)
 	}
 	m.mu.Lock()
@@ -146,6 +171,23 @@ func (m *Monitor) AddCondition(name, src string) error {
 	return nil
 }
 
+// AddConditionParsed registers an already-compiled condition, sharing the
+// parsed expression instead of re-parsing its source. Expr must be non-nil.
+func (m *Monitor) AddConditionParsed(c *Condition) error {
+	if c == nil || c.Expr == nil {
+		return errors.New("monitor: AddConditionParsed requires a compiled condition")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, have := range m.conditions {
+		if have.Name == c.Name {
+			return fmt.Errorf("monitor: condition %q already defined", c.Name)
+		}
+	}
+	m.conditions = append(m.conditions, c)
+	return nil
+}
+
 // Conditions returns the registered conditions in registration order.
 func (m *Monitor) Conditions() []*Condition {
 	m.mu.RLock()
@@ -183,6 +225,17 @@ func (m *Monitor) checkLocked(c *Condition) Result {
 	}
 }
 
+// CheckCondition evaluates a single condition against the registered
+// intervals. The condition need not have been registered with this monitor;
+// only its Expr is consulted. This is the indexed online check loop's entry
+// point — it evaluates exactly the condition that just became unblocked,
+// skipping the full registration scan of Check.
+func (m *Monitor) CheckCondition(c *Condition) Result {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.checkLocked(c)
+}
+
 // Eval parses and evaluates a one-shot expression against the registered
 // intervals. Unlike Check it fails (rather than reporting pending) on
 // undefined intervals.
@@ -195,6 +248,33 @@ func (m *Monitor) Eval(src string) (bool, error) {
 	defer m.mu.RUnlock()
 	env := &evalEnv{a: m.a, eval: m.eval, intervals: m.intervals, checked: true}
 	return expr.eval(env)
+}
+
+// HeldTable1 reports which of the 8 Table 1 relations hold between two
+// registered intervals, in core.Relations order. It replaces the old pattern
+// of formatting and re-parsing one DSL expression per relation.
+func (m *Monitor) HeldTable1(xName, yName string) ([]core.Relation, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	x, ok := m.intervals[xName]
+	if !ok {
+		return nil, &UndefinedError{Name: xName}
+	}
+	y, ok := m.intervals[yName]
+	if !ok {
+		return nil, &UndefinedError{Name: yName}
+	}
+	var held []core.Relation
+	for _, rel := range core.Relations() {
+		ok, err := m.a.EvalChecked(m.eval, rel, x, y)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			held = append(held, rel)
+		}
+	}
+	return held, nil
 }
 
 // HoldingRelations reports which of the 32 relations of ℛ hold between two

@@ -1,0 +1,315 @@
+package online
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"causet/internal/obs"
+	"causet/internal/poset"
+	"causet/internal/sim"
+	"causet/internal/vclock"
+)
+
+// phaseConditions builds a condition set over consecutive phase pairs of a
+// generated workload, mixing relation atoms, negation, disjunction, and the
+// conditional form so the differential runs exercise the full DSL surface.
+func phaseConditions(phases []sim.Phase) [][2]string {
+	var conds [][2]string
+	for i := 0; i+1 < len(phases); i++ {
+		a, b := phases[i].Name, phases[i+1].Name
+		conds = append(conds,
+			[2]string{fmt.Sprintf("fwd-%d", i), fmt.Sprintf("R1(%s, %s)", a, b)},
+			[2]string{fmt.Sprintf("bwd-%d", i), fmt.Sprintf("R1(%s, %s)", b, a)},
+			[2]string{fmt.Sprintf("mix-%d", i), fmt.Sprintf("R2(%s, %s) || !R3(%s, %s)", a, b, a, b)},
+			[2]string{fmt.Sprintf("imp-%d", i), fmt.Sprintf("R1(%s, %s) -> R2'(%s, %s)", a, b, a, b)},
+		)
+	}
+	return conds
+}
+
+// driveMonitored replays a generated workload event by event onto a fresh
+// stream + online monitor (legacy or incremental), observing every event
+// into its phase interval, completing each phase as its last event arrives,
+// and calling Check after every event. It returns the per-event verdict
+// trace (one rendered line per appended event), a rendering of every real
+// event's forward and reverse timestamps at the final snapshot, and the
+// rendered StrongestBetween answer for every consecutive phase pair.
+func driveMonitored(t testing.TB, res *sim.Result, conds [][2]string, legacy bool) (trace []string, clocks string, strongest []string) {
+	t.Helper()
+	s := NewStream(res.Exec.NumProcs())
+	m := NewMonitor(s)
+	if legacy {
+		m.SetLegacy(true)
+	}
+	for _, c := range conds {
+		if err := m.AddCondition(c[0], c[1]); err != nil {
+			t.Fatalf("AddCondition(%q): %v", c[0], err)
+		}
+	}
+	phaseOf := make(map[poset.EventID]int)
+	remaining := make([]int, len(res.Phases))
+	for i, ph := range res.Phases {
+		remaining[i] = len(ph.Events)
+		for _, e := range ph.Events {
+			phaseOf[e] = i
+		}
+	}
+	if _, err := ReplayStepsOn(s, res.Exec, func(_ *Stream, e poset.EventID) error {
+		if pi, ok := phaseOf[e]; ok {
+			if err := m.Observe(res.Phases[pi].Name, e); err != nil {
+				return err
+			}
+			remaining[pi]--
+			if remaining[pi] == 0 {
+				if err := m.Complete(res.Phases[pi].Name); err != nil {
+					return err
+				}
+			}
+		}
+		var line strings.Builder
+		for _, r := range m.Check() {
+			fmt.Fprintf(&line, "%s=%s;", r.Name, r.State)
+			if r.Err != nil {
+				fmt.Fprintf(&line, "err=%v;", r.Err)
+			}
+		}
+		trace = append(trace, line.String())
+		return nil
+	}); err != nil {
+		t.Fatalf("replay (legacy=%v): %v", legacy, err)
+	}
+
+	snap := s.Snapshot()
+	var cl strings.Builder
+	for _, e := range snap.Exec.RealEvents() {
+		fmt.Fprintf(&cl, "%v T=%v TR=%v\n", e, snap.Analysis.Clocks().T(e), snap.Analysis.Clocks().TR(e))
+	}
+	clocks = cl.String()
+
+	for i := 0; i+1 < len(res.Phases); i++ {
+		rels, err := m.StrongestBetween(res.Phases[i].Name, res.Phases[i+1].Name)
+		strongest = append(strongest, fmt.Sprintf("%v/%v", rels, err))
+	}
+	return trace, clocks, strongest
+}
+
+// diffRuns drives one workload through the legacy and incremental paths and
+// fails on any divergence: per-event verdict traces, final clock tables,
+// and StrongestBetween answers must be byte-identical.
+func diffRuns(t testing.TB, res *sim.Result, label string) {
+	t.Helper()
+	if len(res.Phases) < 2 {
+		t.Fatalf("%s: workload has %d phases; need at least 2", label, len(res.Phases))
+	}
+	conds := phaseConditions(res.Phases)
+	incTrace, incClocks, incStrong := driveMonitored(t, res, conds, false)
+	legTrace, legClocks, legStrong := driveMonitored(t, res, conds, true)
+	if len(incTrace) != len(legTrace) {
+		t.Fatalf("%s: trace lengths differ: incremental %d, legacy %d", label, len(incTrace), len(legTrace))
+	}
+	for i := range incTrace {
+		if incTrace[i] != legTrace[i] {
+			t.Fatalf("%s: verdicts diverge at event %d:\nincremental: %s\nlegacy:      %s", label, i, incTrace[i], legTrace[i])
+		}
+	}
+	if incClocks != legClocks {
+		t.Errorf("%s: final clock tables diverge:\nincremental:\n%s\nlegacy:\n%s", label, incClocks, legClocks)
+	}
+	for i := range incStrong {
+		if incStrong[i] != legStrong[i] {
+			t.Errorf("%s: StrongestBetween(%d) diverges: incremental %s, legacy %s", label, i, incStrong[i], legStrong[i])
+		}
+	}
+
+	// The incremental clocks must also agree with a cold offline rebuild of
+	// the original execution — the legacy path is itself under test here, so
+	// anchor both to the independent vclock.New ground truth.
+	cold := vclock.New(res.Exec)
+	var want strings.Builder
+	for _, e := range res.Exec.RealEvents() {
+		fmt.Fprintf(&want, "%v T=%v TR=%v\n", e, cold.T(e), cold.TR(e))
+	}
+	if incClocks != want.String() {
+		t.Errorf("%s: incremental clocks disagree with offline vclock.New:\nincremental:\n%s\noffline:\n%s", label, incClocks, want.String())
+	}
+}
+
+// TestIncrementalSnapshotAgreement is the differential anchor of the
+// incremental hot path: across every structured workload pattern and a
+// spread of seeds, the incremental monitor must produce byte-identical
+// verdict traces, clock tables, and StrongestBetween answers to the legacy
+// full-rebuild path (and to an offline clock rebuild).
+func TestIncrementalSnapshotAgreement(t *testing.T) {
+	for _, pat := range sim.Patterns() {
+		if pat == sim.Random {
+			continue // no phases; covered by the faultsim chaos suite
+		}
+		for seed := int64(0); seed < 4; seed++ {
+			res, err := sim.Generate(sim.Config{Pattern: pat, Procs: 4, Rounds: 5, Seed: seed})
+			if err != nil {
+				t.Fatalf("%v/seed=%d: %v", pat, seed, err)
+			}
+			if len(res.Phases) < 2 {
+				continue
+			}
+			diffRuns(t, res, fmt.Sprintf("%v/seed=%d", pat, seed))
+		}
+	}
+}
+
+// FuzzIncrementalSnapshotAgreement lets the fuzzer search the workload
+// space (pattern × size × seed) for any divergence between the incremental
+// and legacy paths.
+func FuzzIncrementalSnapshotAgreement(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint8(4), uint8(3))
+	f.Add(int64(7), uint8(5), uint8(3), uint8(2))
+	f.Add(int64(42), uint8(7), uint8(5), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, pat, procs, rounds uint8) {
+		pats := sim.Patterns()
+		p := pats[int(pat)%len(pats)]
+		if p == sim.Random {
+			p = sim.Ring
+		}
+		cfg := sim.Config{
+			Pattern: p,
+			Procs:   2 + int(procs)%5,
+			Rounds:  1 + int(rounds)%5,
+			Seed:    seed,
+		}
+		res, err := sim.Generate(cfg)
+		if err != nil || len(res.Phases) < 2 {
+			t.Skip()
+		}
+		diffRuns(t, res, fmt.Sprintf("%v/procs=%d/rounds=%d/seed=%d", p, cfg.Procs, cfg.Rounds, seed))
+	})
+}
+
+// TestStreamAllocsPerEvent pins the append hot path's allocation budget:
+// with arena-carved vector clocks the steady-state cost must stay well
+// under one allocation per event (the pre-arena path paid at least one VC
+// make per event, plus slice growth).
+func TestStreamAllocsPerEvent(t *testing.T) {
+	const procs, rounds = 8, 512
+	s := NewStream(procs)
+	// Warm up so slice-growth reallocations of the early doublings don't
+	// dominate the measurement.
+	ring := func(n int) {
+		for r := 0; r < n; r++ {
+			for i := 0; i < procs; i++ {
+				send, err := s.Send(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Recv((i+1)%procs, send); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	ring(rounds / 4)
+	events := rounds * procs * 2
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	ring(rounds)
+	runtime.ReadMemStats(&m1)
+	perEvent := float64(m1.Mallocs-m0.Mallocs) / float64(events)
+	t.Logf("allocs/event = %.3f over %d events", perEvent, events)
+	if perEvent > 0.5 {
+		t.Errorf("append hot path allocates %.3f objects/event; want <= 0.5", perEvent)
+	}
+}
+
+// TestSnapshotCounters pins the reuse/rebuild accounting: cached snapshot
+// hits count as reuses, constructions as rebuilds (and, for compatibility,
+// as online.snapshots).
+func TestSnapshotCounters(t *testing.T) {
+	reg := obs.New()
+	s := NewStream(2)
+	s.Instrument(reg, nil)
+	if _, err := s.Local(0); err != nil {
+		t.Fatal(err)
+	}
+	s.Snapshot()
+	s.Snapshot()
+	if _, err := s.Local(1); err != nil {
+		t.Fatal(err)
+	}
+	s.Snapshot()
+	rebuilds := reg.Counter("online.snapshot_rebuilds").Value()
+	reuses := reg.Counter("online.snapshot_reuses").Value()
+	snaps := reg.Counter("online.snapshots").Value()
+	if rebuilds != 2 || reuses != 1 || snaps != 2 {
+		t.Errorf("got rebuilds=%d reuses=%d snapshots=%d; want 2/1/2", rebuilds, reuses, snaps)
+	}
+}
+
+// TestMonitorCheckWindow verifies the monitor.check_ns window records one
+// sample per Check call.
+func TestMonitorCheckWindow(t *testing.T) {
+	reg := obs.New()
+	s := NewStream(2)
+	m := NewMonitor(s)
+	m.Instrument(reg)
+	if err := m.AddCondition("c", "R1(A, B)"); err != nil {
+		t.Fatal(err)
+	}
+	m.Check()
+	m.Check()
+	snap := reg.Snapshot()
+	if got := snap.Windows["monitor.check_ns"].Count; got != 2 {
+		t.Errorf("monitor.check_ns window count = %d; want 2", got)
+	}
+}
+
+// TestCacheCarryAcrossEpochs verifies the point of the carry chain: an
+// interval whose cuts stabilized at one epoch is not rebuilt at the next.
+func TestCacheCarryAcrossEpochs(t *testing.T) {
+	s := NewStream(3)
+	m := NewMonitor(s)
+	res := sim.MustGenerate(sim.Config{Pattern: sim.Ring, Procs: 3, Rounds: 4, Seed: 1})
+	phaseOf := make(map[poset.EventID]int)
+	remaining := make([]int, len(res.Phases))
+	for i, ph := range res.Phases {
+		remaining[i] = len(ph.Events)
+		for _, e := range ph.Events {
+			phaseOf[e] = i
+		}
+	}
+	for i := range res.Phases[:len(res.Phases)-1] {
+		name := fmt.Sprintf("c%d", i)
+		src := fmt.Sprintf("R1(%s, %s)", res.Phases[i].Name, res.Phases[i+1].Name)
+		if err := m.AddCondition(name, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var builds []int64
+	if _, err := ReplayStepsOn(s, res.Exec, func(_ *Stream, e poset.EventID) error {
+		pi := phaseOf[e]
+		if err := m.Observe(res.Phases[pi].Name, e); err != nil {
+			return err
+		}
+		remaining[pi]--
+		if remaining[pi] == 0 {
+			if err := m.Complete(res.Phases[pi].Name); err != nil {
+				return err
+			}
+			m.Check()
+			builds = append(builds, s.Snapshot().Analysis.CutBuilds())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Every settling check defines at most two fresh intervals; with the
+	// carry chain, the per-epoch build count must not grow with the number
+	// of previously settled intervals. Without carry, epoch k would rebuild
+	// all k+1 intervals it defines, so the last epoch's count would be
+	// len(phases), not O(1).
+	last := builds[len(builds)-1]
+	if last > 4 {
+		t.Errorf("final epoch built %d interval cuts; carry should bound this by the freshly-referenced intervals (<= 4). build counts per epoch: %v", last, builds)
+	}
+}

@@ -16,12 +16,28 @@ import (
 	"causet/internal/poset"
 )
 
+// pendingCond tracks one condition through the interval→conditions readiness
+// index: missing counts the referenced intervals not yet complete; when it
+// reaches zero the condition moves to the ready queue and is evaluated at
+// the next Check.
+type pendingCond struct {
+	c       *monitor.Condition
+	missing int
+}
+
 // Monitor detects synchronization conditions online: nonatomic events grow
 // via Observe as their member events occur, become immutable via Complete,
 // and each condition is evaluated as soon as every interval it references
 // is complete. By verdict stability (see the package comment) the first
 // non-pending result of a condition is also its final one; Check memoizes
 // it and never re-evaluates.
+//
+// The check loop is indexed: Complete promotes exactly the conditions it
+// unblocked onto a ready queue, and Check drains that queue against one
+// persistent inner monitor that is rebased onto each new snapshot epoch —
+// conditions are compiled once, intervals are defined once, and cut caches
+// survive across checks. The pre-index full-scan path is retained behind
+// SetLegacy as the differential oracle.
 type Monitor struct {
 	stream *Stream
 
@@ -30,6 +46,20 @@ type Monitor struct {
 	complete   map[string][]poset.EventID
 	conditions []*monitor.Condition
 	settled    map[string]monitor.Result
+
+	// Readiness index (incremental mode).
+	waiting map[string][]*pendingCond // interval name → conditions blocked on it
+	ready   []*monitor.Condition      // unblocked, not yet evaluated
+
+	// Persistent inner monitor (incremental mode). defined marks interval
+	// names already registered with it; badIv poisons interval names whose
+	// Define failed (e.g. bogus event IDs) so every condition that ever
+	// references them settles Failed.
+	inner   *monitor.Monitor
+	defined map[string]bool
+	badIv   map[string]error
+
+	legacy bool
 
 	// Explanation capture (EnableExplanations): settled holds/violated
 	// conditions retain a witness + critical-path explanation derived over
@@ -52,6 +82,7 @@ type Monitor struct {
 	violWin        *obs.Window
 	detectWin      *obs.Window
 	detectHist     *obs.Histogram
+	checkWin       *obs.Window
 }
 
 // NewMonitor creates an online monitor over the stream.
@@ -62,11 +93,30 @@ func NewMonitor(s *Stream) *Monitor {
 		complete: make(map[string][]poset.EventID),
 		settled:  make(map[string]monitor.Result),
 
+		waiting: make(map[string][]*pendingCond),
+		defined: make(map[string]bool),
+		badIv:   make(map[string]error),
+
 		explanations: make(map[string]*explain.ConditionExplanation),
 
 		nowFn:       time.Now,
 		completedAt: make(map[string]time.Time),
 	}
+}
+
+// SetLegacy switches the monitor (and its stream) to the legacy check loop:
+// every Check re-scans all conditions for readiness and evaluates the ready
+// ones against a fresh throwaway inner monitor over a full-rebuild
+// snapshot. Kept as the differential oracle for the indexed incremental
+// loop; verdicts are identical by construction, which the agreement tests
+// and the E14 sweep verify. Switching resets the persistent inner monitor.
+func (m *Monitor) SetLegacy(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.legacy = on
+	m.inner = nil
+	m.defined = make(map[string]bool)
+	m.stream.SetLegacySnapshots(on)
 }
 
 // EnableExplanations switches causal explanation capture on or off: when
@@ -104,10 +154,13 @@ func (m *Monitor) SetLogger(lg *logx.Logger) {
 // Instrument attaches a metrics registry (may be nil): the
 // online.settlements counter counts final verdicts, the
 // online.violation_window sliding window observes one sample per violated
-// condition (giving the dashboard a recent-violation rate), and detection
+// condition (giving the dashboard a recent-violation rate), detection
 // latency lands in the online.detect_latency_ns window (recent quantiles),
 // the online.detect_latency_hist_ns histogram (full distribution), and a
-// per-condition online.detect_latency.cond.<name> gauge.
+// per-condition online.detect_latency.cond.<name> gauge, and every Check
+// call records its wall-clock cost in the monitor.check_ns window — on the
+// incremental path the steady-state cost is the index drain, so this is the
+// series that shows the amortization working.
 func (m *Monitor) Instrument(reg *obs.Registry) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -116,6 +169,7 @@ func (m *Monitor) Instrument(reg *obs.Registry) {
 	m.violWin = reg.Window("online.violation_window", 256)
 	m.detectWin = reg.Window("online.detect_latency_ns", 256)
 	m.detectHist = reg.Histogram("online.detect_latency_hist_ns", obs.DurationBuckets)
+	m.checkWin = reg.Window("monitor.check_ns", 256)
 }
 
 // SetNow injects the monitor's clock (nil restores time.Now). Timed-trace
@@ -195,7 +249,9 @@ func (m *Monitor) Observe(name string, events ...poset.EventID) error {
 }
 
 // Complete freezes the named interval; conditions referencing it become
-// evaluable once their other references complete too.
+// evaluable once their other references complete too. Completion decrements
+// the missing-count of every condition waiting on the interval and promotes
+// the fully-unblocked ones to the ready queue the next Check drains.
 func (m *Monitor) Complete(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -209,6 +265,13 @@ func (m *Monitor) Complete(name string) error {
 	delete(m.growing, name)
 	m.complete[name] = events
 	m.completedAt[name] = m.nowFn()
+	for _, pc := range m.waiting[name] {
+		pc.missing--
+		if pc.missing == 0 {
+			m.ready = append(m.ready, pc.c)
+		}
+	}
+	delete(m.waiting, name)
 	m.lg.Info("interval_complete", logx.F("interval", name), logx.F("size", len(events)))
 	return nil
 }
@@ -237,7 +300,8 @@ func (m *Monitor) detectLatency(c *monitor.Condition) (time.Duration, bool) {
 	return lat, true
 }
 
-// AddCondition parses and registers a condition in the monitor DSL.
+// AddCondition parses and registers a condition in the monitor DSL. The
+// source is compiled exactly once, here; checks reuse the parsed expression.
 func (m *Monitor) AddCondition(name, src string) error {
 	expr, err := monitor.Parse(src)
 	if err != nil {
@@ -250,18 +314,167 @@ func (m *Monitor) AddCondition(name, src string) error {
 			return fmt.Errorf("online: condition %q already defined", name)
 		}
 	}
-	m.conditions = append(m.conditions, &monitor.Condition{Name: name, Src: src, Expr: expr})
+	c := &monitor.Condition{Name: name, Src: src, Expr: expr}
+	m.conditions = append(m.conditions, c)
+	m.indexLocked(c)
 	return nil
+}
+
+// indexLocked registers a new condition with the readiness index: it waits
+// on each referenced interval not yet complete, or goes straight to the
+// ready queue when there is nothing to wait for.
+func (m *Monitor) indexLocked(c *monitor.Condition) {
+	pc := &pendingCond{c: c}
+	for _, ref := range monitor.Referenced(c.Expr) {
+		if _, done := m.complete[ref]; done {
+			continue
+		}
+		pc.missing++
+		m.waiting[ref] = append(m.waiting[ref], pc)
+	}
+	if pc.missing == 0 {
+		m.ready = append(m.ready, c)
+	}
 }
 
 // Check evaluates all conditions against the current stream prefix and
 // returns one result per condition in registration order. Conditions whose
 // referenced intervals are not all complete report Pending; every other
-// verdict is final and memoized.
+// verdict is final and memoized. On the default incremental path only the
+// conditions unblocked since the previous Check are evaluated, against a
+// persistent inner monitor rebased onto the current snapshot epoch.
 func (m *Monitor) Check() []monitor.Result {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var t0 time.Time
+	if m.checkWin != nil {
+		t0 = time.Now()
+	}
+	if m.legacy {
+		m.checkLegacyLocked()
+	} else {
+		m.checkIncrementalLocked()
+	}
+	if m.checkWin != nil {
+		m.checkWin.Observe(time.Since(t0).Nanoseconds())
+	}
+	out := make([]monitor.Result, 0, len(m.conditions))
+	for _, c := range m.conditions {
+		if res, done := m.settled[c.Name]; done {
+			out = append(out, res)
+		} else {
+			out = append(out, monitor.Result{Name: c.Name, State: monitor.Pending})
+		}
+	}
+	return out
+}
 
+// ensureInnerLocked points the persistent inner monitor at the current
+// snapshot epoch, creating or rebasing it as needed. Rebasing preserves
+// defined intervals and their cut caches; a rebase failure (only possible
+// if the stream's snapshot lineage was reset, e.g. by toggling legacy mode
+// underneath us) falls back to a fresh inner monitor, which re-defines
+// intervals on demand.
+func (m *Monitor) ensureInnerLocked() {
+	snap := m.stream.Snapshot()
+	switch {
+	case m.inner == nil:
+		m.inner = monitor.NewWithAnalysis(snap.Analysis)
+		m.defined = make(map[string]bool)
+	case m.inner.Analysis() != snap.Analysis:
+		if err := m.inner.Rebase(snap.Analysis); err != nil {
+			m.inner = monitor.NewWithAnalysis(snap.Analysis)
+			m.defined = make(map[string]bool)
+		}
+	}
+}
+
+// defineLocked registers a completed interval with the persistent inner
+// monitor, once. A Define failure (bogus event IDs) poisons the name: the
+// error is recorded and returned to every later reference, so each
+// condition touching the interval settles Failed.
+func (m *Monitor) defineLocked(name string) error {
+	if err, bad := m.badIv[name]; bad {
+		return err
+	}
+	if m.defined[name] {
+		return nil
+	}
+	if err := m.inner.Define(name, m.complete[name]); err != nil {
+		m.badIv[name] = err
+		return err
+	}
+	m.defined[name] = true
+	return nil
+}
+
+// checkIncrementalLocked drains the ready queue: each unblocked condition
+// has its intervals defined (once) and is evaluated with its compiled
+// expression against the persistent inner monitor. The snapshot (and its
+// rebase) is only taken when something is actually ready, so a Check with
+// nothing to do costs O(1).
+func (m *Monitor) checkIncrementalLocked() {
+	if len(m.ready) == 0 {
+		return
+	}
+	todo := m.ready
+	m.ready = nil
+	m.ensureInnerLocked()
+	for _, c := range todo {
+		if _, done := m.settled[c.Name]; done {
+			continue
+		}
+		var defErr error
+		for _, ref := range monitor.Referenced(c.Expr) {
+			if err := m.defineLocked(ref); err != nil {
+				defErr = err
+				break
+			}
+		}
+		if defErr != nil {
+			m.settle(c, monitor.Result{Name: c.Name, State: monitor.Failed, Err: defErr}, nil)
+			continue
+		}
+		res := m.inner.CheckCondition(c)
+		if res.State == monitor.Pending {
+			// Defensive: a ready condition has every reference defined, so
+			// the inner monitor cannot report Pending; if it ever does,
+			// re-queue rather than lose the condition.
+			m.ready = append(m.ready, c)
+			continue
+		}
+		var ce *explain.ConditionExplanation
+		if m.explainOn && (res.State == monitor.Holds || res.State == monitor.Violated) {
+			// Best-effort: a condition that evaluated cleanly explains
+			// cleanly too; if not, settle without evidence rather than
+			// failing the verdict.
+			ce = m.explainLocked(c)
+		}
+		m.settle(c, res, ce)
+	}
+}
+
+// explainLocked derives a witness/critical-path explanation for a condition
+// over the persistent inner monitor's current analysis. Caller holds m.mu.
+func (m *Monitor) explainLocked(c *monitor.Condition) *explain.ConditionExplanation {
+	expl := explain.New(m.inner.Analysis())
+	expl.Instrument(m.reg)
+	ivs := make(map[string]*interval.Interval)
+	for _, ref := range monitor.Referenced(c.Expr) {
+		if iv, ok := m.inner.Interval(ref); ok {
+			ivs[ref] = iv
+		}
+	}
+	ce, _ := expl.Condition(c, ivs)
+	return ce
+}
+
+// checkLegacyLocked is the pre-index check loop, kept verbatim as the
+// differential oracle: scan every condition for readiness, then evaluate
+// the ready ones against a fresh throwaway monitor over the current
+// snapshot. Its one departure from history is sharing the compiled
+// expression instead of re-parsing the DSL source per check.
+func (m *Monitor) checkLegacyLocked() {
 	// Which conditions still need evaluation?
 	var todo []*monitor.Condition
 	for _, c := range m.conditions {
@@ -279,84 +492,75 @@ func (m *Monitor) Check() []monitor.Result {
 			todo = append(todo, c)
 		}
 	}
-	if len(todo) > 0 {
-		snap := m.stream.Snapshot()
-		inner := monitor.New(snap.Exec)
-		// Define only what the ready conditions need, to keep the snapshot
-		// evaluation proportional to the active conditions.
-		needed := map[string]bool{}
-		for _, c := range todo {
-			for _, ref := range monitor.Referenced(c.Expr) {
-				needed[ref] = true
+	if len(todo) == 0 {
+		return
+	}
+	snap := m.stream.Snapshot()
+	inner := monitor.New(snap.Exec)
+	// Define only what the ready conditions need, to keep the snapshot
+	// evaluation proportional to the active conditions.
+	needed := map[string]bool{}
+	for _, c := range todo {
+		for _, ref := range monitor.Referenced(c.Expr) {
+			needed[ref] = true
+		}
+	}
+	names := make([]string, 0, len(needed))
+	for n := range needed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := inner.Define(n, m.complete[n]); err != nil {
+			// A completed interval that the snapshot rejects (e.g. its
+			// events were reported with bogus IDs) fails every condition
+			// that references it.
+			for _, c := range todo {
+				if _, done := m.settled[c.Name]; !done && refers(c, n) {
+					m.settle(c, monitor.Result{Name: c.Name, State: monitor.Failed, Err: err}, nil)
+				}
 			}
+			continue
 		}
-		names := make([]string, 0, len(needed))
-		for n := range needed {
-			names = append(names, n)
+	}
+	for _, c := range todo {
+		if _, done := m.settled[c.Name]; done {
+			continue
 		}
-		sort.Strings(names)
+		if err := inner.AddConditionParsed(c); err != nil {
+			m.settle(c, monitor.Result{Name: c.Name, State: monitor.Failed, Err: err}, nil)
+		}
+	}
+	byName := make(map[string]*monitor.Condition, len(todo))
+	for _, c := range todo {
+		byName[c.Name] = c
+	}
+	var expl *explain.Explainer
+	var ivs map[string]*interval.Interval
+	if m.explainOn {
+		expl = explain.New(inner.Analysis())
+		expl.Instrument(m.reg)
+		ivs = make(map[string]*interval.Interval, len(names))
 		for _, n := range names {
-			if err := inner.Define(n, m.complete[n]); err != nil {
-				// A completed interval that the snapshot rejects (e.g. its
-				// events were reported with bogus IDs) fails every condition
-				// that references it.
-				for _, c := range todo {
-					if _, done := m.settled[c.Name]; !done && refers(c, n) {
-						m.settle(c, monitor.Result{Name: c.Name, State: monitor.Failed, Err: err}, nil)
-					}
-				}
-				continue
+			if iv, ok := inner.Interval(n); ok {
+				ivs[n] = iv
 			}
-		}
-		for _, c := range todo {
-			if _, done := m.settled[c.Name]; done {
-				continue
-			}
-			if err := inner.AddCondition(c.Name, c.Src); err != nil {
-				m.settle(c, monitor.Result{Name: c.Name, State: monitor.Failed, Err: err}, nil)
-			}
-		}
-		byName := make(map[string]*monitor.Condition, len(todo))
-		for _, c := range todo {
-			byName[c.Name] = c
-		}
-		var expl *explain.Explainer
-		var ivs map[string]*interval.Interval
-		if m.explainOn {
-			expl = explain.New(inner.Analysis())
-			expl.Instrument(m.reg)
-			ivs = make(map[string]*interval.Interval, len(names))
-			for _, n := range names {
-				if iv, ok := inner.Interval(n); ok {
-					ivs[n] = iv
-				}
-			}
-		}
-		for _, res := range inner.Check() {
-			if _, done := m.settled[res.Name]; done {
-				continue
-			}
-			c := byName[res.Name]
-			var ce *explain.ConditionExplanation
-			if expl != nil && (res.State == monitor.Holds || res.State == monitor.Violated) {
-				// Best-effort: a condition that evaluated cleanly explains
-				// cleanly too; if not, settle without evidence rather than
-				// failing the verdict.
-				ce, _ = expl.Condition(c, ivs)
-			}
-			m.settle(c, res, ce)
 		}
 	}
-
-	out := make([]monitor.Result, 0, len(m.conditions))
-	for _, c := range m.conditions {
-		if res, done := m.settled[c.Name]; done {
-			out = append(out, res)
-		} else {
-			out = append(out, monitor.Result{Name: c.Name, State: monitor.Pending})
+	for _, res := range inner.Check() {
+		if _, done := m.settled[res.Name]; done {
+			continue
 		}
+		c := byName[res.Name]
+		var ce *explain.ConditionExplanation
+		if expl != nil && (res.State == monitor.Holds || res.State == monitor.Violated) {
+			// Best-effort: a condition that evaluated cleanly explains
+			// cleanly too; if not, settle without evidence rather than
+			// failing the verdict.
+			ce, _ = expl.Condition(c, ivs)
+		}
+		m.settle(c, res, ce)
 	}
-	return out
 }
 
 // witnessSummary compresses a condition explanation into one log field:
@@ -400,35 +604,47 @@ func (m *Monitor) CompletedIntervals() []string {
 // StrongestBetween reports the maximal relations (under the hierarchy's
 // implication order) holding between two completed intervals at the current
 // prefix — the compact online answer to Problem 4(ii). By verdict stability
-// the answer is final once both intervals are complete.
+// the answer is final once both intervals are complete. On the incremental
+// path the query runs against the persistent inner monitor, sharing its
+// interval definitions and cut caches with the check loop.
 func (m *Monitor) StrongestBetween(xName, yName string) ([]core.Relation, error) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	xe, okX := m.complete[xName]
 	ye, okY := m.complete[yName]
-	m.mu.Unlock()
 	if !okX {
 		return nil, fmt.Errorf("online: interval %q is not complete", xName)
 	}
 	if !okY {
 		return nil, fmt.Errorf("online: interval %q is not complete", yName)
 	}
-	snap := m.stream.Snapshot()
-	inner := monitor.New(snap.Exec)
-	if err := inner.Define(xName, xe); err != nil {
-		return nil, err
-	}
-	if err := inner.Define(yName, ye); err != nil {
-		return nil, err
-	}
 	var held []core.Relation
-	for _, rel := range core.Relations() {
-		src := fmt.Sprintf("%s(%s, %s)", rel.String(), xName, yName)
-		ok, err := inner.Eval(src)
+	if m.legacy {
+		snap := m.stream.Snapshot()
+		inner := monitor.New(snap.Exec)
+		if err := inner.Define(xName, xe); err != nil {
+			return nil, err
+		}
+		if err := inner.Define(yName, ye); err != nil {
+			return nil, err
+		}
+		var err error
+		held, err = inner.HeldTable1(xName, yName)
 		if err != nil {
 			return nil, err
 		}
-		if ok {
-			held = append(held, rel)
+	} else {
+		m.ensureInnerLocked()
+		if err := m.defineLocked(xName); err != nil {
+			return nil, err
+		}
+		if err := m.defineLocked(yName); err != nil {
+			return nil, err
+		}
+		var err error
+		held, err = m.inner.HeldTable1(xName, yName)
+		if err != nil {
+			return nil, err
 		}
 	}
 	return hierarchy.Strongest(held), nil

@@ -15,14 +15,23 @@
 // TestVerdictStability pins the property.
 //
 // Reverse timestamps (needed for the future cuts ⇑X) inherently depend on
-// the future of the execution, so they are computed lazily per Snapshot;
-// the snapshot is cached and invalidated on append.
+// the future of the execution, so they cannot be finalized online. The
+// stream instead maintains a first-follower index: for every recorded event
+// e and node i, the position of the first event on i with e ⪯ e', filled in
+// exactly once when that follower appears. T^R(e)[i] is then
+// NumReal(i) − firstFollower + 1 for any snapshot whose prefix contains the
+// follower, so snapshots derive reverse timestamps on demand instead of
+// paying the O(|E|·|P|) two-pass rebuild of vclock.New — the amortized
+// snapshot cost is O(|P|) per appended event (DESIGN.md S25). The legacy
+// full-rebuild path is retained behind SetLegacySnapshots as the
+// differential oracle.
 package online
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"causet/internal/core"
 	"causet/internal/obs"
@@ -37,8 +46,16 @@ var (
 	ErrSelfMessage = errors.New("online: send and receive on the same process")
 )
 
+// vcArenaEvents is how many events' worth of vector-clock backing storage
+// the stream allocates at a time: per-event clocks are immutable once
+// published and live as long as the stream, so carving them out of a shared
+// arena turns one allocation per event into one per vcArenaEvents events
+// (pinned by TestStreamAllocsPerEvent).
+const vcArenaEvents = 64
+
 // Stream is an execution under construction. Methods are safe for
-// concurrent use (a single global lock; the per-event work is O(|P|)).
+// concurrent use (a single global lock; the per-event work is amortized
+// O(|P|)).
 type Stream struct {
 	mu     sync.Mutex
 	procs  int
@@ -46,13 +63,36 @@ type Stream struct {
 	counts []int
 	fwd    [][]vclock.VC // forward clocks, maintained incrementally
 
+	// First-follower index: ff[p] is a flat counts[p]×procs matrix; cell
+	// (pos-1)*procs + i holds the position of the first event on node i
+	// that causally follows event (p,pos), or 0 while none is recorded.
+	// Each cell is written exactly once (the value is monotone knowledge
+	// about the past and never changes afterwards), with atomic stores and
+	// loads so snapshot readers never race with the appender. A snapshot
+	// captures the slice headers under the lock; cells written after capture
+	// either land in a reallocated row (invisible to the old header) or
+	// carry positions beyond the snapshot's prefix, which the reverse-
+	// timestamp derivation filters out — stale reads are therefore exact
+	// for the capturing prefix, not just safe.
+	ff        [][]int64
+	msgFrom   [][]poset.EventID // per event, sender of its received message (Proc < 0: none)
+	zeroFF    []int64           // procs zeros, appended to grow a ff row
+	arena     []int             // VC backing storage, carved per newVC
+	walkStack []poset.EventID   // reused DFS stack of propagateFollower
+
+	legacy   bool           // full-rebuild snapshots (the differential oracle)
+	prev     *core.Analysis // previous incremental snapshot, for cache carry
+	metDirty bool           // Instrument was called since prev was built
+
 	snap *Snapshot // cached; nil when dirty
 
-	metEvents    *obs.Counter
-	metEventsWin *obs.Window
-	metSnapshots *obs.Counter
-	metReg       *obs.Registry
-	metTracer    *obs.Tracer
+	metEvents       *obs.Counter
+	metEventsWin    *obs.Window
+	metSnapshots    *obs.Counter
+	metSnapReuses   *obs.Counter
+	metSnapRebuilds *obs.Counter
+	metReg          *obs.Registry
+	metTracer       *obs.Tracer
 }
 
 // NewStream starts an empty execution over procs processes.
@@ -61,10 +101,13 @@ func NewStream(procs int) *Stream {
 		panic(fmt.Sprintf("online: NewStream(%d)", procs))
 	}
 	return &Stream{
-		procs:  procs,
-		b:      poset.NewBuilder(procs),
-		counts: make([]int, procs),
-		fwd:    make([][]vclock.VC, procs),
+		procs:   procs,
+		b:       poset.NewBuilder(procs),
+		counts:  make([]int, procs),
+		fwd:     make([][]vclock.VC, procs),
+		ff:      make([][]int64, procs),
+		msgFrom: make([][]poset.EventID, procs),
+		zeroFF:  make([]int64, procs),
 	}
 }
 
@@ -74,11 +117,17 @@ func (s *Stream) NumProcs() int { return s.procs }
 // Instrument attaches a metrics registry and/or tracer; either may be nil.
 // The registry receives online.events (appended events, across all kinds),
 // the online.event_window sliding window (the live events/sec rate), and
-// online.snapshots (snapshot rebuilds — each one pays the reverse-
-// timestamp pass, so a high snapshots/events ratio flags a caller that
-// snapshots too eagerly). Both are also forwarded to each Snapshot's
-// Analysis, so cut builds and evaluator comparison counts of monitor
-// checks land in the same registry.
+// three snapshot counters: online.snapshots counts snapshot *constructions*
+// (on the default incremental path these are cheap copy-on-grow views with
+// carried caches, so a high snapshots/events ratio is no longer the red
+// flag it was when every construction paid a full reverse-timestamp pass —
+// it now flags cache-carry churn, not rebuild cost), online.snapshot_reuses
+// counts Snapshot calls served from the cache unchanged, and
+// online.snapshot_rebuilds counts the constructions (online.snapshots and
+// online.snapshot_rebuilds agree; the latter exists so dashboards can pair
+// it with reuses). All are also forwarded to each Snapshot's Analysis, so
+// cut builds and evaluator comparison counts of monitor checks land in the
+// same registry.
 func (s *Stream) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -87,13 +136,30 @@ func (s *Stream) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	s.metEvents = reg.Counter("online.events")
 	s.metEventsWin = reg.Window("online.event_window", 1024)
 	s.metSnapshots = reg.Counter("online.snapshots")
+	s.metSnapReuses = reg.Counter("online.snapshot_reuses")
+	s.metSnapRebuilds = reg.Counter("online.snapshot_rebuilds")
+	s.metDirty = true
+}
+
+// SetLegacySnapshots switches the stream to (or back from) the legacy
+// snapshot path: a full Builder.Build deep copy plus a cold core.NewAnalysis
+// with its O(|E|·|P|) reverse-timestamp pass per snapshot. The incremental
+// path is the default; the legacy path is kept as the differential oracle
+// the agreement tests and the E14 sweep compare against. Switching resets
+// the snapshot cache and the cache-carry chain.
+func (s *Stream) SetLegacySnapshots(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.legacy = on
+	s.snap = nil
+	s.prev = nil
 }
 
 // Local records an internal event on proc and returns it.
 func (s *Stream) Local(proc int) (poset.EventID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.append(proc, nil)
+	return s.append(proc, nil, poset.EventID{}, false)
 }
 
 // Send records a send event on proc. The returned EventID is the handle a
@@ -101,7 +167,7 @@ func (s *Stream) Local(proc int) (poset.EventID, error) {
 func (s *Stream) Send(proc int) (poset.EventID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.append(proc, nil)
+	return s.append(proc, nil, poset.EventID{}, false)
 }
 
 // Recv records the receipt on proc of the message sent at send, linking the
@@ -115,7 +181,7 @@ func (s *Stream) Recv(proc int, send poset.EventID) (poset.EventID, error) {
 	if send.Proc == proc {
 		return poset.EventID{}, fmt.Errorf("%w: %v", ErrSelfMessage, send)
 	}
-	recv, err := s.append(proc, s.fwd[send.Proc][send.Pos-1])
+	recv, err := s.append(proc, s.fwd[send.Proc][send.Pos-1], send, true)
 	if err != nil {
 		return poset.EventID{}, err
 	}
@@ -125,16 +191,36 @@ func (s *Stream) Recv(proc int, send poset.EventID) (poset.EventID, error) {
 	return recv, nil
 }
 
+// newVC carves a zeroed vector clock out of the arena. Caller holds the
+// lock. The returned VC is published into s.fwd and never written again.
+func (s *Stream) newVC() vclock.VC {
+	if len(s.arena) < s.procs {
+		s.arena = make([]int, s.procs*vcArenaEvents)
+	}
+	v := vclock.VC(s.arena[:s.procs:s.procs])
+	s.arena = s.arena[s.procs:]
+	return v
+}
+
+func (s *Stream) storeFF(e poset.EventID, i int, v int64) {
+	atomic.StoreInt64(&s.ff[e.Proc][(e.Pos-1)*s.procs+i], v)
+}
+
+func (s *Stream) loadFF(e poset.EventID, i int) int64 {
+	return atomic.LoadInt64(&s.ff[e.Proc][(e.Pos-1)*s.procs+i])
+}
+
 // append records one event, merging mergeClock (a sender's clock) when
-// non-nil. Caller holds the lock.
-func (s *Stream) append(proc int, mergeClock vclock.VC) (poset.EventID, error) {
+// non-nil and attributing the received message to sender when isRecv.
+// Caller holds the lock.
+func (s *Stream) append(proc int, mergeClock vclock.VC, sender poset.EventID, isRecv bool) (poset.EventID, error) {
 	if proc < 0 || proc >= s.procs {
 		return poset.EventID{}, fmt.Errorf("%w: %d", ErrBadProc, proc)
 	}
 	s.snap = nil
 	e := s.b.Append(proc)
 	s.counts[proc]++
-	t := make(vclock.VC, s.procs)
+	t := s.newVC()
 	if n := s.counts[proc]; n > 1 {
 		t.MaxInto(s.fwd[proc][n-2])
 	}
@@ -143,9 +229,52 @@ func (s *Stream) append(proc int, mergeClock vclock.VC) (poset.EventID, error) {
 	}
 	t[proc] = e.Pos
 	s.fwd[proc] = append(s.fwd[proc], t)
+	s.ff[proc] = append(s.ff[proc], s.zeroFF...)
+	from := poset.EventID{Proc: -1}
+	if isRecv {
+		from = sender
+	}
+	s.msgFrom[proc] = append(s.msgFrom[proc], from)
+	s.propagateFollower(e, sender, isRecv)
 	s.metEvents.Add(1)
 	s.metEventsWin.Observe(1)
 	return e, nil
+}
+
+// propagateFollower updates the first-follower index for the fresh event f:
+// every event e with e ≺ f whose first follower on f's node was unknown now
+// has one, namely f. The frontier of such events is walked backwards through
+// program-predecessor and message-sender edges, stopping at any cell already
+// known — knownness is downward closed (the walk that set a cell also
+// covered that event's causal past), so the stop is sound and every cell is
+// written exactly once, making the total index maintenance O(|E|·|P|) over
+// the whole run, amortized O(|P|) per event.
+func (s *Stream) propagateFollower(f poset.EventID, sender poset.EventID, isRecv bool) {
+	p := f.Proc
+	// Self: the first event on f's own node at-or-after f is f itself.
+	s.storeFF(f, p, int64(f.Pos))
+	if !isRecv {
+		// The program predecessor's first follower on p is that predecessor
+		// itself, already recorded at its own append — the frontier of
+		// unknown cells is empty.
+		return
+	}
+	stack := append(s.walkStack[:0], sender)
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.loadFF(e, p) != 0 {
+			continue
+		}
+		s.storeFF(e, p, int64(f.Pos))
+		if e.Pos > 1 {
+			stack = append(stack, poset.EventID{Proc: e.Proc, Pos: e.Pos - 1})
+		}
+		if from := s.msgFrom[e.Proc][e.Pos-1]; from.Proc >= 0 {
+			stack = append(stack, from)
+		}
+	}
+	s.walkStack = stack[:0]
 }
 
 // Clock returns the online forward vector clock of a recorded real event —
@@ -177,7 +306,7 @@ func (s *Stream) Precedes(a, b poset.EventID) (bool, error) {
 }
 
 // Snapshot is a frozen view of the stream: the execution prefix recorded so
-// far plus its full analysis (including the lazily computed reverse
+// far plus its full analysis (including the lazily derived reverse
 // timestamps).
 type Snapshot struct {
 	Exec     *poset.Execution
@@ -185,12 +314,21 @@ type Snapshot struct {
 }
 
 // Snapshot returns the current frozen view, cached until the next append.
-// Builder.Build copies its state, so the returned execution is immune to
-// later appends.
+// On the default incremental path the view is copy-on-grow (the message log
+// is shared with the builder, capacity-clamped), reverse timestamps are
+// derived on demand from the first-follower index, and the analysis carries
+// the epoch-stable cut caches of the previous snapshot forward. On the
+// legacy path (SetLegacySnapshots) every call deep-copies the execution and
+// recomputes both clock tables. Either way the returned snapshot is immune
+// to later appends.
 func (s *Stream) Snapshot() *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.snap == nil {
+	if s.snap != nil {
+		s.metSnapReuses.Add(1)
+		return s.snap
+	}
+	if s.legacy {
 		ex, err := s.b.Build()
 		if err != nil {
 			// Stream appends cannot create cycles (edges only target fresh
@@ -200,9 +338,58 @@ func (s *Stream) Snapshot() *Snapshot {
 		a := core.NewAnalysis(ex)
 		a.Instrument(s.metReg, s.metTracer)
 		s.snap = &Snapshot{Exec: ex, Analysis: a}
-		s.metSnapshots.Add(1)
+	} else {
+		s.snap = s.incrementalSnapshot()
 	}
+	s.metSnapshots.Add(1)
+	s.metSnapRebuilds.Add(1)
 	return s.snap
+}
+
+// incrementalSnapshot builds a snapshot without copying the execution or
+// rebuilding clock tables. Caller holds the lock.
+func (s *Stream) incrementalSnapshot() *Snapshot {
+	ex, err := s.b.View()
+	if err != nil {
+		// Stream appends follow the fresh-sink discipline (messages only
+		// target the newest event of their process, before it sends
+		// anything), so views are always available.
+		panic(err)
+	}
+	// Capture slice headers; the per-event VCs and index cells they lead to
+	// are immutable or exactly-once, so the snapshot reads stay correct
+	// however far the stream grows (see the ff field comment).
+	fwdv := make([][]vclock.VC, s.procs)
+	ffv := make([][]int64, s.procs)
+	for p := 0; p < s.procs; p++ {
+		n := s.counts[p]
+		fwdv[p] = s.fwd[p][:n:n]
+		ffv[p] = s.ff[p][: n*s.procs : n*s.procs]
+	}
+	procs := s.procs
+	revFn := func(e poset.EventID) vclock.VC {
+		t := make(vclock.VC, procs)
+		cells := ffv[e.Proc]
+		base := (e.Pos - 1) * procs
+		for i := 0; i < procs; i++ {
+			f := atomic.LoadInt64(&cells[base+i])
+			// A first follower recorded after this snapshot was captured has
+			// a position beyond the prefix; within the prefix the event then
+			// has no follower on i and T^R(e)[i] is 0.
+			if f > 0 && int(f) <= ex.NumReal(i) {
+				t[i] = ex.NumReal(i) - int(f) + 1
+			}
+		}
+		return t
+	}
+	clk := vclock.NewLazy(ex, fwdv, revFn)
+	a := core.NewAnalysisCarry(ex, clk, s.prev)
+	if s.prev == nil || s.metDirty {
+		a.Instrument(s.metReg, s.metTracer)
+		s.metDirty = false
+	}
+	s.prev = a
+	return &Snapshot{Exec: ex, Analysis: a}
 }
 
 // Replay feeds a recorded execution into a fresh Stream in a causality-
@@ -224,7 +411,17 @@ func Replay(ex *poset.Execution) (*Stream, error) {
 // the fault-injection harness checks online verdicts against offline replay.
 // A step error aborts the replay.
 func ReplaySteps(ex *poset.Execution, step func(s *Stream, e poset.EventID) error) (*Stream, error) {
-	s := NewStream(ex.NumProcs())
+	return ReplayStepsOn(NewStream(ex.NumProcs()), ex, step)
+}
+
+// ReplayStepsOn is ReplaySteps onto a caller-supplied empty stream, so the
+// stream can be configured (instrumented, switched to legacy snapshots)
+// before the replay starts — the differential tests replay one execution
+// onto an incremental and a legacy stream and require identical verdicts.
+func ReplayStepsOn(s *Stream, ex *poset.Execution, step func(s *Stream, e poset.EventID) error) (*Stream, error) {
+	if s.NumProcs() != ex.NumProcs() {
+		return nil, fmt.Errorf("online: ReplayStepsOn: stream has %d processes, execution has %d", s.NumProcs(), ex.NumProcs())
+	}
 	// Which sends feed which receives, per original edge. The stream API
 	// records one incoming edge per receive, so executions where a single
 	// event receives several messages cannot be replayed faithfully.

@@ -23,6 +23,7 @@ package poset
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // EventID identifies an event by its process (node) index and its position in
@@ -58,11 +59,24 @@ type Message struct {
 
 // Execution is an immutable distributed computation (E, ≺). Construct one
 // with a Builder. The zero value is an empty execution with no processes.
+//
+// Executions obtained from Builder.View additionally carry the identity of
+// the Builder that produced them and an epoch (the total event count at view
+// time), which lets Prefix decide cheaply whether one execution extends
+// another without comparing structure.
 type Execution struct {
-	counts []int                 // number of real events per process
-	msgs   []Message             // all message edges, in insertion order
-	out    map[EventID][]EventID // message successors of a real event
-	in     map[EventID][]EventID // message predecessors of a real event
+	counts []int     // number of real events per process
+	msgs   []Message // all message edges, in insertion order
+
+	// Message adjacency is derived lazily: views of a growing stream are
+	// taken once per monitor check, and most views never answer a structural
+	// query that needs the maps.
+	edgesOnce sync.Once
+	out       map[EventID][]EventID // message successors of a real event
+	in        map[EventID][]EventID // message predecessors of a real event
+
+	origin *Builder // builder this view was taken from, nil for Build results
+	epoch  int      // total real events at view time (only with origin set)
 }
 
 // Errors returned by Builder methods and Build.
@@ -72,13 +86,25 @@ var (
 	ErrDummyEndpoint = errors.New("poset: message endpoint must be a real event")
 	ErrSelfMessage   = errors.New("poset: message endpoints on the same process")
 	ErrCausalCycle   = errors.New("poset: message edges create a causal cycle")
+	ErrViewUnsafe    = errors.New("poset: builder recorded a message into a non-frontier event; views are unavailable (use Build)")
 )
 
 // Builder incrementally constructs an Execution. Methods record events and
-// message edges; Build validates acyclicity and freezes the result.
+// message edges; Build validates acyclicity and freezes the result, while
+// View freezes a copy-on-grow prefix without copying the message log.
 type Builder struct {
 	counts []int
 	msgs   []Message
+
+	// View safety. A view shares b.msgs with future appends, so it is only
+	// sound if every (counts, msgs-prefix) pair the builder passes through is
+	// itself acyclic. That holds when every message lands in a "fresh sink":
+	// a frontier event with no outgoing edges at insert time — then no edge
+	// can ever close a cycle and validation is O(1) per message instead of a
+	// Kahn pass per view. Message tracks the discipline; the first edge that
+	// breaks it poisons View (Build remains fully general).
+	hasOut         map[EventID]bool
+	unsafeForViews bool
 }
 
 // NewBuilder returns a Builder for an execution with procs processes, each
@@ -134,6 +160,16 @@ func (b *Builder) Message(from, to EventID) error {
 	if from.Proc == to.Proc {
 		return fmt.Errorf("%w: %v -> %v", ErrSelfMessage, from, to)
 	}
+	// Fresh-sink check (see Builder doc): the receive must be the newest
+	// event on its process and must not already have outgoing edges,
+	// otherwise later views of this builder could observe a cyclic prefix.
+	if to.Pos != b.counts[to.Proc] || b.hasOut[to] {
+		b.unsafeForViews = true
+	}
+	if b.hasOut == nil {
+		b.hasOut = make(map[EventID]bool)
+	}
+	b.hasOut[from] = true
 	b.msgs = append(b.msgs, Message{From: from, To: to})
 	return nil
 }
@@ -161,17 +197,55 @@ func (b *Builder) Build() (*Execution, error) {
 	ex := &Execution{
 		counts: append([]int(nil), b.counts...),
 		msgs:   append([]Message(nil), b.msgs...),
-		out:    make(map[EventID][]EventID, len(b.msgs)),
-		in:     make(map[EventID][]EventID, len(b.msgs)),
-	}
-	for _, m := range ex.msgs {
-		ex.out[m.From] = append(ex.out[m.From], m.To)
-		ex.in[m.To] = append(ex.in[m.To], m.From)
 	}
 	if _, err := ex.linearize(); err != nil {
 		return nil, err
 	}
 	return ex, nil
+}
+
+// View returns an immutable snapshot of the builder's current state without
+// copying the message log: the returned Execution aliases b.msgs up to its
+// current length (capacity-clamped, so future appends that grow the slice
+// never leak in). It is valid only while the builder follows the fresh-sink
+// message discipline — every Message lands in the newest event of its process
+// before that event sends anything — which makes each prefix acyclic by
+// construction and lets View skip the Kahn validation pass entirely. If any
+// recorded message broke the discipline, View fails with ErrViewUnsafe and
+// callers must fall back to Build.
+func (b *Builder) View() (*Execution, error) {
+	if b.unsafeForViews {
+		return nil, ErrViewUnsafe
+	}
+	total := 0
+	for _, c := range b.counts {
+		total += c
+	}
+	n := len(b.msgs)
+	return &Execution{
+		counts: append([]int(nil), b.counts...),
+		msgs:   b.msgs[:n:n],
+		origin: b,
+		epoch:  total,
+	}, nil
+}
+
+// Prefix reports whether a is a prefix of b: every event and message edge of
+// a is present, unchanged, in b. Identical executions are prefixes of each
+// other. For distinct executions the question is only decidable cheaply for
+// views of the same Builder, where epoch ordering plus message-log length
+// settles it (two views can share an epoch yet straddle a Message call, so
+// the msgs length is part of the test). Build results have no origin and are
+// prefixes only of themselves.
+func Prefix(a, b *Execution) bool {
+	if a == b {
+		return a != nil
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return a.origin != nil && a.origin == b.origin &&
+		a.epoch <= b.epoch && len(a.msgs) <= len(b.msgs)
 }
 
 // MustBuild is Build that panics on error, for tests and fixed fixtures.
@@ -235,13 +309,33 @@ func (ex *Execution) IsReal(e EventID) bool {
 // callers must not modify it.
 func (ex *Execution) Messages() []Message { return ex.msgs }
 
+// edges builds the message adjacency maps on first use. The maps are derived
+// purely from ex.msgs (itself immutable once the Execution exists), so the
+// sync.Once makes concurrent first calls safe.
+func (ex *Execution) edges() {
+	ex.edgesOnce.Do(func() {
+		ex.out = make(map[EventID][]EventID, len(ex.msgs))
+		ex.in = make(map[EventID][]EventID, len(ex.msgs))
+		for _, m := range ex.msgs {
+			ex.out[m.From] = append(ex.out[m.From], m.To)
+			ex.in[m.To] = append(ex.in[m.To], m.From)
+		}
+	})
+}
+
 // MsgSuccessors returns the receive events of messages sent at e. The slice
 // is shared; callers must not modify it.
-func (ex *Execution) MsgSuccessors(e EventID) []EventID { return ex.out[e] }
+func (ex *Execution) MsgSuccessors(e EventID) []EventID {
+	ex.edges()
+	return ex.out[e]
+}
 
 // MsgPredecessors returns the send events of messages received at e. The
 // slice is shared; callers must not modify it.
-func (ex *Execution) MsgPredecessors(e EventID) []EventID { return ex.in[e] }
+func (ex *Execution) MsgPredecessors(e EventID) []EventID {
+	ex.edges()
+	return ex.in[e]
+}
 
 // RealEvents returns all real events in deterministic (Proc, Pos) order.
 func (ex *Execution) RealEvents() []EventID {
@@ -306,6 +400,7 @@ func (ex *Execution) Concurrent(a, b EventID) bool {
 // reaches runs a BFS from real event a over program-order and message edges,
 // returning true as soon as real event b is reachable.
 func (ex *Execution) reaches(a, b EventID) bool {
+	ex.edges()
 	type key = EventID
 	seen := map[key]bool{a: true}
 	queue := []EventID{a}
@@ -342,6 +437,7 @@ func (ex *Execution) reaches(a, b EventID) bool {
 // detect causal cycles and exported via LinearExtension for consumers that
 // need a topological processing order (e.g. vector-clock propagation).
 func (ex *Execution) linearize() ([]EventID, error) {
+	ex.edges()
 	n := ex.NumEvents()
 	indeg := make(map[EventID]int, n)
 	for p, c := range ex.counts {

@@ -123,12 +123,19 @@ func Compare(v, w VC) Ordering {
 }
 
 // Clocks holds the forward and reverse vector timestamps of every real event
-// of an execution. Construct with New; the structure is immutable afterwards
+// of an execution. Construct with New (which materializes both tables) or
+// NewLazy (forward table supplied by the caller, reverse timestamps computed
+// on demand by a callback); either way the structure is immutable afterwards
 // and safe for concurrent readers.
 type Clocks struct {
 	ex  *poset.Execution
 	fwd [][]VC // fwd[p][pos-1] = T(e) for real event (p,pos)
-	rev [][]VC // rev[p][pos-1] = T^R(e)
+	rev [][]VC // rev[p][pos-1] = T^R(e); nil in lazy mode
+
+	// revFn computes T^R(e) for a real event in lazy mode. It must be safe
+	// for concurrent calls and must return a vector the caller may retain
+	// (but not modify).
+	revFn func(poset.EventID) VC
 }
 
 // New computes forward and reverse timestamps for all real events of ex in
@@ -178,6 +185,20 @@ func New(ex *poset.Execution) *Clocks {
 	return c
 }
 
+// NewLazy returns Clocks over ex whose forward table is supplied by the
+// caller and whose reverse timestamps are produced on demand by revFn.
+// fwd must follow the fwd[p][pos-1] layout of New and cover every real event
+// of ex; revFn must return T^R(e) (Definition 14, real-event count
+// convention) for any real event of ex and be safe for concurrent calls.
+//
+// This is the streaming hot path's constructor: a Stream maintains forward
+// clocks incrementally as events arrive and derives reverse timestamps from
+// its first-follower index, so taking a snapshot no longer pays the
+// O(|E|·|P|) two-pass rebuild of New.
+func NewLazy(ex *poset.Execution, fwd [][]VC, revFn func(poset.EventID) VC) *Clocks {
+	return &Clocks{ex: ex, fwd: fwd, revFn: revFn}
+}
+
 // Execution returns the execution the clocks were computed for.
 func (c *Clocks) Execution() *poset.Execution { return c.ex }
 
@@ -208,6 +229,9 @@ func (c *Clocks) T(e poset.EventID) VC {
 func (c *Clocks) TR(e poset.EventID) VC {
 	switch {
 	case c.ex.IsReal(e):
+		if c.rev == nil {
+			return c.revFn(e)
+		}
 		return c.rev[e.Proc][e.Pos-1]
 	case c.ex.IsTop(e):
 		return make(VC, c.ex.NumProcs())
