@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench tables metrics trace explain benchdiff profile stream fuzz chaos alerts examples coverage clean
+.PHONY: all build vet test race bench tables metrics trace explain benchdiff profile stream soak fuzz chaos alerts examples coverage clean
 
 all: build vet test
 
@@ -64,6 +64,13 @@ stream:
 	$(GO) test -run 'TestIncrementalSnapshotAgreement|TestStreamAllocsPerEvent' ./internal/online
 	$(GO) run ./cmd/benchtab -table e14 -reps 5
 
+# Long-horizon soak (E15): stream 100k events through the retention-
+# enabled online monitor asserting bounded heap and verdict agreement
+# (the CI smoke), then print the full soak table up to 1M events.
+soak:
+	$(GO) test -run TestSoakBoundedHeap -v ./internal/bench
+	$(GO) run ./cmd/benchtab -table e15
+
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/monitor/
 	$(GO) test -fuzz FuzzConditionParser -fuzztime $(FUZZTIME) ./internal/monitor/
@@ -71,6 +78,7 @@ fuzz:
 	$(GO) test -fuzz FuzzProfileKernelAgreement -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz FuzzTraceDecode -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz FuzzIncrementalSnapshotAgreement -fuzztime $(FUZZTIME) ./internal/online/
+	$(GO) test -fuzz FuzzCompactionAgreement -fuzztime $(FUZZTIME) ./internal/online/
 
 # Chaos gate: explore 64 seeded (protocol, fault plan) cases under the race
 # detector — the same check CI's chaos job runs (see internal/faultsim).

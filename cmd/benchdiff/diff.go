@@ -75,6 +75,23 @@ type report struct {
 		Speedup   float64 `json:"speedup"`
 		Agree     bool    `json:"agree"`
 	} `json:"e14_stream"`
+	// E15 is absent from reports written before the retention subsystem; a
+	// nil slice simply skips the e15 comparison (tolerant decode).
+	E15 []struct {
+		Procs          int     `json:"procs"`
+		Rounds         int     `json:"rounds"`
+		Events         int     `json:"events"`
+		Window         int     `json:"window"`
+		RetNsEv        float64 `json:"ret_ns_event"`
+		UnbNsEv        float64 `json:"unb_ns_event"`
+		RetHeapPeak    float64 `json:"ret_heap_peak_bytes"`
+		UnbHeapPeak    float64 `json:"unb_heap_peak_bytes"`
+		RetRetainedMax int     `json:"ret_retained_max"`
+		RetRetainedEnd int     `json:"ret_retained_end"`
+		Released       int     `json:"released"`
+		UnbRan         bool    `json:"unbounded_ran"`
+		Agree          bool    `json:"agree"`
+	} `json:"e15_soak"`
 
 	Metrics obs.Snapshot `json:"metrics"`
 }
@@ -88,7 +105,7 @@ type options struct {
 
 // colDelta is one compared column of one matched row.
 type colDelta struct {
-	Table  string  `json:"table"`  // e1 | e4 | e5 | e7 | e10 | e14
+	Table  string  `json:"table"`  // e1 | e4 | e5 | e7 | e10 | e14 | e15
 	Row    string  `json:"row"`    // e.g. "R2", "n=256"
 	Column string  `json:"column"` // e.g. "fast_cmp"
 	Old    float64 `json:"old"`
@@ -371,6 +388,68 @@ func diffReports(oldPath, newPath string, oldRep, newRep report, opt options) re
 			if pct := pctChange(prev.sp, r.Speedup); pct < -opt.NsThreshold {
 				regress("e14 %s: incremental speedup %.2f -> %.2f (%.1f%% < -%.1f%%)",
 					row, prev.sp, r.Speedup, pct, opt.NsThreshold)
+			}
+		}
+	}
+
+	// E15: verdict-trace agreement across retention schedules (and the
+	// unbounded leg where it ran) is correctness, and so is boundedness —
+	// the retained working set exceeding a constant multiple of the policy
+	// window means compaction stopped keeping memory flat, which is the
+	// regression this experiment exists to catch. Both gate independent of
+	// any threshold. ns/event follows the ns gate and heap peaks the alloc
+	// gate. Rows match on (procs, rounds); old reports without the soak
+	// sweep compare nothing (tolerant decode).
+	type e15key struct{ procs, rounds int }
+	type e15row struct {
+		retNs, unbNs, retHeap, unbHeap float64
+		retainedMax                    int
+		unbRan                         bool
+	}
+	oldE15 := map[e15key]e15row{}
+	for _, r := range oldRep.E15 {
+		oldE15[e15key{r.Procs, r.Rounds}] = e15row{r.RetNsEv, r.UnbNsEv,
+			r.RetHeapPeak, r.UnbHeapPeak, r.RetRetainedMax, r.UnbRan}
+	}
+	for _, r := range newRep.E15 {
+		row := fmt.Sprintf("p=%d/r=%d", r.Procs, r.Rounds)
+		if !r.Agree {
+			regress("e15 %s: retained verdict traces disagree", row)
+		}
+		if r.Window > 0 && r.RetRetainedMax > 8*r.Window {
+			regress("e15 %s: retained working set %d events exceeds 8x window %d",
+				row, r.RetRetainedMax, r.Window)
+		}
+		prev, ok := oldE15[e15key{r.Procs, r.Rounds}]
+		if !ok {
+			continue
+		}
+		addCol("e15", row, "ret_retained_max", float64(prev.retainedMax), float64(r.RetRetainedMax), true)
+		if pct := pctChange(float64(prev.retainedMax), float64(r.RetRetainedMax)); pct > opt.Threshold {
+			regress("e15 %s: retained working set %d -> %d events (%+.1f%% > %.1f%%)",
+				row, prev.retainedMax, r.RetRetainedMax, pct, opt.Threshold)
+		}
+		for _, c := range []struct {
+			col      string
+			old, new float64
+			limit    float64
+			have     bool
+		}{
+			{"ret_ns_event", prev.retNs, r.RetNsEv, opt.NsThreshold, true},
+			{"unb_ns_event", prev.unbNs, r.UnbNsEv, opt.NsThreshold, prev.unbRan && r.UnbRan},
+			{"ret_heap_peak_bytes", prev.retHeap, r.RetHeapPeak, opt.AllocThreshold, true},
+			{"unb_heap_peak_bytes", prev.unbHeap, r.UnbHeapPeak, opt.AllocThreshold, prev.unbRan && r.UnbRan},
+		} {
+			if !c.have {
+				continue
+			}
+			gated := c.limit > 0
+			addCol("e15", row, c.col, c.old, c.new, gated)
+			if gated {
+				if pct := pctChange(c.old, c.new); pct > c.limit {
+					regress("e15 %s: %s %.4g -> %.4g (%+.1f%% > %.1f%%)",
+						row, c.col, c.old, c.new, pct, c.limit)
+				}
 			}
 		}
 	}

@@ -449,3 +449,135 @@ func TestReportWithTsdbSectionTolerated(t *testing.T) {
 		}
 	}
 }
+
+// e15Rows is the e15_soak block the soak-gate tests perturb.
+func e15Rows() []map[string]any {
+	return []map[string]any{
+		{"procs": 8, "rounds": 16000, "events": 128000, "window": 512,
+			"ret_ns_event": 9000, "unb_ns_event": 0,
+			"ret_heap_peak_bytes": 4500000, "unb_heap_peak_bytes": 0,
+			"ret_retained_max": 700, "ret_retained_end": 650,
+			"unb_retained_max": 0, "released": 15000, "settled": 15999,
+			"unbounded_ran": false, "agree": true},
+	}
+}
+
+// TestOldReportWithoutE15Tolerated: a baseline written before the retention
+// subsystem existed has no e15_soak block; diffing it against a new report
+// that carries one must parse cleanly and not invent regressions — e15
+// columns are skipped for lack of an old row, while the new report's own
+// correctness checks (agreement, boundedness) still run.
+func TestOldReportWithoutE15Tolerated(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", baseReport()) // no e15_soak key
+	newer := baseReport()
+	newer["e15_soak"] = e15Rows()
+	new := writeReport(t, dir, "new.json", newer)
+
+	var buf bytes.Buffer
+	code, err := run([]string{"-threshold", "5", old, new}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Errorf("old report without e15 should diff cleanly: exit %d\n%s", code, buf.String())
+	}
+	if strings.Contains(buf.String(), "e15") {
+		t.Errorf("no e15 columns should be compared without an old row:\n%s", buf.String())
+	}
+
+	// The reverse direction (new report dropped the table) is tolerated too.
+	code, err = run([]string{new, old}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Errorf("new report without e15: exit %d", code)
+	}
+}
+
+// TestSoakCorrectnessGates: a verdict-trace disagreement or a retained
+// working set past 8x the policy window regresses at any threshold — these
+// are the properties the retention subsystem exists to hold — even when the
+// old report has no e15 row to compare against.
+func TestSoakCorrectnessGates(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", baseReport()) // no e15_soak key
+
+	for name, mutate := range map[string]func([]map[string]any){
+		"verdict disagreement": func(rows []map[string]any) {
+			rows[0]["agree"] = false
+		},
+		"unbounded working set": func(rows []map[string]any) {
+			rows[0]["ret_retained_max"] = 9 * 512
+		},
+	} {
+		bad := baseReport()
+		rows := e15Rows()
+		mutate(rows)
+		bad["e15_soak"] = rows
+		new := writeReport(t, dir, "bad.json", bad)
+		var buf bytes.Buffer
+		code, err := run([]string{"-threshold", "10000", old, new}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != exitRegression {
+			t.Errorf("%s should gate at any threshold: exit %d\n%s", name, code, buf.String())
+		}
+	}
+}
+
+// TestSoakRetainedGrowthGates: the retained working set growing past
+// -threshold against the baseline is a regression (memory creep below the
+// hard 8x-window ceiling); heap bytes follow the alloc gate.
+func TestSoakRetainedGrowthGates(t *testing.T) {
+	dir := t.TempDir()
+	base := baseReport()
+	base["e15_soak"] = e15Rows()
+	old := writeReport(t, dir, "old.json", base)
+
+	creep := baseReport()
+	rows := e15Rows()
+	rows[0]["ret_retained_max"] = 1400 // 700 -> 1400: +100%, still under 8x window
+	creep["e15_soak"] = rows
+	new := writeReport(t, dir, "new.json", creep)
+
+	var buf bytes.Buffer
+	code, err := run([]string{"-threshold", "10", old, new}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitRegression {
+		t.Errorf("+100%% retained working set at threshold 10: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION: e15 p=8/r=16000: retained working set") {
+		t.Errorf("missing retained-growth regression line:\n%s", buf.String())
+	}
+
+	// Heap-peak growth is report-only by default, gating under -alloc-threshold.
+	bloat := baseReport()
+	rows = e15Rows()
+	rows[0]["ret_heap_peak_bytes"] = 9000000 // +100%
+	bloat["e15_soak"] = rows
+	new2 := writeReport(t, dir, "new2.json", bloat)
+	buf.Reset()
+	code, err = run([]string{old, new2}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Errorf("heap growth should not gate by default: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "ret_heap_peak_bytes") {
+		t.Errorf("heap delta should still be reported:\n%s", buf.String())
+	}
+	buf.Reset()
+	code, err = run([]string{"-alloc-threshold", "50", old, new2}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitRegression {
+		t.Errorf("-alloc-threshold 50 should gate +100%% heap peak: exit %d\n%s", code, buf.String())
+	}
+}

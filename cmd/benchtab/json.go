@@ -43,6 +43,11 @@ type jsonReport struct {
 	// Absent from reports written before the incremental hot path existed —
 	// like E10, decoders must treat a missing or empty list as "not measured".
 	E14 []jsonStreamRow `json:"e14_stream,omitempty"`
+	// E15: long-horizon soak, retained working set vs unbounded monitor.
+	// Absent from reports written before the retention subsystem existed —
+	// like E10/E14, decoders must treat a missing or empty list as "not
+	// measured".
+	E15 []jsonSoakRow `json:"e15_soak,omitempty"`
 
 	// Metrics is the registry snapshot accumulated while the experiments
 	// above ran: core.<eval>.comparisons[.<rel>], core.cut_builds,
@@ -124,7 +129,25 @@ type jsonStreamRow struct {
 	Agree     bool    `json:"agree"`
 }
 
-// buildJSONReport runs E1, E4, E5, E7, E10, and E14 with the timing sweeps
+type jsonSoakRow struct {
+	Procs          int     `json:"procs"`
+	Rounds         int     `json:"rounds"`
+	Events         int     `json:"events"`
+	Window         int     `json:"window"`
+	RetNsEv        float64 `json:"ret_ns_event"`
+	UnbNsEv        float64 `json:"unb_ns_event"`
+	RetHeapPeak    uint64  `json:"ret_heap_peak_bytes"`
+	UnbHeapPeak    uint64  `json:"unb_heap_peak_bytes"`
+	RetRetainedMax int     `json:"ret_retained_max"`
+	RetRetainedEnd int     `json:"ret_retained_end"`
+	UnbRetainedMax int     `json:"unb_retained_max"`
+	Released       int     `json:"released"`
+	Settled        int     `json:"settled"`
+	UnbRan         bool    `json:"unbounded_ran"`
+	Agree          bool    `json:"agree"`
+}
+
+// buildJSONReport runs E1, E4, E5, E7, E10, E14, and E15 with the timing sweeps
 // instrumented against reg (so the snapshot carries the comparison
 // counters behind the numbers) and assembles the report.
 func buildJSONReport(trials, reps, workers int, seed int64, reg *obs.Registry, tr *obs.Tracer) (jsonReport, error) {
@@ -212,6 +235,29 @@ func buildJSONReport(trials, reps, workers int, seed int64, reg *obs.Registry, t
 			LegCheck:  r.LegCheck,
 			Speedup:   r.Speedup,
 			Agree:     r.Agree,
+		})
+	}
+	soakRows, err := bench.SoakSweepObs(bench.DefaultSoakConfigs(), reg, tr)
+	if err != nil {
+		return jsonReport{}, err
+	}
+	for _, r := range soakRows {
+		rep.E15 = append(rep.E15, jsonSoakRow{
+			Procs:          r.Procs,
+			Rounds:         r.Rounds,
+			Events:         r.Events,
+			Window:         r.Window,
+			RetNsEv:        r.RetNs,
+			UnbNsEv:        r.UnbNs,
+			RetHeapPeak:    r.RetHeapPeak,
+			UnbHeapPeak:    r.UnbHeapPeak,
+			RetRetainedMax: r.RetRetainedMax,
+			RetRetainedEnd: r.RetRetainedEnd,
+			UnbRetainedMax: r.UnbRetainedMax,
+			Released:       r.Released,
+			Settled:        r.Settled,
+			UnbRan:         r.UnbRan,
+			Agree:          r.Agree,
 		})
 	}
 	rep.Metrics = reg.Snapshot()

@@ -9,6 +9,7 @@
 //	benchtab -table e7      serial vs parallel batch evaluation sweep
 //	benchtab -table e10     fused 32-relation profile kernel vs legacy scan
 //	benchtab -table e14     streaming-throughput sweep: incremental vs legacy snapshots
+//	benchtab -table e15     long-horizon soak: retention/compaction vs unbounded monitor
 //	benchtab -table alg     relation algebra: hierarchy + composition table
 //	benchtab -table all     everything
 //
@@ -61,7 +62,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	table := fs.String("table", "all", "which experiment to run: e1|e3|e4|e5|e6|e7|e10|e14|alg|all")
+	table := fs.String("table", "all", "which experiment to run: e1|e3|e4|e5|e6|e7|e10|e14|e15|alg|all")
 	trials := fs.Int("trials", 400, "randomized trials for e1/e3/e4")
 	reps := fs.Int("reps", 50, "repetitions per point for e5/e7")
 	seed := fs.Int64("seed", 1, "PRNG seed")
@@ -210,6 +211,12 @@ func runTables(out io.Writer, table string, trials, reps, parallel int, seed int
 	}
 	if runAll || table == "e14" {
 		if err := e14(out, reps, seed, reg, tr); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if runAll || table == "e15" {
+		if err := e15(out, reg, tr); err != nil {
 			return err
 		}
 		ran = true
@@ -408,6 +415,40 @@ func e14(out io.Writer, reps int, seed int64, reg *obs.Registry, tr *obs.Tracer)
 		[]string{"procs", "rounds", "events", "inc ns/ev", "leg ns/ev",
 			"inc ev/s", "leg ev/s", "inc allocs/ev", "leg allocs/ev",
 			"inc check ns", "leg check ns", "speedup", "verdicts"}, cells))
+	return nil
+}
+
+func e15(out io.Writer, reg *obs.Registry, tr *obs.Tracer) error {
+	fmt.Fprintln(out, "E15 — long-horizon soak: retained working set vs unbounded monitor (ring chain, Poll per round)")
+	fmt.Fprintln(out)
+	rows, err := bench.SoakSweepObs(bench.DefaultSoakConfigs(), reg, tr)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, r := range rows {
+		agree := "identical"
+		if !r.Agree {
+			agree = "MISMATCH"
+		}
+		unbHeap, unbNs := "-", "-"
+		if r.UnbRan {
+			unbHeap = fmt.Sprintf("%.1f", float64(r.UnbHeapPeak)/(1<<20))
+			unbNs = bench.F(r.UnbNs)
+		}
+		cells = append(cells, []string{
+			strconv.Itoa(r.Procs), strconv.Itoa(r.Events), strconv.Itoa(r.Window),
+			strconv.Itoa(r.RetRetainedMax), strconv.Itoa(r.RetRetainedEnd),
+			fmt.Sprintf("%.1f", float64(r.RetHeapPeak)/(1<<20)), unbHeap,
+			bench.F(r.RetNs), unbNs,
+			strconv.Itoa(r.Released), agree,
+		})
+	}
+	fmt.Fprintln(out, bench.FormatTable(
+		[]string{"procs", "events", "window", "ret max", "ret end",
+			"ret MiB", "unb MiB", "ret ns/ev", "unb ns/ev", "released", "verdicts"}, cells))
+	fmt.Fprintln(out, "note: the unbounded leg runs only under the event cap; larger points compare two retention schedules")
+	fmt.Fprintln(out)
 	return nil
 }
 

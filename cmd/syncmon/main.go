@@ -47,6 +47,22 @@
 // under /debug/vars, and show on the dashboard. Alerts never change the
 // exit code — the contract above stays exactly as documented.
 //
+// -retention switches the check to streaming mode for long-running monitor
+// sessions: the trace is replayed event by event through the online monitor
+// (internal/online) under a retention policy, so memory stays bounded by the
+// policy window instead of growing with the stream. The spec is a
+// comma-separated knob list — "events=N" (release settled intervals N events
+// after completion), "age=DUR" (the duration analogue, e.g. age=30s),
+// "every=N" (appraisal cadence), "drop" (also drop settled condition state),
+// "abandon=N" (fail conditions waiting on intervals idle for N events;
+// opt-in because it changes verdicts). At least one of events/age is
+// required. Verdicts and the exit-status contract are identical to the
+// offline path — the retention subsystem's differential tests pin that —
+// and /debug/monitor gains a retention panel (watermark, working set,
+// released/abandoned counts) plus runtime heap gauges in the sampled
+// time-series store. Incompatible with -explain, whose critical-path walks
+// revisit history the watermark may have dropped.
+//
 // -explain prints, under each settled condition, the witness cuts and
 // critical path behind every atom (internal/explain) and adds an
 // explanations panel to the dashboard; with -trace-out the evidence also
@@ -65,6 +81,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -73,12 +90,14 @@ import (
 	"causet/internal/cliutil"
 	"causet/internal/explain"
 	"causet/internal/faultsim"
+	"causet/internal/interval"
 	"causet/internal/monitor"
 	"causet/internal/obs"
 	"causet/internal/obs/alert"
 	"causet/internal/obs/flight"
 	"causet/internal/obs/logx"
 	"causet/internal/obs/tsdb"
+	"causet/internal/online"
 	"causet/internal/poset"
 	"causet/internal/trace"
 )
@@ -138,6 +157,7 @@ func run(args []string, out io.Writer) (int, error) {
 	fs.Var(&conds, "cond", "condition \"name: expression\" (repeatable)")
 	condFile := fs.String("conds", "", "file with one \"name: expression\" per line")
 	explainFlag := fs.Bool("explain", false, "print, under each settled condition, the witness cuts and critical path behind every atom (internal/explain); the /debug/monitor dashboard gains an explanations panel")
+	retention := fs.String("retention", "", "stream the trace through the online monitor under this retention policy instead of the one-shot offline check: \"events=N,age=DUR,every=N,drop,abandon=N\" (at least one of events/age); bounds memory for long-running sessions, incompatible with -explain")
 	flightOut := fs.String("flight-out", "", "write a flight-recorder bundle (last-K events with live vector clocks, final clocks, metrics snapshot) as JSON to this file when a condition is violated or the run panics")
 	version := fs.Bool("version", false, "print build information and exit")
 	metricsOut := fs.String("metrics", "", "write a metrics-registry snapshot as JSON to this file (- = stderr)")
@@ -158,6 +178,17 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 	if *path != "" && *faults != "" {
 		return exitError, fmt.Errorf("-trace and -faults are mutually exclusive")
+	}
+	var retPolicy *online.RetentionPolicy
+	if *retention != "" {
+		if *explainFlag {
+			return exitError, fmt.Errorf("-retention and -explain are mutually exclusive: explanation capture revisits history the retention watermark may have compacted")
+		}
+		p, perr := parseRetention(*retention)
+		if perr != nil {
+			return exitError, perr
+		}
+		retPolicy = &p
 	}
 	// The alert sink prints from the sampler goroutine; serialize out.
 	out = &syncWriter{w: out}
@@ -187,6 +218,10 @@ func run(args []string, out io.Writer) (int, error) {
 	var eng *alert.Engine
 	if reg != nil {
 		tel = cliutil.NewTelemetry(reg, sf.Interval())
+		// Streaming sessions are exactly the long-running monitors whose
+		// heap trend matters: put the live process heap next to the
+		// retention counters in the sampled store (and the dashboard).
+		tel.Sampler.IncludeRuntime = retPolicy != nil
 		if *alertRules != "" {
 			src, rerr := os.ReadFile(*alertRules)
 			if rerr != nil {
@@ -253,37 +288,10 @@ func run(args []string, out io.Writer) (int, error) {
 	fr.Attach(tel.TSDB(), eng)
 	lg.Info("trace_loaded", logx.F("trace", src), logx.F("procs", ex.NumProcs()))
 
-	m := monitor.New(ex)
-	m.Analysis().Instrument(reg, tr)
 	ivs, err := f.AllIntervals(ex)
 	if err != nil {
 		return exitError, err
 	}
-	for name, iv := range ivs {
-		if err := m.DefineInterval(name, iv); err != nil {
-			return exitError, err
-		}
-		lg.Debug("interval_defined", logx.F("interval", name), logx.F("size", iv.Size()))
-	}
-
-	var view *monitorView
-	if *debugAddr != "" {
-		view = newMonitorView(m, ex, reg, tel.TSDB(), eng)
-		extra := map[string]http.Handler{"/debug/monitor": view}
-		if tel != nil {
-			extra["/debug/tsdb"] = tsdb.Handler(tel.Store)
-		}
-		ln, err := obs.ServeDebugWith(*debugAddr, reg, extra)
-		if err != nil {
-			return exitError, err
-		}
-		defer ln.Close()
-		fmt.Fprintf(stderrW, "syncmon: debug server on http://%s/debug/monitor\n", ln.Addr())
-		if debugStarted != nil {
-			debugStarted(ln.Addr().String())
-		}
-	}
-
 	if *condFile != "" {
 		file, err := os.Open(*condFile)
 		if err != nil {
@@ -305,13 +313,70 @@ func run(args []string, out io.Writer) (int, error) {
 	if len(conds) == 0 {
 		return exitError, fmt.Errorf("no conditions given (use -cond or -conds)")
 	}
+	condPairs := make([][2]string, 0, len(conds))
 	for i, c := range conds {
 		name, expr, ok := strings.Cut(c, ":")
 		if !ok {
 			return exitError, fmt.Errorf("condition %d: want \"name: expression\", got %q", i, c)
 		}
-		if err := m.AddCondition(strings.TrimSpace(name), strings.TrimSpace(expr)); err != nil {
+		condPairs = append(condPairs, [2]string{strings.TrimSpace(name), strings.TrimSpace(expr)})
+	}
+
+	// Two check paths with one verdict contract: the offline monitor
+	// evaluates over the full recorded poset; streaming mode (-retention)
+	// replays the trace through the online monitor, whose retention policy
+	// bounds memory by releasing settled state and compacting the stream.
+	var m *monitor.Monitor
+	var om *online.Monitor
+	var stream *online.Stream
+	if retPolicy == nil {
+		m = monitor.New(ex)
+		m.Analysis().Instrument(reg, tr)
+		for name, iv := range ivs {
+			if err := m.DefineInterval(name, iv); err != nil {
+				return exitError, err
+			}
+			lg.Debug("interval_defined", logx.F("interval", name), logx.F("size", iv.Size()))
+		}
+		for _, c := range condPairs {
+			if err := m.AddCondition(c[0], c[1]); err != nil {
+				return exitError, err
+			}
+		}
+	} else {
+		stream = online.NewStream(ex.NumProcs())
+		stream.Instrument(reg, tr)
+		om = online.NewMonitor(stream)
+		om.Instrument(reg)
+		om.SetLogger(lg)
+		if err := om.SetRetention(*retPolicy); err != nil {
 			return exitError, err
+		}
+		for _, c := range condPairs {
+			if err := om.AddCondition(c[0], c[1]); err != nil {
+				return exitError, err
+			}
+		}
+	}
+
+	var view *monitorView
+	if *debugAddr != "" {
+		view = newMonitorView(m, ex, reg, tel.TSDB(), eng)
+		if om != nil {
+			view.attachOnline(om, ivs, condPairs)
+		}
+		extra := map[string]http.Handler{"/debug/monitor": view}
+		if tel != nil {
+			extra["/debug/tsdb"] = tsdb.Handler(tel.Store)
+		}
+		ln, err := obs.ServeDebugWith(*debugAddr, reg, extra)
+		if err != nil {
+			return exitError, err
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderrW, "syncmon: debug server on http://%s/debug/monitor\n", ln.Addr())
+		if debugStarted != nil {
+			debugStarted(ln.Addr().String())
 		}
 	}
 
@@ -326,8 +391,10 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 	}
 	condByName := make(map[string]*monitor.Condition)
-	for _, c := range m.Conditions() {
-		condByName[c.Name] = c
+	if m != nil {
+		for _, c := range m.Conditions() {
+			condByName[c.Name] = c
+		}
 	}
 	var explanations []*explain.ConditionExplanation
 	explainSettled := func(res monitor.Result) {
@@ -349,7 +416,15 @@ func run(args []string, out io.Writer) (int, error) {
 	violWin := reg.Window("syncmon.violations", 256)
 	code := exitOK
 	var violated []string
-	results := m.Check()
+	var results []monitor.Result
+	if m != nil {
+		results = m.Check()
+	} else {
+		results, err = streamVerdicts(stream, om, ex, ivs, condPairs)
+		if err != nil {
+			return exitError, err
+		}
+	}
 	for _, res := range results {
 		fields := []logx.Field{logx.F("condition", res.Name), logx.F("state", res.State.String())}
 		switch res.State {
@@ -378,6 +453,15 @@ func run(args []string, out io.Writer) (int, error) {
 		view.setResults(results)
 		view.setExplanations(explanations)
 	}
+	if om != nil {
+		rs := om.RetentionStats()
+		fmt.Fprintf(stderrW, "syncmon: retention: retained=%d released=%d abandoned=%d watermark=%v\n",
+			rs.Retained, rs.Released, rs.Abandoned, rs.Watermark)
+		lg.Info("retention_stats",
+			logx.F("retained", rs.Retained), logx.F("released", rs.Released),
+			logx.F("abandoned", rs.Abandoned), logx.F("held", rs.Held),
+			logx.F("growing", rs.Growing))
+	}
 	if fr != nil && len(violated) > 0 {
 		reason := "violation: " + strings.Join(violated, ", ")
 		if derr := fr.Dump(*flightOut, reason, reg); derr != nil {
@@ -400,6 +484,110 @@ func run(args []string, out io.Writer) (int, error) {
 		return exitError, err
 	}
 	return code, nil
+}
+
+// parseRetention parses the -retention spec, a comma-separated knob list:
+// "events=N,age=DUR,every=N,drop,abandon=N". SetRetention enforces the
+// window requirement (at least one of events/age), so this only maps knobs.
+func parseRetention(spec string) (online.RetentionPolicy, error) {
+	var p online.RetentionPolicy
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(part, "=")
+		switch key {
+		case "events", "every", "abandon":
+			if !hasVal {
+				return p, fmt.Errorf("-retention: %q needs a value (%s=N)", key, key)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return p, fmt.Errorf("-retention: %s=%q: want a positive integer", key, val)
+			}
+			switch key {
+			case "events":
+				p.MaxEvents = n
+			case "every":
+				p.Every = n
+			case "abandon":
+				p.AbandonAfter = n
+			}
+		case "age":
+			if !hasVal {
+				return p, fmt.Errorf("-retention: %q needs a value (age=DUR)", key)
+			}
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return p, fmt.Errorf("-retention: age=%q: want a positive duration", val)
+			}
+			p.MaxAge = d
+		case "drop":
+			if hasVal {
+				return p, fmt.Errorf("-retention: \"drop\" takes no value")
+			}
+			p.DropSettled = true
+		default:
+			return p, fmt.Errorf("-retention: unknown knob %q (want events/age/every/drop/abandon)", key)
+		}
+	}
+	return p, nil
+}
+
+// streamVerdicts replays the recorded execution event by event through the
+// online monitor, observing each event into the named intervals that contain
+// it and completing an interval once its last member has streamed past.
+// Settled verdicts are collected via Poll (the only reliable delivery path
+// under DropSettled, where Check's listing legitimately shrinks); conditions
+// that never settle — they reference intervals the trace does not define —
+// come back Pending, which the caller prints as SKIP with exit 2, exactly as
+// the offline path does. The replay pins sends until their receives land, so
+// retention appraisals firing mid-stream can never compact an in-flight
+// message edge.
+func streamVerdicts(stream *online.Stream, om *online.Monitor, ex *poset.Execution, ivs map[string]*interval.Interval, condPairs [][2]string) ([]monitor.Result, error) {
+	memberOf := make(map[poset.EventID][]string)
+	remaining := make(map[string]int, len(ivs))
+	for name, iv := range ivs {
+		remaining[name] = iv.Size()
+		for _, e := range iv.Events() {
+			memberOf[e] = append(memberOf[e], name)
+		}
+	}
+	settled := make(map[string]monitor.Result, len(condPairs))
+	drain := func() {
+		for _, r := range om.Poll() {
+			settled[r.Name] = r
+		}
+	}
+	step := func(_ *online.Stream, e poset.EventID) error {
+		for _, name := range memberOf[e] {
+			if err := om.Observe(name, e); err != nil {
+				return err
+			}
+			remaining[name]--
+			if remaining[name] == 0 {
+				if err := om.Complete(name); err != nil {
+					return err
+				}
+			}
+		}
+		drain()
+		return nil
+	}
+	if _, err := online.ReplayStepsPinned(stream, ex, step); err != nil {
+		return nil, err
+	}
+	drain()
+	results := make([]monitor.Result, 0, len(condPairs))
+	for _, c := range condPairs {
+		if r, ok := settled[c[0]]; ok {
+			results = append(results, r)
+		} else {
+			results = append(results, monitor.Result{Name: c[0], State: monitor.Pending})
+		}
+	}
+	return results, nil
 }
 
 // replayFlight reconstructs a flight-recorder view of a recorded trace by

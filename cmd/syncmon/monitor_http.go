@@ -11,10 +11,12 @@ import (
 	"time"
 
 	"causet/internal/explain"
+	"causet/internal/interval"
 	"causet/internal/monitor"
 	"causet/internal/obs"
 	"causet/internal/obs/alert"
 	"causet/internal/obs/tsdb"
+	"causet/internal/online"
 	"causet/internal/poset"
 )
 
@@ -27,11 +29,19 @@ import (
 // metrics delta (obs.Snapshot.Diff against the previously served
 // snapshot).
 type monitorView struct {
-	m   *monitor.Monitor
+	m   *monitor.Monitor // may be nil: streaming (-retention) mode
 	ex  *poset.Execution
 	reg *obs.Registry
 	st  *tsdb.Store   // may be nil: no sparkline panel
 	eng *alert.Engine // may be nil: no alerts panel
+
+	// om is the streaming online monitor behind -retention mode; when set
+	// the dashboard gains a retention panel (policy, watermark, working
+	// set) and the interval/condition panels fall back to the static lists
+	// below, since there is no offline monitor to enumerate them.
+	om          *online.Monitor
+	staticIvs   map[string]*interval.Interval
+	staticConds [][2]string
 
 	mu           sync.Mutex
 	results      []monitor.Result
@@ -50,9 +60,24 @@ const sparkWindow = 2 * time.Minute
 const maxSparks = 8
 
 // newMonitorView builds the view over a monitor and its execution; reg, st,
-// and eng may each be nil (the corresponding panel is then empty).
+// and eng may each be nil (the corresponding panel is then empty), and m may
+// be nil too when the caller runs the streaming online path instead of the
+// offline monitor — attachOnline then supplies the live state.
 func newMonitorView(m *monitor.Monitor, ex *poset.Execution, reg *obs.Registry, st *tsdb.Store, eng *alert.Engine) *monitorView {
 	return &monitorView{m: m, ex: ex, reg: reg, st: st, eng: eng}
+}
+
+// attachOnline points the dashboard at a streaming online monitor: the
+// retention panel reads its RetentionStats live, and the interval and
+// condition panels render from the given static lists (the online monitor
+// releases interval state as it ages out, so the trace's own tables are the
+// stable source).
+func (v *monitorView) attachOnline(om *online.Monitor, ivs map[string]*interval.Interval, conds [][2]string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.om = om
+	v.staticIvs = ivs
+	v.staticConds = conds
 }
 
 // setResults publishes check results to the dashboard, appending newly
@@ -132,6 +157,23 @@ type sparkState struct {
 	Points string `json:"-"`
 }
 
+// retentionState is the dashboard's view of the streaming monitor's
+// retention subsystem: the policy knobs, the last applied compaction
+// watermark, and the live working set.
+type retentionState struct {
+	MaxEvents    int    `json:"max_events"`
+	MaxAge       string `json:"max_age,omitempty"`
+	AbandonAfter int    `json:"abandon_after,omitempty"`
+	DropSettled  bool   `json:"drop_settled"`
+	Every        int    `json:"every"`
+	Watermark    []int  `json:"watermark,omitempty"`
+	Released     int    `json:"released"`
+	Abandoned    int    `json:"abandoned"`
+	Held         int    `json:"held"`
+	Growing      int    `json:"growing"`
+	Retained     int    `json:"retained_events"`
+}
+
 // monitorState is the JSON document served at /debug/monitor?format=json
 // and the data behind the HTML view.
 type monitorState struct {
@@ -139,6 +181,7 @@ type monitorState struct {
 	Clocks       []procClockState   `json:"clocks"`
 	Intervals    []intervalState    `json:"intervals"`
 	Conditions   []conditionState   `json:"conditions"`
+	Retention    *retentionState    `json:"retention,omitempty"`
 	Violations   []string           `json:"recent_violations"`
 	Explanations []explanationState `json:"explanations,omitempty"`
 	Alerts       []alert.Status     `json:"alerts,omitempty"`
@@ -232,34 +275,77 @@ func (v *monitorView) state() monitorState {
 	defer v.mu.Unlock()
 
 	st := monitorState{Procs: v.ex.NumProcs()}
-	clk := v.m.Analysis().Clocks()
-	for p := 0; p < v.ex.NumProcs(); p++ {
-		pc := procClockState{Proc: p, Events: v.ex.NumReal(p), Clock: make([]int, v.ex.NumProcs())}
-		if n := v.ex.NumReal(p); n > 0 {
-			copy(pc.Clock, clk.T(poset.EventID{Proc: p, Pos: n}))
+	if v.m != nil {
+		clk := v.m.Analysis().Clocks()
+		for p := 0; p < v.ex.NumProcs(); p++ {
+			pc := procClockState{Proc: p, Events: v.ex.NumReal(p), Clock: make([]int, v.ex.NumProcs())}
+			if n := v.ex.NumReal(p); n > 0 {
+				copy(pc.Clock, clk.T(poset.EventID{Proc: p, Pos: n}))
+			}
+			st.Clocks = append(st.Clocks, pc)
 		}
-		st.Clocks = append(st.Clocks, pc)
-	}
-	for _, name := range v.m.IntervalNames() {
-		iv, ok := v.m.Interval(name)
-		if !ok {
-			continue
-		}
-		st.Intervals = append(st.Intervals, intervalState{Name: name, Size: iv.Size(), Nodes: iv.NodeSet()})
 	}
 	byName := make(map[string]monitor.Result, len(v.results))
 	for _, r := range v.results {
 		byName[r.Name] = r
 	}
-	for _, c := range v.m.Conditions() {
-		cs := conditionState{Name: c.Name, Src: c.Src, State: monitor.Pending.String()}
-		if r, ok := byName[c.Name]; ok {
-			cs.State = r.State.String()
-			if r.Err != nil {
-				cs.Err = r.Err.Error()
+	if v.m != nil {
+		for _, name := range v.m.IntervalNames() {
+			iv, ok := v.m.Interval(name)
+			if !ok {
+				continue
 			}
+			st.Intervals = append(st.Intervals, intervalState{Name: name, Size: iv.Size(), Nodes: iv.NodeSet()})
 		}
-		st.Conditions = append(st.Conditions, cs)
+		for _, c := range v.m.Conditions() {
+			cs := conditionState{Name: c.Name, Src: c.Src, State: monitor.Pending.String()}
+			if r, ok := byName[c.Name]; ok {
+				cs.State = r.State.String()
+				if r.Err != nil {
+					cs.Err = r.Err.Error()
+				}
+			}
+			st.Conditions = append(st.Conditions, cs)
+		}
+	} else {
+		names := make([]string, 0, len(v.staticIvs))
+		for name := range v.staticIvs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			iv := v.staticIvs[name]
+			st.Intervals = append(st.Intervals, intervalState{Name: name, Size: iv.Size(), Nodes: iv.NodeSet()})
+		}
+		for _, c := range v.staticConds {
+			cs := conditionState{Name: c[0], Src: c[1], State: monitor.Pending.String()}
+			if r, ok := byName[c[0]]; ok {
+				cs.State = r.State.String()
+				if r.Err != nil {
+					cs.Err = r.Err.Error()
+				}
+			}
+			st.Conditions = append(st.Conditions, cs)
+		}
+	}
+	if v.om != nil {
+		rs := v.om.RetentionStats()
+		ret := &retentionState{
+			MaxEvents:    rs.Policy.MaxEvents,
+			AbandonAfter: rs.Policy.AbandonAfter,
+			DropSettled:  rs.Policy.DropSettled,
+			Every:        rs.Policy.Every,
+			Watermark:    rs.Watermark,
+			Released:     rs.Released,
+			Abandoned:    rs.Abandoned,
+			Held:         rs.Held,
+			Growing:      rs.Growing,
+			Retained:     rs.Retained,
+		}
+		if rs.Policy.MaxAge > 0 {
+			ret.MaxAge = rs.Policy.MaxAge.String()
+		}
+		st.Retention = ret
 	}
 	st.Violations = append([]string(nil), v.violations...)
 	st.Explanations = append([]explanationState(nil), v.explanations...)
@@ -339,6 +425,12 @@ svg.spark { background: #181818; display: block; }
 <table><tr><th>name</th><th>expression</th><th>verdict</th></tr>
 {{range .Conditions}}<tr><td>{{.Name}}</td><td>{{.Src}}</td><td class="{{.State}}">{{.State}}{{if .Err}} — {{.Err}}{{end}}</td></tr>
 {{end}}</table>
+
+{{if .Retention}}<h2>Retention <span class="muted">(streaming mode)</span></h2>
+<table><tr><th>window events</th><th>window age</th><th>appraise every</th><th>drop settled</th><th>abandon after</th></tr>
+<tr><td>{{.Retention.MaxEvents}}</td><td>{{if .Retention.MaxAge}}{{.Retention.MaxAge}}{{else}}–{{end}}</td><td>{{.Retention.Every}}</td><td>{{.Retention.DropSettled}}</td><td>{{if .Retention.AbandonAfter}}{{.Retention.AbandonAfter}}{{else}}never{{end}}</td></tr></table>
+<table><tr><th>retained events</th><th>held</th><th>growing</th><th>released</th><th>abandoned</th><th>watermark</th></tr>
+<tr><td>{{.Retention.Retained}}</td><td>{{.Retention.Held}}</td><td>{{.Retention.Growing}}</td><td>{{.Retention.Released}}</td><td>{{.Retention.Abandoned}}</td><td>{{if .Retention.Watermark}}{{.Retention.Watermark}}{{else}}–{{end}}</td></tr></table>{{end}}
 
 {{if .Alerts}}<h2>Alerts</h2>
 <table><tr><th>rule</th><th>severity</th><th>state</th><th>expression</th><th>fired</th></tr>

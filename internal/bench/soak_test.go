@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestSoakBoundedHeap is the CI smoke for the E15 soak, two points of the
+// sweep kept small enough for the test suite:
+//
+//   - a 100k-event stream where the retained working set must stay flat —
+//     bounded by the policy window plus appraisal slack, independent of
+//     stream length — with cross-schedule verdict agreement;
+//   - a 20k-event stream under the unbounded cap, where the unbounded leg
+//     joins the comparison and its linear memory growth is visible.
+//
+// The full-scale sweep (≥1M events) runs via benchtab -table e15.
+func TestSoakBoundedHeap(t *testing.T) {
+	long := SoakConfig{Procs: 4, Rounds: 25_000, Window: 256, Every: 64}
+	short := SoakConfig{Procs: 4, Rounds: 5_000, Window: 256, Every: 64}
+	rows, err := SoakSweep([]SoakConfig{long, short})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		t.Logf("events=%d retained max/end=%d/%d (unbounded %d) heap ret/unb=%d/%d released=%d settled=%d unbRan=%t agree=%t",
+			row.Events, row.RetRetainedMax, row.RetRetainedEnd, row.UnbRetainedMax,
+			row.RetHeapPeak, row.UnbHeapPeak, row.Released, row.Settled, row.UnbRan, row.Agree)
+		if !row.Agree {
+			t.Errorf("events=%d: verdict traces disagree across legs", row.Events)
+		}
+		if row.Settled != row.Rounds-1 {
+			t.Errorf("events=%d: settled = %d, want %d", row.Events, row.Settled, row.Rounds-1)
+		}
+		if row.Released == 0 {
+			t.Errorf("events=%d: retention released no interval", row.Events)
+		}
+		// The retained working set: the MaxEvents window, up to Every events
+		// of appraisal lag, the growing round, and consistent-cut clamp
+		// slack. A generous constant multiple of the window still rejects
+		// anything that scales with stream length.
+		if bound := 8 * row.Window; row.RetRetainedMax > bound {
+			t.Errorf("events=%d: retained leg held %d events at peak, want <= %d (window %d)",
+				row.Events, row.RetRetainedMax, bound, row.Window)
+		}
+	}
+
+	if rows[0].Events != 100_000 {
+		t.Fatalf("long row events = %d, want 100000", rows[0].Events)
+	}
+	if rows[0].UnbRan {
+		t.Error("long row ran the unbounded leg above the cap")
+	}
+	// Absolute ceiling for the flat leg; generous, but 100k events of
+	// unbounded clock rows alone blow far past it.
+	if rows[0].RetHeapPeak > 64<<20 {
+		t.Errorf("long row retained peak heap %d bytes, want <= 64MiB", rows[0].RetHeapPeak)
+	}
+
+	if !rows[1].UnbRan {
+		t.Fatal("short row skipped the unbounded comparison leg")
+	}
+	if rows[1].UnbRetainedMax != rows[1].Events {
+		t.Errorf("unbounded leg retained %d events, want %d", rows[1].UnbRetainedMax, rows[1].Events)
+	}
+	// Live heap: the retained leg must come in clearly under the unbounded
+	// leg, which carries per-event clock rows for the whole stream. Absolute
+	// bytes are GC- and platform-dependent, so assert only the ordering.
+	if rows[1].UnbHeapPeak > 0 && rows[1].RetHeapPeak >= rows[1].UnbHeapPeak {
+		t.Errorf("retained peak heap %d not below unbounded %d",
+			rows[1].RetHeapPeak, rows[1].UnbHeapPeak)
+	}
+}

@@ -89,9 +89,14 @@ type Telemetry struct {
 
 // NewTelemetry builds a store and a sampler over reg at the given cadence
 // without starting the sampling goroutine — wire Sampler.AfterSample (the
-// alert engine's evaluation hook) first, then call Start.
+// alert engine's evaluation hook) first, then call Start. The store is
+// capped at 4096 series so a long-running session whose instrument names
+// churn (per-condition gauges under a retention policy) keeps the store
+// bounded: far above any steady-state instrument count, and the stalest
+// series — always a vanished instrument under a live sampler — is the one
+// evicted.
 func NewTelemetry(reg *obs.Registry, interval time.Duration) *Telemetry {
-	st := tsdb.NewStore(tsdb.Options{})
+	st := tsdb.NewStore(tsdb.Options{MaxSeries: 4096})
 	return &Telemetry{Store: st, Sampler: tsdb.NewSampler(reg, st, interval)}
 }
 

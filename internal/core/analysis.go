@@ -193,6 +193,17 @@ func NewAnalysisShards(ex *poset.Execution, shards int) *Analysis {
 // This is the online hot path's constructor: paired with vclock.NewLazy it
 // makes Stream.Snapshot amortized O(|P|) per appended event (DESIGN.md S25).
 func NewAnalysisCarry(ex *poset.Execution, clk *vclock.Clocks, prev *Analysis) *Analysis {
+	return NewAnalysisCarryFiltered(ex, clk, prev, nil)
+}
+
+// NewAnalysisCarryFiltered is NewAnalysisCarry with a retention predicate:
+// cache entries whose interval fails keep are not carried into the new
+// epoch. Stream compaction uses it to drop cuts whose provenance falls below
+// the watermark — a carried cut's events must all remain addressable by the
+// new epoch's (possibly rebased) clocks, and the cheapest sound rule is to
+// carry only intervals the monitor still retains. A nil keep carries
+// everything the stability rules allow.
+func NewAnalysisCarryFiltered(ex *poset.Execution, clk *vclock.Clocks, prev *Analysis, keep func(*interval.Interval) bool) *Analysis {
 	a := &Analysis{
 		ex:     ex,
 		clk:    clk,
@@ -210,6 +221,9 @@ func NewAnalysisCarry(ex *poset.Execution, clk *vclock.Clocks, prev *Analysis) *
 		ps.mu.RLock()
 		for iv, e := range ps.m {
 			if !e.done.Load() || !e.ic.upStable {
+				continue
+			}
+			if keep != nil && !keep(iv) {
 				continue
 			}
 			ne := &cacheEntry{}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"causet/internal/interval"
+	"causet/internal/poset/posettest"
+)
+
+// TestCarryFilterDropsFilteredEntries checks the retention hook on the
+// carry constructor: entries whose interval fails the keep predicate must
+// not survive into the new epoch's cache, while kept upStable entries are
+// carried without a rebuild.
+func TestCarryFilterDropsFilteredEntries(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ex := posettest.Random(r, 4, 60, 0.5)
+	sets := posettest.DisjointN(r, ex, 6, 4)
+	if sets == nil {
+		t.Fatal("workload generation failed")
+	}
+	ivs := make([]*interval.Interval, len(sets))
+	for i, s := range sets {
+		ivs[i] = interval.MustNew(ex, s)
+	}
+
+	prev := NewAnalysis(ex)
+	stable := make([]bool, len(ivs))
+	for i, iv := range ivs {
+		stable[i] = prev.Cuts(iv).upStable
+	}
+
+	// Keep only even-indexed intervals.
+	kept := make(map[*interval.Interval]bool)
+	for i, iv := range ivs {
+		if i%2 == 0 {
+			kept[iv] = true
+		}
+	}
+	next := NewAnalysisCarryFiltered(ex, prev.Clocks(), prev, func(iv *interval.Interval) bool {
+		return kept[iv]
+	})
+
+	for i, iv := range ivs {
+		before := next.CutBuilds()
+		ic := next.Cuts(iv)
+		rebuilt := next.CutBuilds() > before
+		if kept[iv] && stable[i] {
+			if rebuilt {
+				t.Errorf("interval %d was kept and stable but rebuilt", i)
+			}
+			if ic != prev.Cuts(iv) {
+				t.Errorf("interval %d: carried entry is not the previous epoch's", i)
+			}
+		}
+		if !kept[iv] && !rebuilt {
+			t.Errorf("interval %d was filtered out but not rebuilt", i)
+		}
+	}
+
+	// A nil filter behaves like plain NewAnalysisCarry: every stable entry
+	// carries.
+	all := NewAnalysisCarryFiltered(ex, prev.Clocks(), prev, nil)
+	for i, iv := range ivs {
+		if !stable[i] {
+			continue
+		}
+		before := all.CutBuilds()
+		all.Cuts(iv)
+		if all.CutBuilds() > before {
+			t.Errorf("nil filter: stable interval %d rebuilt", i)
+		}
+	}
+}

@@ -218,6 +218,9 @@ func (o CheckOptions) checkEvaluators(ex *poset.Execution, pairs []ivPair) error
 // monitor's verdict on the full execution. Under the (test-only) injected
 // duplicate-clock-merge bug the replay records duplicated deliveries without
 // their causal edges, which is exactly the divergence this check catches.
+// olCond is one named DSL condition shared by the online checks.
+type olCond struct{ name, src string }
+
 func (o CheckOptions) checkOnline(ex *poset.Execution, pairs []ivPair) error {
 	if len(pairs) == 0 {
 		return nil
@@ -225,8 +228,7 @@ func (o CheckOptions) checkOnline(ex *poset.Execution, pairs []ivPair) error {
 
 	// Offline ground truth.
 	off := monitor.New(ex)
-	type cond struct{ name, src string }
-	var conds []cond
+	var conds []olCond
 	for i, pr := range pairs {
 		xn, yn := fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)
 		if err := off.Define(xn, pr.xe); err != nil {
@@ -236,7 +238,7 @@ func (o CheckOptions) checkOnline(ex *poset.Execution, pairs []ivPair) error {
 			return fmt.Errorf("offline define %s (%s): %w", yn, pr.name, err)
 		}
 		for _, rel := range core.Relations() {
-			c := cond{
+			c := olCond{
 				name: fmt.Sprintf("c%d_%s", i, rel),
 				src:  fmt.Sprintf("%s(%s, %s)", rel, xn, yn),
 			}
@@ -313,6 +315,77 @@ func (o CheckOptions) checkOnline(ex *poset.Execution, pairs []ivPair) error {
 		}
 		if r.State != want {
 			return fmt.Errorf("verdict divergence on %s: online=%s offline=%s", r.Name, r.State, want)
+		}
+	}
+	if o.buggyDupClockMerge {
+		return nil
+	}
+	return checkOnlineRetained(ex, pairs, conds, offline)
+}
+
+// checkOnlineRetained re-runs the online check under an aggressive retention
+// policy — settled intervals released almost immediately, the stream
+// compacted every few events — and demands the same verdicts as the offline
+// oracle. Fault plans reorder and duplicate deliveries, so the replay pins
+// in-flight sends; this is the chaos-side leg of the compaction-agreement
+// differential.
+func checkOnlineRetained(ex *poset.Execution, pairs []ivPair, conds []olCond, offline map[string]monitor.State) error {
+	memberOf := make(map[poset.EventID][]string)
+	remaining := make(map[string]int, 2*len(pairs))
+	for i, pr := range pairs {
+		for _, e := range pr.xe {
+			memberOf[e] = append(memberOf[e], fmt.Sprintf("x%d", i))
+		}
+		for _, e := range pr.ye {
+			memberOf[e] = append(memberOf[e], fmt.Sprintf("y%d", i))
+		}
+		remaining[fmt.Sprintf("x%d", i)] = len(pr.xe)
+		remaining[fmt.Sprintf("y%d", i)] = len(pr.ye)
+	}
+	s := online.NewStream(ex.NumProcs())
+	mon := online.NewMonitor(s)
+	if err := mon.SetRetention(online.RetentionPolicy{MaxEvents: 16, Every: 4, DropSettled: true}); err != nil {
+		return fmt.Errorf("retained online: %w", err)
+	}
+	for _, c := range conds {
+		if err := mon.AddCondition(c.name, c.src); err != nil {
+			return fmt.Errorf("retained online condition %s: %w", c.name, err)
+		}
+	}
+	settled := make(map[string]monitor.State, len(conds))
+	drain := func() {
+		for _, r := range mon.Poll() {
+			settled[r.Name] = r.State
+		}
+	}
+	if _, err := online.ReplayStepsPinned(s, ex, func(_ *online.Stream, e poset.EventID) error {
+		for _, name := range memberOf[e] {
+			if err := mon.Observe(name, e); err != nil {
+				return fmt.Errorf("retained observe %s: %w", name, err)
+			}
+			remaining[name]--
+			if remaining[name] == 0 {
+				if err := mon.Complete(name); err != nil {
+					return fmt.Errorf("retained complete %s: %w", name, err)
+				}
+			}
+		}
+		drain()
+		return nil
+	}); err != nil {
+		return fmt.Errorf("retained online replay: %w", err)
+	}
+	drain()
+	if len(settled) != len(conds) {
+		return fmt.Errorf("retained online settled %d of %d conditions", len(settled), len(conds))
+	}
+	for name, st := range settled {
+		want, ok := offline[name]
+		if !ok {
+			return fmt.Errorf("retained online settled unknown condition %s", name)
+		}
+		if st != want {
+			return fmt.Errorf("retained verdict divergence on %s: online=%s offline=%s", name, st, want)
 		}
 	}
 	return nil

@@ -134,6 +134,19 @@ func (m *Monitor) DefineInterval(name string, iv *interval.Interval) error {
 	return nil
 }
 
+// Undefine removes a registered interval so its memory (and its cut-cache
+// entries in future carried Analyses) can be reclaimed. It is the retention
+// path's release hook: the online monitor calls it once every condition
+// referencing the interval has settled and the interval has aged out of the
+// retention window. Undefining an unknown name is a no-op. Conditions that
+// still reference the name will fail their next evaluation with an undefined
+// reference — callers are responsible for settling them first.
+func (m *Monitor) Undefine(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.intervals, name)
+}
+
 // Interval returns a registered interval.
 func (m *Monitor) Interval(name string) (*interval.Interval, bool) {
 	m.mu.RLock()

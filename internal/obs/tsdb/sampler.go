@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -32,6 +33,16 @@ type Sampler struct {
 	// AfterSample, when non-nil, runs after every sample with the sample
 	// time — the alert engine's evaluation hook. Set it before Start.
 	AfterSample func(now time.Time)
+
+	// IncludeRuntime, when set before Start, folds process memory into every
+	// sample: runtime.MemStats is read ahead of the registry snapshot and
+	// published as the gauges runtime.heap_alloc_bytes and
+	// runtime.heap_objects, so long-running monitors get a heap trend next
+	// to their retention counters (the E15 soak's flat-memory claim, live).
+	// ReadMemStats is a stop-the-world operation on the order of tens of
+	// microseconds — negligible at human sampling cadences, which is why it
+	// is opt-in rather than always on.
+	IncludeRuntime bool
 
 	nowFn      func() time.Time
 	metSamples *obs.Counter
@@ -65,6 +76,12 @@ func NewSampler(reg *obs.Registry, st *Store, interval time.Duration) *Sampler {
 // sample before a short run exits.
 func (s *Sampler) SampleOnce(now time.Time) {
 	s.metSamples.Inc()
+	if s.IncludeRuntime {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.reg.Gauge("runtime.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+		s.reg.Gauge("runtime.heap_objects").Set(int64(ms.HeapObjects))
+	}
 	snap := s.reg.Snapshot()
 	for name, v := range snap.Counters {
 		s.st.Append(name, KindCounter, now, v)

@@ -107,3 +107,30 @@ func TestSamplerStartStop(t *testing.T) {
 		t.Fatal("sampler kept sampling after Stop")
 	}
 }
+
+// TestSamplerIncludeRuntime: with the flag set, every sample publishes live
+// process-heap gauges alongside the registry's own instruments; without it,
+// no runtime series appear (the flag is opt-in because ReadMemStats stops
+// the world).
+func TestSamplerIncludeRuntime(t *testing.T) {
+	reg := obs.New()
+	st := NewStore(Options{})
+	s := NewSampler(reg, st, time.Second)
+	s.SampleOnce(at)
+	if _, ok := st.Latest("runtime.heap_alloc_bytes"); ok {
+		t.Error("runtime series present without IncludeRuntime")
+	}
+
+	s.IncludeRuntime = true
+	s.SampleOnce(at.Add(time.Second))
+	p, ok := st.Latest("runtime.heap_alloc_bytes")
+	if !ok || p.V <= 0 {
+		t.Errorf("runtime.heap_alloc_bytes = %v ok=%v, want positive", p, ok)
+	}
+	if k, _ := st.Kind("runtime.heap_alloc_bytes"); k != KindGauge {
+		t.Errorf("runtime.heap_alloc_bytes kind = %v, want gauge", k)
+	}
+	if p, ok := st.Latest("runtime.heap_objects"); !ok || p.V <= 0 {
+		t.Errorf("runtime.heap_objects = %v ok=%v, want positive", p, ok)
+	}
+}

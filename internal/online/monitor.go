@@ -83,6 +83,35 @@ type Monitor struct {
 	detectWin      *obs.Window
 	detectHist     *obs.Histogram
 	checkWin       *obs.Window
+	metReleased    *obs.Counter
+	metAbandoned   *obs.Counter
+
+	// Retention (SetRetention; retention.go): bounded-memory mode for
+	// long-running streams. refCount tracks, per interval, how many
+	// unsettled conditions still reference it — maintained even with
+	// retention off so enabling it later starts from accurate counts. The
+	// seq maps stamp stream positions (SetRetention backfills stamps for
+	// state that predates it), retired remembers why a name was released or
+	// abandoned so later operations fail with a clear error, and watermark
+	// caches the last applied compaction cut so Observe can reject
+	// already-compacted positions without taking the stream lock. Lock
+	// order is m.mu then stream.mu, never the reverse.
+	retention    RetentionPolicy
+	retainOn     bool
+	refCount     map[string]int
+	completedSeq map[string]int
+	observedSeq  map[string]int
+	lastUseSeq   map[string]int
+	lastUseAt    map[string]time.Time
+	settleSeq    map[string]int
+	settleAt     map[string]time.Time
+	retired      map[string]string
+	watermark    []int
+	lastAppraise int
+	// newResults accumulates verdicts since the last Poll; Poll returns and
+	// clears it, and Check clears it too so a Check-only driver does not
+	// grow it without bound.
+	newResults []monitor.Result
 }
 
 // NewMonitor creates an online monitor over the stream.
@@ -101,6 +130,15 @@ func NewMonitor(s *Stream) *Monitor {
 
 		nowFn:       time.Now,
 		completedAt: make(map[string]time.Time),
+
+		refCount:     make(map[string]int),
+		completedSeq: make(map[string]int),
+		observedSeq:  make(map[string]int),
+		lastUseSeq:   make(map[string]int),
+		lastUseAt:    make(map[string]time.Time),
+		settleSeq:    make(map[string]int),
+		settleAt:     make(map[string]time.Time),
+		retired:      make(map[string]string),
 	}
 }
 
@@ -113,6 +151,9 @@ func NewMonitor(s *Stream) *Monitor {
 func (m *Monitor) SetLegacy(on bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if on && m.retainOn {
+		panic("online: the legacy check loop is unavailable with retention enabled")
+	}
 	m.legacy = on
 	m.inner = nil
 	m.defined = make(map[string]bool)
@@ -127,6 +168,9 @@ func (m *Monitor) SetLegacy(on bool) {
 func (m *Monitor) EnableExplanations(on bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if on && m.retainOn {
+		panic("online: explanation capture is unavailable with retention enabled")
+	}
 	m.explainOn = on
 }
 
@@ -170,6 +214,8 @@ func (m *Monitor) Instrument(reg *obs.Registry) {
 	m.detectWin = reg.Window("online.detect_latency_ns", 256)
 	m.detectHist = reg.Histogram("online.detect_latency_hist_ns", obs.DurationBuckets)
 	m.checkWin = reg.Window("monitor.check_ns", 256)
+	m.metReleased = reg.Counter("monitor.released_intervals")
+	m.metAbandoned = reg.Counter("monitor.abandoned_intervals")
 }
 
 // SetNow injects the monitor's clock (nil restores time.Now). Timed-trace
@@ -190,6 +236,29 @@ func (m *Monitor) SetNow(now func() time.Time) {
 // once per condition.
 func (m *Monitor) settle(c *monitor.Condition, res monitor.Result, ce *explain.ConditionExplanation) {
 	m.settled[c.Name] = res
+	m.newResults = append(m.newResults, res)
+	var total int
+	if m.retainOn {
+		total = m.stream.TotalEvents()
+		m.settleSeq[c.Name] = total
+		m.settleAt[c.Name] = m.nowFn()
+	}
+	// Release this condition's hold on its referenced intervals; the last
+	// settlement to let go of an interval restarts its retention window, so
+	// a StrongestBetween query issued when the verdict lands still finds
+	// its operands.
+	for _, ref := range monitor.Referenced(c.Expr) {
+		switch n := m.refCount[ref]; {
+		case n > 1:
+			m.refCount[ref] = n - 1
+		case n == 1:
+			delete(m.refCount, ref)
+			if m.retainOn {
+				m.lastUseSeq[ref] = total
+				m.lastUseAt[ref] = m.nowFn()
+			}
+		}
+	}
 	if ce != nil {
 		ce.State = res.State.String()
 		m.explanations[c.Name] = ce
@@ -198,7 +267,15 @@ func (m *Monitor) settle(c *monitor.Condition, res monitor.Result, ce *explain.C
 	if res.State == monitor.Violated {
 		m.violWin.Observe(1)
 	}
-	latency, haveLatency := m.detectLatency(c)
+	// Detection latency is the lag to an actual verdict; a Failed settlement
+	// is an error report, and measuring it against whatever completion
+	// stamps happen to survive (some may already be released) would record
+	// a stale or meaningless value.
+	var latency time.Duration
+	haveLatency := false
+	if res.State != monitor.Failed {
+		latency, haveLatency = m.detectLatency(c)
+	}
 	if haveLatency {
 		m.detectWin.Observe(int64(latency))
 		m.detectHist.Observe(int64(latency))
@@ -239,12 +316,30 @@ func (m *Monitor) Observe(name string, events ...poset.EventID) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if why, gone := m.retired[name]; gone {
+		return retiredErr(name, why)
+	}
 	if _, done := m.complete[name]; done {
 		return fmt.Errorf("online: interval %q is already complete", name)
+	}
+	if m.watermark != nil {
+		for _, e := range events {
+			if e.Proc >= 0 && e.Proc < len(m.watermark) && e.Pos <= m.watermark[e.Proc] {
+				return fmt.Errorf("online: event p%d:%d was compacted by retention (watermark %d); observe events before they age out or widen the policy window",
+					e.Proc, e.Pos, m.watermark[e.Proc])
+			}
+		}
 	}
 	m.growing[name] = append(m.growing[name], events...)
 	m.lg.Debug("interval_observe",
 		logx.F("interval", name), logx.F("added", len(events)), logx.F("size", len(m.growing[name])))
+	if m.retainOn {
+		total := m.stream.TotalEvents()
+		m.observedSeq[name] = total
+		if total-m.lastAppraise >= m.retention.Every {
+			m.appraiseLocked(total)
+		}
+	}
 	return nil
 }
 
@@ -255,6 +350,9 @@ func (m *Monitor) Observe(name string, events ...poset.EventID) error {
 func (m *Monitor) Complete(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if why, gone := m.retired[name]; gone {
+		return retiredErr(name, why)
+	}
 	events, ok := m.growing[name]
 	if !ok {
 		return fmt.Errorf("online: interval %q was never observed", name)
@@ -273,6 +371,14 @@ func (m *Monitor) Complete(name string) error {
 	}
 	delete(m.waiting, name)
 	m.lg.Info("interval_complete", logx.F("interval", name), logx.F("size", len(events)))
+	if m.retainOn {
+		total := m.stream.TotalEvents()
+		m.completedSeq[name] = total
+		delete(m.observedSeq, name)
+		if total-m.lastAppraise >= m.retention.Every {
+			m.appraiseLocked(total)
+		}
+	}
 	return nil
 }
 
@@ -314,8 +420,24 @@ func (m *Monitor) AddCondition(name, src string) error {
 			return fmt.Errorf("online: condition %q already defined", name)
 		}
 	}
+	// DropSettled may have purged the compiled condition from m.conditions;
+	// the verdict tombstone still blocks the name from being reused.
+	if _, done := m.settled[name]; done {
+		return fmt.Errorf("online: condition %q already defined", name)
+	}
 	c := &monitor.Condition{Name: name, Src: src, Expr: expr}
 	m.conditions = append(m.conditions, c)
+	for _, ref := range monitor.Referenced(c.Expr) {
+		m.refCount[ref]++
+	}
+	// A reference to a retired interval can never be satisfied: settle now
+	// (which also gives the refcounts back) instead of waiting forever.
+	for _, ref := range monitor.Referenced(c.Expr) {
+		if why, gone := m.retired[ref]; gone {
+			m.settle(c, monitor.Result{Name: name, State: monitor.Failed, Err: retiredErr(ref, why)}, nil)
+			return nil
+		}
+	}
 	m.indexLocked(c)
 	return nil
 }
@@ -358,6 +480,7 @@ func (m *Monitor) Check() []monitor.Result {
 	if m.checkWin != nil {
 		m.checkWin.Observe(time.Since(t0).Nanoseconds())
 	}
+	m.maybeRetainLocked()
 	out := make([]monitor.Result, 0, len(m.conditions))
 	for _, c := range m.conditions {
 		if res, done := m.settled[c.Name]; done {
@@ -366,6 +489,7 @@ func (m *Monitor) Check() []monitor.Result {
 			out = append(out, monitor.Result{Name: c.Name, State: monitor.Pending})
 		}
 	}
+	m.newResults = nil
 	return out
 }
 
@@ -610,6 +734,12 @@ func (m *Monitor) CompletedIntervals() []string {
 func (m *Monitor) StrongestBetween(xName, yName string) ([]core.Relation, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if why, gone := m.retired[xName]; gone {
+		return nil, retiredErr(xName, why)
+	}
+	if why, gone := m.retired[yName]; gone {
+		return nil, retiredErr(yName, why)
+	}
 	xe, okX := m.complete[xName]
 	ye, okY := m.complete[yName]
 	if !okX {

@@ -192,3 +192,165 @@ func TestMonitorConcurrentSettlement(t *testing.T) {
 		t.Errorf("violation window count = %d, want %d", viol, rounds-1)
 	}
 }
+
+// TestMonitorConcurrentWithCompaction interleaves Observe/Complete/Poll/
+// Check with retention appraisals and forced CompactNow calls from racing
+// goroutines (run under -race in CI). The appender pins each event until
+// its round's grower has observed it — the streaming discipline retention
+// requires — so aggressive compaction must neither change any verdict nor
+// break verdict stability.
+func TestMonitorConcurrentWithCompaction(t *testing.T) {
+	const procs = 4
+	const rounds = 16
+
+	s := NewStream(procs)
+	reg := obs.New()
+	m := NewMonitor(s)
+	m.Instrument(reg)
+	if err := m.SetRetention(RetentionPolicy{MaxEvents: 8, Every: 4, DropSettled: true}); err != nil {
+		t.Fatal(err)
+	}
+	condCount := 0
+	for r := 0; r+1 < rounds; r++ {
+		a, b := fmt.Sprintf("round-%d", r), fmt.Sprintf("round-%d", r+1)
+		if err := m.AddCondition(fmt.Sprintf("ordered-%d", r), fmt.Sprintf("R1(%s, %s)", a, b)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddCondition(fmt.Sprintf("backflow-%d", r), fmt.Sprintf("R1(%s, %s)", b, a)); err != nil {
+			t.Fatal(err)
+		}
+		condCount += 2
+	}
+
+	// Appender: one causal chain of sends around the ring, each event pinned
+	// until its grower observes it. Growers: per-round Observe + Complete +
+	// Unpin. Checkers: Poll for deltas, asserting each condition settles at
+	// most once. Compactor: hammer CompactNow the whole time.
+	chans := make([]chan poset.EventID, rounds)
+	for r := range chans {
+		chans[r] = make(chan poset.EventID, procs)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last poset.EventID
+		for r := 0; r < rounds; r++ {
+			for p := 0; p < procs; p++ {
+				var e poset.EventID
+				var err error
+				if r == 0 && p == 0 {
+					e, err = s.Send(p)
+				} else {
+					e, err = s.Recv(p, last)
+				}
+				if err != nil {
+					t.Error(err)
+					close(chans[r])
+					return
+				}
+				s.Pin(e)
+				last = e
+				chans[r] <- e
+			}
+			close(chans[r])
+		}
+	}()
+	var growWG sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		growWG.Add(1)
+		go func(r int) {
+			defer growWG.Done()
+			name := fmt.Sprintf("round-%d", r)
+			for e := range chans[r] {
+				if err := m.Observe(name, e); err != nil {
+					t.Errorf("observe %s: %v", name, err)
+				}
+				s.Unpin(e)
+			}
+			if err := m.Complete(name); err != nil {
+				t.Errorf("complete %s: %v", name, err)
+			}
+		}(r)
+	}
+	stop := make(chan struct{})
+	var auxWG sync.WaitGroup
+	var verdictMu sync.Mutex
+	firstSeen := map[string]monitor.State{}
+	for c := 0; c < 3; c++ {
+		auxWG.Add(1)
+		go func() {
+			defer auxWG.Done()
+			for {
+				for _, res := range m.Poll() {
+					verdictMu.Lock()
+					if prev, dup := firstSeen[res.Name]; dup {
+						t.Errorf("condition %s settled twice: %v then %v", res.Name, prev, res.State)
+					} else {
+						firstSeen[res.Name] = res.State
+					}
+					verdictMu.Unlock()
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	auxWG.Add(1)
+	go func() {
+		defer auxWG.Done()
+		for {
+			m.CompactNow()
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	growWG.Wait()
+	wg.Wait()
+	for _, res := range m.Poll() {
+		verdictMu.Lock()
+		if _, dup := firstSeen[res.Name]; dup {
+			t.Errorf("condition %s settled twice", res.Name)
+		} else {
+			firstSeen[res.Name] = res.State
+		}
+		verdictMu.Unlock()
+	}
+	// The appender can race far ahead of the growers, so completions may all
+	// be stamped near the final stream position; trailing traffic ages the
+	// settled intervals out of the MaxEvents window so releases and stream
+	// compaction actually happen while the compactor is still hammering.
+	for i := 0; i < 64; i++ {
+		if _, err := s.Local(i % procs); err != nil {
+			t.Fatal(err)
+		}
+		m.Poll()
+	}
+	close(stop)
+	auxWG.Wait()
+
+	if len(firstSeen) != condCount {
+		t.Fatalf("%d conditions settled, want %d: %v", len(firstSeen), condCount, firstSeen)
+	}
+	for r := 0; r+1 < rounds; r++ {
+		if got := firstSeen[fmt.Sprintf("ordered-%d", r)]; got != monitor.Holds {
+			t.Errorf("ordered-%d = %v, want holds", r, got)
+		}
+		if got := firstSeen[fmt.Sprintf("backflow-%d", r)]; got != monitor.Violated {
+			t.Errorf("backflow-%d = %v, want violated", r, got)
+		}
+	}
+	if got := reg.Counter("online.settlements").Value(); got != int64(condCount) {
+		t.Errorf("online.settlements = %d, want %d", got, condCount)
+	}
+	st := m.RetentionStats()
+	if st.Released == 0 {
+		t.Errorf("no interval was released under aggressive retention: %+v", st)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"causet/internal/core"
+	"causet/internal/interval"
 	"causet/internal/obs"
 	"causet/internal/poset"
 	"causet/internal/vclock"
@@ -44,6 +45,7 @@ var (
 	ErrBadProc     = errors.New("online: process index out of range")
 	ErrUnknownSend = errors.New("online: receive names an unrecorded send event")
 	ErrSelfMessage = errors.New("online: send and receive on the same process")
+	ErrCompacted   = errors.New("online: event was compacted by retention (Pin in-flight sends to keep them addressable)")
 )
 
 // vcArenaEvents is how many events' worth of vector-clock backing storage
@@ -80,6 +82,15 @@ type Stream struct {
 	arena     []int             // VC backing storage, carved per newVC
 	walkStack []poset.EventID   // reused DFS stack of propagateFollower
 
+	// Retention state (Compact): base[p] counts the leading events of
+	// process p whose clock rows, first-follower rows, and sender
+	// attributions were dropped — fwd/ff/msgFrom hold only the retained
+	// tail, indexed pos-1-base[p]. Event positions stay absolute. pins maps
+	// in-flight send events to a reference count; the watermark never
+	// passes a pinned event, so a delayed Recv can still read its clock.
+	base []int
+	pins map[poset.EventID]int
+
 	legacy   bool           // full-rebuild snapshots (the differential oracle)
 	prev     *core.Analysis // previous incremental snapshot, for cache carry
 	metDirty bool           // Instrument was called since prev was built
@@ -91,6 +102,9 @@ type Stream struct {
 	metSnapshots    *obs.Counter
 	metSnapReuses   *obs.Counter
 	metSnapRebuilds *obs.Counter
+	metCompactions  *obs.Counter
+	metCompacted    *obs.Counter
+	metRetained     *obs.Gauge
 	metReg          *obs.Registry
 	metTracer       *obs.Tracer
 }
@@ -108,6 +122,7 @@ func NewStream(procs int) *Stream {
 		ff:      make([][]int64, procs),
 		msgFrom: make([][]poset.EventID, procs),
 		zeroFF:  make([]int64, procs),
+		base:    make([]int, procs),
 	}
 }
 
@@ -138,6 +153,9 @@ func (s *Stream) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	s.metSnapshots = reg.Counter("online.snapshots")
 	s.metSnapReuses = reg.Counter("online.snapshot_reuses")
 	s.metSnapRebuilds = reg.Counter("online.snapshot_rebuilds")
+	s.metCompactions = reg.Counter("online.compactions")
+	s.metCompacted = reg.Counter("online.compacted_events")
+	s.metRetained = reg.Gauge("online.retained_events")
 	s.metDirty = true
 }
 
@@ -150,6 +168,11 @@ func (s *Stream) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 func (s *Stream) SetLegacySnapshots(on bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if on && s.compactedAny() {
+		// The legacy path deep-copies via Builder.Build, which a compacted
+		// builder refuses; switching after compaction is a programming error.
+		panic("online: legacy snapshots are unavailable after compaction")
+	}
 	s.legacy = on
 	s.snap = nil
 	s.prev = nil
@@ -181,7 +204,10 @@ func (s *Stream) Recv(proc int, send poset.EventID) (poset.EventID, error) {
 	if send.Proc == proc {
 		return poset.EventID{}, fmt.Errorf("%w: %v", ErrSelfMessage, send)
 	}
-	recv, err := s.append(proc, s.fwd[send.Proc][send.Pos-1], send, true)
+	if send.Pos <= s.base[send.Proc] {
+		return poset.EventID{}, fmt.Errorf("%w: send %v", ErrCompacted, send)
+	}
+	recv, err := s.append(proc, s.fwd[send.Proc][send.Pos-1-s.base[send.Proc]], send, true)
 	if err != nil {
 		return poset.EventID{}, err
 	}
@@ -203,11 +229,11 @@ func (s *Stream) newVC() vclock.VC {
 }
 
 func (s *Stream) storeFF(e poset.EventID, i int, v int64) {
-	atomic.StoreInt64(&s.ff[e.Proc][(e.Pos-1)*s.procs+i], v)
+	atomic.StoreInt64(&s.ff[e.Proc][(e.Pos-1-s.base[e.Proc])*s.procs+i], v)
 }
 
 func (s *Stream) loadFF(e poset.EventID, i int) int64 {
-	return atomic.LoadInt64(&s.ff[e.Proc][(e.Pos-1)*s.procs+i])
+	return atomic.LoadInt64(&s.ff[e.Proc][(e.Pos-1-s.base[e.Proc])*s.procs+i])
 }
 
 // append records one event, merging mergeClock (a sender's clock) when
@@ -222,7 +248,9 @@ func (s *Stream) append(proc int, mergeClock vclock.VC, sender poset.EventID, is
 	s.counts[proc]++
 	t := s.newVC()
 	if n := s.counts[proc]; n > 1 {
-		t.MaxInto(s.fwd[proc][n-2])
+		// The previous frontier event's row is always retained: Compact
+		// clamps the watermark to counts[p]-1, exactly so this merge works.
+		t.MaxInto(s.fwd[proc][n-2-s.base[proc]])
 	}
 	if mergeClock != nil {
 		t.MaxInto(mergeClock)
@@ -263,6 +291,12 @@ func (s *Stream) propagateFollower(f poset.EventID, sender poset.EventID, isRecv
 	for len(stack) > 0 {
 		e := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		if e.Pos <= s.base[e.Proc] {
+			// Compacted: the row is gone, and by downward closedness of the
+			// watermark every event in e's causal past is compacted too, so
+			// stopping here skips no retained cell.
+			continue
+		}
 		if s.loadFF(e, p) != 0 {
 			continue
 		}
@@ -270,7 +304,7 @@ func (s *Stream) propagateFollower(f poset.EventID, sender poset.EventID, isRecv
 		if e.Pos > 1 {
 			stack = append(stack, poset.EventID{Proc: e.Proc, Pos: e.Pos - 1})
 		}
-		if from := s.msgFrom[e.Proc][e.Pos-1]; from.Proc >= 0 {
+		if from := s.msgFrom[e.Proc][e.Pos-1-s.base[e.Proc]]; from.Proc >= 0 {
 			stack = append(stack, from)
 		}
 	}
@@ -285,7 +319,10 @@ func (s *Stream) Clock(e poset.EventID) (vclock.VC, error) {
 	if e.Proc < 0 || e.Proc >= s.procs || e.Pos < 1 || e.Pos > s.counts[e.Proc] {
 		return nil, fmt.Errorf("online: Clock of unrecorded event %v", e)
 	}
-	return s.fwd[e.Proc][e.Pos-1].Clone(), nil
+	if e.Pos <= s.base[e.Proc] {
+		return nil, fmt.Errorf("%w: %v", ErrCompacted, e)
+	}
+	return s.fwd[e.Proc][e.Pos-1-s.base[e.Proc]].Clone(), nil
 }
 
 // Precedes tests causality between two recorded events using the online
@@ -302,7 +339,12 @@ func (s *Stream) Precedes(a, b poset.EventID) (bool, error) {
 	if a == b {
 		return false, nil
 	}
-	return a.Pos <= s.fwd[b.Proc][b.Pos-1][a.Proc], nil
+	// Only b's clock row is consulted, so the test stays answerable when a
+	// (but not b) lies inside the compacted region.
+	if b.Pos <= s.base[b.Proc] {
+		return false, fmt.Errorf("%w: %v", ErrCompacted, b)
+	}
+	return a.Pos <= s.fwd[b.Proc][b.Pos-1-s.base[b.Proc]][a.Proc], nil
 }
 
 // Snapshot is a frozen view of the stream: the execution prefix recorded so
@@ -358,19 +400,33 @@ func (s *Stream) incrementalSnapshot() *Snapshot {
 	}
 	// Capture slice headers; the per-event VCs and index cells they lead to
 	// are immutable or exactly-once, so the snapshot reads stay correct
-	// however far the stream grows (see the ff field comment).
+	// however far the stream grows (see the ff field comment). Compaction
+	// replaces the backing arrays wholesale, so captured headers keep seeing
+	// the pre-compaction storage — stale zeros there are filtered by the
+	// NumReal prefix check exactly as post-capture appends are.
 	fwdv := make([][]vclock.VC, s.procs)
 	ffv := make([][]int64, s.procs)
+	var basev []int
+	if s.compactedAny() {
+		basev = append([]int(nil), s.base...)
+	}
 	for p := 0; p < s.procs; p++ {
-		n := s.counts[p]
+		n := s.counts[p] - s.base[p]
 		fwdv[p] = s.fwd[p][:n:n]
 		ffv[p] = s.ff[p][: n*s.procs : n*s.procs]
 	}
 	procs := s.procs
 	revFn := func(e poset.EventID) vclock.VC {
+		pos := e.Pos
+		if basev != nil {
+			if pos <= basev[e.Proc] {
+				panic(fmt.Sprintf("online: reverse timestamp of compacted event %v", e))
+			}
+			pos -= basev[e.Proc]
+		}
 		t := make(vclock.VC, procs)
 		cells := ffv[e.Proc]
-		base := (e.Pos - 1) * procs
+		base := (pos - 1) * procs
 		for i := 0; i < procs; i++ {
 			f := atomic.LoadInt64(&cells[base+i])
 			// A first follower recorded after this snapshot was captured has
@@ -382,8 +438,25 @@ func (s *Stream) incrementalSnapshot() *Snapshot {
 		}
 		return t
 	}
-	clk := vclock.NewLazy(ex, fwdv, revFn)
-	a := core.NewAnalysisCarry(ex, clk, s.prev)
+	clk := vclock.NewLazyRebased(ex, fwdv, basev, revFn)
+	// Cache carry across a compaction drops every interval that owns a
+	// compacted event: its cut vectors stay mathematically valid, but
+	// keeping it would pin the interval (and anything its entry references)
+	// beyond the retention window, and no live condition can query it —
+	// the monitor's watermark only passes released intervals.
+	var keep func(*interval.Interval) bool
+	if basev != nil {
+		kb := basev
+		keep = func(iv *interval.Interval) bool {
+			for _, e := range iv.Events() {
+				if e.Pos <= kb[e.Proc] {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	a := core.NewAnalysisCarryFiltered(ex, clk, s.prev, keep)
 	if s.prev == nil || s.metDirty {
 		a.Instrument(s.metReg, s.metTracer)
 		s.metDirty = false
@@ -419,6 +492,20 @@ func ReplaySteps(ex *poset.Execution, step func(s *Stream, e poset.EventID) erro
 // before the replay starts — the differential tests replay one execution
 // onto an incremental and a legacy stream and require identical verdicts.
 func ReplayStepsOn(s *Stream, ex *poset.Execution, step func(s *Stream, e poset.EventID) error) (*Stream, error) {
+	return replayOn(s, ex, step, false)
+}
+
+// ReplayStepsPinned is ReplayStepsOn for retention-enabled streams: because
+// the replay knows the message structure up front, every send event is
+// pinned the moment it is appended and unpinned when its receive lands, so
+// a compaction triggered by the step callback (e.g. a monitor retention
+// appraisal) can never pass an in-flight send — delayed receives under
+// reordering fault plans keep working instead of failing with ErrCompacted.
+func ReplayStepsPinned(s *Stream, ex *poset.Execution, step func(s *Stream, e poset.EventID) error) (*Stream, error) {
+	return replayOn(s, ex, step, true)
+}
+
+func replayOn(s *Stream, ex *poset.Execution, step func(s *Stream, e poset.EventID) error, pinned bool) (*Stream, error) {
 	if s.NumProcs() != ex.NumProcs() {
 		return nil, fmt.Errorf("online: ReplayStepsOn: stream has %d processes, execution has %d", s.NumProcs(), ex.NumProcs())
 	}
@@ -426,19 +513,32 @@ func ReplayStepsOn(s *Stream, ex *poset.Execution, step func(s *Stream, e poset.
 	// records one incoming edge per receive, so executions where a single
 	// event receives several messages cannot be replayed faithfully.
 	sendFor := make(map[poset.EventID]poset.EventID, len(ex.Messages()))
+	var pinsFor map[poset.EventID]int
+	if pinned {
+		pinsFor = make(map[poset.EventID]int, len(ex.Messages()))
+	}
 	for _, m := range ex.Messages() {
 		if _, dup := sendFor[m.To]; dup {
 			return nil, fmt.Errorf("online: Replay: event %v receives multiple messages", m.To)
 		}
 		sendFor[m.To] = m.From
+		if pinned {
+			pinsFor[m.From]++
+		}
 	}
 	for _, e := range ex.LinearExtension() {
 		if from, ok := sendFor[e]; ok {
 			if _, err := s.Recv(e.Proc, from); err != nil {
 				return nil, err
 			}
+			if pinned {
+				s.Unpin(from)
+			}
 		} else if _, err := s.Local(e.Proc); err != nil {
 			return nil, err
+		}
+		for i := pinsFor[e]; i > 0; i-- {
+			s.Pin(e)
 		}
 		if step != nil {
 			if err := step(s, e); err != nil {

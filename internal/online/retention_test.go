@@ -1,0 +1,529 @@
+package online
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"causet/internal/monitor"
+	"causet/internal/obs"
+	"causet/internal/poset"
+	"causet/internal/sim"
+)
+
+// renderResults flattens a settlement delta into one comparable line.
+func renderResults(rs []monitor.Result) string {
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%s=%s;", r.Name, r.State)
+		if r.Err != nil {
+			fmt.Fprintf(&b, "err=%v;", r.Err)
+		}
+	}
+	return b.String()
+}
+
+// driveRetained replays a generated workload through a monitor (with the
+// given retention policy, or none when nil), polling after every event. It
+// returns the per-event settlement trace, the StrongestBetween rendering of
+// every adjacent phase pair queried at the moment its second phase completes
+// (with retention, intervals are released later — settlement time is when
+// the answer must be available), and whether the stream actually compacted.
+func driveRetained(t testing.TB, res *sim.Result, conds [][2]string, policy *RetentionPolicy) (trace, strongest []string, compacted bool) {
+	t.Helper()
+	s := NewStream(res.Exec.NumProcs())
+	m := NewMonitor(s)
+	if policy != nil {
+		if err := m.SetRetention(*policy); err != nil {
+			t.Fatalf("SetRetention: %v", err)
+		}
+	}
+	for _, c := range conds {
+		if err := m.AddCondition(c[0], c[1]); err != nil {
+			t.Fatalf("AddCondition(%q): %v", c[0], err)
+		}
+	}
+	phaseOf := make(map[poset.EventID]int)
+	remaining := make([]int, len(res.Phases))
+	done := make([]bool, len(res.Phases))
+	for i, ph := range res.Phases {
+		remaining[i] = len(ph.Events)
+		for _, e := range ph.Events {
+			phaseOf[e] = i
+		}
+	}
+	if _, err := ReplayStepsPinned(s, res.Exec, func(_ *Stream, e poset.EventID) error {
+		justDone := -1
+		if pi, ok := phaseOf[e]; ok {
+			if err := m.Observe(res.Phases[pi].Name, e); err != nil {
+				return err
+			}
+			remaining[pi]--
+			if remaining[pi] == 0 {
+				if err := m.Complete(res.Phases[pi].Name); err != nil {
+					return err
+				}
+				done[pi] = true
+				justDone = pi
+			}
+		}
+		trace = append(trace, renderResults(m.Poll()))
+		if justDone >= 0 {
+			for _, pair := range [][2]int{{justDone - 1, justDone}, {justDone, justDone + 1}} {
+				i, j := pair[0], pair[1]
+				if i < 0 || j >= len(res.Phases) || !done[i] || !done[j] {
+					continue
+				}
+				rels, err := m.StrongestBetween(res.Phases[i].Name, res.Phases[j].Name)
+				strongest = append(strongest, fmt.Sprintf("%d-%d:%v/%v", i, j, rels, err))
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("replay (retention=%v): %v", policy != nil, err)
+	}
+	for _, b := range s.CompactedThrough() {
+		if b > 0 {
+			compacted = true
+		}
+	}
+	return trace, strongest, compacted
+}
+
+// diffRetention drives one workload with and without retention and fails on
+// any divergence in the settlement trace or the settlement-time
+// StrongestBetween answers. Returns whether the retained run compacted.
+func diffRetention(t testing.TB, res *sim.Result, label string, policy RetentionPolicy) bool {
+	t.Helper()
+	conds := phaseConditions(res.Phases)
+	bTrace, bStrong, _ := driveRetained(t, res, conds, nil)
+	rTrace, rStrong, compacted := driveRetained(t, res, conds, &policy)
+	if len(bTrace) != len(rTrace) {
+		t.Fatalf("%s: trace lengths differ: baseline %d, retained %d", label, len(bTrace), len(rTrace))
+	}
+	for i := range bTrace {
+		if bTrace[i] != rTrace[i] {
+			t.Fatalf("%s: verdicts diverge at event %d:\nbaseline: %s\nretained: %s", label, i, bTrace[i], rTrace[i])
+		}
+	}
+	if len(bStrong) != len(rStrong) {
+		t.Fatalf("%s: strongest-pair counts differ: baseline %d, retained %d", label, len(bStrong), len(rStrong))
+	}
+	for i := range bStrong {
+		if bStrong[i] != rStrong[i] {
+			t.Errorf("%s: StrongestBetween diverges: baseline %s, retained %s", label, bStrong[i], rStrong[i])
+		}
+	}
+	return compacted
+}
+
+// TestCompactionAgreement is the differential anchor of the retention
+// subsystem: across workload patterns and seeds, a monitor running under an
+// aggressive retention policy must produce byte-identical per-event
+// settlement traces and settlement-time StrongestBetween answers to an
+// unbounded monitor — compaction must be invisible to verdicts.
+func TestCompactionAgreement(t *testing.T) {
+	policy := RetentionPolicy{MaxEvents: 24, Every: 8, DropSettled: true}
+	anyCompacted := false
+	for _, pat := range sim.Patterns() {
+		if pat == sim.Random {
+			continue // no phases; covered by the faultsim chaos suite
+		}
+		for seed := int64(0); seed < 4; seed++ {
+			res, err := sim.Generate(sim.Config{Pattern: pat, Procs: 4, Rounds: 6, Seed: seed})
+			if err != nil {
+				t.Fatalf("%v/seed=%d: %v", pat, seed, err)
+			}
+			if len(res.Phases) < 2 {
+				continue
+			}
+			if diffRetention(t, res, fmt.Sprintf("%v/seed=%d", pat, seed), policy) {
+				anyCompacted = true
+			}
+		}
+	}
+	if !anyCompacted {
+		t.Error("no run compacted anything; the differential is vacuous — tighten the policy or enlarge the workloads")
+	}
+}
+
+// FuzzCompactionAgreement lets the fuzzer search workload × policy space for
+// a divergence between the retained and unbounded monitors.
+func FuzzCompactionAgreement(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint8(4), uint8(3), uint8(24), uint8(8))
+	f.Add(int64(7), uint8(5), uint8(3), uint8(4), uint8(1), uint8(1))
+	f.Add(int64(42), uint8(7), uint8(5), uint8(6), uint8(63), uint8(15))
+	f.Fuzz(func(t *testing.T, seed int64, pat, procs, rounds, maxEvents, every uint8) {
+		pats := sim.Patterns()
+		p := pats[int(pat)%len(pats)]
+		if p == sim.Random {
+			p = sim.Ring
+		}
+		cfg := sim.Config{
+			Pattern: p,
+			Procs:   2 + int(procs)%5,
+			Rounds:  1 + int(rounds)%6,
+			Seed:    seed,
+		}
+		res, err := sim.Generate(cfg)
+		if err != nil || len(res.Phases) < 2 {
+			t.Skip()
+		}
+		policy := RetentionPolicy{
+			MaxEvents:   1 + int(maxEvents)%64,
+			Every:       1 + int(every)%16,
+			DropSettled: every%2 == 0,
+		}
+		diffRetention(t, res, fmt.Sprintf("%v/procs=%d/rounds=%d/seed=%d/%+v", p, cfg.Procs, cfg.Rounds, seed, policy), policy)
+	})
+}
+
+// TestRetentionLifecycle walks the scripted release path: a settled pair of
+// intervals ages out of the window, the stream compacts, and every later
+// operation on the released names fails with a clear retention error (while
+// a late condition referencing them settles Failed rather than hanging).
+func TestRetentionLifecycle(t *testing.T) {
+	reg := obs.New()
+	s := NewStream(2)
+	s.Instrument(reg, nil)
+	m := NewMonitor(s)
+	m.Instrument(reg)
+	if err := m.SetRetention(RetentionPolicy{MaxEvents: 8, Every: 4}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Local(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Local(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, e := range map[string]poset.EventID{"A": a, "B": b} {
+		if err := m.Observe(name, e); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Complete(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.AddCondition("c", "R1(A, B)"); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Poll()
+	if len(first) != 1 || first[0].State == monitor.Pending {
+		t.Fatalf("Poll after completion = %v; want one settled result", first)
+	}
+	if got := m.Poll(); len(got) != 0 {
+		t.Fatalf("second Poll = %v; want empty delta", got)
+	}
+
+	// Age the pair out of the window: the appraisal cadence runs off Poll.
+	for i := 0; i < 24; i++ {
+		if _, err := s.Local(i % 2); err != nil {
+			t.Fatal(err)
+		}
+		m.Poll()
+	}
+
+	st := m.RetentionStats()
+	if st.Released != 2 || st.Held != 0 {
+		t.Fatalf("RetentionStats = %+v; want Released=2 Held=0", st)
+	}
+	compacted := false
+	for _, w := range s.CompactedThrough() {
+		if w > 0 {
+			compacted = true
+		}
+	}
+	if !compacted {
+		t.Errorf("stream never compacted: CompactedThrough=%v", s.CompactedThrough())
+	}
+	if got := reg.Counter("monitor.released_intervals").Value(); got != 2 {
+		t.Errorf("monitor.released_intervals = %d; want 2", got)
+	}
+
+	if err := m.Observe("A", poset.EventID{Proc: 0, Pos: 1}); err == nil || !strings.Contains(err.Error(), "released") {
+		t.Errorf("Observe on released interval: err = %v; want released error", err)
+	}
+	if err := m.Complete("A"); err == nil || !strings.Contains(err.Error(), "released") {
+		t.Errorf("Complete on released interval: err = %v; want released error", err)
+	}
+	if _, err := m.StrongestBetween("A", "B"); err == nil || !strings.Contains(err.Error(), "released") {
+		t.Errorf("StrongestBetween on released intervals: err = %v; want released error", err)
+	}
+	if err := m.AddCondition("late", "R1(A, B)"); err != nil {
+		t.Fatalf("AddCondition(late): %v", err)
+	}
+	late := m.Poll()
+	if len(late) != 1 || late[0].State != monitor.Failed || late[0].Err == nil {
+		t.Fatalf("late condition = %+v; want immediate Failed with retention error", late)
+	}
+
+	// Observing an already-compacted position must be rejected, not absorbed.
+	if err := m.Observe("fresh", poset.EventID{Proc: 0, Pos: 1}); err == nil || !strings.Contains(err.Error(), "compacted") {
+		t.Errorf("Observe of compacted event: err = %v; want compacted error", err)
+	}
+}
+
+// TestRetentionAbandonsIdleIntervals covers the growing-map leak fix: a
+// stalled interval nobody completes is evicted after AbandonAfter events,
+// its waiting conditions settle Failed, and the abandonment counter ticks.
+func TestRetentionAbandonsIdleIntervals(t *testing.T) {
+	reg := obs.New()
+	s := NewStream(2)
+	m := NewMonitor(s)
+	m.Instrument(reg)
+	if err := m.SetRetention(RetentionPolicy{MaxEvents: 64, AbandonAfter: 16, Every: 4}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Local(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe("stalled", e); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddCondition("waits", "R1(stalled, stalled)"); err != nil {
+		t.Fatal(err)
+	}
+	var delta []monitor.Result
+	for i := 0; i < 32; i++ {
+		if _, err := s.Local(i % 2); err != nil {
+			t.Fatal(err)
+		}
+		delta = append(delta, m.Poll()...)
+	}
+	if len(delta) != 1 || delta[0].Name != "waits" || delta[0].State != monitor.Failed {
+		t.Fatalf("settlements = %+v; want waits=failed after abandonment", delta)
+	}
+	if !strings.Contains(delta[0].Err.Error(), "abandoned") {
+		t.Errorf("waits error = %v; want abandonment error", delta[0].Err)
+	}
+	st := m.RetentionStats()
+	if st.Abandoned != 1 || st.Growing != 0 {
+		t.Errorf("RetentionStats = %+v; want Abandoned=1 Growing=0", st)
+	}
+	if got := reg.Counter("monitor.abandoned_intervals").Value(); got != 1 {
+		t.Errorf("monitor.abandoned_intervals = %d; want 1", got)
+	}
+}
+
+// TestRetentionBoundsMemory is the leak regression for the unbounded-growth
+// bug this subsystem fixes: a long stream of short-lived intervals (some
+// never completed) must leave both the monitor's growing map and the
+// stream's per-event state bounded by the policy window, not by stream
+// length — measured structurally and with ReadMemStats.
+func TestRetentionBoundsMemory(t *testing.T) {
+	const procs, rounds = 4, 4000
+	s := NewStream(procs)
+	m := NewMonitor(s)
+	if err := m.SetRetention(RetentionPolicy{MaxEvents: 256, AbandonAfter: 256, Every: 64, DropSettled: true}); err != nil {
+		t.Fatal(err)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	maxRetained := 0
+	for r := 0; r < rounds; r++ {
+		name := fmt.Sprintf("r-%d", r)
+		for p := 0; p < procs; p++ {
+			e, err := s.Local(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Observe(name, e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Every third interval is never completed: the abandonment path must
+		// keep the growing map from accumulating them.
+		if r%3 != 0 {
+			if err := m.Complete(name); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.AddCondition(fmt.Sprintf("c-%d", r), fmt.Sprintf("R1(%s, %s)", name, name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Poll()
+		if ret := s.RetainedEvents(); ret > maxRetained {
+			maxRetained = ret
+		}
+	}
+	m.CompactNow()
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	st := m.RetentionStats()
+	// The working set is one policy window plus the appraisal cadence slack;
+	// anything proportional to the 16k-event stream is a leak.
+	if bound := 4 * (256 + 64*procs); maxRetained > bound {
+		t.Errorf("retained events peaked at %d; want <= %d (policy window, not stream length)", maxRetained, bound)
+	}
+	// Stalled intervals inside the AbandonAfter window are legitimately
+	// still growing; one window holds at most 256/(procs·3) ≈ 22 of them.
+	if st.Growing > 2*256/(procs*3) {
+		t.Errorf("growing map holds %d intervals at the end; abandonment should bound it by the window (stats %+v)", st.Growing, st)
+	}
+	if st.Released == 0 || st.Abandoned == 0 {
+		t.Errorf("expected both releases and abandonments, got %+v", st)
+	}
+	// Generous cap: the per-name verdict/retirement tombstones are the only
+	// state allowed to scale with stream length, and they are tiny.
+	if grew := int64(m1.HeapAlloc) - int64(m0.HeapAlloc); grew > 24<<20 {
+		t.Errorf("heap grew %d bytes over %d events; retention should keep this to the working set plus tombstones", grew, rounds*procs)
+	}
+	t.Logf("retained peak %d, final %d; heap delta %d bytes; stats %+v",
+		maxRetained, st.Retained, int64(m1.HeapAlloc)-int64(m0.HeapAlloc), st)
+}
+
+// TestRetentionModeConflicts pins the mutual exclusions: retention refuses
+// to coexist with the legacy oracle and with explanation capture, in both
+// enabling orders, and an all-zero policy is rejected.
+func TestRetentionModeConflicts(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+
+	m := NewMonitor(NewStream(2))
+	if err := m.SetRetention(RetentionPolicy{}); err == nil {
+		t.Error("SetRetention with no window succeeded")
+	}
+	m.SetLegacy(true)
+	if err := m.SetRetention(RetentionPolicy{MaxEvents: 8}); err == nil {
+		t.Error("SetRetention on a legacy monitor succeeded")
+	}
+	m.SetLegacy(false)
+	m.EnableExplanations(true)
+	if err := m.SetRetention(RetentionPolicy{MaxEvents: 8}); err == nil {
+		t.Error("SetRetention with explanations on succeeded")
+	}
+	m.EnableExplanations(false)
+	if err := m.SetRetention(RetentionPolicy{MaxEvents: 8}); err != nil {
+		t.Fatalf("SetRetention: %v", err)
+	}
+	mustPanic("SetLegacy(true) under retention", func() { m.SetLegacy(true) })
+	mustPanic("EnableExplanations(true) under retention", func() { m.EnableExplanations(true) })
+
+	// Stream level: the legacy snapshot path and compaction exclude each
+	// other in both orders too.
+	s := NewStream(2)
+	s.SetLegacySnapshots(true)
+	if _, _, err := s.Compact([]int{0, 0}); err == nil {
+		t.Error("Compact on a legacy stream succeeded")
+	}
+}
+
+// TestStreamPinClampsWatermark verifies the in-flight send protocol: a
+// pinned send is never compacted however deep the requested watermark, and
+// unpinning releases it for the next compaction.
+func TestStreamPinClampsWatermark(t *testing.T) {
+	s := NewStream(2)
+	for i := 0; i < 6; i++ {
+		if _, err := s.Send(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := s.Local(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinned := poset.EventID{Proc: 0, Pos: 3}
+	s.Pin(pinned)
+	applied, _, err := s.Compact([]int{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied[0] != 2 {
+		t.Fatalf("watermark with pin at p0:3 = %v; want p0 clamped to 2", applied)
+	}
+	if _, err := s.Recv(1, pinned); err != nil {
+		t.Fatalf("Recv of pinned send after compaction: %v", err)
+	}
+	s.Unpin(pinned)
+	applied, _, err = s.Compact([]int{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied[0] <= 2 {
+		t.Fatalf("watermark after unpin = %v; want p0 above 2", applied)
+	}
+}
+
+// TestRetentionDropsPerConditionGauges pins the registry-cardinality side of
+// the memory bound: per-condition detection-latency gauges are minted from
+// condition names — unbounded input on a long stream — and must retire with
+// the condition state under DropSettled, or the registry (and everything
+// sampling it) grows without bound while the monitor itself stays flat.
+func TestRetentionDropsPerConditionGauges(t *testing.T) {
+	const procs, rounds = 4, 2000
+	reg := obs.New()
+	s := NewStream(procs)
+	s.Instrument(reg, nil)
+	m := NewMonitor(s)
+	m.Instrument(reg)
+	if err := m.SetRetention(RetentionPolicy{MaxEvents: 64, Every: 16, DropSettled: true}); err != nil {
+		t.Fatal(err)
+	}
+	sawGauge := false
+	maxGauges := 0
+	countCond := func() int {
+		n := 0
+		for name := range reg.Snapshot().Gauges {
+			if strings.HasPrefix(name, "online.detect_latency.cond.") {
+				n++
+			}
+		}
+		return n
+	}
+	for r := 0; r < rounds; r++ {
+		name := fmt.Sprintf("r-%d", r)
+		for p := 0; p < procs; p++ {
+			e, err := s.Local(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Observe(name, e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Complete(name); err != nil {
+			t.Fatal(err)
+		}
+		if r > 0 {
+			cond := fmt.Sprintf("c-%d", r)
+			if err := m.AddCondition(cond, fmt.Sprintf("R1(r-%d, %s)", r-1, name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Poll()
+		if r%64 == 0 {
+			if n := countCond(); n > 0 {
+				sawGauge = true
+				if n > maxGauges {
+					maxGauges = n
+				}
+			}
+		}
+	}
+	if !sawGauge {
+		t.Fatal("no per-condition latency gauge was ever registered; the test is not exercising the path")
+	}
+	// The live gauge set must be bounded by the retention window, not the
+	// stream length: 64-event window over 4-event rounds plus appraisal slack.
+	if bound := 4 * 64 / procs; maxGauges > bound {
+		t.Errorf("per-condition gauge cardinality peaked at %d; want <= %d (window-bounded, not O(rounds)=%d)", maxGauges, bound, rounds)
+	}
+	m.CompactNow()
+	if n := countCond(); n > 64 {
+		t.Errorf("%d per-condition gauges survive the final appraisal; want the window's worth at most", n)
+	}
+}

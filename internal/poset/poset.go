@@ -64,6 +64,15 @@ type Message struct {
 // the Builder that produced them and an epoch (the total event count at view
 // time), which lets Prefix decide cheaply whether one execution extends
 // another without comparing structure.
+//
+// Views of a builder that has been compacted (CompactBelow) also carry the
+// per-process watermark: events at or below it are *compacted* — their
+// EventIDs remain addressable (counts are absolute, so retained events keep
+// their external identity), but the message edges among them have been
+// dropped. Structural queries are exact on retained events (the watermark is
+// a consistent cut, so no causal path between retained events passes through
+// a compacted one); queries that would need a compacted event's causal
+// neighborhood panic rather than answer wrong.
 type Execution struct {
 	counts []int     // number of real events per process
 	msgs   []Message // all message edges, in insertion order
@@ -75,8 +84,10 @@ type Execution struct {
 	out       map[EventID][]EventID // message successors of a real event
 	in        map[EventID][]EventID // message predecessors of a real event
 
-	origin *Builder // builder this view was taken from, nil for Build results
-	epoch  int      // total real events at view time (only with origin set)
+	origin    *Builder // builder this view was taken from, nil for Build results
+	epoch     int      // total real events at view time (only with origin set)
+	msgSeq    int      // total messages ever recorded at view time, incl. compacted
+	compacted []int    // per-proc compacted-through positions; nil when none
 }
 
 // Errors returned by Builder methods and Build.
@@ -87,6 +98,8 @@ var (
 	ErrSelfMessage   = errors.New("poset: message endpoints on the same process")
 	ErrCausalCycle   = errors.New("poset: message edges create a causal cycle")
 	ErrViewUnsafe    = errors.New("poset: builder recorded a message into a non-frontier event; views are unavailable (use Build)")
+	ErrCompacted     = errors.New("poset: builder has compacted history; only View is available")
+	ErrNotDownClosed = errors.New("poset: compaction watermark is not a consistent cut (a compacted receive has a retained send, or vice versa)")
 )
 
 // Builder incrementally constructs an Execution. Methods record events and
@@ -105,6 +118,14 @@ type Builder struct {
 	// breaks it poisons View (Build remains fully general).
 	hasOut         map[EventID]bool
 	unsafeForViews bool
+
+	// Retention state (CompactBelow). droppedMsgs counts messages removed
+	// from b.msgs by compaction, so droppedMsgs+len(msgs) — the msgSeq a view
+	// records — is monotone over the builder's lifetime even though len(msgs)
+	// is not. compacted[p] is the per-process watermark: events at positions
+	// 1..compacted[p] have had their message edges dropped.
+	droppedMsgs int
+	compacted   []int
 }
 
 // NewBuilder returns a Builder for an execution with procs processes, each
@@ -192,8 +213,13 @@ func (b *Builder) SendRecv(fromProc, toProc int) (send, recv EventID, err error)
 // Build validates the recorded structure and returns the immutable Execution.
 // It fails with ErrCausalCycle if the message edges, combined with program
 // order, admit no linear extension (i.e. a receive causally precedes its own
-// send).
+// send), and with ErrCompacted once CompactBelow has dropped history — a
+// deep copy of a partial message log would validate a structure that never
+// existed.
 func (b *Builder) Build() (*Execution, error) {
+	if b.compacted != nil {
+		return nil, ErrCompacted
+	}
 	ex := &Execution{
 		counts: append([]int(nil), b.counts...),
 		msgs:   append([]Message(nil), b.msgs...),
@@ -222,21 +248,113 @@ func (b *Builder) View() (*Execution, error) {
 		total += c
 	}
 	n := len(b.msgs)
-	return &Execution{
+	ex := &Execution{
 		counts: append([]int(nil), b.counts...),
 		msgs:   b.msgs[:n:n],
 		origin: b,
 		epoch:  total,
-	}, nil
+		msgSeq: b.droppedMsgs + n,
+	}
+	if b.compacted != nil {
+		ex.compacted = append([]int(nil), b.compacted...)
+	}
+	return ex, nil
+}
+
+// CompactBelow drops retained history at or below the per-process watermark
+// w: every message edge whose sender sits at position ≤ w[proc] is removed
+// from the log (along with its fresh-sink bookkeeping), and the watermark is
+// recorded so later views know which events lost their causal neighborhood.
+// Event positions are never renumbered — retained events keep their external
+// EventIDs, and the per-process counts remain absolute.
+//
+// The watermark must be a *consistent cut*: causally downward-closed, so no
+// retained event precedes a compacted one. Concretely that means a message's
+// receive may only be compacted together with its send; CompactBelow
+// validates the property against the retained log and fails with
+// ErrNotDownClosed (mutating nothing) when it is violated. Downward
+// closedness is what keeps every structural query on retained events exact —
+// no causal path between retained events can pass through the dropped
+// region. Watermarks are monotone: components below a previous call's
+// watermark are clamped up. The dropped count is returned.
+func (b *Builder) CompactBelow(w []int) (dropped int, err error) {
+	if len(w) != len(b.counts) {
+		return 0, fmt.Errorf("poset: CompactBelow watermark has %d components for %d processes", len(w), len(b.counts))
+	}
+	if b.unsafeForViews {
+		// Compaction serves the view path; a builder that already requires
+		// Build has no consistent-prefix story to preserve.
+		return 0, ErrViewUnsafe
+	}
+	nw := make([]int, len(w))
+	for p, wp := range w {
+		if wp > b.counts[p] {
+			return 0, fmt.Errorf("%w: watermark %d exceeds %d events on process %d", ErrNoSuchEvent, wp, b.counts[p], p)
+		}
+		nw[p] = wp
+		if b.compacted != nil && nw[p] < b.compacted[p] {
+			nw[p] = b.compacted[p]
+		}
+		if nw[p] < 0 {
+			nw[p] = 0
+		}
+	}
+	for _, m := range b.msgs {
+		if m.To.Pos <= nw[m.To.Proc] && m.From.Pos > nw[m.From.Proc] {
+			return 0, fmt.Errorf("%w: %v -> %v straddles watermark %v", ErrNotDownClosed, m.From, m.To, nw)
+		}
+	}
+	// Drop every message sent from inside the cut. Consistency makes this
+	// exactly the set with either endpoint inside: a compacted receive
+	// implies a compacted send, and a retained receive of a compacted send
+	// contributes no causal path between retained events (any retained event
+	// preceding the send would itself be inside the downward-closed cut).
+	// The retained messages move to a fresh backing array: live views alias
+	// the old one (capacity-clamped), so filtering in place would corrupt
+	// their message logs.
+	kept := make([]Message, 0, len(b.msgs))
+	for _, m := range b.msgs {
+		if m.From.Pos <= nw[m.From.Proc] {
+			dropped++
+			delete(b.hasOut, m.From)
+			continue
+		}
+		kept = append(kept, m)
+	}
+	b.msgs = kept
+	// The fresh-sink index only guards future receives, which always land on
+	// frontier events; entries inside the cut can never be consulted again.
+	for e := range b.hasOut {
+		if e.Pos <= nw[e.Proc] {
+			delete(b.hasOut, e)
+		}
+	}
+	b.droppedMsgs += dropped
+	b.compacted = nw
+	return dropped, nil
+}
+
+// CompactedThrough returns the builder's per-process compaction watermark
+// (nil when CompactBelow was never called). The slice is a copy.
+func (b *Builder) CompactedThrough() []int {
+	if b.compacted == nil {
+		return nil
+	}
+	return append([]int(nil), b.compacted...)
 }
 
 // Prefix reports whether a is a prefix of b: every event and message edge of
-// a is present, unchanged, in b. Identical executions are prefixes of each
-// other. For distinct executions the question is only decidable cheaply for
-// views of the same Builder, where epoch ordering plus message-log length
-// settles it (two views can share an epoch yet straddle a Message call, so
-// the msgs length is part of the test). Build results have no origin and are
-// prefixes only of themselves.
+// a is present, unchanged, in b — possibly compacted (retention may have
+// dropped edges of b's oldest events, but never renumbers or reorders what
+// remains, so verdicts computed over a stay valid over b). Identical
+// executions are prefixes of each other. For distinct executions the
+// question is only decidable cheaply for views of the same Builder, where
+// epoch ordering plus the monotone message sequence number settles it (two
+// views can share an epoch yet straddle a Message call, so msgSeq is part of
+// the test; it counts messages ever recorded, not retained, so compaction —
+// which shrinks the log — cannot make a genuine prefix look like a
+// divergent history). Build results have no origin and are prefixes only of
+// themselves.
 func Prefix(a, b *Execution) bool {
 	if a == b {
 		return a != nil
@@ -245,7 +363,7 @@ func Prefix(a, b *Execution) bool {
 		return false
 	}
 	return a.origin != nil && a.origin == b.origin &&
-		a.epoch <= b.epoch && len(a.msgs) <= len(b.msgs)
+		a.epoch <= b.epoch && a.msgSeq <= b.msgSeq
 }
 
 // MustBuild is Build that panics on error, for tests and fixed fixtures.
@@ -306,8 +424,37 @@ func (ex *Execution) IsReal(e EventID) bool {
 }
 
 // Messages returns the message edges in insertion order. The slice is shared;
-// callers must not modify it.
+// callers must not modify it. On a compacted view the slice holds only the
+// retained edges (senders above the watermark).
 func (ex *Execution) Messages() []Message { return ex.msgs }
+
+// CompactedThrough returns the position through which process p's history was
+// compacted when this view was taken (0 when none). Real events at or below
+// it remain addressable but have lost their message edges; cross-process
+// causality queries naming them panic rather than answer wrong.
+func (ex *Execution) CompactedThrough(p int) int {
+	if ex.compacted == nil {
+		return 0
+	}
+	return ex.compacted[p]
+}
+
+// Compacted reports whether this view carries a nonzero compaction watermark
+// on any process.
+func (ex *Execution) Compacted() bool {
+	for _, w := range ex.compacted {
+		if w > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// compactedReal reports whether e is a real event inside the compaction cut,
+// i.e. one whose message edges were dropped by CompactBelow.
+func (ex *Execution) compactedReal(e EventID) bool {
+	return ex.compacted != nil && e.Pos >= 1 && e.Pos <= ex.compacted[e.Proc]
+}
 
 // edges builds the message adjacency maps on first use. The maps are derived
 // purely from ex.msgs (itself immutable once the Execution exists), so the
@@ -380,9 +527,18 @@ func (ex *Execution) Precedes(a, b EventID) bool {
 	case ex.IsTop(b):
 		return true
 	}
-	// Both real. Same process: program order.
+	// Both real. Same process: program order — exact even inside the
+	// compaction cut, since compaction never drops program-order edges.
 	if a.Proc == b.Proc {
 		return a.Pos < b.Pos
+	}
+	// Cross-process causality needs message edges. A compacted endpoint has
+	// lost its neighborhood, so the BFS would silently under-approximate ≺;
+	// the watermark being a consistent cut guarantees retained×retained
+	// queries never route through the dropped region, so only queries that
+	// name a compacted event are unanswerable.
+	if ex.compactedReal(a) || ex.compactedReal(b) {
+		panic(fmt.Sprintf("poset: Precedes(%v, %v) touches compacted history (watermark %v)", a, b, ex.compacted))
 	}
 	return ex.reaches(a, b)
 }
@@ -437,6 +593,12 @@ func (ex *Execution) reaches(a, b EventID) bool {
 // detect causal cycles and exported via LinearExtension for consumers that
 // need a topological processing order (e.g. vector-clock propagation).
 func (ex *Execution) linearize() ([]EventID, error) {
+	if ex.Compacted() {
+		// The retained message log under-constrains the compacted prefix; a
+		// Kahn pass would return a "linear extension" of an order weaker than
+		// ≺. Fail loudly instead of replaying history in a wrong order.
+		return nil, fmt.Errorf("%w: linear extension spans dropped edges", ErrCompacted)
+	}
 	ex.edges()
 	n := ex.NumEvents()
 	indeg := make(map[EventID]int, n)

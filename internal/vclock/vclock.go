@@ -129,8 +129,14 @@ func Compare(v, w VC) Ordering {
 // and safe for concurrent readers.
 type Clocks struct {
 	ex  *poset.Execution
-	fwd [][]VC // fwd[p][pos-1] = T(e) for real event (p,pos)
+	fwd [][]VC // fwd[p][pos-1-base[p]] = T(e) for real event (p,pos)
 	rev [][]VC // rev[p][pos-1] = T^R(e); nil in lazy mode
+
+	// base[p] is the number of leading events of process p whose rows are
+	// absent from fwd[p] (dropped by stream compaction). nil means zero
+	// everywhere: fwd uses the plain pos-1 layout of New. Event positions
+	// stay absolute; only the storage is rebased.
+	base []int
 
 	// revFn computes T^R(e) for a real event in lazy mode. It must be safe
 	// for concurrent calls and must return a vector the caller may retain
@@ -199,6 +205,30 @@ func NewLazy(ex *poset.Execution, fwd [][]VC, revFn func(poset.EventID) VC) *Clo
 	return &Clocks{ex: ex, fwd: fwd, revFn: revFn}
 }
 
+// NewLazyRebased is NewLazy for a compacted stream: fwd[p] holds rows only
+// for positions base[p]+1 .. NumReal(p), i.e. the retained tail after
+// compaction dropped the first base[p] rows of each process. Positions remain
+// absolute — callers keep addressing events by their external EventIDs — and
+// asking for the timestamp of a dropped (compacted) event panics rather than
+// reading a wrong row. base must not be mutated afterwards; nil base is
+// exactly NewLazy.
+func NewLazyRebased(ex *poset.Execution, fwd [][]VC, base []int, revFn func(poset.EventID) VC) *Clocks {
+	return &Clocks{ex: ex, fwd: fwd, base: base, revFn: revFn}
+}
+
+// fwdAt returns the forward-timestamp row of real event (p, pos), applying
+// the rebase offset when the clocks come from a compacted stream.
+func (c *Clocks) fwdAt(p, pos int) VC {
+	if c.base != nil {
+		idx := pos - 1 - c.base[p]
+		if idx < 0 {
+			panic(fmt.Sprintf("vclock: timestamp of compacted event p%d:%d (rows retained from position %d)", p, pos, c.base[p]+1))
+		}
+		return c.fwd[p][idx]
+	}
+	return c.fwd[p][pos-1]
+}
+
 // Execution returns the execution the clocks were computed for.
 func (c *Clocks) Execution() *poset.Execution { return c.ex }
 
@@ -209,7 +239,7 @@ func (c *Clocks) Execution() *poset.Execution { return c.ex }
 func (c *Clocks) T(e poset.EventID) VC {
 	switch {
 	case c.ex.IsReal(e):
-		return c.fwd[e.Proc][e.Pos-1]
+		return c.fwdAt(e.Proc, e.Pos)
 	case c.ex.IsBottom(e):
 		return make(VC, c.ex.NumProcs())
 	case c.ex.IsTop(e):
@@ -265,7 +295,9 @@ func (c *Clocks) Precedes(a, b poset.EventID) bool {
 	case ex.IsTop(b):
 		return true
 	}
-	return a.Pos <= c.fwd[b.Proc][b.Pos-1][a.Proc]
+	// Only b's row is read, so a ≺ b stays answerable even when a itself is
+	// compacted — the retained row of b already absorbed a's contribution.
+	return a.Pos <= c.fwdAt(b.Proc, b.Pos)[a.Proc]
 }
 
 // PrecedesEq reports a ⪯ b.
